@@ -1,0 +1,83 @@
+//! Regenerates every paper table and figure as part of `cargo bench`.
+//!
+//! Before Criterion runs, this harness prints the full reproduced
+//! evaluation (simulated seconds on the modeled platforms) so that
+//! `cargo bench --workspace` output contains the same rows and series the
+//! paper reports. Criterion then times the generation itself (each figure
+//! is a pure function of the machine models, so this doubles as a
+//! regression guard on harness cost).
+
+use criterion::{criterion_group, Criterion};
+use micdnn::analytic::Algo;
+use micdnn_bench::experiments as exp;
+use std::hint::black_box;
+
+fn print_all_figures() {
+    println!("================================================================");
+    println!(" Paper evaluation reproduction (simulated platform seconds)");
+    println!("================================================================\n");
+    for fig in [
+        exp::fig7(Algo::Autoencoder),
+        exp::fig7(Algo::Rbm),
+        exp::fig8(Algo::Autoencoder),
+        exp::fig8(Algo::Rbm),
+        exp::fig9(Algo::Autoencoder),
+        exp::fig9(Algo::Rbm),
+        exp::fig10(),
+    ] {
+        println!("{}", fig.render());
+    }
+    let fig = exp::fig10();
+    let phi = fig.get("Autoencoder", "Xeon Phi (60 cores)").unwrap();
+    let matlab = fig.get("Autoencoder", "Matlab (host CPU)").unwrap();
+    println!("Matlab / Phi speedup: {:.1}x (paper: ~16x)\n", matlab / phi);
+
+    println!("{}", exp::table1().render());
+    println!("{}", exp::overlap_experiment(6).render());
+
+    println!("== Fig. 6 — dependency-graph scheduling of one CD-1 step ==");
+    for r in exp::graph_ablation() {
+        println!(
+            "{:<22} serial {:>8.2} ms  graph {:>8.2} ms  speedup {:.2}x",
+            r.network,
+            r.serial_secs * 1e3,
+            r.graph_secs * 1e3,
+            r.speedup
+        );
+    }
+    println!();
+
+    let (phi, cpu) = exp::phi_vs_cpu_socket();
+    println!(
+        "Abstract claim — Phi vs full Xeon socket: {:.1}x (paper: 7-10x)\n",
+        cpu / phi
+    );
+
+    println!("== Thread count x affinity on the Xeon Phi ==");
+    for p in exp::thread_sweep() {
+        println!("  {:>3} threads  {:<9} {:>8.2} s", p.threads, p.affinity, p.seconds);
+    }
+    let (points, best_f, best_secs) = exp::hybrid_sweep();
+    println!("\n== Hybrid Xeon + Phi split (§VI future work) ==");
+    for p in &points {
+        println!("  phi fraction {:.1} -> {:>7.1} s", p.phi_fraction, p.seconds);
+    }
+    println!("  optimal split {:.2} -> {:.1} s\n", best_f, best_secs);
+}
+
+fn bench_figures(c: &mut Criterion) {
+    let mut group = c.benchmark_group("figure_generation");
+    group.sample_size(10);
+    group.bench_function("fig7a", |b| b.iter(|| black_box(exp::fig7(Algo::Autoencoder))));
+    group.bench_function("fig9b", |b| b.iter(|| black_box(exp::fig9(Algo::Rbm))));
+    group.bench_function("table1", |b| b.iter(|| black_box(exp::table1())));
+    group.finish();
+}
+
+criterion_group!(benches, bench_figures);
+
+fn main() {
+    print_all_figures();
+    benches();
+    Criterion::default().configure_from_args().final_summary();
+}

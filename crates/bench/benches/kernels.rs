@@ -1,0 +1,109 @@
+//! Wall-clock benchmarks of the elementwise / sampling kernels, including
+//! the loop-fusion ablation (the paper's "improved" optimization step).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use micdnn_kernels::rng::StreamId;
+use micdnn_kernels::{fused, reduce, rng, vecops, Par};
+use micdnn_tensor::Mat;
+use std::hint::black_box;
+
+const N_ROWS: usize = 1000;
+const N_COLS: usize = 4096;
+
+fn bench_fusion_ablation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fusion_ablation");
+    group.throughput(Throughput::Elements((N_ROWS * N_COLS) as u64));
+    let bias: Vec<f32> = (0..N_COLS).map(|i| (i as f32 * 0.001).sin()).collect();
+    let src = Mat::from_fn(N_ROWS, N_COLS, |r, c| ((r + c) as f32 * 0.01) - 2.0);
+
+    for par in [Par::Seq, Par::Rayon] {
+        let tag = if par.is_parallel() { "par" } else { "seq" };
+        group.bench_function(BenchmarkId::new("bias_sigmoid_fused", tag), |b| {
+            let mut m = src.clone();
+            b.iter(|| {
+                fused::bias_sigmoid_rows(par, &bias, &mut m.view_mut());
+                black_box(m.get(0, 0))
+            });
+        });
+        group.bench_function(BenchmarkId::new("bias_sigmoid_two_pass", tag), |b| {
+            let mut m = src.clone();
+            b.iter(|| {
+                fused::add_bias_rows(par, &bias, &mut m.view_mut());
+                vecops::sigmoid_inplace(par, m.as_mut_slice());
+                black_box(m.get(0, 0))
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_sgd_and_cd(c: &mut Criterion) {
+    let mut group = c.benchmark_group("update_kernels");
+    let n = N_ROWS * N_COLS / 4;
+    group.throughput(Throughput::Elements(n as u64));
+    let g: Vec<f32> = (0..n).map(|i| (i as f32 * 1e-4).sin()).collect();
+    let pos = g.clone();
+    let neg: Vec<f32> = g.iter().map(|v| -v).collect();
+
+    group.bench_function("sgd_fused", |b| {
+        let mut w = vec![0.5f32; n];
+        b.iter(|| {
+            fused::sgd_step(Par::Rayon, 1e-3, 1e-4, &g, &mut w);
+            black_box(w[0])
+        });
+    });
+    group.bench_function("sgd_two_pass", |b| {
+        let mut w = vec![0.5f32; n];
+        b.iter(|| {
+            vecops::scale(Par::Rayon, 1.0 - 1e-3 * 1e-4, &mut w);
+            vecops::axpy(Par::Rayon, -1e-3, &g, &mut w);
+            black_box(w[0])
+        });
+    });
+    group.bench_function("cd_update_fused", |b| {
+        let mut w = vec![0.5f32; n];
+        b.iter(|| {
+            fused::cd_update(Par::Rayon, 1e-3, &pos, &neg, &mut w);
+            black_box(w[0])
+        });
+    });
+    group.finish();
+}
+
+fn bench_sampling_and_reductions(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sampling_reductions");
+    let n = N_ROWS * N_COLS / 4;
+    group.throughput(Throughput::Elements(n as u64));
+    let probs: Vec<f32> = (0..n).map(|i| (i % 100) as f32 / 100.0).collect();
+    let m = Mat::from_fn(N_ROWS, N_COLS / 4, |r, c| ((r * 31 + c) as f32).sin());
+
+    for par in [Par::Seq, Par::Rayon] {
+        let tag = if par.is_parallel() { "par" } else { "seq" };
+        group.bench_function(BenchmarkId::new("bernoulli", tag), |b| {
+            let mut out = vec![0.0f32; n];
+            b.iter(|| {
+                rng::bernoulli(par, 42, StreamId(7), &probs, &mut out);
+                black_box(out[0])
+            });
+        });
+        group.bench_function(BenchmarkId::new("colsum", tag), |b| {
+            let mut out = vec![0.0f32; N_COLS / 4];
+            b.iter(|| {
+                reduce::colsum(par, m.view(), &mut out);
+                black_box(out[0])
+            });
+        });
+        group.bench_function(BenchmarkId::new("frob_dist", tag), |b| {
+            b.iter(|| black_box(reduce::frob_dist_sq(par, m.view(), m.view())));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_fusion_ablation,
+    bench_sgd_and_cd,
+    bench_sampling_and_reductions
+);
+criterion_main!(benches);

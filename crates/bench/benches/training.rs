@@ -1,0 +1,81 @@
+//! Wall-clock benchmarks of whole training steps across the optimization
+//! ladder — the host-side analog of the paper's Table I: the same gradient
+//! computation gets genuinely faster as threading, the blocked GEMM and
+//! loop fusion are switched on.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use micdnn::autoencoder::{AeConfig, AeScratch, SparseAutoencoder};
+use micdnn::cd_step_graph;
+use micdnn::exec::{ExecCtx, OptLevel};
+use micdnn::rbm::{Rbm, RbmConfig, RbmScratch};
+use micdnn_tensor::Mat;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::hint::black_box;
+
+const BATCH: usize = 100;
+const N_VIS: usize = 256;
+const N_HID: usize = 512;
+
+fn batch_data(seed: u64) -> Mat {
+    let mut rng = StdRng::seed_from_u64(seed);
+    Mat::from_fn(BATCH, N_VIS, |_, _| rng.gen_range(0.1..0.9))
+}
+
+fn ladder() -> [(OptLevel, &'static str); 4] {
+    [
+        (OptLevel::Baseline, "baseline"),
+        (OptLevel::OpenMp, "threaded"),
+        (OptLevel::OpenMpMkl, "threaded_blas"),
+        (OptLevel::Improved, "improved"),
+    ]
+}
+
+fn bench_ae_step(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ae_train_batch");
+    group.throughput(Throughput::Elements(BATCH as u64));
+    group.sample_size(10);
+    let cfg = AeConfig::new(N_VIS, N_HID);
+    let x = batch_data(1);
+    for (lvl, name) in ladder() {
+        group.bench_function(BenchmarkId::new("ladder", name), |b| {
+            let mut ae = SparseAutoencoder::new(cfg, 2);
+            let ctx = ExecCtx::native(lvl, 3);
+            let mut scratch = AeScratch::new(&cfg, BATCH);
+            b.iter(|| {
+                let cost = ae.train_batch(&ctx, x.view(), &mut scratch, 0.01);
+                black_box(cost.reconstruction)
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_rbm_step(c: &mut Criterion) {
+    let mut group = c.benchmark_group("rbm_cd1_step");
+    group.throughput(Throughput::Elements(BATCH as u64));
+    group.sample_size(10);
+    let cfg = RbmConfig::new(N_VIS, N_HID);
+    let mut x = batch_data(4);
+    x.map_inplace(|v| if v > 0.5 { 1.0 } else { 0.0 });
+    for (lvl, name) in ladder() {
+        group.bench_function(BenchmarkId::new("ladder", name), |b| {
+            let mut rbm = Rbm::new(cfg, 5);
+            let ctx = ExecCtx::native(lvl, 6);
+            let mut scratch = RbmScratch::new(&cfg, BATCH);
+            b.iter(|| black_box(rbm.cd_step(&ctx, x.view(), &mut scratch, 0.01)));
+        });
+    }
+    // Serial vs dependency-graph schedule (functional wall-clock; the
+    // modeled benefit is in the `figures` bench / repro harness).
+    group.bench_function(BenchmarkId::new("schedule", "graph"), |b| {
+        let mut rbm = Rbm::new(cfg, 5);
+        let ctx = ExecCtx::native(OptLevel::Improved, 6);
+        let mut scratch = RbmScratch::new(&cfg, BATCH);
+        b.iter(|| black_box(cd_step_graph(&mut rbm, &ctx, x.view(), &mut scratch, 0.01).0));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_ae_step, bench_rbm_step);
+criterion_main!(benches);

@@ -1,0 +1,182 @@
+//! `repro` — regenerate every table and figure of the paper.
+//!
+//! ```text
+//! repro [--json] [EXPERIMENT...]
+//! ```
+//!
+//! Experiments: `fig7a fig7b fig8a fig8b fig9a fig9b fig10 table1 overlap
+//! graph scaling socket threads hybrid all` (default: `all`).
+//!
+//! Numbers are simulated seconds on the modeled Xeon Phi 5110P / Xeon E5620
+//! platforms — see DESIGN.md for the substitution rationale and
+//! EXPERIMENTS.md for paper-vs-measured commentary.
+
+use micdnn::analytic::Algo;
+use micdnn_bench::experiments as exp;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let json = args.iter().any(|a| a == "--json");
+    let mut wanted: Vec<String> = args
+        .iter()
+        .filter(|a| !a.starts_with("--"))
+        .cloned()
+        .collect();
+    if wanted.is_empty() {
+        wanted.push("all".to_string());
+    }
+    let all = wanted.iter().any(|w| w == "all");
+    let want = |name: &str| all || wanted.iter().any(|w| w == name);
+
+    let mut unknown: Vec<&String> = wanted
+        .iter()
+        .filter(|w| {
+            !matches!(
+                w.as_str(),
+                "all" | "fig7a" | "fig7b" | "fig8a" | "fig8b" | "fig9a" | "fig9b" | "fig10"
+                    | "table1" | "overlap" | "graph" | "scaling" | "socket"
+                    | "threads" | "hybrid"
+            )
+        })
+        .collect();
+    if !unknown.is_empty() {
+        eprintln!("unknown experiment(s): {unknown:?}");
+        eprintln!(
+            "known: fig7a fig7b fig8a fig8b fig9a fig9b fig10 table1 overlap graph scaling socket threads hybrid all"
+        );
+        unknown.clear();
+        std::process::exit(2);
+    }
+
+    type FigureFn = fn() -> exp::Figure;
+    let figures: Vec<(&str, FigureFn)> = vec![
+        ("fig7a", || exp::fig7(Algo::Autoencoder)),
+        ("fig7b", || exp::fig7(Algo::Rbm)),
+        ("fig8a", || exp::fig8(Algo::Autoencoder)),
+        ("fig8b", || exp::fig8(Algo::Rbm)),
+        ("fig9a", || exp::fig9(Algo::Autoencoder)),
+        ("fig9b", || exp::fig9(Algo::Rbm)),
+        ("fig10", exp::fig10),
+    ];
+
+    for (name, f) in figures {
+        if want(name) {
+            let fig = f();
+            if json {
+                println!("{}", serde_json::to_string_pretty(&fig).unwrap());
+            } else {
+                println!("{}", fig.render());
+            }
+        }
+    }
+
+    if want("fig10") && !json {
+        let fig = exp::fig10();
+        let phi = fig.get("Autoencoder", "Xeon Phi (60 cores)").unwrap();
+        let matlab = fig.get("Autoencoder", "Matlab (host CPU)").unwrap();
+        println!("Matlab / Phi speedup: {:.1}x (paper: ~16x)\n", matlab / phi);
+    }
+
+    if want("table1") {
+        let t = exp::table1();
+        if json {
+            println!("{}", serde_json::to_string_pretty(&t).unwrap());
+        } else {
+            println!("{}", t.render());
+            println!("(paper: fully-optimized ~300x baseline on 60 cores)\n");
+        }
+    }
+
+    if want("overlap") {
+        let r = exp::overlap_experiment(6);
+        if json {
+            println!("{}", serde_json::to_string_pretty(&r).unwrap());
+        } else {
+            println!("{}", r.render());
+        }
+    }
+
+    if want("graph") {
+        let rows = exp::graph_ablation();
+        if json {
+            println!("{}", serde_json::to_string_pretty(&rows).unwrap());
+        } else {
+            println!("== Fig. 6 — dependency-graph scheduling of one CD-1 step ==");
+            println!("{:<22}{:>14}{:>14}{:>10}", "network", "serial", "graph", "speedup");
+            for r in &rows {
+                println!(
+                    "{:<22}{:>11.2} ms{:>11.2} ms{:>9.2}x",
+                    r.network,
+                    r.serial_secs * 1e3,
+                    r.graph_secs * 1e3,
+                    r.speedup
+                );
+            }
+            println!();
+        }
+    }
+
+    if want("scaling") {
+        let pts = exp::core_scaling();
+        if json {
+            println!("{}", serde_json::to_string_pretty(&pts).unwrap());
+        } else {
+            println!("== Core-count scaling, fully-optimized Autoencoder (1024x4096) ==");
+            println!("{:<8}{:>14}{:>12}", "cores", "seconds", "speedup");
+            for p in &pts {
+                println!("{:<8}{:>13.1}s{:>11.1}x", p.cores, p.seconds, p.speedup);
+            }
+            println!();
+        }
+    }
+
+    if want("threads") {
+        let pts = exp::thread_sweep();
+        if json {
+            println!("{}", serde_json::to_string_pretty(&pts).unwrap());
+        } else {
+            println!("== Thread count x affinity on the Xeon Phi (AE 1024x4096, 10k ex.) ==");
+            println!("{:<10}{:>14}{:>14}{:>14}", "threads", "Compact", "Scatter", "Balanced");
+            for &threads in &[15u32, 30, 60, 120, 180, 240] {
+                print!("{threads:<10}");
+                for aff in ["Compact", "Scatter", "Balanced"] {
+                    let secs = pts
+                        .iter()
+                        .find(|p| p.threads == threads && p.affinity == aff)
+                        .map(|p| p.seconds)
+                        .unwrap_or(f64::NAN);
+                    print!("{secs:>12.2} s");
+                }
+                println!();
+            }
+            println!("(in-order cores want >= 2 threads each; scatter engages cores fastest)\n");
+        }
+    }
+
+    if want("hybrid") {
+        let (points, best_f, best_secs) = exp::hybrid_sweep();
+        if json {
+            println!("{}", serde_json::to_string_pretty(&points).unwrap());
+        } else {
+            println!("== Hybrid Xeon + Xeon Phi split (paper §VI future work) ==");
+            println!("{:<16}{:>14}", "phi fraction", "seconds");
+            for p in &points {
+                println!("{:<16.1}{:>12.1} s", p.phi_fraction, p.seconds);
+            }
+            println!("optimal split: {:.2} on the Phi -> {:.1} s\n", best_f, best_secs);
+        }
+    }
+
+    if want("socket") {
+        let (phi, cpu) = exp::phi_vs_cpu_socket();
+        if json {
+            println!(
+                "{}",
+                serde_json::json!({"phi_secs": phi, "cpu_socket_secs": cpu, "ratio": cpu / phi})
+            );
+        } else {
+            println!("== Abstract claim — Phi vs full Xeon socket (AE, 1M examples) ==");
+            println!("Xeon Phi: {phi:.1} s   Xeon E5620 socket: {cpu:.1} s   ratio {:.1}x (paper: 7-10x)\n", cpu / phi);
+        }
+    }
+}

@@ -1,0 +1,11 @@
+//! Figure/table reproduction harness and benchmark support for `micdnn`.
+//!
+//! Every table and figure of the paper's evaluation section has a
+//! corresponding function in [`experiments`] that regenerates its rows or
+//! series. The `repro` binary prints them; the Criterion benches in
+//! `benches/` measure the real wall-clock behaviour of the same kernels on
+//! the host.
+
+pub mod experiments;
+
+pub use experiments::*;

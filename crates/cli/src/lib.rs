@@ -1,0 +1,544 @@
+//! Implementation of the `micdnn` command-line tool.
+//!
+//! Subcommands:
+//!
+//! * `train-ae` — train a sparse autoencoder on synthetic digits, patches
+//!   or an IDX file; optionally save the model.
+//! * `train-rbm` — train an RBM with CD-1 or PCD.
+//! * `pretrain` — greedy layer-wise pre-training of a stack.
+//! * `classify` — pre-train + fine-tune + report training accuracy on the
+//!   synthetic digit classes.
+//! * `features` — export a trained autoencoder's weight images as PGM.
+//! * `estimate` — price a workload on every modeled platform (no
+//!   training).
+//!
+//! The logic lives in this library crate so it is unit-testable; `main`
+//! is a two-liner.
+
+use micdnn::analytic::{estimate, Algo, Workload};
+use micdnn::train::{train_dataset, AeModel, RbmModel, TrainConfig};
+use micdnn::{
+    AeConfig, ExecCtx, FineTuneNet, OptLevel, Rbm, RbmConfig, SparseAutoencoder,
+    StackedAutoencoder,
+};
+use micdnn_data::{read_idx, Dataset, DigitGenerator, PatchGenerator};
+use micdnn_sim::{Link, Platform};
+
+/// A parsed `--key value` argument list.
+#[derive(Debug, Clone, Default)]
+pub struct Args {
+    flags: Vec<(String, String)>,
+    bools: Vec<String>,
+}
+
+impl Args {
+    /// Parses `--key value` pairs and bare `--switch`es.
+    pub fn parse(raw: &[String]) -> Result<Args, String> {
+        let mut args = Args::default();
+        let mut i = 0;
+        while i < raw.len() {
+            let a = &raw[i];
+            let Some(key) = a.strip_prefix("--") else {
+                return Err(format!("unexpected positional argument `{a}`"));
+            };
+            if i + 1 < raw.len() && !raw[i + 1].starts_with("--") {
+                args.flags.push((key.to_string(), raw[i + 1].clone()));
+                i += 2;
+            } else {
+                args.bools.push(key.to_string());
+                i += 1;
+            }
+        }
+        Ok(args)
+    }
+
+    /// String value of a flag.
+    pub fn get(&self, key: &str) -> Option<&str> {
+        self.flags
+            .iter()
+            .rev()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// `true` when `--key` appeared (with or without a value).
+    pub fn has(&self, key: &str) -> bool {
+        self.bools.iter().any(|k| k == key) || self.get(key).is_some()
+    }
+
+    /// Parsed numeric flag with a default.
+    pub fn num<T: std::str::FromStr>(&self, key: &str, default: T) -> Result<T, String> {
+        match self.get(key) {
+            None => Ok(default),
+            Some(v) => v
+                .parse()
+                .map_err(|_| format!("--{key}: cannot parse `{v}`")),
+        }
+    }
+}
+
+fn parse_level(args: &Args) -> Result<OptLevel, String> {
+    Ok(match args.get("level").unwrap_or("improved") {
+        "baseline" => OptLevel::Baseline,
+        "openmp" => OptLevel::OpenMp,
+        "openmp-mkl" => OptLevel::OpenMpMkl,
+        "improved" => OptLevel::Improved,
+        "sequential" => OptLevel::SequentialBlas,
+        other => return Err(format!("unknown --level `{other}`")),
+    })
+}
+
+fn parse_platform(args: &Args) -> Result<Option<Platform>, String> {
+    Ok(match args.get("platform") {
+        None | Some("native") => None,
+        Some("phi") => Some(Platform::xeon_phi()),
+        Some("phi30") => Some(Platform::xeon_phi_cores(30)),
+        Some("cpu") => Some(Platform::cpu_socket()),
+        Some("cpu1") => Some(Platform::cpu_single_core()),
+        Some("matlab") => Some(Platform::matlab_host()),
+        Some(other) => return Err(format!("unknown --platform `{other}`")),
+    })
+}
+
+fn make_ctx(args: &Args, seed: u64) -> Result<ExecCtx, String> {
+    let level = parse_level(args)?;
+    Ok(match parse_platform(args)? {
+        Some(p) => ExecCtx::simulated(level, p, seed),
+        None => ExecCtx::native(level, seed),
+    })
+}
+
+fn load_data(args: &Args, examples: usize, seed: u64) -> Result<Dataset, String> {
+    let source = args.get("data").unwrap_or("digits");
+    let mut ds = match source {
+        "digits" => {
+            let side = args.num("side", 16usize)?;
+            Dataset::new(DigitGenerator::new(side, seed).matrix(examples))
+        }
+        "patches" => {
+            let side = args.num("side", 12usize)?;
+            Dataset::new(PatchGenerator::new(side, seed).matrix(examples))
+        }
+        path => {
+            let idx = read_idx(path).map_err(|e| format!("cannot read IDX `{path}`: {e}"))?;
+            Dataset::new(idx.into_matrix())
+        }
+    };
+    ds.normalize();
+    Ok(ds)
+}
+
+fn train_config(args: &Args) -> Result<TrainConfig, String> {
+    Ok(TrainConfig {
+        learning_rate: args.num("lr", 0.3f32)?,
+        batch_size: args.num("batch", 100usize)?,
+        chunk_rows: args.num("chunk", 1000usize)?,
+        double_buffered: !args.has("no-double-buffer"),
+        link: Link::pcie_gen2(),
+        history_every: 10,
+        ..TrainConfig::default()
+    })
+}
+
+/// Runs one subcommand; returns the text to print.
+pub fn run(argv: &[String]) -> Result<String, String> {
+    let Some(cmd) = argv.first() else {
+        return Err(usage());
+    };
+    let args = Args::parse(&argv[1..])?;
+    let seed: u64 = args.num("seed", 7u64)?;
+    match cmd.as_str() {
+        "train-ae" => cmd_train_ae(&args, seed),
+        "train-rbm" => cmd_train_rbm(&args, seed),
+        "pretrain" => cmd_pretrain(&args, seed),
+        "classify" => cmd_classify(&args, seed),
+        "features" => cmd_features(&args),
+        "estimate" => cmd_estimate(&args),
+        "help" | "--help" | "-h" => Ok(usage()),
+        other => Err(format!("unknown command `{other}`\n\n{}", usage())),
+    }
+}
+
+/// Usage text.
+pub fn usage() -> String {
+    "micdnn — parallel unsupervised pre-training (IPDPSW'14 reproduction)\n\
+     \n\
+     USAGE: micdnn <COMMAND> [--key value ...]\n\
+     \n\
+     COMMANDS:\n\
+       train-ae   --visible N --hidden N [--examples N] [--passes N] [--batch N]\n\
+                  [--lr F] [--data digits|patches|FILE.idx] [--save FILE]\n\
+                  [--level baseline|openmp|openmp-mkl|improved|sequential]\n\
+                  [--platform native|phi|phi30|cpu|cpu1|matlab] [--momentum MU]\n\
+       train-rbm  (same flags) [--pcd]\n\
+       pretrain   --sizes 256,128,64 [--passes N] ...\n\
+       classify   --sizes 256,128,64 --classes 10 [--finetune-epochs N] ...\n\
+       features   --model FILE --side N --out FILE.pgm [--units N]\n\
+       estimate   --visible N --hidden N --examples N --batch N [--algo ae|rbm]\n"
+        .to_string()
+}
+
+fn cmd_train_ae(args: &Args, seed: u64) -> Result<String, String> {
+    let examples = args.num("examples", 2000usize)?;
+    let ds = load_data(args, examples, seed)?;
+    let visible = ds.dim();
+    let req_visible: usize = args.num("visible", visible)?;
+    if req_visible != visible {
+        return Err(format!(
+            "--visible {req_visible} does not match the data dimensionality {visible}"
+        ));
+    }
+    let hidden = args.num("hidden", (visible / 2).max(2))?;
+    let passes = args.num("passes", 10usize)?;
+    let cfg = AeConfig::new(visible, hidden);
+    let mut model = AeModel::new(SparseAutoencoder::new(cfg, seed));
+    if let Some(mu) = args.get("momentum") {
+        let mu: f32 = mu.parse().map_err(|_| "--momentum: bad value".to_string())?;
+        let lr = args.num("lr", 0.3f32)?;
+        let opt = micdnn::Optimizer::new(
+            micdnn::Rule::Momentum { mu },
+            micdnn::Schedule::Constant(lr),
+            &SparseAutoencoder::optimizer_slots(&cfg),
+        );
+        model = model.with_optimizer(opt);
+    }
+    let ctx = make_ctx(args, seed)?;
+    let tc = train_config(args)?;
+    let report = train_dataset(&mut model, &ctx, &ds, &tc, passes).map_err(|e| e.to_string())?;
+
+    let mut out = format!(
+        "trained sparse autoencoder {visible} -> {hidden}\n\
+         examples {}  batches {}  reconstruction {:.5} -> {:.5}\n",
+        report.examples,
+        report.batches,
+        report.initial_recon(),
+        report.final_recon()
+    );
+    if ctx.platform().is_some() {
+        out.push_str(&format!("simulated time: {:.3} s\n", report.sim_total_secs));
+    }
+    if let Some(path) = args.get("save") {
+        micdnn::save_autoencoder_file(&model.into_inner(), path).map_err(|e| e.to_string())?;
+        out.push_str(&format!("saved model to {path}\n"));
+    }
+    Ok(out)
+}
+
+fn cmd_train_rbm(args: &Args, seed: u64) -> Result<String, String> {
+    let examples = args.num("examples", 2000usize)?;
+    let mut ds = load_data(args, examples, seed)?;
+    ds.binarize(0.5);
+    let visible = ds.dim();
+    let hidden = args.num("hidden", (visible / 2).max(2))?;
+    let passes = args.num("passes", 10usize)?;
+    let cfg = RbmConfig::new(visible, hidden);
+    let ctx = make_ctx(args, seed)?;
+    let tc = TrainConfig {
+        learning_rate: args.num("lr", 0.1f32)?,
+        ..train_config(args)?
+    };
+
+    let report;
+    let rbm;
+    if args.has("pcd") {
+        // PCD path drives the model directly (the trainer wrapper runs
+        // CD); same chunk/batch loop semantics over in-memory data.
+        let mut m = Rbm::new(cfg, seed);
+        let mut scratch = micdnn::RbmScratch::new(&cfg, tc.batch_size);
+        let mut history = Vec::new();
+        for _ in 0..passes {
+            let mut lo = 0;
+            while lo < ds.len() {
+                let hi = (lo + tc.batch_size).min(ds.len());
+                history.push(m.pcd_step(&ctx, ds.batch(lo, hi), &mut scratch, tc.learning_rate));
+                lo = hi;
+            }
+        }
+        rbm = m;
+        report = (history[0], *history.last().expect("non-empty"), history.len());
+    } else {
+        let mut model = RbmModel::new(Rbm::new(cfg, seed));
+        let r = train_dataset(&mut model, &ctx, &ds, &tc, passes).map_err(|e| e.to_string())?;
+        report = (r.initial_recon(), r.final_recon(), r.batches as usize);
+        rbm = model.into_inner();
+    }
+
+    let mut out = format!(
+        "trained RBM {visible} -> {hidden} ({})\nbatches {}  reconstruction {:.5} -> {:.5}\n",
+        if args.has("pcd") { "PCD" } else { "CD-1" },
+        report.2,
+        report.0,
+        report.1
+    );
+    if let Some(path) = args.get("save") {
+        micdnn::save_rbm_file(&rbm, path).map_err(|e| e.to_string())?;
+        out.push_str(&format!("saved model to {path}\n"));
+    }
+    Ok(out)
+}
+
+fn parse_sizes(args: &Args, input_dim: usize) -> Result<Vec<usize>, String> {
+    match args.get("sizes") {
+        None => Ok(vec![input_dim, (input_dim / 2).max(2), (input_dim / 4).max(2)]),
+        Some(spec) => {
+            let mut sizes = vec![input_dim];
+            for part in spec.split(',') {
+                let n: usize = part
+                    .trim()
+                    .parse()
+                    .map_err(|_| format!("--sizes: bad layer width `{part}`"))?;
+                if n == 0 {
+                    return Err("--sizes: zero layer width".to_string());
+                }
+                sizes.push(n);
+            }
+            Ok(sizes)
+        }
+    }
+}
+
+fn cmd_pretrain(args: &Args, seed: u64) -> Result<String, String> {
+    let examples = args.num("examples", 2000usize)?;
+    let ds = load_data(args, examples, seed)?;
+    let sizes = parse_sizes(args, ds.dim())?;
+    let passes = args.num("passes", 10usize)?;
+    let ctx = make_ctx(args, seed)?;
+    let tc = train_config(args)?;
+    let mut stack = StackedAutoencoder::with_default_config(&sizes, seed);
+    let reports = stack.pretrain(&ctx, &ds, &tc, passes).map_err(|e| e.to_string())?;
+    let mut out = format!("pre-trained stack {sizes:?}\n");
+    for (i, lr) in reports.iter().enumerate() {
+        out.push_str(&format!(
+            "  layer {} ({} -> {}): recon {:.5} -> {:.5}\n",
+            i + 1,
+            lr.shape.0,
+            lr.shape.1,
+            lr.report.initial_recon(),
+            lr.report.final_recon()
+        ));
+    }
+    if ctx.platform().is_some() {
+        out.push_str(&format!("simulated time: {:.3} s\n", ctx.sim_time()));
+    }
+    Ok(out)
+}
+
+fn cmd_classify(args: &Args, seed: u64) -> Result<String, String> {
+    let examples = args.num("examples", 1000usize)?;
+    let side = args.num("side", 16usize)?;
+    let classes = args.num("classes", 10usize)?;
+    if !(2..=10).contains(&classes) {
+        return Err("--classes must be 2..=10 (the digit generator has ten classes)".to_string());
+    }
+    let mut gen = DigitGenerator::new(side, seed);
+    let mut ds = Dataset::new(gen.matrix(examples));
+    ds.normalize();
+    let labels: Vec<usize> = (0..examples).map(|i| i % classes).collect();
+
+    let sizes = parse_sizes(args, ds.dim())?;
+    let passes = args.num("passes", 8usize)?;
+    let epochs = args.num("finetune-epochs", 15usize)?;
+    let ctx = make_ctx(args, seed)?;
+    let tc = train_config(args)?;
+
+    let mut stack = StackedAutoencoder::with_default_config(&sizes, seed);
+    stack.pretrain(&ctx, &ds, &tc, passes).map_err(|e| e.to_string())?;
+    let mut net = FineTuneNet::from_stack(&stack, classes, seed ^ 0xF1);
+    let history = net.fit(
+        &ctx,
+        ds.matrix().view(),
+        &labels,
+        tc.batch_size,
+        args.num("lr", 0.5f32)?,
+        epochs,
+    );
+    let acc = net.accuracy(&ctx, ds.matrix().view(), &labels);
+    Ok(format!(
+        "pre-trained {sizes:?} + softmax({classes})\n\
+         fine-tune cross-entropy {:.4} -> {:.4} over {} epochs\n\
+         training accuracy: {:.1}% (chance {:.1}%)\n",
+        history[0],
+        history.last().expect("non-empty"),
+        epochs,
+        100.0 * acc,
+        100.0 / classes as f64
+    ))
+}
+
+fn cmd_features(args: &Args) -> Result<String, String> {
+    let model_path = args.get("model").ok_or("--model FILE is required")?;
+    let out_path = args.get("out").ok_or("--out FILE.pgm is required")?;
+    let ae = micdnn::load_autoencoder_file(model_path).map_err(|e| e.to_string())?;
+    let side = args.num("side", (ae.config().n_visible as f64).sqrt() as usize)?;
+    let units = args.num("units", ae.config().n_hidden.min(64))?;
+    let grid_cols = (units as f64).sqrt().ceil() as usize;
+    let grid = micdnn::feature_grid(&ae, units, side, grid_cols.max(1));
+    micdnn::write_pgm(out_path, &grid).map_err(|e| e.to_string())?;
+    Ok(format!(
+        "wrote {units} features ({side}x{side} each) to {out_path}\n"
+    ))
+}
+
+fn cmd_estimate(args: &Args) -> Result<String, String> {
+    let w = Workload {
+        algo: match args.get("algo").unwrap_or("ae") {
+            "ae" => Algo::Autoencoder,
+            "rbm" => Algo::Rbm,
+            other => return Err(format!("unknown --algo `{other}`")),
+        },
+        n_visible: args.num("visible", 1024usize)?,
+        n_hidden: args.num("hidden", 4096usize)?,
+        examples: args.num("examples", 100_000usize)?,
+        batch: args.num("batch", 1000usize)?,
+        chunk_rows: args.num("chunk", 10_000usize)?,
+        passes: args.num("passes", 1usize)?,
+    };
+    let mut out = format!(
+        "workload: {:?} {}x{}, {} examples, batch {}\n",
+        w.algo, w.n_visible, w.n_hidden, w.examples, w.batch
+    );
+    let rows = [
+        (Platform::xeon_phi(), OptLevel::Improved),
+        (Platform::xeon_phi_cores(30), OptLevel::Improved),
+        (Platform::cpu_socket(), OptLevel::Improved),
+        (Platform::cpu_single_core(), OptLevel::Improved),
+        (Platform::matlab_host(), OptLevel::SequentialBlas),
+    ];
+    for (platform, level) in rows {
+        let label = platform.label.clone();
+        let e = estimate(level, platform, Link::pcie_gen2(), true, &w);
+        out.push_str(&format!("  {label:<26}{:>12.1} s\n", e.total_secs));
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sv(parts: &[&str]) -> Vec<String> {
+        parts.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn arg_parser_handles_pairs_and_switches() {
+        let a = Args::parse(&sv(&["--visible", "64", "--pcd", "--lr", "0.5"])).unwrap();
+        assert_eq!(a.get("visible"), Some("64"));
+        assert!(a.has("pcd"));
+        assert!(!a.has("momentum"));
+        assert_eq!(a.num("lr", 0.0f32).unwrap(), 0.5);
+        assert_eq!(a.num("batch", 100usize).unwrap(), 100);
+        assert!(a.num::<usize>("visible", 0).unwrap() == 64);
+    }
+
+    #[test]
+    fn arg_parser_rejects_positional() {
+        assert!(Args::parse(&sv(&["oops"])).is_err());
+        assert!(!Args::parse(&sv(&["--x", "1", "stray"])).unwrap_err().is_empty());
+    }
+
+    #[test]
+    fn unknown_command_reports_usage() {
+        let err = run(&sv(&["frobnicate"])).unwrap_err();
+        assert!(err.contains("unknown command"));
+        assert!(err.contains("USAGE"));
+    }
+
+    #[test]
+    fn help_prints_usage() {
+        let out = run(&sv(&["help"])).unwrap();
+        assert!(out.contains("train-ae"));
+        assert!(out.contains("estimate"));
+    }
+
+    #[test]
+    fn train_ae_end_to_end_tiny() {
+        let out = run(&sv(&[
+            "train-ae", "--examples", "120", "--side", "10", "--hidden", "24", "--passes", "4",
+            "--batch", "30", "--chunk", "60",
+        ]))
+        .unwrap();
+        assert!(out.contains("trained sparse autoencoder 100 -> 24"), "{out}");
+    }
+
+    #[test]
+    fn train_ae_with_momentum_and_sim_platform() {
+        let out = run(&sv(&[
+            "train-ae", "--examples", "100", "--side", "8", "--hidden", "16", "--passes", "3",
+            "--batch", "25", "--chunk", "50", "--momentum", "0.8", "--platform", "phi",
+        ]))
+        .unwrap();
+        assert!(out.contains("simulated time"), "{out}");
+    }
+
+    #[test]
+    fn train_rbm_cd_and_pcd() {
+        for extra in [&[][..], &["--pcd"][..]] {
+            let mut argv = sv(&[
+                "train-rbm", "--examples", "100", "--side", "8", "--hidden", "20", "--passes",
+                "3", "--batch", "25", "--chunk", "50",
+            ]);
+            argv.extend(sv(extra));
+            let out = run(&argv).unwrap();
+            assert!(out.contains("trained RBM 64 -> 20"), "{out}");
+        }
+    }
+
+    #[test]
+    fn pretrain_and_classify_smoke() {
+        let out = run(&sv(&[
+            "pretrain", "--examples", "150", "--side", "10", "--sizes", "40,16", "--passes",
+            "3", "--batch", "30", "--chunk", "75",
+        ]))
+        .unwrap();
+        assert!(out.contains("layer 2 (40 -> 16)"), "{out}");
+
+        let out = run(&sv(&[
+            "classify", "--examples", "120", "--side", "10", "--sizes", "40,16", "--classes",
+            "4", "--passes", "2", "--finetune-epochs", "6", "--batch", "30", "--chunk", "60",
+        ]))
+        .unwrap();
+        assert!(out.contains("training accuracy"), "{out}");
+    }
+
+    #[test]
+    fn save_features_round_trip() {
+        let dir = std::env::temp_dir();
+        let model = dir.join(format!("micdnn-cli-{}.bin", std::process::id()));
+        let pgm = dir.join(format!("micdnn-cli-{}.pgm", std::process::id()));
+        run(&sv(&[
+            "train-ae", "--examples", "80", "--side", "8", "--hidden", "9", "--passes", "2",
+            "--batch", "20", "--chunk", "40", "--save", model.to_str().unwrap(),
+        ]))
+        .unwrap();
+        let out = run(&sv(&[
+            "features", "--model", model.to_str().unwrap(), "--side", "8", "--out",
+            pgm.to_str().unwrap(), "--units", "9",
+        ]))
+        .unwrap();
+        assert!(out.contains("wrote 9 features"), "{out}");
+        assert!(std::fs::metadata(&pgm).unwrap().len() > 0);
+        std::fs::remove_file(&model).ok();
+        std::fs::remove_file(&pgm).ok();
+    }
+
+    #[test]
+    fn estimate_prints_all_platforms() {
+        let out = run(&sv(&[
+            "estimate", "--visible", "256", "--hidden", "512", "--examples", "10000",
+            "--batch", "100",
+        ]))
+        .unwrap();
+        assert!(out.contains("Xeon Phi (60 cores)"));
+        assert!(out.contains("Matlab"));
+    }
+
+    #[test]
+    fn visible_mismatch_rejected() {
+        let err = run(&sv(&[
+            "train-ae", "--examples", "50", "--side", "8", "--visible", "100",
+        ]))
+        .unwrap_err();
+        assert!(err.contains("does not match"), "{err}");
+    }
+}

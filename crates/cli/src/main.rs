@@ -1,0 +1,12 @@
+//! `micdnn` command-line entry point; all logic is in the library crate.
+
+fn main() {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    match micdnn_cli::run(&argv) {
+        Ok(out) => print!("{out}"),
+        Err(err) => {
+            eprintln!("{err}");
+            std::process::exit(2);
+        }
+    }
+}

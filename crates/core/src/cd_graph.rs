@@ -1,0 +1,241 @@
+//! The paper's Fig. 6: one CD-1 update as an explicit dependency graph.
+//!
+//! Node layout (names follow the figure; `V1` is the clamped data):
+//!
+//! ```text
+//! H1 = sample(p(h|V1))          (root)
+//! POS = H1'V1 statistics        (needs H1)
+//! V2 = p(v|H1)                  (needs H1)        — concurrent with POS
+//! VISNEG + recon error          (needs V2)
+//! H2 = p(h|V2)                  (needs V2)        — concurrent with VISNEG
+//! NEG = H2'V2 statistics        (needs H2)
+//! Vw, Vb, Vc parameter updates  (each needs only its statistics)
+//! ```
+//!
+//! Executing this graph instead of the serial order advances the simulated
+//! clock by the critical path; the [`crate::graph::GraphRun`] it returns
+//! quantifies how much the paper's "compute Vb, H2 and C in parallel"
+//! optimization actually buys.
+
+use crate::exec::ExecCtx;
+use crate::graph::{GraphRun, TaskGraph};
+use crate::rbm::{Rbm, RbmScratch};
+use micdnn_tensor::MatView;
+
+struct CdState<'a> {
+    rbm: &'a mut Rbm,
+    scratch: &'a mut RbmScratch,
+    v0: MatView<'a>,
+    lr: f32,
+    recon_err: f64,
+}
+
+/// One CD-1 update scheduled as the Fig. 6 dependency graph.
+///
+/// Functionally identical to [`Rbm::cd_step`] with `cd_steps = 1`
+/// (bit-identical given the same sampler state); only the simulated time
+/// accounting differs. Returns the reconstruction error and the graph
+/// schedule.
+pub fn cd_step_graph(
+    rbm: &mut Rbm,
+    ctx: &ExecCtx,
+    v0: MatView<'_>,
+    scratch: &mut RbmScratch,
+    learning_rate: f32,
+) -> (f64, GraphRun) {
+    let b = v0.rows();
+    assert!(b > 0, "empty batch");
+    assert_eq!(
+        rbm.config().cd_steps,
+        1,
+        "the Fig. 6 graph describes CD-1; use Rbm::cd_step for CD-k"
+    );
+
+    let mut g: TaskGraph<'_, CdState<'_>> = TaskGraph::new();
+
+    // H1: hidden probabilities + sample from the data.
+    let h1 = g.add("H1", &[], move |ctx, s: &mut CdState<'_>| {
+        let v0 = s.v0;
+        s.rbm.prop_up(ctx, v0, &mut s.scratch.h0_prob);
+        let (hp, hs) = (&s.scratch.h0_prob, &mut s.scratch.h0_sample);
+        let probs = hp.rows_range(0, b);
+        let mut sample = hs.rows_range_mut(0, b);
+        ctx.bernoulli(probs.as_slice(), sample.as_mut_slice());
+    });
+
+    // POS: positive statistics (weights + both bias sides of the data).
+    let pos = g.add("POS", &[h1], move |ctx, s: &mut CdState<'_>| {
+        let inv_b = 1.0 / b as f32;
+        ctx.gemm(
+            inv_b,
+            s.scratch.h0_prob.rows_range(0, b),
+            true,
+            s.v0,
+            false,
+            0.0,
+            &mut s.scratch.pos_stats.view_mut(),
+        );
+        ctx.colmean(s.v0, &mut s.scratch.vis_pos);
+        let (hp, out) = (&s.scratch.h0_prob, &mut s.scratch.hid_pos);
+        ctx.colmean(hp.rows_range(0, b), out);
+    });
+
+    // V2: reconstruction.
+    let v2 = g.add("V2", &[h1], move |ctx, s: &mut CdState<'_>| {
+        let (rbm, scr) = (&*s.rbm, &mut *s.scratch);
+        rbm.prop_down(ctx, scr.h0_sample.rows_range(0, b), &mut scr.v1_prob);
+    });
+
+    // VISNEG: negative visible statistics + reconstruction error.
+    let visneg = g.add("VISNEG", &[v2], move |ctx, s: &mut CdState<'_>| {
+        let (scr, v0) = (&mut *s.scratch, s.v0);
+        s.recon_err = ctx.frob_dist_sq(scr.v1_prob.rows_range(0, b), v0) / b as f64;
+        let (v1, out) = (&scr.v1_prob, &mut scr.vis_neg);
+        ctx.colmean(v1.rows_range(0, b), out);
+    });
+
+    // H2: hidden probabilities of the reconstruction.
+    let h2 = g.add("H2", &[v2], move |ctx, s: &mut CdState<'_>| {
+        let (rbm, scr) = (&*s.rbm, &mut *s.scratch);
+        rbm.prop_up(ctx, scr.v1_prob.rows_range(0, b), &mut scr.h1_prob);
+    });
+
+    // NEG: negative weight + hidden statistics.
+    let neg = g.add("NEG", &[h2], move |ctx, s: &mut CdState<'_>| {
+        let inv_b = 1.0 / b as f32;
+        let scr = &mut *s.scratch;
+        let (h1p, v1p, neg_stats) = (&scr.h1_prob, &scr.v1_prob, &mut scr.neg_stats);
+        ctx.gemm(
+            inv_b,
+            h1p.rows_range(0, b),
+            true,
+            v1p.rows_range(0, b),
+            false,
+            0.0,
+            &mut neg_stats.view_mut(),
+        );
+        let (h1p, out) = (&scr.h1_prob, &mut scr.hid_neg);
+        ctx.colmean(h1p.rows_range(0, b), out);
+    });
+
+    // The three independent parameter updates of the figure's last rank.
+    g.add("Vw", &[pos, neg], move |ctx, s: &mut CdState<'_>| {
+        let (rbm, scr) = (&mut *s.rbm, &*s.scratch);
+        ctx.cd_update(
+            s.lr,
+            scr.pos_stats.as_slice(),
+            scr.neg_stats.as_slice(),
+            rbm.w.as_mut_slice(),
+        );
+    });
+    g.add("Vb", &[pos, visneg], move |ctx, s: &mut CdState<'_>| {
+        let (rbm, scr) = (&mut *s.rbm, &*s.scratch);
+        ctx.cd_update(s.lr, &scr.vis_pos, &scr.vis_neg, &mut rbm.b_vis);
+    });
+    g.add("Vc", &[pos, neg], move |ctx, s: &mut CdState<'_>| {
+        let (rbm, scr) = (&mut *s.rbm, &*s.scratch);
+        ctx.cd_update(s.lr, &scr.hid_pos, &scr.hid_neg, &mut rbm.c_hid);
+    });
+
+    let mut state = CdState {
+        rbm,
+        scratch,
+        v0,
+        lr: learning_rate,
+        recon_err: 0.0,
+    };
+    let run = g.execute(ctx, &mut state);
+    (state.recon_err, run)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exec::{ExecCtx, OptLevel};
+    use crate::rbm::RbmConfig;
+    use micdnn_sim::Platform;
+    use micdnn_tensor::Mat;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    /// Structured binary data (two alternating prototypes + flip noise) so
+    /// CD training has something to learn.
+    fn batch(b: usize, v: usize, seed: u64) -> Mat {
+        let mut rng = StdRng::seed_from_u64(seed);
+        Mat::from_fn(b, v, |r, c| {
+            let proto = if r % 2 == 0 { (c % 2) as f32 } else { ((c + 1) % 2) as f32 };
+            if rng.gen_bool(0.05) { 1.0 - proto } else { proto }
+        })
+    }
+
+    #[test]
+    fn graph_step_matches_serial_step_bitwise() {
+        let cfg = RbmConfig::new(14, 9);
+        let v = batch(20, 14, 1);
+
+        let mut rbm_serial = Rbm::new(cfg, 2);
+        let ctx_serial = ExecCtx::native(OptLevel::Improved, 3);
+        let mut s_serial = RbmScratch::new(&cfg, 20);
+
+        let mut rbm_graph = Rbm::new(cfg, 2);
+        let ctx_graph = ExecCtx::native(OptLevel::Improved, 3);
+        let mut s_graph = RbmScratch::new(&cfg, 20);
+
+        for _ in 0..5 {
+            let e1 = rbm_serial.cd_step(&ctx_serial, v.view(), &mut s_serial, 0.1);
+            let (e2, _) = cd_step_graph(&mut rbm_graph, &ctx_graph, v.view(), &mut s_graph, 0.1);
+            assert_eq!(e1, e2, "reconstruction errors diverged");
+        }
+        assert_eq!(rbm_serial.w.as_slice(), rbm_graph.w.as_slice());
+        assert_eq!(rbm_serial.b_vis, rbm_graph.b_vis);
+        assert_eq!(rbm_serial.c_hid, rbm_graph.c_hid);
+    }
+
+    #[test]
+    fn critical_path_beats_serial_schedule() {
+        let cfg = RbmConfig::new(256, 512);
+        let mut rbm = Rbm::new(cfg, 4);
+        let ctx = ExecCtx::simulated(OptLevel::Improved, Platform::xeon_phi(), 5);
+        let mut scratch = RbmScratch::new(&cfg, 64);
+        let v = batch(64, 256, 6);
+        let (_, run) = cd_step_graph(&mut rbm, &ctx, v.view(), &mut scratch, 0.1);
+        assert!(
+            run.critical_path < run.serial_time,
+            "graph gained nothing: cp {} vs serial {}",
+            run.critical_path,
+            run.serial_time
+        );
+        assert!(run.speedup() > 1.0 && run.speedup() < 3.0, "speedup {}", run.speedup());
+        assert!((ctx.sim_time() - run.critical_path).abs() < 1e-9);
+    }
+
+    #[test]
+    fn graph_training_converges() {
+        let cfg = RbmConfig::new(16, 10);
+        let mut rbm = Rbm::new(cfg, 7);
+        let ctx = ExecCtx::native(OptLevel::Improved, 8);
+        let mut scratch = RbmScratch::new(&cfg, 32);
+        let v = batch(32, 16, 9);
+        let mut first = 0.0;
+        let mut last = 0.0;
+        for i in 0..200 {
+            let (e, _) = cd_step_graph(&mut rbm, &ctx, v.view(), &mut scratch, 0.1);
+            if i == 0 {
+                first = e;
+            }
+            last = e;
+        }
+        assert!(last < 0.7 * first, "{first} -> {last}");
+    }
+
+    #[test]
+    #[should_panic(expected = "CD-1")]
+    fn cdk_rejected() {
+        let cfg = RbmConfig::new(8, 4).with_cd_steps(2);
+        let mut rbm = Rbm::new(cfg, 0);
+        let ctx = ExecCtx::native(OptLevel::Improved, 0);
+        let mut scratch = RbmScratch::new(&cfg, 4);
+        let v = batch(4, 8, 0);
+        cd_step_graph(&mut rbm, &ctx, v.view(), &mut scratch, 0.1);
+    }
+}

@@ -1,0 +1,427 @@
+//! Execution context: real kernels + simulated device time.
+//!
+//! Every training algorithm in this crate funnels its math through an
+//! [`ExecCtx`]. The context executes the operation with the configured
+//! [`Backend`] (one rung of the paper's optimization ladder) and, when a
+//! platform model is attached, advances the simulated clock by the op's
+//! priced duration and records it in the trace. This is how one code path
+//! serves as the functional implementation, the wall-clock benchmark body,
+//! and the source of every simulated figure in the paper reproduction.
+
+use micdnn_kernels::rng::{SampleStream, StreamId};
+use micdnn_kernels::{Backend, OpCost};
+use micdnn_sim::{CostModel, EventKind, Platform, SimClock, Trace};
+use micdnn_tensor::{MatView, MatViewMut};
+use parking_lot::Mutex;
+
+/// The optimization rungs of the paper's Table I, plus the comparator
+/// configuration used by its host-CPU baselines.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum OptLevel {
+    /// Sequential scalar code, no BLAS ("Baseline").
+    Baseline,
+    /// Loops threaded across cores ("OpenMP").
+    OpenMp,
+    /// Threaded + optimized BLAS for the matrix products ("OpenMP+MKL").
+    OpenMpMkl,
+    /// Threaded + BLAS + hand-vectorized fused loops
+    /// ("Improved OpenMP+MKL").
+    Improved,
+    /// Single-threaded but with the optimized BLAS — the optimized
+    /// sequential comparator run on one host CPU core in Figs. 7–9 and the
+    /// Matlab process of Fig. 10.
+    SequentialBlas,
+}
+
+impl OptLevel {
+    /// The kernel backend implementing this rung.
+    pub fn backend(self) -> Backend {
+        match self {
+            OptLevel::Baseline => Backend::baseline(),
+            OptLevel::OpenMp => Backend::threaded(),
+            OptLevel::OpenMpMkl => Backend::threaded_blas(),
+            OptLevel::Improved => Backend::improved(),
+            OptLevel::SequentialBlas => Backend::sequential_blas(),
+        }
+    }
+
+    /// All four Phi rungs in Table I order.
+    pub fn ladder() -> [OptLevel; 4] {
+        [
+            OptLevel::Baseline,
+            OptLevel::OpenMp,
+            OptLevel::OpenMpMkl,
+            OptLevel::Improved,
+        ]
+    }
+
+    /// Table I row label.
+    pub fn label(self) -> &'static str {
+        match self {
+            OptLevel::Baseline => "Baseline",
+            OptLevel::OpenMp => "OpenMP",
+            OptLevel::OpenMpMkl => "OpenMP+MKL",
+            OptLevel::Improved => "Improved OpenMP+MKL",
+            OptLevel::SequentialBlas => "Sequential+BLAS",
+        }
+    }
+}
+
+#[derive(Debug, Default)]
+struct Recorder {
+    enabled: bool,
+    ops: Vec<OpCost>,
+}
+
+/// Execution context binding a kernel backend to an optional device model.
+///
+/// Without a model (`ExecCtx::native`) it is a thin veneer over
+/// [`Backend`] — used by the Criterion wall-clock benches. With a model
+/// (`ExecCtx::simulated`) every op also advances simulated time on the
+/// modeled platform.
+pub struct ExecCtx {
+    backend: Backend,
+    pricing: Option<CostModel>,
+    clock: SimClock,
+    trace: Trace,
+    sampler: Mutex<SampleStream>,
+    recorder: Mutex<Recorder>,
+    /// When > 0, op prices accumulate here instead of the clock
+    /// (dependency-graph execution, see [`ExecCtx::run_deferred`]).
+    deferred: Mutex<Option<f64>>,
+}
+
+impl ExecCtx {
+    /// Context that only executes (no simulated time).
+    pub fn native(level: OptLevel, seed: u64) -> Self {
+        ExecCtx {
+            backend: level.backend(),
+            pricing: None,
+            clock: SimClock::new(),
+            trace: Trace::new(false),
+            sampler: Mutex::new(SampleStream::new(seed)),
+            recorder: Mutex::new(Recorder::default()),
+            deferred: Mutex::new(None),
+        }
+    }
+
+    /// Context that executes *and* charges the modeled platform.
+    pub fn simulated(level: OptLevel, platform: Platform, seed: u64) -> Self {
+        ExecCtx {
+            backend: level.backend(),
+            pricing: Some(CostModel::new(platform)),
+            clock: SimClock::new(),
+            trace: Trace::new(false),
+            sampler: Mutex::new(SampleStream::new(seed)),
+            recorder: Mutex::new(Recorder::default()),
+            deferred: Mutex::new(None),
+        }
+    }
+
+    /// Enables trace recording (off by default to keep big runs cheap).
+    pub fn with_trace(mut self) -> Self {
+        self.trace = Trace::new(true);
+        self
+    }
+
+    /// The kernel backend in use.
+    pub fn backend(&self) -> Backend {
+        self.backend
+    }
+
+    /// The simulated clock (zero-valued when running natively).
+    pub fn clock(&self) -> &SimClock {
+        &self.clock
+    }
+
+    /// Simulated seconds elapsed so far.
+    pub fn sim_time(&self) -> f64 {
+        self.clock.now()
+    }
+
+    /// The event trace.
+    pub fn trace(&self) -> &Trace {
+        &self.trace
+    }
+
+    /// The platform model, if any.
+    pub fn platform(&self) -> Option<&Platform> {
+        self.pricing.as_ref().map(|m| m.platform())
+    }
+
+    /// The cost model, if any.
+    pub fn cost_model(&self) -> Option<&CostModel> {
+        self.pricing.as_ref()
+    }
+
+    /// Reserves a fresh sampling stream (one per stochastic op).
+    pub fn next_stream(&self) -> StreamId {
+        self.sampler.lock().next()
+    }
+
+    /// Seed of the run's sampler.
+    pub fn seed(&self) -> u64 {
+        self.sampler.lock().seed()
+    }
+
+    /// Starts recording the [`OpCost`] of every op (used by the tests that
+    /// pin the analytic op streams to the executed ones).
+    pub fn start_recording(&self) {
+        let mut r = self.recorder.lock();
+        r.enabled = true;
+        r.ops.clear();
+    }
+
+    /// Stops recording and returns the ops seen since
+    /// [`ExecCtx::start_recording`].
+    pub fn stop_recording(&self) -> Vec<OpCost> {
+        let mut r = self.recorder.lock();
+        r.enabled = false;
+        std::mem::take(&mut r.ops)
+    }
+
+    /// Runs `f` with op prices diverted into an accumulator instead of the
+    /// clock, returning the accumulated simulated seconds.
+    ///
+    /// The dependency-graph executor (paper Fig. 6) uses this to price each
+    /// graph node separately and then advance the clock by the critical
+    /// path rather than the serial sum.
+    pub fn run_deferred<R>(&self, f: impl FnOnce(&ExecCtx) -> R) -> (R, f64) {
+        {
+            let mut d = self.deferred.lock();
+            assert!(d.is_none(), "run_deferred does not nest");
+            *d = Some(0.0);
+        }
+        let out = f(self);
+        let elapsed = self
+            .deferred
+            .lock()
+            .take()
+            .expect("deferred accumulator vanished");
+        (out, elapsed)
+    }
+
+    /// Charges an externally-computed op (extensions that implement their
+    /// own kernels — e.g. the softmax fine-tuning head — use this to stay
+    /// inside the simulated-time accounting).
+    pub fn charge_cost(&self, cost: OpCost) {
+        self.charge(cost);
+    }
+
+    /// Advances the simulated clock directly (used by the graph executor
+    /// after computing a critical path).
+    pub fn advance_clock(&self, secs: f64, kind: EventKind, label: &str) {
+        let t0 = self.clock.now();
+        self.clock.advance(secs);
+        self.trace.push(t0, t0 + secs, kind, label);
+    }
+
+    fn charge(&self, cost: OpCost) {
+        {
+            let mut r = self.recorder.lock();
+            if r.enabled {
+                r.ops.push(cost);
+            }
+        }
+        let Some(model) = &self.pricing else { return };
+        let t = model.price(&cost, self.backend.par().is_parallel());
+        let mut d = self.deferred.lock();
+        if let Some(acc) = d.as_mut() {
+            *acc += t;
+            return;
+        }
+        drop(d);
+        let t0 = self.clock.now();
+        self.clock.advance(t);
+        self.trace
+            .push(t0, t0 + t, EventKind::Compute(cost.kind), "");
+    }
+
+    // --- mirrored kernel ops -------------------------------------------
+
+    /// See [`Backend::gemm`].
+    #[allow(clippy::too_many_arguments)]
+    pub fn gemm(
+        &self,
+        alpha: f32,
+        a: MatView<'_>,
+        ta: bool,
+        b: MatView<'_>,
+        tb: bool,
+        beta: f32,
+        c: &mut MatViewMut<'_>,
+    ) {
+        let cost = self.backend.gemm(alpha, a, ta, b, tb, beta, c);
+        self.charge(cost);
+    }
+
+    /// See [`Backend::bias_sigmoid_rows`].
+    pub fn bias_sigmoid_rows(&self, bias: &[f32], c: &mut MatViewMut<'_>) {
+        let cost = self.backend.bias_sigmoid_rows(bias, c);
+        self.charge(cost);
+    }
+
+    /// See [`Backend::bias_deriv_rows`].
+    pub fn bias_deriv_rows(&self, s: &[f32], y: MatView<'_>, delta: &mut MatViewMut<'_>) {
+        let cost = self.backend.bias_deriv_rows(s, y, delta);
+        self.charge(cost);
+    }
+
+    /// See [`Backend::delta_output`].
+    pub fn delta_output(&self, z: &[f32], x: &[f32], out: &mut [f32]) {
+        let cost = self.backend.delta_output(z, x, out);
+        self.charge(cost);
+    }
+
+    /// See [`Backend::sgd_step`].
+    pub fn sgd_step(&self, lr: f32, lambda: f32, g: &[f32], w: &mut [f32]) {
+        let cost = self.backend.sgd_step(lr, lambda, g, w);
+        self.charge(cost);
+    }
+
+    /// See [`Backend::cd_update`].
+    pub fn cd_update(&self, scale: f32, pos: &[f32], neg: &[f32], w: &mut [f32]) {
+        let cost = self.backend.cd_update(scale, pos, neg, w);
+        self.charge(cost);
+    }
+
+    /// See [`Backend::colmean`].
+    pub fn colmean(&self, a: MatView<'_>, out: &mut [f32]) {
+        let cost = self.backend.colmean(a, out);
+        self.charge(cost);
+    }
+
+    /// See [`Backend::colsum`].
+    pub fn colsum(&self, a: MatView<'_>, out: &mut [f32]) {
+        let cost = self.backend.colsum(a, out);
+        self.charge(cost);
+    }
+
+    /// See [`Backend::frob_dist_sq`].
+    pub fn frob_dist_sq(&self, a: MatView<'_>, b: MatView<'_>) -> f64 {
+        let (d, cost) = self.backend.frob_dist_sq(a, b);
+        self.charge(cost);
+        d
+    }
+
+    /// See [`Backend::bernoulli`]; draws a fresh stream from the context's
+    /// sampler so results are reproducible per run seed.
+    pub fn bernoulli(&self, probs: &[f32], out: &mut [f32]) {
+        let stream = self.next_stream();
+        let seed = self.seed();
+        let cost = self.backend.bernoulli(seed, stream, probs, out);
+        self.charge(cost);
+    }
+
+    /// See [`Backend::axpy`].
+    pub fn axpy(&self, alpha: f32, x: &[f32], y: &mut [f32]) {
+        let cost = self.backend.axpy(alpha, x, y);
+        self.charge(cost);
+    }
+
+    /// See [`Backend::scale`].
+    pub fn scale(&self, alpha: f32, y: &mut [f32]) {
+        let cost = self.backend.scale(alpha, y);
+        self.charge(cost);
+    }
+
+    /// See [`Backend::sub`].
+    pub fn sub(&self, a: &[f32], b: &[f32], out: &mut [f32]) {
+        let cost = self.backend.sub(a, b, out);
+        self.charge(cost);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use micdnn_tensor::Mat;
+
+    #[test]
+    fn opt_levels_map_to_backends() {
+        assert!(!OptLevel::Baseline.backend().par().is_parallel());
+        assert!(OptLevel::OpenMp.backend().par().is_parallel());
+        assert!(!OptLevel::OpenMp.backend().uses_blas());
+        assert!(OptLevel::OpenMpMkl.backend().uses_blas());
+        assert!(OptLevel::Improved.backend().is_fused());
+        assert_eq!(OptLevel::ladder().len(), 4);
+        assert_eq!(OptLevel::Baseline.label(), "Baseline");
+    }
+
+    #[test]
+    fn native_ctx_keeps_clock_at_zero() {
+        let ctx = ExecCtx::native(OptLevel::Improved, 0);
+        let a = Mat::eye(4);
+        let b = Mat::full(4, 4, 1.0);
+        let mut c = Mat::zeros(4, 4);
+        ctx.gemm(1.0, a.view(), false, b.view(), false, 0.0, &mut c.view_mut());
+        assert_eq!(ctx.sim_time(), 0.0);
+        assert!(c.as_slice().iter().all(|&v| v == 1.0));
+    }
+
+    #[test]
+    fn simulated_ctx_advances_clock() {
+        let ctx = ExecCtx::simulated(OptLevel::Improved, Platform::xeon_phi(), 0);
+        let a = Mat::full(64, 64, 0.5);
+        let b = Mat::full(64, 64, 0.5);
+        let mut c = Mat::zeros(64, 64);
+        ctx.gemm(1.0, a.view(), false, b.view(), false, 0.0, &mut c.view_mut());
+        assert!(ctx.sim_time() > 0.0);
+    }
+
+    #[test]
+    fn baseline_charges_more_than_improved() {
+        let run = |level: OptLevel| -> f64 {
+            let ctx = ExecCtx::simulated(level, Platform::xeon_phi(), 0);
+            let a = Mat::full(128, 256, 0.1);
+            let b = Mat::full(256, 128, 0.1);
+            let mut c = Mat::zeros(128, 128);
+            ctx.gemm(1.0, a.view(), false, b.view(), false, 0.0, &mut c.view_mut());
+            ctx.sim_time()
+        };
+        let t_base = run(OptLevel::Baseline);
+        let t_impr = run(OptLevel::Improved);
+        assert!(
+            t_base > 50.0 * t_impr,
+            "baseline {t_base} vs improved {t_impr}"
+        );
+    }
+
+    #[test]
+    fn recorder_captures_op_stream() {
+        let ctx = ExecCtx::native(OptLevel::Improved, 0);
+        ctx.start_recording();
+        let mut v = vec![0.0f32; 100];
+        ctx.scale(2.0, &mut v);
+        ctx.sgd_step(0.1, 0.0, &vec![1.0; 100], &mut v);
+        let ops = ctx.stop_recording();
+        assert_eq!(ops.len(), 2);
+        // Recording stops.
+        ctx.scale(2.0, &mut v);
+        assert!(ctx.stop_recording().is_empty());
+    }
+
+    #[test]
+    fn deferred_accumulates_without_advancing() {
+        let ctx = ExecCtx::simulated(OptLevel::Improved, Platform::xeon_phi(), 0);
+        let ((), dur) = ctx.run_deferred(|ctx| {
+            let mut v = vec![0.0f32; 1000];
+            ctx.scale(1.5, &mut v);
+        });
+        assert!(dur > 0.0);
+        assert_eq!(ctx.sim_time(), 0.0, "deferred must not touch the clock");
+        ctx.advance_clock(dur, EventKind::Sync, "graph");
+        assert!((ctx.sim_time() - dur).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bernoulli_streams_advance() {
+        let ctx = ExecCtx::native(OptLevel::Improved, 9);
+        let probs = vec![0.5f32; 64];
+        let mut a = vec![0.0f32; 64];
+        let mut b = vec![0.0f32; 64];
+        ctx.bernoulli(&probs, &mut a);
+        ctx.bernoulli(&probs, &mut b);
+        assert_ne!(a, b, "consecutive sampling ops use fresh streams");
+    }
+}

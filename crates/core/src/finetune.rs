@@ -1,0 +1,450 @@
+//! Supervised fine-tuning of a pre-trained stack.
+//!
+//! The paper's introduction motivates unsupervised pre-training as
+//! producing codes that "make it easier to learn tasks of interests" and
+//! "benefit subsequent work". This module is that subsequent work: a
+//! softmax classification head on top of a pre-trained
+//! [`StackedAutoencoder`], with full back-propagation through every layer
+//! (the standard fine-tuning phase of Hinton & Salakhutdinov, the paper's
+//! ref [1]).
+//!
+//! All heavy math runs through the [`ExecCtx`] like the rest of the crate,
+//! so fine-tuning participates in the simulated-coprocessor accounting.
+
+use crate::exec::ExecCtx;
+use crate::stacked::StackedAutoencoder;
+use micdnn_kernels::OpCost;
+use micdnn_tensor::{GlorotSigmoid, Initializer, Mat, MatView};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// A softmax (multinomial logistic) output layer.
+#[derive(Debug, Clone)]
+pub struct SoftmaxLayer {
+    /// Weights, `n_classes x in_dim`.
+    pub w: Mat,
+    /// Biases, length `n_classes`.
+    pub b: Vec<f32>,
+}
+
+impl SoftmaxLayer {
+    /// Fresh layer for `in_dim` inputs and `n_classes` classes.
+    pub fn new(in_dim: usize, n_classes: usize, seed: u64) -> Self {
+        assert!(n_classes >= 2, "need at least two classes");
+        let mut rng = StdRng::seed_from_u64(seed);
+        SoftmaxLayer {
+            w: GlorotSigmoid.init(n_classes, in_dim, &mut rng),
+            b: vec![0.0; n_classes],
+        }
+    }
+
+    /// Number of classes.
+    pub fn n_classes(&self) -> usize {
+        self.w.rows()
+    }
+
+    /// Input dimensionality.
+    pub fn in_dim(&self) -> usize {
+        self.w.cols()
+    }
+
+    /// Class probabilities for a batch (`b x in_dim` -> `b x classes`).
+    pub fn forward(&self, ctx: &ExecCtx, x: MatView<'_>) -> Mat {
+        let b = x.rows();
+        let c = self.n_classes();
+        let mut logits = Mat::zeros(b, c);
+        {
+            let mut v = logits.view_mut();
+            ctx.gemm(1.0, x, false, self.w.view(), true, 0.0, &mut v);
+        }
+        // Row-wise stable softmax (charged as a transcendental sweep).
+        for r in 0..b {
+            let row = logits.row_mut(r);
+            let mut max = f32::NEG_INFINITY;
+            for (v, &bias) in row.iter_mut().zip(&self.b) {
+                *v += bias;
+                max = max.max(*v);
+            }
+            let mut sum = 0.0f32;
+            for v in row.iter_mut() {
+                *v = (*v - max).exp();
+                sum += *v;
+            }
+            let inv = 1.0 / sum;
+            for v in row.iter_mut() {
+                *v *= inv;
+            }
+        }
+        ctx.charge_cost(OpCost::sigmoid(b * c));
+        logits
+    }
+}
+
+/// A pre-trained encoder stack plus a softmax head, trainable end-to-end.
+#[derive(Debug, Clone)]
+pub struct FineTuneNet {
+    /// Encoder layers as `(weights h x v, biases h)` pairs, input-first.
+    layers: Vec<(Mat, Vec<f32>)>,
+    /// The classification head.
+    pub softmax: SoftmaxLayer,
+    /// L2 weight decay applied to all weights during fine-tuning.
+    pub weight_decay: f32,
+}
+
+impl FineTuneNet {
+    /// Builds the network from a pre-trained stack's encoders plus a fresh
+    /// softmax head.
+    pub fn from_stack(stack: &StackedAutoencoder, n_classes: usize, seed: u64) -> Self {
+        let layers: Vec<(Mat, Vec<f32>)> = stack
+            .layers()
+            .iter()
+            .map(|ae| (ae.w1.clone(), ae.b1.clone()))
+            .collect();
+        assert!(!layers.is_empty(), "stack has no layers");
+        let code_dim = stack.code_dim();
+        FineTuneNet {
+            layers,
+            softmax: SoftmaxLayer::new(code_dim, n_classes, seed),
+            weight_decay: 1e-4,
+        }
+    }
+
+    /// Builds an untrained network of the given layer widths (for
+    /// pre-training-vs-random comparisons).
+    pub fn random(sizes: &[usize], n_classes: usize, seed: u64) -> Self {
+        assert!(sizes.len() >= 2, "need at least input and one hidden size");
+        let mut rng = StdRng::seed_from_u64(seed);
+        let layers = sizes
+            .windows(2)
+            .map(|w| {
+                (
+                    GlorotSigmoid.init(w[1], w[0], &mut rng),
+                    vec![0.0f32; w[1]],
+                )
+            })
+            .collect();
+        FineTuneNet {
+            layers,
+            softmax: SoftmaxLayer::new(*sizes.last().unwrap(), n_classes, seed ^ 0x5A5A),
+            weight_decay: 1e-4,
+        }
+    }
+
+    /// Number of encoder layers.
+    pub fn depth(&self) -> usize {
+        self.layers.len()
+    }
+
+    /// Forward pass returning every layer's activations (input excluded):
+    /// `acts[l]` is the output of encoder layer `l`; the final element is
+    /// the softmax probabilities.
+    fn forward_all(&self, ctx: &ExecCtx, x: MatView<'_>) -> (Vec<Mat>, Mat) {
+        let b = x.rows();
+        let mut acts: Vec<Mat> = Vec::with_capacity(self.layers.len());
+        for (l, (w, bias)) in self.layers.iter().enumerate() {
+            let input = if l == 0 { x } else { acts[l - 1].view() };
+            let mut a = Mat::zeros(b, w.rows());
+            {
+                let mut v = a.view_mut();
+                ctx.gemm(1.0, input, false, w.view(), true, 0.0, &mut v);
+                ctx.bias_sigmoid_rows(bias, &mut v);
+            }
+            acts.push(a);
+        }
+        let probs = self.softmax.forward(ctx, acts.last().expect("non-empty").view());
+        (acts, probs)
+    }
+
+    /// Class probabilities for a batch.
+    pub fn predict_proba(&self, ctx: &ExecCtx, x: MatView<'_>) -> Mat {
+        self.forward_all(ctx, x).1
+    }
+
+    /// Hard predictions (argmax class index per example).
+    pub fn predict(&self, ctx: &ExecCtx, x: MatView<'_>) -> Vec<usize> {
+        let probs = self.predict_proba(ctx, x);
+        (0..probs.rows())
+            .map(|r| {
+                probs
+                    .row(r)
+                    .iter()
+                    .enumerate()
+                    .max_by(|a, b| a.1.partial_cmp(b.1).expect("finite probs"))
+                    .map(|(i, _)| i)
+                    .expect("non-empty row")
+            })
+            .collect()
+    }
+
+    /// Fraction of correct predictions.
+    pub fn accuracy(&self, ctx: &ExecCtx, x: MatView<'_>, labels: &[usize]) -> f64 {
+        assert_eq!(labels.len(), x.rows(), "one label per example");
+        let pred = self.predict(ctx, x);
+        let correct = pred.iter().zip(labels).filter(|(p, l)| p == l).count();
+        correct as f64 / labels.len().max(1) as f64
+    }
+
+    /// Mean cross-entropy of the batch under the current parameters.
+    pub fn cross_entropy(&self, ctx: &ExecCtx, x: MatView<'_>, labels: &[usize]) -> f64 {
+        let probs = self.predict_proba(ctx, x);
+        mean_nll(&probs, labels)
+    }
+
+    /// One fine-tuning SGD step on a labeled batch; returns the batch's
+    /// mean cross-entropy before the update.
+    pub fn train_batch(
+        &mut self,
+        ctx: &ExecCtx,
+        x: MatView<'_>,
+        labels: &[usize],
+        lr: f32,
+    ) -> f64 {
+        let b = x.rows();
+        assert!(b > 0, "empty batch");
+        assert_eq!(labels.len(), b, "one label per example");
+        let c = self.softmax.n_classes();
+        for &l in labels {
+            assert!(l < c, "label {l} out of range for {c} classes");
+        }
+
+        let (acts, probs) = self.forward_all(ctx, x);
+        let loss = mean_nll(&probs, labels);
+
+        // Softmax delta: (p - onehot) / b.
+        let mut delta = probs;
+        let inv_b = 1.0 / b as f32;
+        for (r, &label) in labels.iter().enumerate() {
+            let row = delta.row_mut(r);
+            row[label] -= 1.0;
+            for v in row.iter_mut() {
+                *v *= inv_b;
+            }
+        }
+        ctx.charge_cost(OpCost::elementwise(b * c, 1, 2));
+
+        // Head gradients.
+        let top_act = acts.last().expect("non-empty");
+        let mut gw = Mat::zeros(c, self.softmax.in_dim());
+        ctx.gemm(1.0, delta.view(), true, top_act.view(), false, 0.0, &mut gw.view_mut());
+        let mut gb = vec![0.0f32; c];
+        ctx.colsum(delta.view(), &mut gb);
+
+        // Backprop into the stack: delta_l = (delta_{l+1} W_{l+1}) ⊙ σ'.
+        let mut deltas: Vec<Mat> = Vec::with_capacity(self.layers.len());
+        let mut upstream = delta;
+        let mut upstream_w: &Mat = &self.softmax.w;
+        for l in (0..self.layers.len()).rev() {
+            let mut d = Mat::zeros(b, self.layers[l].0.rows());
+            {
+                let mut v = d.view_mut();
+                ctx.gemm(1.0, upstream.view(), false, upstream_w.view(), false, 0.0, &mut v);
+            }
+            ctx.backend()
+                .sigmoid_backprop(acts[l].as_slice(), d.as_mut_slice());
+            ctx.charge_cost(ctx.backend().sigmoid_backprop_cost(d.len()));
+            deltas.push(d);
+            upstream = deltas.last().expect("just pushed").clone();
+            upstream_w = &self.layers[l].0;
+        }
+        deltas.reverse();
+
+        // Layer gradients + updates.
+        let lambda = self.weight_decay;
+        for l in 0..self.layers.len() {
+            let input: MatView<'_> = if l == 0 { x } else { acts[l - 1].view() };
+            let (w, bias) = &mut self.layers[l];
+            let mut gwl = Mat::zeros(w.rows(), w.cols());
+            ctx.gemm(1.0, deltas[l].view(), true, input, false, 0.0, &mut gwl.view_mut());
+            let mut gbl = vec![0.0f32; bias.len()];
+            ctx.colsum(deltas[l].view(), &mut gbl);
+            ctx.sgd_step(lr, lambda, gwl.as_slice(), w.as_mut_slice());
+            ctx.sgd_step(lr, 0.0, &gbl, bias);
+        }
+        ctx.sgd_step(lr, lambda, gw.as_slice(), self.softmax.w.as_mut_slice());
+        ctx.sgd_step(lr, 0.0, &gb, &mut self.softmax.b);
+
+        loss
+    }
+
+    /// Fine-tunes for `epochs` passes over `(x, labels)` in mini-batches.
+    /// Returns the per-epoch mean cross-entropy.
+    pub fn fit(
+        &mut self,
+        ctx: &ExecCtx,
+        x: MatView<'_>,
+        labels: &[usize],
+        batch: usize,
+        lr: f32,
+        epochs: usize,
+    ) -> Vec<f64> {
+        assert!(batch > 0, "batch must be positive");
+        let n = x.rows();
+        let mut history = Vec::with_capacity(epochs);
+        for _ in 0..epochs {
+            let mut total = 0.0;
+            let mut batches = 0usize;
+            let mut lo = 0;
+            while lo < n {
+                let hi = (lo + batch).min(n);
+                total += self.train_batch(ctx, x.rows_range(lo, hi), &labels[lo..hi], lr);
+                batches += 1;
+                lo = hi;
+            }
+            history.push(total / batches.max(1) as f64);
+        }
+        history
+    }
+}
+
+fn mean_nll(probs: &Mat, labels: &[usize]) -> f64 {
+    let mut nll = 0.0f64;
+    for (r, &label) in labels.iter().enumerate() {
+        nll -= (probs.get(r, label).max(1e-12) as f64).ln();
+    }
+    nll / labels.len().max(1) as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exec::OptLevel;
+    use crate::train::TrainConfig;
+    use micdnn_data::{Dataset, DigitGenerator};
+
+    fn ctx() -> ExecCtx {
+        ExecCtx::native(OptLevel::Improved, 0)
+    }
+
+    fn digits(n: usize, side: usize, seed: u64) -> (Dataset, Vec<usize>) {
+        let mut gen = DigitGenerator::new(side, seed);
+        let mut ds = Dataset::new(gen.matrix(n));
+        ds.normalize();
+        let labels: Vec<usize> = (0..n).map(|i| i % 10).collect();
+        (ds, labels)
+    }
+
+    #[test]
+    fn softmax_rows_are_distributions() {
+        let ctx = ctx();
+        let layer = SoftmaxLayer::new(8, 4, 1);
+        let x = Mat::from_fn(6, 8, |r, c| ((r * 8 + c) as f32 * 0.1).sin());
+        let p = layer.forward(&ctx, x.view());
+        assert_eq!(p.shape(), (6, 4));
+        for r in 0..6 {
+            let sum: f32 = p.row(r).iter().sum();
+            assert!((sum - 1.0).abs() < 1e-5, "row {r} sums to {sum}");
+            assert!(p.row(r).iter().all(|&v| v >= 0.0));
+        }
+    }
+
+    #[test]
+    fn softmax_stable_under_large_logits() {
+        let ctx = ctx();
+        let mut layer = SoftmaxLayer::new(4, 3, 2);
+        layer.w.map_inplace(|v| v * 100.0);
+        let x = Mat::full(2, 4, 5.0);
+        let p = layer.forward(&ctx, x.view());
+        assert!(p.all_finite(), "softmax overflowed");
+    }
+
+    #[test]
+    fn finetune_overfits_small_set() {
+        let (ds, labels) = digits(80, 12, 3);
+        let mut net = FineTuneNet::random(&[144, 48], 10, 4);
+        let ctx = ctx();
+        let history = net.fit(&ctx, ds.matrix().view(), &labels, 20, 0.5, 60);
+        assert!(
+            *history.last().unwrap() < 0.5 * history[0],
+            "loss did not drop: {} -> {}",
+            history[0],
+            history.last().unwrap()
+        );
+        let acc = net.accuracy(&ctx, ds.matrix().view(), &labels);
+        assert!(acc > 0.8, "training accuracy only {acc}");
+    }
+
+    #[test]
+    fn pretraining_helps_classification() {
+        let (ds, labels) = digits(400, 12, 5);
+        let ctx = ctx();
+
+        // Pre-trained path.
+        let mut stack = StackedAutoencoder::with_default_config(&[144, 64, 32], 6);
+        let tc = TrainConfig {
+            learning_rate: 0.3,
+            batch_size: 50,
+            chunk_rows: 200,
+            ..TrainConfig::default()
+        };
+        stack.pretrain(&ctx, &ds, &tc, 10).unwrap();
+        let mut pretrained = FineTuneNet::from_stack(&stack, 10, 7);
+        let pre_hist = pretrained.fit(&ctx, ds.matrix().view(), &labels, 50, 0.5, 8);
+
+        // Random-initialization path (same architecture, same budget).
+        let mut random = FineTuneNet::random(&[144, 64, 32], 10, 7);
+        let rand_hist = random.fit(&ctx, ds.matrix().view(), &labels, 50, 0.5, 8);
+
+        let pre_acc = pretrained.accuracy(&ctx, ds.matrix().view(), &labels);
+        let rand_acc = random.accuracy(&ctx, ds.matrix().view(), &labels);
+        // With a tiny fine-tuning budget the pre-trained network should be
+        // at least as good; both clearly above the 10% chance level.
+        assert!(pre_acc > 0.3, "pretrained accuracy {pre_acc}");
+        assert!(
+            *pre_hist.last().unwrap() <= rand_hist.last().unwrap() * 1.2,
+            "pretraining hurt: {} vs {}",
+            pre_hist.last().unwrap(),
+            rand_hist.last().unwrap()
+        );
+        let _ = rand_acc;
+    }
+
+    #[test]
+    fn gradient_check_through_whole_net() {
+        // Central finite differences of the cross-entropy wrt a few
+        // parameters of every tensor.
+        let ctx = ctx();
+        let mut net = FineTuneNet::random(&[6, 5, 4], 3, 8);
+        net.weight_decay = 0.0;
+        let x = Mat::from_fn(7, 6, |r, c| 0.1 + 0.08 * ((r * 6 + c) % 10) as f32);
+        let labels: Vec<usize> = (0..7).map(|i| i % 3).collect();
+
+        // Analytic gradient via one train step with lr chosen so that
+        // delta_w = -lr * g  => g = (w_before - w_after) / lr.
+        let lr = 1e-3f32;
+        let before = net.clone();
+        let mut stepped = net.clone();
+        stepped.train_batch(&ctx, x.view(), &labels, lr);
+
+        let eps = 2e-3f32;
+        let mut checked = 0;
+        for idx in [0usize, 3, 11] {
+            // layer 0 weights
+            let analytic = (before.layers[0].0.as_slice()[idx]
+                - stepped.layers[0].0.as_slice()[idx])
+                / lr;
+            let mut plus = before.clone();
+            plus.layers[0].0.as_mut_slice()[idx] += eps;
+            let mut minus = before.clone();
+            minus.layers[0].0.as_mut_slice()[idx] -= eps;
+            let num = (plus.cross_entropy(&ctx, x.view(), &labels)
+                - minus.cross_entropy(&ctx, x.view(), &labels))
+                / (2.0 * eps as f64);
+            let denom = (analytic as f64).abs().max(num.abs()).max(1e-3);
+            assert!(
+                ((analytic as f64) - num).abs() / denom < 8e-2,
+                "layer0 w[{idx}]: analytic {analytic} vs numeric {num}"
+            );
+            checked += 1;
+        }
+        assert_eq!(checked, 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "label 5 out of range")]
+    fn label_range_checked() {
+        let ctx = ctx();
+        let mut net = FineTuneNet::random(&[4, 3], 3, 9);
+        let x = Mat::zeros(2, 4);
+        net.train_batch(&ctx, x.view(), &[0, 5], 0.1);
+    }
+}

@@ -1,0 +1,229 @@
+//! Dependency-graph execution of one CD step (paper Fig. 6).
+//!
+//! §IV.B.1's fourth optimization observes that the matrix operations of one
+//! RBM gradient computation form a small DAG: once `H1` is known, the
+//! reconstruction `V2` and the positive statistics can proceed
+//! concurrently; once `V2` is known, `Vb`, `H2` and the negative visible
+//! statistics are independent; and the three final gradients are mutually
+//! independent. Running independent nodes concurrently shortens the step
+//! from the serial sum of its ops to the *critical path*.
+//!
+//! [`TaskGraph`] is a generic small-DAG scheduler. Nodes execute in a
+//! deterministic topological order (their kernels are already
+//! rayon-parallel inside, so node-level threading would only fight the pool
+//! for cores), while the *simulated* clock advances by the critical path —
+//! which is precisely the quantity the paper's optimization changes.
+
+use crate::exec::ExecCtx;
+use micdnn_sim::EventKind;
+
+/// Identifier of a node within a [`TaskGraph`].
+pub type NodeId = usize;
+
+/// A DAG of named tasks with explicit dependencies.
+pub struct TaskGraph<'g, S> {
+    names: Vec<&'static str>,
+    deps: Vec<Vec<NodeId>>,
+    #[allow(clippy::type_complexity)]
+    tasks: Vec<Box<dyn FnMut(&ExecCtx, &mut S) + 'g>>,
+}
+
+impl<'g, S> Default for TaskGraph<'g, S> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<'g, S> TaskGraph<'g, S> {
+    /// An empty graph.
+    pub fn new() -> Self {
+        TaskGraph {
+            names: Vec::new(),
+            deps: Vec::new(),
+            tasks: Vec::new(),
+        }
+    }
+
+    /// Adds a task that runs after every node in `deps`; returns its id.
+    ///
+    /// Panics if a dependency id has not been added yet (which also rules
+    /// out cycles by construction).
+    pub fn add(
+        &mut self,
+        name: &'static str,
+        deps: &[NodeId],
+        task: impl FnMut(&ExecCtx, &mut S) + 'g,
+    ) -> NodeId {
+        let id = self.names.len();
+        for &d in deps {
+            assert!(d < id, "dependency {d} of node {id} does not exist yet");
+        }
+        self.names.push(name);
+        self.deps.push(deps.to_vec());
+        self.tasks.push(Box::new(task));
+        id
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// `true` when the graph has no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+
+    /// Executes every node against `state`, charging the simulated clock by
+    /// the graph's critical path. Returns the per-node durations and the
+    /// critical-path length in simulated seconds.
+    ///
+    /// Nodes run in insertion order, which [`TaskGraph::add`] guarantees is
+    /// a valid topological order.
+    pub fn execute(&mut self, ctx: &ExecCtx, state: &mut S) -> GraphRun {
+        let n = self.len();
+        let mut durations = vec![0.0f64; n];
+        let mut completion = vec![0.0f64; n];
+        for id in 0..n {
+            let task = &mut self.tasks[id];
+            let ((), dur) = ctx.run_deferred(|ctx| task(ctx, state));
+            durations[id] = dur;
+            let dep_done = self.deps[id]
+                .iter()
+                .map(|&d| completion[d])
+                .fold(0.0f64, f64::max);
+            completion[id] = dep_done + dur;
+        }
+        let critical_path = completion.iter().copied().fold(0.0, f64::max);
+        let serial: f64 = durations.iter().sum();
+        ctx.advance_clock(critical_path, EventKind::Sync, "task-graph");
+        GraphRun {
+            durations,
+            completion,
+            critical_path,
+            serial_time: serial,
+        }
+    }
+
+    /// Name of a node.
+    pub fn name(&self, id: NodeId) -> &'static str {
+        self.names[id]
+    }
+
+    /// Longest path length assuming unit node durations (structural depth).
+    pub fn depth(&self) -> usize {
+        let mut d = vec![0usize; self.len()];
+        for id in 0..self.len() {
+            d[id] = 1 + self.deps[id].iter().map(|&p| d[p]).max().unwrap_or(0);
+        }
+        d.into_iter().max().unwrap_or(0)
+    }
+}
+
+/// Result of one [`TaskGraph::execute`] call.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GraphRun {
+    /// Simulated seconds each node took in isolation.
+    pub durations: Vec<f64>,
+    /// Simulated completion time of each node along the critical path.
+    pub completion: Vec<f64>,
+    /// Critical-path length — what the clock was advanced by.
+    pub critical_path: f64,
+    /// Sum of all node durations — what a serial schedule would have
+    /// charged.
+    pub serial_time: f64,
+}
+
+impl GraphRun {
+    /// Speedup of the dependency-graph schedule over the serial one.
+    pub fn speedup(&self) -> f64 {
+        if self.critical_path > 0.0 {
+            self.serial_time / self.critical_path
+        } else {
+            1.0
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exec::OptLevel;
+    use micdnn_sim::Platform;
+
+    fn ctx() -> ExecCtx {
+        ExecCtx::simulated(OptLevel::Improved, Platform::xeon_phi(), 0)
+    }
+
+    #[test]
+    fn linear_chain_charges_serial_time() {
+        let ctx = ctx();
+        let mut g: TaskGraph<'_, Vec<f32>> = TaskGraph::new();
+        let a = g.add("a", &[], |ctx, s| ctx.scale(2.0, s));
+        let b = g.add("b", &[a], |ctx, s| ctx.scale(0.5, s));
+        let _c = g.add("c", &[b], |ctx, s| ctx.scale(1.5, s));
+        let mut state = vec![1.0f32; 100_000];
+        let run = g.execute(&ctx, &mut state);
+        assert!((run.critical_path - run.serial_time).abs() < 1e-12);
+        assert!((ctx.sim_time() - run.critical_path).abs() < 1e-9);
+        assert!((state[0] - 1.5).abs() < 1e-6);
+        assert_eq!(g.depth(), 3);
+    }
+
+    #[test]
+    fn diamond_charges_critical_path_not_sum() {
+        let ctx = ctx();
+        let mut g: TaskGraph<'_, Vec<f32>> = TaskGraph::new();
+        let a = g.add("a", &[], |ctx, s| ctx.scale(1.0, s));
+        let b1 = g.add("b1", &[a], |ctx, s| ctx.scale(1.0, s));
+        let b2 = g.add("b2", &[a], |ctx, s| ctx.scale(1.0, s));
+        let _c = g.add("c", &[b1, b2], |ctx, s| ctx.scale(1.0, s));
+        let mut state = vec![1.0f32; 1_000_000];
+        let run = g.execute(&ctx, &mut state);
+        // Four equal nodes, critical path of three.
+        assert!(run.speedup() > 1.2 && run.speedup() < 1.4, "speedup {}", run.speedup());
+        assert!(run.critical_path < run.serial_time);
+        assert_eq!(g.depth(), 3);
+    }
+
+    #[test]
+    fn wide_graph_speedup_approaches_width() {
+        let ctx = ctx();
+        let mut g: TaskGraph<'_, Vec<f32>> = TaskGraph::new();
+        for _ in 0..8 {
+            g.add("leaf", &[], |ctx, s| ctx.scale(1.0, s));
+        }
+        let mut state = vec![1.0f32; 500_000];
+        let run = g.execute(&ctx, &mut state);
+        assert!(run.speedup() > 7.5, "speedup {}", run.speedup());
+        assert_eq!(g.depth(), 1);
+    }
+
+    #[test]
+    fn empty_graph_is_free() {
+        let ctx = ctx();
+        let mut g: TaskGraph<'_, ()> = TaskGraph::new();
+        let run = g.execute(&ctx, &mut ());
+        assert_eq!(run.critical_path, 0.0);
+        assert_eq!(ctx.sim_time(), 0.0);
+        assert!(g.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "does not exist yet")]
+    fn forward_dependencies_rejected() {
+        let mut g: TaskGraph<'_, ()> = TaskGraph::new();
+        g.add("bad", &[3], |_, _| {});
+    }
+
+    #[test]
+    fn nodes_see_state_mutations_in_topo_order() {
+        let ctx = ExecCtx::native(OptLevel::Improved, 0);
+        let mut g: TaskGraph<'_, Vec<u32>> = TaskGraph::new();
+        let a = g.add("a", &[], |_, s: &mut Vec<u32>| s.push(1));
+        g.add("b", &[a], |_, s: &mut Vec<u32>| s.push(2));
+        let mut log = Vec::new();
+        g.execute(&ctx, &mut log);
+        assert_eq!(log, vec![1, 2]);
+    }
+}

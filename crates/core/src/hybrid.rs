@@ -1,0 +1,347 @@
+//! Hybrid Xeon + Xeon Phi execution (the paper's §VI future work).
+//!
+//! "A further combination between Xeon and Intel Xeon Phi can bring us
+//! higher efficiency" — this module implements that combination as
+//! data-parallel batch splitting: each mini-batch is partitioned between
+//! the host CPU and the coprocessor, both compute gradients on their share
+//! concurrently, and the weighted-average gradient is applied everywhere.
+//!
+//! Two entry points:
+//!
+//! * [`hybrid_train_batch`] — really executes the split step (both
+//!   partitions' math runs; simulated time advances by the *maximum* of
+//!   the two sides plus a gradient-exchange transfer);
+//! * [`estimate_hybrid`] / [`optimal_fraction`] — model-only pricing and
+//!   split-ratio search at paper scale.
+//!
+//! With the sparsity penalty disabled the split step is mathematically
+//! identical to the full-batch step (gradients are example means); with it
+//! enabled each partition uses its own batch activation statistics, the
+//! standard approximation of data-parallel training.
+
+use crate::analytic::Workload;
+use crate::autoencoder::{AeScratch, SparseAutoencoder};
+use crate::exec::{ExecCtx, OptLevel};
+use micdnn_sim::{Link, Platform};
+use micdnn_tensor::MatView;
+
+/// Configuration of a hybrid host + coprocessor setup.
+#[derive(Debug, Clone)]
+pub struct HybridConfig {
+    /// The coprocessor platform.
+    pub phi: Platform,
+    /// The host platform.
+    pub host: Platform,
+    /// Link used to exchange gradients each step.
+    pub link: Link,
+    /// Fraction of every batch assigned to the coprocessor (0..=1).
+    pub phi_fraction: f64,
+}
+
+impl HybridConfig {
+    /// The paper's hardware pair with a PCIe gen2 link and a split to be
+    /// chosen.
+    pub fn paper_hardware(phi_fraction: f64) -> Self {
+        assert!((0.0..=1.0).contains(&phi_fraction), "fraction out of range");
+        HybridConfig {
+            phi: Platform::xeon_phi(),
+            host: Platform::cpu_socket(),
+            link: Link::pcie_gen2(),
+            phi_fraction,
+        }
+    }
+}
+
+/// Per-pass timing of a hybrid run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HybridEstimate {
+    /// Seconds the coprocessor computes per pass.
+    pub phi_secs: f64,
+    /// Seconds the host computes per pass.
+    pub host_secs: f64,
+    /// Seconds spent exchanging gradients per pass.
+    pub exchange_secs: f64,
+    /// End-to-end seconds: `max(phi, host)` per batch + exchanges.
+    pub total_secs: f64,
+}
+
+/// Prices one pass of `workload` under the hybrid split (model-only).
+pub fn estimate_hybrid(level: OptLevel, cfg: &HybridConfig, w: &Workload) -> HybridEstimate {
+    use micdnn_sim::CostModel;
+
+    let backend = level.backend();
+    let parallel = backend.par().is_parallel();
+    let phi_model = CostModel::new(cfg.phi.clone());
+    let host_model = CostModel::new(cfg.host.clone());
+
+    let batches = w.examples.div_ceil(w.batch);
+    let b_phi = (w.batch as f64 * cfg.phi_fraction).round() as usize;
+    let b_host = w.batch - b_phi.min(w.batch);
+    let b_phi = w.batch - b_host;
+
+    let price = |model: &CostModel, b: usize| -> f64 {
+        if b == 0 {
+            return 0.0;
+        }
+        let ops = Workload { batch: b, ..*w }.batch_ops(backend);
+        model.price_all(ops.iter(), parallel)
+    };
+    let phi_batch = price(&phi_model, b_phi);
+    let host_batch = price(&host_model, b_host);
+
+    // Gradient exchange: the host side's gradient crosses PCIe once per
+    // step (and the averaged update goes back with it — modeled as one
+    // full-gradient round trip).
+    let param_bytes =
+        (2 * w.n_visible * w.n_hidden + w.n_visible + w.n_hidden) * std::mem::size_of::<f32>();
+    let exchange = if b_phi > 0 && b_host > 0 {
+        2.0 * cfg.link.transfer_time(param_bytes as u64)
+    } else {
+        0.0
+    };
+
+    let per_batch = phi_batch.max(host_batch) + exchange;
+    HybridEstimate {
+        phi_secs: batches as f64 * phi_batch,
+        host_secs: batches as f64 * host_batch,
+        exchange_secs: batches as f64 * exchange,
+        total_secs: batches as f64 * per_batch,
+    }
+}
+
+/// Sweeps the split fraction and returns the fastest `(fraction,
+/// estimate)` pair.
+pub fn optimal_fraction(
+    level: OptLevel,
+    cfg: &HybridConfig,
+    w: &Workload,
+    steps: usize,
+) -> (f64, HybridEstimate) {
+    assert!(steps >= 1);
+    let mut best = (1.0, estimate_hybrid(level, &HybridConfig { phi_fraction: 1.0, ..cfg.clone() }, w));
+    for i in 0..=steps {
+        let f = i as f64 / steps as f64;
+        let e = estimate_hybrid(level, &HybridConfig { phi_fraction: f, ..cfg.clone() }, w);
+        if e.total_secs < best.1.total_secs {
+            best = (f, e);
+        }
+    }
+    best
+}
+
+/// Scratch and contexts for executing hybrid training.
+pub struct HybridAeTrainer {
+    /// Context charging the coprocessor model.
+    pub phi_ctx: ExecCtx,
+    /// Context charging the host model.
+    pub host_ctx: ExecCtx,
+    link: Link,
+    phi_fraction: f64,
+    scratch_phi: AeScratch,
+    scratch_host: AeScratch,
+    /// End-to-end simulated seconds (max of both sides per batch +
+    /// exchanges).
+    pub combined_secs: f64,
+}
+
+impl HybridAeTrainer {
+    /// Builds a trainer for `ae` with batches up to `max_batch`.
+    pub fn new(
+        ae: &SparseAutoencoder,
+        level: OptLevel,
+        cfg: &HybridConfig,
+        max_batch: usize,
+        seed: u64,
+    ) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&cfg.phi_fraction),
+            "fraction out of range"
+        );
+        HybridAeTrainer {
+            phi_ctx: ExecCtx::simulated(level, cfg.phi.clone(), seed),
+            host_ctx: ExecCtx::simulated(level, cfg.host.clone(), seed ^ 0x9E37),
+            link: cfg.link,
+            phi_fraction: cfg.phi_fraction,
+            scratch_phi: AeScratch::new(ae.config(), max_batch),
+            scratch_host: AeScratch::new(ae.config(), max_batch),
+            combined_secs: 0.0,
+        }
+    }
+
+    /// One hybrid SGD step: split, compute both gradients concurrently (in
+    /// model time), average, apply. Returns the weighted mean
+    /// reconstruction error.
+    pub fn train_batch(&mut self, ae: &mut SparseAutoencoder, x: MatView<'_>, lr: f32) -> f64 {
+        let b = x.rows();
+        assert!(b > 0, "empty batch");
+        let b_phi = ((b as f64 * self.phi_fraction).round() as usize).min(b);
+        let b_host = b - b_phi;
+
+        let t_phi_0 = self.phi_ctx.sim_time();
+        let t_host_0 = self.host_ctx.sim_time();
+
+        let mut recon = 0.0f64;
+        if b_phi > 0 {
+            let cost = ae.cost_and_grad(&self.phi_ctx, x.rows_range(0, b_phi), &mut self.scratch_phi);
+            recon += cost.reconstruction * b_phi as f64;
+        }
+        if b_host > 0 {
+            let cost =
+                ae.cost_and_grad(&self.host_ctx, x.rows_range(b_phi, b), &mut self.scratch_host);
+            recon += cost.reconstruction * b_host as f64;
+        }
+        recon /= b as f64;
+        let dt_host = self.host_ctx.sim_time() - t_host_0;
+
+        // Weighted-average gradients into the phi scratch, then apply
+        // through the phi context (the device owns the parameters).
+        let (wp, wh) = (b_phi as f32 / b as f32, b_host as f32 / b as f32);
+        if b_phi == 0 {
+            std::mem::swap(&mut self.scratch_phi, &mut self.scratch_host);
+        } else if b_host > 0 {
+            let (g_phi, g_host) = (&mut self.scratch_phi, &self.scratch_host);
+            let (pw1, pw2, pb1, pb2) = g_phi.gradients_mut();
+            let (hw1, hw2, hb1, hb2) = g_host.gradients();
+            blend(pw1.as_mut_slice(), hw1.as_slice(), wp, wh);
+            blend(pw2.as_mut_slice(), hw2.as_slice(), wp, wh);
+            blend(pb1, hb1, wp, wh);
+            blend(pb2, hb2, wp, wh);
+        }
+        ae.apply_gradients(&self.phi_ctx, &self.scratch_phi, lr);
+        // The device owns the parameters, so the update is on the Phi
+        // timeline; measure it after the apply.
+        let dt_phi = self.phi_ctx.sim_time() - t_phi_0;
+
+        // Combined timeline: both sides ran concurrently, then exchanged
+        // gradients once each way.
+        let exchange = if b_phi > 0 && b_host > 0 {
+            let param_bytes = ae.config().param_bytes();
+            2.0 * self.link.transfer_time(param_bytes)
+        } else {
+            0.0
+        };
+        let step = dt_phi.max(dt_host) + exchange;
+        self.combined_secs += step;
+        recon
+    }
+}
+
+fn blend(a: &mut [f32], b: &[f32], wa: f32, wb: f32) {
+    assert_eq!(a.len(), b.len());
+    for (x, &y) in a.iter_mut().zip(b) {
+        *x = wa * *x + wb * y;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analytic::Algo;
+    use crate::autoencoder::AeConfig;
+    use micdnn_tensor::Mat;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn batch(b: usize, v: usize, seed: u64) -> Mat {
+        let mut rng = StdRng::seed_from_u64(seed);
+        Mat::from_fn(b, v, |_, _| rng.gen_range(0.15..0.85))
+    }
+
+    fn workload() -> Workload {
+        Workload {
+            algo: Algo::Autoencoder,
+            n_visible: 1024,
+            n_hidden: 4096,
+            examples: 100_000,
+            // Big batches: splitting a small batch pushes both partitions
+            // down the skinny-GEMM efficiency knee and hybrid loses.
+            batch: 10_000,
+            chunk_rows: 10_000,
+            passes: 1,
+        }
+    }
+
+    #[test]
+    fn hybrid_beats_both_pure_configurations() {
+        let w = workload();
+        let cfg = HybridConfig::paper_hardware(0.5);
+        let (frac, best) = optimal_fraction(OptLevel::Improved, &cfg, &w, 50);
+        let pure_phi =
+            estimate_hybrid(OptLevel::Improved, &HybridConfig::paper_hardware(1.0), &w);
+        let pure_host =
+            estimate_hybrid(OptLevel::Improved, &HybridConfig::paper_hardware(0.0), &w);
+        assert!(
+            best.total_secs <= pure_phi.total_secs,
+            "hybrid {} vs pure phi {}",
+            best.total_secs,
+            pure_phi.total_secs
+        );
+        assert!(best.total_secs < pure_host.total_secs);
+        // The Phi is ~8-9x the socket, so the optimal split gives it most
+        // of the work.
+        assert!(frac > 0.6 && frac < 1.0, "optimal fraction {frac}");
+    }
+
+    #[test]
+    fn estimate_degenerates_to_pure_platforms_at_extremes() {
+        let w = workload();
+        let e1 = estimate_hybrid(OptLevel::Improved, &HybridConfig::paper_hardware(1.0), &w);
+        assert_eq!(e1.host_secs, 0.0);
+        assert_eq!(e1.exchange_secs, 0.0);
+        let e0 = estimate_hybrid(OptLevel::Improved, &HybridConfig::paper_hardware(0.0), &w);
+        assert_eq!(e0.phi_secs, 0.0);
+        assert!(e0.total_secs > e1.total_secs, "host-only should be slower");
+    }
+
+    #[test]
+    fn executed_hybrid_matches_full_batch_math_without_sparsity() {
+        let cfg_ae = AeConfig::new(20, 12).without_sparsity();
+        let x = batch(30, 20, 1);
+
+        // Reference: one full-batch step on a single context.
+        let mut ae_ref = SparseAutoencoder::new(cfg_ae, 2);
+        let ctx = ExecCtx::native(OptLevel::Improved, 3);
+        let mut scratch = AeScratch::new(&cfg_ae, 30);
+        ae_ref.train_batch(&ctx, x.view(), &mut scratch, 0.1);
+
+        // Hybrid: 60/40 split of the same batch.
+        let mut ae_hyb = SparseAutoencoder::new(cfg_ae, 2);
+        let hcfg = HybridConfig::paper_hardware(0.6);
+        let mut trainer = HybridAeTrainer::new(&ae_hyb, OptLevel::Improved, &hcfg, 30, 4);
+        trainer.train_batch(&mut ae_hyb, x.view(), 0.1);
+
+        let diff = micdnn_tensor::max_abs_diff(ae_ref.w1.as_slice(), ae_hyb.w1.as_slice());
+        assert!(diff < 1e-5, "hybrid step diverged from full batch by {diff}");
+    }
+
+    #[test]
+    fn executed_hybrid_trains_and_tracks_time() {
+        let cfg_ae = AeConfig::new(24, 16);
+        let mut ae = SparseAutoencoder::new(cfg_ae, 5);
+        let hcfg = HybridConfig::paper_hardware(0.8);
+        let mut trainer = HybridAeTrainer::new(&ae, OptLevel::Improved, &hcfg, 40, 6);
+        let x = batch(40, 24, 7);
+        let first = trainer.train_batch(&mut ae, x.view(), 0.4);
+        let mut last = first;
+        for _ in 0..100 {
+            last = trainer.train_batch(&mut ae, x.view(), 0.4);
+        }
+        assert!(last < 0.6 * first, "{first} -> {last}");
+        assert!(trainer.combined_secs > 0.0);
+        // Combined time is at least each side's own time.
+        assert!(trainer.combined_secs >= trainer.phi_ctx.sim_time() - 1e-9);
+        assert!(trainer.combined_secs >= trainer.host_ctx.sim_time() - 1e-9);
+    }
+
+    #[test]
+    fn pure_phi_fraction_uses_only_phi_context() {
+        let cfg_ae = AeConfig::new(16, 8);
+        let mut ae = SparseAutoencoder::new(cfg_ae, 8);
+        let hcfg = HybridConfig::paper_hardware(1.0);
+        let mut trainer = HybridAeTrainer::new(&ae, OptLevel::Improved, &hcfg, 20, 9);
+        let x = batch(20, 16, 10);
+        trainer.train_batch(&mut ae, x.view(), 0.1);
+        assert_eq!(trainer.host_ctx.sim_time(), 0.0);
+        assert!(trainer.phi_ctx.sim_time() > 0.0);
+    }
+}

@@ -1,0 +1,299 @@
+//! Model persistence.
+//!
+//! Pre-training at the paper's scale takes hours even on the coprocessor
+//! (Table I); a library users would adopt must be able to save the result.
+//! This module defines a small, versioned, self-describing binary format
+//! (little-endian, length-prefixed tensors) for the two building blocks
+//! and their stacks. Round-trips are bit-exact.
+
+use crate::autoencoder::{AeConfig, SparseAutoencoder};
+use crate::rbm::{Rbm, RbmConfig};
+use micdnn_tensor::Mat;
+use std::fs::File;
+use std::io::{self, BufReader, BufWriter, Read, Write};
+use std::path::Path;
+
+const MAGIC: &[u8; 8] = b"MICDNN01";
+
+const TAG_AE: u8 = 1;
+const TAG_RBM: u8 = 2;
+
+fn bad(msg: impl Into<String>) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, msg.into())
+}
+
+fn write_u64(w: &mut impl Write, v: u64) -> io::Result<()> {
+    w.write_all(&v.to_le_bytes())
+}
+
+fn read_u64(r: &mut impl Read) -> io::Result<u64> {
+    let mut buf = [0u8; 8];
+    r.read_exact(&mut buf)?;
+    Ok(u64::from_le_bytes(buf))
+}
+
+fn write_f32(w: &mut impl Write, v: f32) -> io::Result<()> {
+    w.write_all(&v.to_le_bytes())
+}
+
+fn read_f32(r: &mut impl Read) -> io::Result<f32> {
+    let mut buf = [0u8; 4];
+    r.read_exact(&mut buf)?;
+    Ok(f32::from_le_bytes(buf))
+}
+
+fn write_slice(w: &mut impl Write, s: &[f32]) -> io::Result<()> {
+    write_u64(w, s.len() as u64)?;
+    for &v in s {
+        write_f32(w, v)?;
+    }
+    Ok(())
+}
+
+fn read_vec(r: &mut impl Read, expect: usize) -> io::Result<Vec<f32>> {
+    let len = read_u64(r)? as usize;
+    if len != expect {
+        return Err(bad(format!("tensor length {len}, expected {expect}")));
+    }
+    let mut out = vec![0.0f32; len];
+    for v in out.iter_mut() {
+        *v = read_f32(r)?;
+    }
+    Ok(out)
+}
+
+fn write_mat(w: &mut impl Write, m: &Mat) -> io::Result<()> {
+    write_u64(w, m.rows() as u64)?;
+    write_u64(w, m.cols() as u64)?;
+    write_slice(w, m.as_slice())
+}
+
+fn read_mat(r: &mut impl Read, rows: usize, cols: usize) -> io::Result<Mat> {
+    let got_rows = read_u64(r)? as usize;
+    let got_cols = read_u64(r)? as usize;
+    if (got_rows, got_cols) != (rows, cols) {
+        return Err(bad(format!(
+            "matrix shape {got_rows}x{got_cols}, expected {rows}x{cols}"
+        )));
+    }
+    let data = read_vec(r, rows * cols)?;
+    Mat::from_vec(rows, cols, data).map_err(|e| bad(e.to_string()))
+}
+
+fn write_header(w: &mut impl Write, tag: u8) -> io::Result<()> {
+    w.write_all(MAGIC)?;
+    w.write_all(&[tag])
+}
+
+fn read_header(r: &mut impl Read, want_tag: u8) -> io::Result<()> {
+    let mut magic = [0u8; 8];
+    r.read_exact(&mut magic)?;
+    if &magic != MAGIC {
+        return Err(bad("not a micdnn model file (bad magic)"));
+    }
+    let mut tag = [0u8; 1];
+    r.read_exact(&mut tag)?;
+    if tag[0] != want_tag {
+        return Err(bad(format!(
+            "model type tag {} does not match expected {want_tag}",
+            tag[0]
+        )));
+    }
+    Ok(())
+}
+
+/// Serializes a sparse autoencoder.
+pub fn save_autoencoder(ae: &SparseAutoencoder, w: &mut impl Write) -> io::Result<()> {
+    let cfg = ae.config();
+    write_header(w, TAG_AE)?;
+    write_u64(w, cfg.n_visible as u64)?;
+    write_u64(w, cfg.n_hidden as u64)?;
+    write_f32(w, cfg.weight_decay)?;
+    write_f32(w, cfg.sparsity_target)?;
+    write_f32(w, cfg.sparsity_weight)?;
+    write_mat(w, &ae.w1)?;
+    write_mat(w, &ae.w2)?;
+    write_slice(w, &ae.b1)?;
+    write_slice(w, &ae.b2)
+}
+
+/// Deserializes a sparse autoencoder.
+pub fn load_autoencoder(r: &mut impl Read) -> io::Result<SparseAutoencoder> {
+    read_header(r, TAG_AE)?;
+    let n_visible = read_u64(r)? as usize;
+    let n_hidden = read_u64(r)? as usize;
+    if n_visible == 0 || n_hidden == 0 {
+        return Err(bad("degenerate layer sizes"));
+    }
+    let cfg = AeConfig {
+        n_visible,
+        n_hidden,
+        weight_decay: read_f32(r)?,
+        sparsity_target: read_f32(r)?,
+        sparsity_weight: read_f32(r)?,
+    };
+    let mut ae = SparseAutoencoder::new(cfg, 0);
+    ae.w1 = read_mat(r, n_hidden, n_visible)?;
+    ae.w2 = read_mat(r, n_visible, n_hidden)?;
+    ae.b1 = read_vec(r, n_hidden)?;
+    ae.b2 = read_vec(r, n_visible)?;
+    Ok(ae)
+}
+
+/// Serializes an RBM.
+pub fn save_rbm(rbm: &Rbm, w: &mut impl Write) -> io::Result<()> {
+    let cfg = rbm.config();
+    write_header(w, TAG_RBM)?;
+    write_u64(w, cfg.n_visible as u64)?;
+    write_u64(w, cfg.n_hidden as u64)?;
+    write_u64(w, cfg.cd_steps as u64)?;
+    write_mat(w, &rbm.w)?;
+    write_slice(w, &rbm.b_vis)?;
+    write_slice(w, &rbm.c_hid)
+}
+
+/// Deserializes an RBM.
+pub fn load_rbm(r: &mut impl Read) -> io::Result<Rbm> {
+    read_header(r, TAG_RBM)?;
+    let n_visible = read_u64(r)? as usize;
+    let n_hidden = read_u64(r)? as usize;
+    let cd_steps = read_u64(r)? as usize;
+    if n_visible == 0 || n_hidden == 0 || cd_steps == 0 {
+        return Err(bad("degenerate RBM configuration"));
+    }
+    let cfg = RbmConfig::new(n_visible, n_hidden).with_cd_steps(cd_steps);
+    let mut rbm = Rbm::new(cfg, 0);
+    rbm.w = read_mat(r, n_hidden, n_visible)?;
+    rbm.b_vis = read_vec(r, n_visible)?;
+    rbm.c_hid = read_vec(r, n_hidden)?;
+    Ok(rbm)
+}
+
+/// Saves a sparse autoencoder to a file.
+pub fn save_autoencoder_file(ae: &SparseAutoencoder, path: impl AsRef<Path>) -> io::Result<()> {
+    save_autoencoder(ae, &mut BufWriter::new(File::create(path)?))
+}
+
+/// Loads a sparse autoencoder from a file.
+pub fn load_autoencoder_file(path: impl AsRef<Path>) -> io::Result<SparseAutoencoder> {
+    load_autoencoder(&mut BufReader::new(File::open(path)?))
+}
+
+/// Saves an RBM to a file.
+pub fn save_rbm_file(rbm: &Rbm, path: impl AsRef<Path>) -> io::Result<()> {
+    save_rbm(rbm, &mut BufWriter::new(File::create(path)?))
+}
+
+/// Loads an RBM from a file.
+pub fn load_rbm_file(path: impl AsRef<Path>) -> io::Result<Rbm> {
+    load_rbm(&mut BufReader::new(File::open(path)?))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exec::{ExecCtx, OptLevel};
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn trained_ae() -> SparseAutoencoder {
+        let cfg = AeConfig::new(12, 7);
+        let mut ae = SparseAutoencoder::new(cfg, 3);
+        let ctx = ExecCtx::native(OptLevel::Improved, 4);
+        let mut rng = StdRng::seed_from_u64(5);
+        let x = Mat::from_fn(16, 12, |_, _| rng.gen_range(0.2..0.8));
+        let mut scratch = crate::autoencoder::AeScratch::new(&cfg, 16);
+        for _ in 0..5 {
+            ae.train_batch(&ctx, x.view(), &mut scratch, 0.3);
+        }
+        ae
+    }
+
+    #[test]
+    fn ae_round_trip_bit_exact() {
+        let ae = trained_ae();
+        let mut buf = Vec::new();
+        save_autoencoder(&ae, &mut buf).unwrap();
+        let back = load_autoencoder(&mut buf.as_slice()).unwrap();
+        assert_eq!(ae.w1.as_slice(), back.w1.as_slice());
+        assert_eq!(ae.w2.as_slice(), back.w2.as_slice());
+        assert_eq!(ae.b1, back.b1);
+        assert_eq!(ae.b2, back.b2);
+        assert_eq!(ae.config(), back.config());
+    }
+
+    #[test]
+    fn loaded_model_behaves_identically() {
+        let ae = trained_ae();
+        let mut buf = Vec::new();
+        save_autoencoder(&ae, &mut buf).unwrap();
+        let back = load_autoencoder(&mut buf.as_slice()).unwrap();
+        let ctx = ExecCtx::native(OptLevel::Improved, 0);
+        let mut rng = StdRng::seed_from_u64(6);
+        let x = Mat::from_fn(5, 12, |_, _| rng.gen_range(0.2..0.8));
+        let a = ae.encode(&ctx, x.view());
+        let b = back.encode(&ctx, x.view());
+        assert_eq!(a.as_slice(), b.as_slice());
+    }
+
+    #[test]
+    fn rbm_round_trip_bit_exact() {
+        let cfg = RbmConfig::new(10, 6).with_cd_steps(2);
+        let rbm = Rbm::new(cfg, 7);
+        let mut buf = Vec::new();
+        save_rbm(&rbm, &mut buf).unwrap();
+        let back = load_rbm(&mut buf.as_slice()).unwrap();
+        assert_eq!(rbm.w.as_slice(), back.w.as_slice());
+        assert_eq!(rbm.b_vis, back.b_vis);
+        assert_eq!(rbm.c_hid, back.c_hid);
+        assert_eq!(back.config().cd_steps, 2);
+    }
+
+    #[test]
+    fn file_round_trip() {
+        let mut path = std::env::temp_dir();
+        path.push(format!("micdnn-model-{}.bin", std::process::id()));
+        let ae = trained_ae();
+        save_autoencoder_file(&ae, &path).unwrap();
+        let back = load_autoencoder_file(&path).unwrap();
+        assert_eq!(ae.w1.as_slice(), back.w1.as_slice());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn wrong_magic_rejected() {
+        let buf = b"NOTMODEL".to_vec();
+        let err = load_autoencoder(&mut buf.as_slice()).unwrap_err();
+        assert!(err.to_string().contains("magic") || err.kind() == io::ErrorKind::UnexpectedEof);
+    }
+
+    #[test]
+    fn wrong_model_type_rejected() {
+        let cfg = RbmConfig::new(4, 3);
+        let rbm = Rbm::new(cfg, 1);
+        let mut buf = Vec::new();
+        save_rbm(&rbm, &mut buf).unwrap();
+        let err = load_autoencoder(&mut buf.as_slice()).unwrap_err();
+        assert!(err.to_string().contains("type tag"));
+    }
+
+    #[test]
+    fn truncated_file_rejected() {
+        let ae = trained_ae();
+        let mut buf = Vec::new();
+        save_autoencoder(&ae, &mut buf).unwrap();
+        buf.truncate(buf.len() / 2);
+        assert!(load_autoencoder(&mut buf.as_slice()).is_err());
+    }
+
+    #[test]
+    fn corrupted_shape_rejected() {
+        let ae = trained_ae();
+        let mut buf = Vec::new();
+        save_autoencoder(&ae, &mut buf).unwrap();
+        // Corrupt the first matrix's row count (after magic+tag+cfg).
+        let off = 8 + 1 + 8 + 8 + 4 + 4 + 4;
+        buf[off] = buf[off].wrapping_add(1);
+        assert!(load_autoencoder(&mut buf.as_slice()).is_err());
+    }
+}

@@ -1,0 +1,260 @@
+//! Layer-wise unsupervised pre-training of deep networks (paper §II.A).
+//!
+//! "A four-layer deep neural network can be decomposed into three
+//! Autoencoders ... The pre-training of this deep network consists of three
+//! sequential unsupervised trainings" — each layer trains on the previous
+//! layer's hidden representation of the data. The same recipe stacks RBMs
+//! into a Deep Belief Network.
+//!
+//! Table I's workload is exactly this: a 1024-512-256-128 stack, trained
+//! layer by layer.
+
+use crate::autoencoder::{AeConfig, SparseAutoencoder};
+use crate::exec::ExecCtx;
+use crate::rbm::{Rbm, RbmConfig};
+use crate::train::{train_dataset, AeModel, RbmModel, TrainConfig, TrainError, TrainReport};
+use micdnn_data::Dataset;
+use micdnn_tensor::{Mat, MatView};
+
+/// Per-layer training result of a stacked pre-training run.
+#[derive(Debug, Clone)]
+pub struct LayerReport {
+    /// Input/output widths of the layer.
+    pub shape: (usize, usize),
+    /// The training report of this layer.
+    pub report: TrainReport,
+}
+
+/// A stack of sparse autoencoders (the paper's Fig. 1).
+#[derive(Debug)]
+pub struct StackedAutoencoder {
+    layers: Vec<SparseAutoencoder>,
+    sizes: Vec<usize>,
+}
+
+impl StackedAutoencoder {
+    /// Builds a stack for the given layer widths, e.g.
+    /// `[1024, 512, 256, 128]` (Table I's network).
+    pub fn new(sizes: &[usize], template: impl Fn(usize, usize) -> AeConfig, seed: u64) -> Self {
+        assert!(sizes.len() >= 2, "a stack needs at least two layer sizes");
+        let layers = sizes
+            .windows(2)
+            .enumerate()
+            .map(|(i, w)| SparseAutoencoder::new(template(w[0], w[1]), seed.wrapping_add(i as u64)))
+            .collect();
+        StackedAutoencoder {
+            layers,
+            sizes: sizes.to_vec(),
+        }
+    }
+
+    /// Standard configuration stack.
+    pub fn with_default_config(sizes: &[usize], seed: u64) -> Self {
+        Self::new(sizes, AeConfig::new, seed)
+    }
+
+    /// Layer widths, including the input layer.
+    pub fn sizes(&self) -> &[usize] {
+        &self.sizes
+    }
+
+    /// The trained layers.
+    pub fn layers(&self) -> &[SparseAutoencoder] {
+        &self.layers
+    }
+
+    /// Greedy layer-wise pre-training: trains layer k on the encoding of
+    /// the data through layers `0..k` (paper Fig. 1), `passes` epochs per
+    /// layer.
+    ///
+    /// Returns one report per layer.
+    pub fn pretrain(
+        &mut self,
+        ctx: &ExecCtx,
+        data: &Dataset,
+        cfg: &TrainConfig,
+        passes: usize,
+    ) -> Result<Vec<LayerReport>, TrainError> {
+        let mut current = data.clone();
+        let mut reports = Vec::with_capacity(self.layers.len());
+        for layer in &mut self.layers {
+            let shape = (layer.config().n_visible, layer.config().n_hidden);
+            let mut model = AeModel::new(layer.clone());
+            let report = train_dataset(&mut model, ctx, &current, cfg, passes)?;
+            *layer = model.into_inner();
+            // Encode the dataset through the freshly trained layer to form
+            // the next layer's training set.
+            current = Dataset::new(layer.encode(ctx, current.matrix().view()));
+            reports.push(LayerReport { shape, report });
+        }
+        Ok(reports)
+    }
+
+    /// Encodes a batch through the whole stack (the deep representation).
+    pub fn encode(&self, ctx: &ExecCtx, x: MatView<'_>) -> Mat {
+        let mut current = self.layers[0].encode(ctx, x);
+        for layer in &self.layers[1..] {
+            current = layer.encode(ctx, current.view());
+        }
+        current
+    }
+
+    /// Dimensionality of the deepest representation.
+    pub fn code_dim(&self) -> usize {
+        *self.sizes.last().expect("non-empty stack")
+    }
+}
+
+/// A Deep Belief Network: a stack of RBMs trained layer by layer
+/// (Hinton & Salakhutdinov, the paper's ref [1]).
+#[derive(Debug)]
+pub struct DeepBeliefNet {
+    layers: Vec<Rbm>,
+    sizes: Vec<usize>,
+}
+
+impl DeepBeliefNet {
+    /// Builds a DBN for the given layer widths.
+    pub fn new(sizes: &[usize], seed: u64) -> Self {
+        assert!(sizes.len() >= 2, "a DBN needs at least two layer sizes");
+        let layers = sizes
+            .windows(2)
+            .enumerate()
+            .map(|(i, w)| Rbm::new(RbmConfig::new(w[0], w[1]), seed.wrapping_add(i as u64)))
+            .collect();
+        DeepBeliefNet {
+            layers,
+            sizes: sizes.to_vec(),
+        }
+    }
+
+    /// Layer widths, including the input layer.
+    pub fn sizes(&self) -> &[usize] {
+        &self.sizes
+    }
+
+    /// The trained RBMs.
+    pub fn layers(&self) -> &[Rbm] {
+        &self.layers
+    }
+
+    /// Greedy layer-wise CD pre-training; layer k trains on the hidden
+    /// probabilities of layer k-1.
+    pub fn pretrain(
+        &mut self,
+        ctx: &ExecCtx,
+        data: &Dataset,
+        cfg: &TrainConfig,
+        passes: usize,
+    ) -> Result<Vec<LayerReport>, TrainError> {
+        let mut current = data.clone();
+        let mut reports = Vec::with_capacity(self.layers.len());
+        for rbm in &mut self.layers {
+            let shape = (rbm.config().n_visible, rbm.config().n_hidden);
+            let mut model = RbmModel::new(rbm.clone());
+            let report = train_dataset(&mut model, ctx, &current, cfg, passes)?;
+            *rbm = model.into_inner();
+            current = Dataset::new(rbm.encode(ctx, current.matrix().view()));
+            reports.push(LayerReport { shape, report });
+        }
+        Ok(reports)
+    }
+
+    /// Propagates a batch to the deepest hidden probabilities.
+    pub fn encode(&self, ctx: &ExecCtx, x: MatView<'_>) -> Mat {
+        let mut current = self.layers[0].encode(ctx, x);
+        for rbm in &self.layers[1..] {
+            current = rbm.encode(ctx, current.view());
+        }
+        current
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exec::OptLevel;
+    use micdnn_tensor::Mat;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn toy_dataset(n: usize, dim: usize, seed: u64) -> Dataset {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let protos: Vec<Vec<f32>> = (0..3)
+            .map(|_| (0..dim).map(|_| rng.gen_range(0.1..0.9)).collect())
+            .collect();
+        Dataset::new(Mat::from_fn(n, dim, |r, c| {
+            (protos[r % 3][c] + rng.gen_range(-0.05..0.05)).clamp(0.05, 0.95)
+        }))
+    }
+
+    fn quick_cfg() -> TrainConfig {
+        TrainConfig {
+            batch_size: 25,
+            chunk_rows: 100,
+            learning_rate: 0.3,
+            ..TrainConfig::default()
+        }
+    }
+
+    #[test]
+    fn stack_shapes() {
+        let stack = StackedAutoencoder::with_default_config(&[24, 12, 6, 3], 1);
+        assert_eq!(stack.layers().len(), 3);
+        assert_eq!(stack.layers()[0].config().n_visible, 24);
+        assert_eq!(stack.layers()[2].config().n_hidden, 3);
+        assert_eq!(stack.code_dim(), 3);
+    }
+
+    #[test]
+    fn pretraining_improves_every_layer() {
+        let mut stack = StackedAutoencoder::with_default_config(&[20, 10, 5], 2);
+        let ctx = ExecCtx::native(OptLevel::Improved, 3);
+        let data = toy_dataset(200, 20, 4);
+        let reports = stack.pretrain(&ctx, &data, &quick_cfg(), 25).unwrap();
+        assert_eq!(reports.len(), 2);
+        assert_eq!(reports[0].shape, (20, 10));
+        assert_eq!(reports[1].shape, (10, 5));
+        for (i, lr) in reports.iter().enumerate() {
+            assert!(
+                lr.report.final_recon() < lr.report.initial_recon(),
+                "layer {i} did not improve: {} -> {}",
+                lr.report.initial_recon(),
+                lr.report.final_recon()
+            );
+        }
+    }
+
+    #[test]
+    fn encode_produces_code_dim() {
+        let mut stack = StackedAutoencoder::with_default_config(&[16, 8, 4], 5);
+        let ctx = ExecCtx::native(OptLevel::Improved, 6);
+        let data = toy_dataset(100, 16, 7);
+        stack.pretrain(&ctx, &data, &quick_cfg(), 3).unwrap();
+        let code = stack.encode(&ctx, data.matrix().view());
+        assert_eq!(code.shape(), (100, 4));
+        assert!(code.as_slice().iter().all(|&v| (0.0..=1.0).contains(&v)));
+    }
+
+    #[test]
+    fn dbn_pretraining_improves() {
+        let mut dbn = DeepBeliefNet::new(&[16, 10, 6], 8);
+        let ctx = ExecCtx::native(OptLevel::Improved, 9);
+        let mut data = toy_dataset(200, 16, 10);
+        data.binarize(0.5);
+        let reports = dbn.pretrain(&ctx, &data, &quick_cfg(), 25).unwrap();
+        assert_eq!(reports.len(), 2);
+        assert!(
+            reports[0].report.final_recon() < reports[0].report.initial_recon(),
+            "first RBM did not improve"
+        );
+        let code = dbn.encode(&ctx, data.matrix().view());
+        assert_eq!(code.shape(), (200, 6));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two layer sizes")]
+    fn degenerate_stack_rejected() {
+        StackedAutoencoder::with_default_config(&[10], 0);
+    }
+}

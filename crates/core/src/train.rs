@@ -1,0 +1,635 @@
+//! The chunked, double-buffered training loop — the paper's Algorithm 1.
+//!
+//! ```text
+//! 1: initialize parameters
+//! 2: while stop condition is not satisfied
+//! 3:   get a chunk of data from the buffer area in global memory
+//! 4:   split the chunk into many smaller training batches
+//! 5:   for each small training batch
+//! 6:     compute the gradient accordingly
+//! 7:     update the parameters
+//! ```
+//!
+//! The "buffer area in global memory" is a [`ChunkStream`]: a loading
+//! thread fills device-resident chunk buffers while training consumes the
+//! previous chunk. Device residency (parameters + loading area) is checked
+//! against the modeled card's capacity, as the paper's design requires.
+
+use crate::autoencoder::{AeScratch, SparseAutoencoder};
+use crate::cd_graph::cd_step_graph;
+use crate::exec::ExecCtx;
+use crate::rbm::{Rbm, RbmScratch};
+use micdnn_sim::{ChunkSource, ChunkStream, DeviceMemory, Link, OutOfDeviceMemory, StreamStats};
+use micdnn_tensor::MatView;
+
+/// Anything trainable by the chunked mini-batch loop.
+pub trait UnsupervisedModel {
+    /// Input dimensionality each example must have.
+    fn input_dim(&self) -> usize;
+    /// Allocates (or grows) scratch for batches of up to `max_batch`.
+    fn prepare(&mut self, max_batch: usize);
+    /// One gradient step on a batch; returns the batch's mean per-example
+    /// reconstruction error.
+    fn train_batch(&mut self, ctx: &ExecCtx, x: MatView<'_>, lr: f32) -> f64;
+    /// Device bytes the parameters (and persistent temporaries) occupy.
+    fn resident_bytes(&self, max_batch: usize) -> u64;
+}
+
+/// A sparse autoencoder bundled with its reusable scratch.
+#[derive(Debug)]
+pub struct AeModel {
+    /// The underlying autoencoder.
+    pub ae: SparseAutoencoder,
+    scratch: Option<AeScratch>,
+    optimizer: Option<crate::optim::Optimizer>,
+}
+
+impl AeModel {
+    /// Wraps an autoencoder for training with plain SGD at the trainer's
+    /// learning rate (the paper's configuration).
+    pub fn new(ae: SparseAutoencoder) -> Self {
+        AeModel { ae, scratch: None, optimizer: None }
+    }
+
+    /// Uses an [`crate::Optimizer`] (momentum, schedules, AdaGrad) instead
+    /// of plain SGD. The optimizer's schedule then controls the learning
+    /// rate; `TrainConfig::learning_rate` is ignored.
+    pub fn with_optimizer(mut self, opt: crate::optim::Optimizer) -> Self {
+        self.optimizer = Some(opt);
+        self
+    }
+
+    /// Consumes the wrapper, returning the trained autoencoder.
+    pub fn into_inner(self) -> SparseAutoencoder {
+        self.ae
+    }
+}
+
+impl UnsupervisedModel for AeModel {
+    fn input_dim(&self) -> usize {
+        self.ae.config().n_visible
+    }
+
+    fn prepare(&mut self, max_batch: usize) {
+        let need_new = match &self.scratch {
+            Some(s) => s.capacity() < max_batch,
+            None => true,
+        };
+        if need_new {
+            self.scratch = Some(AeScratch::new(self.ae.config(), max_batch));
+        }
+    }
+
+    fn train_batch(&mut self, ctx: &ExecCtx, x: MatView<'_>, lr: f32) -> f64 {
+        let scratch = self.scratch.as_mut().expect("prepare() not called");
+        match &mut self.optimizer {
+            Some(opt) => {
+                let cost = self.ae.cost_and_grad(ctx, x, scratch);
+                self.ae.apply_gradients_opt(ctx, scratch, opt);
+                cost.reconstruction
+            }
+            None => self.ae.train_batch(ctx, x, scratch, lr).reconstruction,
+        }
+    }
+
+    fn resident_bytes(&self, max_batch: usize) -> u64 {
+        let cfg = self.ae.config();
+        // Parameters + the persistent per-batch temporaries (a2, a3,
+        // delta2, delta3, gradients) the paper keeps resident.
+        let f = std::mem::size_of::<f32>() as u64;
+        let temps = 2 * (max_batch * cfg.n_hidden + max_batch * cfg.n_visible) as u64 * f;
+        cfg.param_bytes() * 2 + temps
+    }
+}
+
+/// Velocity state for momentum-accelerated CD updates.
+#[derive(Debug)]
+struct CdMomentum {
+    mu: f32,
+    vw: Vec<f32>,
+    vb: Vec<f32>,
+    vc: Vec<f32>,
+}
+
+/// An RBM bundled with its scratch; optionally scheduled via the Fig. 6
+/// dependency graph.
+#[derive(Debug)]
+pub struct RbmModel {
+    /// The underlying RBM.
+    pub rbm: Rbm,
+    scratch: Option<RbmScratch>,
+    use_graph: bool,
+    /// Momentum coefficient and velocity buffers (w, b_vis, c_hid).
+    momentum: Option<CdMomentum>,
+}
+
+impl RbmModel {
+    /// Wraps an RBM, using the serial CD schedule.
+    pub fn new(rbm: Rbm) -> Self {
+        RbmModel {
+            rbm,
+            scratch: None,
+            use_graph: false,
+            momentum: None,
+        }
+    }
+
+    /// Schedules each CD-1 step through the Fig. 6 dependency graph.
+    pub fn with_graph_schedule(mut self) -> Self {
+        assert_eq!(self.rbm.config().cd_steps, 1, "graph schedule requires CD-1");
+        self.use_graph = true;
+        self
+    }
+
+    /// Adds classical momentum to the CD updates (Hinton's practical guide
+    /// recommends 0.5 early, 0.9 late).
+    pub fn with_momentum(mut self, mu: f32) -> Self {
+        assert!((0.0..1.0).contains(&mu), "momentum must be in [0,1)");
+        let cfg = self.rbm.config();
+        self.momentum = Some(CdMomentum {
+            mu,
+            vw: vec![0.0; cfg.n_visible * cfg.n_hidden],
+            vb: vec![0.0; cfg.n_visible],
+            vc: vec![0.0; cfg.n_hidden],
+        });
+        self
+    }
+
+    /// Consumes the wrapper, returning the trained RBM.
+    pub fn into_inner(self) -> Rbm {
+        self.rbm
+    }
+}
+
+impl UnsupervisedModel for RbmModel {
+    fn input_dim(&self) -> usize {
+        self.rbm.config().n_visible
+    }
+
+    fn prepare(&mut self, max_batch: usize) {
+        let need_new = match &self.scratch {
+            Some(s) => s.capacity() < max_batch,
+            None => true,
+        };
+        if need_new {
+            self.scratch = Some(RbmScratch::new(self.rbm.config(), max_batch));
+        }
+    }
+
+    fn train_batch(&mut self, ctx: &ExecCtx, x: MatView<'_>, lr: f32) -> f64 {
+        let scratch = self.scratch.as_mut().expect("prepare() not called");
+        let err = if self.use_graph {
+            cd_step_graph(&mut self.rbm, ctx, x, scratch, lr).0
+        } else {
+            self.rbm.cd_step(ctx, x, scratch, lr)
+        };
+        if let Some(CdMomentum { mu, vw, vb, vc }) = &mut self.momentum {
+            // cd_step applied w += lr*(pos - neg); fold in mu * v_old so
+            // the net update is v_new = mu v_old + lr (pos - neg), then
+            // remember v_new for the next batch. pos/neg stats are still
+            // in the scratch.
+            let mu = *mu;
+            ctx.axpy(mu, vw, self.rbm.w.as_mut_slice());
+            ctx.axpy(mu, vb, &mut self.rbm.b_vis);
+            ctx.axpy(mu, vc, &mut self.rbm.c_hid);
+            ctx.scale(mu, vw);
+            ctx.cd_update(lr, scratch.pos_stats.as_slice(), scratch.neg_stats.as_slice(), vw);
+            ctx.scale(mu, vb);
+            ctx.cd_update(lr, &scratch.vis_pos, &scratch.vis_neg, vb);
+            ctx.scale(mu, vc);
+            ctx.cd_update(lr, &scratch.hid_pos, &scratch.hid_neg, vc);
+        }
+        err
+    }
+
+    fn resident_bytes(&self, max_batch: usize) -> u64 {
+        let cfg = self.rbm.config();
+        let f = std::mem::size_of::<f32>() as u64;
+        let temps =
+            (3 * max_batch * cfg.n_hidden + max_batch * cfg.n_visible) as u64 * f;
+        cfg.param_bytes() * 3 + temps
+    }
+}
+
+/// Configuration of one training run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TrainConfig {
+    /// SGD / CD learning rate.
+    pub learning_rate: f32,
+    /// Mini-batch size (Algorithm 1's "small training batches").
+    pub batch_size: usize,
+    /// Rows per device chunk (the unit of one host→device transfer).
+    pub chunk_rows: usize,
+    /// Chunk slots in the device loading buffer.
+    pub buffers: usize,
+    /// Whether the loading thread overlaps transfers with training.
+    pub double_buffered: bool,
+    /// The host↔device link model.
+    pub link: Link,
+    /// Record a reconstruction-error sample every N batches (0 = every
+    /// batch).
+    pub history_every: usize,
+}
+
+impl Default for TrainConfig {
+    fn default() -> Self {
+        TrainConfig {
+            learning_rate: 0.1,
+            batch_size: 100,
+            chunk_rows: 1000,
+            buffers: 2,
+            double_buffered: true,
+            link: Link::pcie_gen2(),
+            history_every: 0,
+        }
+    }
+}
+
+/// Errors a training run can hit.
+#[derive(Debug)]
+pub enum TrainError {
+    /// Model + buffers exceed the modeled device memory.
+    DeviceMemory(OutOfDeviceMemory),
+    /// The stream produced a chunk whose width does not match the model.
+    DimensionMismatch {
+        /// What the model expects.
+        expected: usize,
+        /// What the chunk provided.
+        got: usize,
+    },
+    /// The source produced no data at all.
+    EmptyStream,
+}
+
+impl std::fmt::Display for TrainError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TrainError::DeviceMemory(e) => write!(f, "{e}"),
+            TrainError::DimensionMismatch { expected, got } => {
+                write!(f, "chunk dimensionality {got} does not match model input {expected}")
+            }
+            TrainError::EmptyStream => write!(f, "training stream produced no chunks"),
+        }
+    }
+}
+
+impl std::error::Error for TrainError {}
+
+impl From<OutOfDeviceMemory> for TrainError {
+    fn from(e: OutOfDeviceMemory) -> Self {
+        TrainError::DeviceMemory(e)
+    }
+}
+
+/// Outcome of a training run.
+#[derive(Debug, Clone)]
+pub struct TrainReport {
+    /// Mini-batches processed.
+    pub batches: u64,
+    /// Examples processed.
+    pub examples: u64,
+    /// Sampled per-batch reconstruction errors, in order.
+    pub recon_history: Vec<f64>,
+    /// Simulated seconds at the end of the run (compute + exposed
+    /// transfer stalls). Zero for native contexts.
+    pub sim_total_secs: f64,
+    /// Stream/transfer statistics.
+    pub stream: StreamStats,
+}
+
+impl TrainReport {
+    /// Last sampled reconstruction error.
+    pub fn final_recon(&self) -> f64 {
+        self.recon_history.last().copied().unwrap_or(f64::NAN)
+    }
+
+    /// First sampled reconstruction error.
+    pub fn initial_recon(&self) -> f64 {
+        self.recon_history.first().copied().unwrap_or(f64::NAN)
+    }
+}
+
+/// Trains `model` on everything `source` produces (Algorithm 1).
+pub fn train_stream(
+    model: &mut impl UnsupervisedModel,
+    ctx: &ExecCtx,
+    source: impl ChunkSource,
+    cfg: &TrainConfig,
+) -> Result<TrainReport, TrainError> {
+    assert!(cfg.batch_size > 0, "batch size must be positive");
+    assert!(cfg.buffers >= 1, "need at least one buffer");
+    model.prepare(cfg.batch_size);
+    let dim = model.input_dim();
+
+    // Device residency check against the modeled card (paper §IV.B: all
+    // parameters and the loading buffer live in device global memory).
+    let _residency = match ctx.platform() {
+        Some(p) => {
+            let mem = DeviceMemory::new(p.spec.mem_capacity_bytes);
+            let chunk_bytes = (cfg.chunk_rows * dim * std::mem::size_of::<f32>()) as u64;
+            let total = model.resident_bytes(cfg.batch_size)
+                + chunk_bytes * cfg.buffers as u64;
+            Some(mem.alloc(total, "model + loading buffers")?)
+        }
+        None => None,
+    };
+
+    let mut stream = ChunkStream::spawn(
+        source,
+        cfg.link,
+        ctx.clock().clone(),
+        ctx.trace().clone(),
+        cfg.buffers,
+        cfg.double_buffered,
+    );
+
+    let mut report = TrainReport {
+        batches: 0,
+        examples: 0,
+        recon_history: Vec::new(),
+        sim_total_secs: 0.0,
+        stream: StreamStats::default(),
+    };
+
+    while let Some(chunk) = stream.next() {
+        if chunk.cols() != dim {
+            return Err(TrainError::DimensionMismatch {
+                expected: dim,
+                got: chunk.cols(),
+            });
+        }
+        let rows = chunk.rows();
+        let mut lo = 0;
+        while lo < rows {
+            let hi = (lo + cfg.batch_size).min(rows);
+            let err = model.train_batch(ctx, chunk.rows_range(lo, hi), cfg.learning_rate);
+            if cfg.history_every == 0 || report.batches.is_multiple_of(cfg.history_every as u64) {
+                report.recon_history.push(err);
+            }
+            report.batches += 1;
+            report.examples += (hi - lo) as u64;
+            lo = hi;
+        }
+    }
+
+    if report.batches == 0 {
+        return Err(TrainError::EmptyStream);
+    }
+    report.stream = stream.stats();
+    report.sim_total_secs = ctx.sim_time();
+    Ok(report)
+}
+
+/// Trains on an in-memory dataset for `passes` epochs.
+pub fn train_dataset(
+    model: &mut impl UnsupervisedModel,
+    ctx: &ExecCtx,
+    dataset: &micdnn_data::Dataset,
+    cfg: &TrainConfig,
+    passes: usize,
+) -> Result<TrainReport, TrainError> {
+    assert!(passes >= 1, "need at least one pass");
+    let chunks = dataset.clone().into_chunks(cfg.chunk_rows);
+    let mut all = Vec::with_capacity(chunks.len() * passes);
+    for _ in 0..passes {
+        all.extend(chunks.iter().cloned());
+    }
+    train_stream(model, ctx, micdnn_sim::VecSource::new(all), cfg)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::autoencoder::AeConfig;
+    use crate::exec::OptLevel;
+    use crate::rbm::RbmConfig;
+    use micdnn_data::Dataset;
+    use micdnn_sim::Platform;
+    use micdnn_tensor::Mat;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn toy_dataset(n: usize, dim: usize, seed: u64) -> Dataset {
+        let mut rng = StdRng::seed_from_u64(seed);
+        // Low-rank structure: a few prototypes + noise, squashed to [0.1, 0.9].
+        let protos: Vec<Vec<f32>> = (0..4)
+            .map(|_| (0..dim).map(|_| rng.gen_range(0.1..0.9)).collect())
+            .collect();
+        Dataset::new(Mat::from_fn(n, dim, |r, c| {
+            (protos[r % 4][c] + rng.gen_range(-0.05..0.05)).clamp(0.05, 0.95)
+        }))
+    }
+
+    #[test]
+    fn ae_training_over_stream_converges() {
+        let cfg = AeConfig::new(20, 10);
+        let mut model = AeModel::new(SparseAutoencoder::new(cfg, 1));
+        let ctx = ExecCtx::native(OptLevel::Improved, 2);
+        let ds = toy_dataset(400, 20, 3);
+        let tc = TrainConfig {
+            batch_size: 50,
+            chunk_rows: 100,
+            ..TrainConfig::default()
+        };
+        let report = train_dataset(&mut model, &ctx, &ds, &tc, 30).unwrap();
+        assert_eq!(report.examples, 400 * 30);
+        assert_eq!(report.batches, 8 * 30);
+        assert!(
+            report.final_recon() < 0.5 * report.initial_recon(),
+            "no convergence: {} -> {}",
+            report.initial_recon(),
+            report.final_recon()
+        );
+    }
+
+    #[test]
+    fn momentum_optimizer_trains_through_the_pipeline() {
+        use crate::optim::{Optimizer, Rule, Schedule};
+        let cfg = AeConfig::new(20, 10);
+        let slots = SparseAutoencoder::optimizer_slots(&cfg);
+        let opt = Optimizer::new(
+            Rule::Momentum { mu: 0.8 },
+            Schedule::Exponential { base: 0.2, gamma: 0.999 },
+            &slots,
+        );
+        let mut model = AeModel::new(SparseAutoencoder::new(cfg, 1)).with_optimizer(opt);
+        let ctx = ExecCtx::native(OptLevel::Improved, 2);
+        let ds = toy_dataset(400, 20, 3);
+        let tc = TrainConfig {
+            batch_size: 50,
+            chunk_rows: 100,
+            ..TrainConfig::default()
+        };
+        let report = train_dataset(&mut model, &ctx, &ds, &tc, 20).unwrap();
+        assert!(
+            report.final_recon() < 0.5 * report.initial_recon(),
+            "momentum run did not converge: {} -> {}",
+            report.initial_recon(),
+            report.final_recon()
+        );
+    }
+
+    #[test]
+    fn rbm_training_over_stream_converges() {
+        let cfg = RbmConfig::new(16, 12);
+        let mut model = RbmModel::new(Rbm::new(cfg, 1));
+        let ctx = ExecCtx::native(OptLevel::Improved, 2);
+        let mut ds = toy_dataset(200, 16, 5);
+        ds.binarize(0.5);
+        let tc = TrainConfig {
+            batch_size: 50,
+            chunk_rows: 100,
+            learning_rate: 0.1,
+            ..TrainConfig::default()
+        };
+        let report = train_dataset(&mut model, &ctx, &ds, &tc, 60).unwrap();
+        assert!(
+            report.final_recon() < 0.6 * report.initial_recon(),
+            "no convergence: {} -> {}",
+            report.initial_recon(),
+            report.final_recon()
+        );
+    }
+
+    #[test]
+    fn rbm_momentum_trains_and_differs_from_plain_cd() {
+        let cfg = RbmConfig::new(16, 12);
+        let mut ds = toy_dataset(200, 16, 5);
+        ds.binarize(0.5);
+        let tc = TrainConfig {
+            batch_size: 50,
+            chunk_rows: 100,
+            learning_rate: 0.05,
+            ..TrainConfig::default()
+        };
+        let run = |mu: Option<f32>| {
+            let mut model = RbmModel::new(Rbm::new(cfg, 1));
+            if let Some(mu) = mu {
+                model = model.with_momentum(mu);
+            }
+            let ctx = ExecCtx::native(OptLevel::Improved, 2);
+            let r = train_dataset(&mut model, &ctx, &ds, &tc, 40).unwrap();
+            (r.final_recon(), model.into_inner())
+        };
+        let (plain_err, plain) = run(None);
+        let (mom_err, mom) = run(Some(0.7));
+        assert!(mom_err.is_finite() && mom_err < 1e3);
+        assert_ne!(plain.w.as_slice(), mom.w.as_slice(), "momentum changed nothing");
+        // Both must actually learn.
+        assert!(plain_err < 5.0 && mom_err < 5.0, "plain {plain_err} mom {mom_err}");
+    }
+
+    #[test]
+    fn graph_scheduled_rbm_matches_serial() {
+        let cfg = RbmConfig::new(12, 8);
+        let mut ds = toy_dataset(100, 12, 7);
+        ds.binarize(0.5);
+        let tc = TrainConfig {
+            batch_size: 25,
+            chunk_rows: 50,
+            ..TrainConfig::default()
+        };
+        let run = |graph: bool| {
+            let mut model = if graph {
+                RbmModel::new(Rbm::new(cfg, 3)).with_graph_schedule()
+            } else {
+                RbmModel::new(Rbm::new(cfg, 3))
+            };
+            let ctx = ExecCtx::native(OptLevel::Improved, 4);
+            train_dataset(&mut model, &ctx, &ds, &tc, 3).unwrap();
+            model.into_inner()
+        };
+        let serial = run(false);
+        let graphed = run(true);
+        assert_eq!(serial.w.as_slice(), graphed.w.as_slice());
+    }
+
+    #[test]
+    fn simulated_run_accumulates_time_and_stream_stats() {
+        let cfg = AeConfig::new(32, 16);
+        let mut model = AeModel::new(SparseAutoencoder::new(cfg, 1));
+        let ctx = ExecCtx::simulated(OptLevel::Improved, Platform::xeon_phi(), 2);
+        let ds = toy_dataset(200, 32, 3);
+        let tc = TrainConfig {
+            batch_size: 50,
+            chunk_rows: 100,
+            ..TrainConfig::default()
+        };
+        let report = train_dataset(&mut model, &ctx, &ds, &tc, 1).unwrap();
+        assert!(report.sim_total_secs > 0.0);
+        assert_eq!(report.stream.chunks, 2);
+        assert!(report.stream.transfer_secs > 0.0);
+    }
+
+    #[test]
+    fn device_memory_exhaustion_detected() {
+        // Shrink the modeled card to 1 MiB so a modest model exceeds it
+        // (allocating a genuinely >8 GB model in a unit test would be
+        // hostile to CI; the accounting path is identical).
+        let mut platform = Platform::xeon_phi();
+        platform.spec.mem_capacity_bytes = 1 << 20;
+        let cfg = AeConfig::new(512, 512); // ~2 MB of weights
+        let mut model = AeModel::new(SparseAutoencoder::new(cfg, 1));
+        let ctx = ExecCtx::simulated(OptLevel::Improved, platform, 2);
+        let ds = toy_dataset(10, 512, 3);
+        let tc = TrainConfig {
+            batch_size: 5,
+            chunk_rows: 10,
+            ..TrainConfig::default()
+        };
+        match train_dataset(&mut model, &ctx, &ds, &tc, 1) {
+            Err(TrainError::DeviceMemory(e)) => {
+                assert!(e.requested > 1 << 20);
+            }
+            other => panic!("expected OOM, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn dimension_mismatch_detected() {
+        let cfg = AeConfig::new(10, 5);
+        let mut model = AeModel::new(SparseAutoencoder::new(cfg, 1));
+        let ctx = ExecCtx::native(OptLevel::Improved, 2);
+        let chunks = vec![Mat::zeros(20, 12)]; // wrong width
+        let err = train_stream(
+            &mut model,
+            &ctx,
+            micdnn_sim::VecSource::new(chunks),
+            &TrainConfig::default(),
+        )
+        .unwrap_err();
+        assert!(matches!(err, TrainError::DimensionMismatch { expected: 10, got: 12 }));
+    }
+
+    #[test]
+    fn empty_stream_detected() {
+        let cfg = AeConfig::new(10, 5);
+        let mut model = AeModel::new(SparseAutoencoder::new(cfg, 1));
+        let ctx = ExecCtx::native(OptLevel::Improved, 2);
+        let err = train_stream(
+            &mut model,
+            &ctx,
+            micdnn_sim::VecSource::new(Vec::new()),
+            &TrainConfig::default(),
+        )
+        .unwrap_err();
+        assert!(matches!(err, TrainError::EmptyStream));
+    }
+
+    #[test]
+    fn history_sampling() {
+        let cfg = AeConfig::new(10, 5);
+        let mut model = AeModel::new(SparseAutoencoder::new(cfg, 1));
+        let ctx = ExecCtx::native(OptLevel::Improved, 2);
+        let ds = toy_dataset(100, 10, 3);
+        let tc = TrainConfig {
+            batch_size: 10,
+            chunk_rows: 100,
+            history_every: 3,
+            ..TrainConfig::default()
+        };
+        let report = train_dataset(&mut model, &ctx, &ds, &tc, 1).unwrap();
+        assert_eq!(report.batches, 10);
+        assert_eq!(report.recon_history.len(), 4); // batches 0, 3, 6, 9
+    }
+}

@@ -1,0 +1,84 @@
+//! Property tests on the synthetic data generators.
+
+use micdnn_data::{Dataset, DigitGenerator, PatchGenerator};
+use micdnn_tensor::Mat;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Digit rendering is deterministic per seed, bounded, and produces
+    /// ink for every class.
+    #[test]
+    fn digits_bounded_and_deterministic(side in 8usize..24, seed in any::<u64>(), digit in 0u8..10) {
+        let mut a = DigitGenerator::new(side, seed);
+        let mut b = DigitGenerator::new(side, seed);
+        let img_a = a.render(digit);
+        let img_b = b.render(digit);
+        prop_assert_eq!(&img_a, &img_b);
+        prop_assert_eq!(img_a.len(), side * side);
+        let ink: f32 = img_a.iter().sum();
+        prop_assert!(img_a.iter().all(|&v| (0.0..=1.0).contains(&v)));
+        prop_assert!(ink > 0.5, "digit {digit} blank at side {side}");
+    }
+
+    /// Patches are finite, deterministic per seed, and the right size.
+    #[test]
+    fn patches_well_formed(side in 4usize..20, seed in any::<u64>()) {
+        let mut a = PatchGenerator::new(side, seed);
+        let mut b = PatchGenerator::new(side, seed);
+        for _ in 0..5 {
+            let pa = a.sample();
+            let pb = b.sample();
+            prop_assert_eq!(&pa, &pb);
+            prop_assert_eq!(pa.len(), side * side);
+            prop_assert!(pa.iter().all(|v| v.is_finite()));
+        }
+    }
+
+    /// Normalization is idempotent in range: normalizing already-normalized
+    /// data keeps it within [0.1, 0.9].
+    #[test]
+    fn normalize_stable(rows in 1usize..40, cols in 1usize..20, seed in any::<u64>()) {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let m = Mat::from_fn(rows, cols, |_, _| rng.gen_range(-100.0f32..100.0));
+        let mut ds = Dataset::new(m);
+        ds.normalize();
+        ds.normalize();
+        for &v in ds.matrix().as_slice() {
+            prop_assert!((0.1 - 1e-3..=0.9 + 1e-3).contains(&v));
+        }
+    }
+
+    /// Shuffling with different seeds gives different orders (almost
+    /// always) but identical multisets.
+    #[test]
+    fn shuffle_permutes(n in 4usize..50, s1 in any::<u64>(), s2 in any::<u64>()) {
+        prop_assume!(s1 != s2);
+        let base = Dataset::new(Mat::from_fn(n, 2, |r, _| r as f32));
+        let mut a = base.clone();
+        let mut b = base.clone();
+        a.shuffle(s1);
+        b.shuffle(s2);
+        let sum_a: f64 = a.matrix().sum();
+        let sum_b: f64 = b.matrix().sum();
+        prop_assert_eq!(sum_a, sum_b, "shuffle changed content");
+    }
+
+    /// batch_bounds tiles the dataset exactly.
+    #[test]
+    fn batch_bounds_tile(n in 1usize..100, batch in 1usize..40) {
+        let ds = Dataset::new(Mat::zeros(n, 1));
+        let mut expected_lo = 0usize;
+        let mut covered = 0usize;
+        for (lo, hi) in ds.batch_bounds(batch) {
+            prop_assert_eq!(lo, expected_lo);
+            prop_assert!(hi > lo && hi <= n);
+            prop_assert!(hi - lo <= batch);
+            covered += hi - lo;
+            expected_lo = hi;
+        }
+        prop_assert_eq!(covered, n);
+    }
+}

@@ -1,0 +1,383 @@
+//! Blocked, packed, thread-parallel SGEMM — the workspace's MKL analog.
+//!
+//! `C = alpha * op(A) * op(B) + beta * C` for row-major `f32` matrices.
+//!
+//! Structure (classic Goto-style three-level blocking):
+//!
+//! * columns of C are processed in `nc`-wide panels so a packed panel of
+//!   `op(B)` stays in L2;
+//! * the k dimension is processed in `kc`-deep slabs; each slab of `op(B)`
+//!   is packed once into a contiguous row-major buffer (this is also where
+//!   the transpose, if any, is materialized);
+//! * row-blocks of C (`mc` rows) are distributed across the rayon pool;
+//!   each task packs its own slab of `op(A)` (folding `alpha` in) and runs a
+//!   broadcast-A/stream-B inner kernel over contiguous packed rows, which the
+//!   autovectorizer turns into wide FMA loops.
+//!
+//! **Determinism:** the only parallel axis is disjoint row-blocks of C, and
+//! every k-slab is accumulated in a fixed sequential order, so the result is
+//! bitwise identical for any thread count — including fully sequential
+//! execution. The test suite relies on this, and it mirrors the paper's
+//! claim that its optimizations do not change the computed trajectory.
+
+use crate::vecops::axpy_chunk;
+use crate::Par;
+use micdnn_tensor::{MatView, MatViewMut};
+use rayon::prelude::*;
+
+/// Cache-blocking parameters for [`gemm_with_blocking`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GemmBlocking {
+    /// Rows of C per parallel task (and per packed A slab).
+    pub mc: usize,
+    /// Depth of each packed k-slab.
+    pub kc: usize,
+    /// Width of each packed B panel.
+    pub nc: usize,
+}
+
+impl Default for GemmBlocking {
+    fn default() -> Self {
+        // mc*kc floats = 64 KiB (L1-ish), kc*nc floats = 512 KiB (L2-ish).
+        GemmBlocking {
+            mc: 64,
+            kc: 256,
+            nc: 512,
+        }
+    }
+}
+
+impl GemmBlocking {
+    /// Validates that every block dimension is non-zero.
+    pub fn validated(self) -> Self {
+        assert!(self.mc > 0 && self.kc > 0 && self.nc > 0, "GemmBlocking: zero block size");
+        self
+    }
+}
+
+/// Operated dimensions of a (possibly transposed) view: `(rows, cols)` of
+/// `op(X)`.
+#[inline]
+fn op_shape(x: &MatView<'_>, t: bool) -> (usize, usize) {
+    if t {
+        (x.cols(), x.rows())
+    } else {
+        x.shape()
+    }
+}
+
+/// `C = alpha * op(A) * op(B) + beta * C` with default blocking.
+#[allow(clippy::too_many_arguments)] // mirrors the BLAS sgemm signature
+pub fn gemm(
+    par: Par,
+    alpha: f32,
+    a: MatView<'_>,
+    ta: bool,
+    b: MatView<'_>,
+    tb: bool,
+    beta: f32,
+    c: &mut MatViewMut<'_>,
+) {
+    gemm_with_blocking(par, alpha, a, ta, b, tb, beta, c, GemmBlocking::default());
+}
+
+/// [`gemm`] with explicit blocking parameters (exposed for the blocking
+/// ablation benches and the property tests that sweep odd block sizes).
+#[allow(clippy::too_many_arguments)]
+pub fn gemm_with_blocking(
+    par: Par,
+    alpha: f32,
+    a: MatView<'_>,
+    ta: bool,
+    b: MatView<'_>,
+    tb: bool,
+    beta: f32,
+    c: &mut MatViewMut<'_>,
+    blk: GemmBlocking,
+) {
+    let blk = blk.validated();
+    let (m, k) = op_shape(&a, ta);
+    let (kb, n) = op_shape(&b, tb);
+    assert_eq!(k, kb, "gemm: inner dimension mismatch ({k} vs {kb})");
+    assert_eq!(c.shape(), (m, n), "gemm: output shape mismatch");
+
+    // Apply beta up front so the accumulation loops are pure +=.
+    scale_c(par, beta, c);
+    if m == 0 || n == 0 || k == 0 || alpha == 0.0 {
+        return;
+    }
+
+    let c_slice = c.as_mut_slice();
+    let mut b_pack = vec![0.0f32; blk.kc.min(k) * blk.nc.min(n)];
+
+    for jc in (0..n).step_by(blk.nc) {
+        let nc = blk.nc.min(n - jc);
+        for pc in (0..k).step_by(blk.kc) {
+            let kc = blk.kc.min(k - pc);
+            pack_b(&b, tb, pc, kc, jc, nc, &mut b_pack);
+            let b_panel = &b_pack[..kc * nc];
+
+            let row_block = blk.mc * n;
+            let task = |(blk_idx, c_rows): (usize, &mut [f32])| {
+                let ic = blk_idx * blk.mc;
+                let mc = c_rows.len() / n;
+                let a_pack = pack_a(&a, ta, ic, mc, pc, kc, alpha);
+                for i in 0..mc {
+                    let c_row = &mut c_rows[i * n + jc..i * n + jc + nc];
+                    let a_row = &a_pack[i * kc..(i + 1) * kc];
+                    for (p, &av) in a_row.iter().enumerate() {
+                        if av != 0.0 {
+                            axpy_chunk(av, &b_panel[p * nc..(p + 1) * nc], c_row);
+                        }
+                    }
+                }
+            };
+
+            if par.is_parallel() {
+                c_slice
+                    .par_chunks_mut(row_block)
+                    .enumerate()
+                    .for_each(task);
+            } else {
+                c_slice.chunks_mut(row_block).enumerate().for_each(task);
+            }
+        }
+    }
+}
+
+fn scale_c(par: Par, beta: f32, c: &mut MatViewMut<'_>) {
+    if beta == 1.0 {
+        return;
+    }
+    if beta == 0.0 {
+        c.as_mut_slice().fill(0.0);
+    } else {
+        crate::vecops::scale(par, beta, c.as_mut_slice());
+    }
+}
+
+/// Packs `op(B)[pc..pc+kc, jc..jc+nc]` into a contiguous `kc x nc` row-major
+/// panel.
+fn pack_b(b: &MatView<'_>, tb: bool, pc: usize, kc: usize, jc: usize, nc: usize, out: &mut [f32]) {
+    debug_assert!(out.len() >= kc * nc);
+    if !tb {
+        for p in 0..kc {
+            let src = &b.row(pc + p)[jc..jc + nc];
+            out[p * nc..(p + 1) * nc].copy_from_slice(src);
+        }
+    } else {
+        // op(B)[p, j] = B[jc + j, pc + p]: gather columns of B.
+        for p in 0..kc {
+            for j in 0..nc {
+                out[p * nc + j] = b.get(jc + j, pc + p);
+            }
+        }
+    }
+}
+
+/// Packs `alpha * op(A)[ic..ic+mc, pc..pc+kc]` into a fresh `mc x kc`
+/// row-major slab.
+fn pack_a(a: &MatView<'_>, ta: bool, ic: usize, mc: usize, pc: usize, kc: usize, alpha: f32) -> Vec<f32> {
+    let mut out = vec![0.0f32; mc * kc];
+    if !ta {
+        for i in 0..mc {
+            let src = &a.row(ic + i)[pc..pc + kc];
+            let dst = &mut out[i * kc..(i + 1) * kc];
+            for (d, &s) in dst.iter_mut().zip(src) {
+                *d = alpha * s;
+            }
+        }
+    } else {
+        for i in 0..mc {
+            for p in 0..kc {
+                out[i * kc + p] = alpha * a.get(pc + p, ic + i);
+            }
+        }
+    }
+    out
+}
+
+/// Parallel matrix-vector product `y = alpha * op(A) * x + beta * y`.
+///
+/// Rows of `op(A)` are distributed across the pool; each output element is
+/// an independent dot product, so this too is deterministic under threading.
+pub fn gemv(par: Par, alpha: f32, a: MatView<'_>, ta: bool, x: &[f32], beta: f32, y: &mut [f32]) {
+    let (m, k) = op_shape(&a, ta);
+    assert_eq!(x.len(), k, "gemv: x length mismatch");
+    assert_eq!(y.len(), m, "gemv: y length mismatch");
+
+    if !ta {
+        let body = |(i, yi): (usize, &mut f32)| {
+            let row = a.row(i);
+            let mut acc = 0.0f32;
+            for (av, xv) in row.iter().zip(x) {
+                acc += av * xv;
+            }
+            *yi = alpha * acc + beta * *yi;
+        };
+        if par.is_parallel() && m * k >= crate::PAR_THRESHOLD {
+            y.par_iter_mut().enumerate().for_each(|(i, v)| body((i, v)));
+        } else {
+            y.iter_mut().enumerate().for_each(|(i, v)| body((i, v)));
+        }
+    } else {
+        // y = alpha * A^T x + beta y: accumulate column-wise; do it as a
+        // sequence of row-axpys into a scratch accumulator to stay
+        // cache-friendly, then combine.
+        let mut acc = vec![0.0f32; m];
+        for (p, &xv) in x.iter().enumerate() {
+            if xv != 0.0 {
+                axpy_chunk(xv, a.row(p), &mut acc);
+            }
+        }
+        for (yi, av) in y.iter_mut().zip(acc) {
+            *yi = alpha * av + beta * *yi;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::naive::gemm_ref;
+    use micdnn_tensor::{max_abs_diff, Mat};
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn random_mat(rows: usize, cols: usize, rng: &mut StdRng) -> Mat {
+        Mat::from_fn(rows, cols, |_, _| rng.gen_range(-1.0..1.0))
+    }
+
+    fn check_against_ref(m: usize, n: usize, k: usize, ta: bool, tb: bool, alpha: f32, beta: f32) {
+        let mut rng = StdRng::seed_from_u64((m * 31 + n * 7 + k) as u64);
+        let a = if ta { random_mat(k, m, &mut rng) } else { random_mat(m, k, &mut rng) };
+        let b = if tb { random_mat(n, k, &mut rng) } else { random_mat(k, n, &mut rng) };
+        let c0 = random_mat(m, n, &mut rng);
+
+        let mut c_ref = c0.clone();
+        gemm_ref(alpha, a.view(), ta, b.view(), tb, beta, &mut c_ref.view_mut());
+
+        for par in [Par::Seq, Par::Rayon] {
+            let mut c = c0.clone();
+            gemm(par, alpha, a.view(), ta, b.view(), tb, beta, &mut c.view_mut());
+            let diff = max_abs_diff(c.as_slice(), c_ref.as_slice());
+            assert!(
+                diff < 1e-3 * (k as f32).max(1.0).sqrt(),
+                "gemm mismatch m={m} n={n} k={k} ta={ta} tb={tb} par={par:?}: {diff}"
+            );
+        }
+    }
+
+    #[test]
+    fn matches_reference_all_transpose_combos() {
+        for (ta, tb) in [(false, false), (true, false), (false, true), (true, true)] {
+            check_against_ref(17, 23, 31, ta, tb, 1.0, 0.0);
+            check_against_ref(65, 130, 257, ta, tb, 0.7, 0.3);
+        }
+    }
+
+    #[test]
+    fn matches_reference_block_boundaries() {
+        // Sizes exactly on and around the default block boundaries.
+        for m in [63, 64, 65] {
+            for k in [255, 256, 257] {
+                check_against_ref(m, 33, k, false, false, 1.0, 1.0);
+            }
+        }
+        check_against_ref(64, 512, 256, false, false, 1.0, 0.0);
+        check_against_ref(64, 513, 256, false, true, 1.0, 0.0);
+    }
+
+    #[test]
+    fn seq_and_par_bitwise_identical() {
+        let mut rng = StdRng::seed_from_u64(1234);
+        let a = random_mat(200, 300, &mut rng);
+        let b = random_mat(300, 150, &mut rng);
+        let mut c1 = Mat::zeros(200, 150);
+        let mut c2 = Mat::zeros(200, 150);
+        gemm(Par::Seq, 1.0, a.view(), false, b.view(), false, 0.0, &mut c1.view_mut());
+        gemm(Par::Rayon, 1.0, a.view(), false, b.view(), false, 0.0, &mut c2.view_mut());
+        assert_eq!(c1.as_slice(), c2.as_slice(), "threading changed bits");
+    }
+
+    #[test]
+    fn custom_blocking_same_result() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let a = random_mat(50, 70, &mut rng);
+        let b = random_mat(70, 40, &mut rng);
+        let mut c_default = Mat::zeros(50, 40);
+        gemm(Par::Seq, 1.0, a.view(), false, b.view(), false, 0.0, &mut c_default.view_mut());
+        for blk in [
+            GemmBlocking { mc: 1, kc: 1, nc: 1 },
+            GemmBlocking { mc: 7, kc: 13, nc: 5 },
+            GemmBlocking { mc: 1000, kc: 1000, nc: 1000 },
+        ] {
+            let mut c = Mat::zeros(50, 40);
+            gemm_with_blocking(Par::Seq, 1.0, a.view(), false, b.view(), false, 0.0, &mut c.view_mut(), blk);
+            let diff = max_abs_diff(c.as_slice(), c_default.as_slice());
+            assert!(diff < 1e-4, "blocking {blk:?} diverged: {diff}");
+        }
+    }
+
+    #[test]
+    fn beta_zero_overwrites_garbage() {
+        // beta = 0 must ignore pre-existing NaN in C.
+        let a = Mat::eye(2);
+        let b = Mat::full(2, 2, 3.0);
+        let mut c = Mat::full(2, 2, f32::NAN);
+        gemm(Par::Seq, 1.0, a.view(), false, b.view(), false, 0.0, &mut c.view_mut());
+        assert!(c.all_finite());
+        assert!(c.as_slice().iter().all(|&x| x == 3.0));
+    }
+
+    #[test]
+    fn alpha_zero_is_pure_scale() {
+        let a = Mat::full(2, 3, f32::NAN); // must never be touched
+        let b = Mat::full(3, 2, f32::NAN);
+        let mut c = Mat::full(2, 2, 4.0);
+        gemm(Par::Seq, 0.0, a.view(), false, b.view(), false, 0.5, &mut c.view_mut());
+        assert!(c.as_slice().iter().all(|&x| x == 2.0));
+    }
+
+    #[test]
+    fn empty_dims() {
+        let a = Mat::zeros(0, 5);
+        let b = Mat::zeros(5, 3);
+        let mut c = Mat::zeros(0, 3);
+        gemm(Par::Seq, 1.0, a.view(), false, b.view(), false, 0.0, &mut c.view_mut());
+        let a = Mat::zeros(2, 0);
+        let b = Mat::zeros(0, 3);
+        let mut c = Mat::full(2, 3, 1.0);
+        gemm(Par::Seq, 1.0, a.view(), false, b.view(), false, 1.0, &mut c.view_mut());
+        assert!(c.as_slice().iter().all(|&x| x == 1.0), "k=0 with beta=1 must keep C");
+    }
+
+    #[test]
+    fn gemv_matches_gemm_column() {
+        let mut rng = StdRng::seed_from_u64(77);
+        let a = random_mat(40, 30, &mut rng);
+        let x: Vec<f32> = (0..30).map(|_| rng.gen_range(-1.0..1.0)).collect();
+        let mut y = vec![0.5f32; 40];
+        let mut y_ref = y.clone();
+        crate::naive::gemv_ref(0.9, a.view(), false, &x, 0.1, &mut y_ref);
+        gemv(Par::Seq, 0.9, a.view(), false, &x, 0.1, &mut y);
+        assert!(max_abs_diff(&y, &y_ref) < 1e-4);
+
+        // Transposed.
+        let mut yt = vec![0.0f32; 30];
+        let xt: Vec<f32> = (0..40).map(|_| rng.gen_range(-1.0..1.0)).collect();
+        let mut yt_ref = yt.clone();
+        crate::naive::gemv_ref(1.0, a.view(), true, &xt, 0.0, &mut yt_ref);
+        gemv(Par::Seq, 1.0, a.view(), true, &xt, 0.0, &mut yt);
+        assert!(max_abs_diff(&yt, &yt_ref) < 1e-4);
+    }
+
+    #[test]
+    #[should_panic(expected = "output shape mismatch")]
+    fn output_shape_checked() {
+        let a = Mat::zeros(2, 3);
+        let b = Mat::zeros(3, 4);
+        let mut c = Mat::zeros(2, 5);
+        gemm(Par::Seq, 1.0, a.view(), false, b.view(), false, 0.0, &mut c.view_mut());
+    }
+}

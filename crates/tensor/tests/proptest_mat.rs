@@ -1,0 +1,82 @@
+//! Property tests on the matrix container and initializers.
+
+use micdnn_tensor::{autoencoder_init_range, GlorotSigmoid, Initializer, Mat};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Transposition is an involution and swaps indices.
+    #[test]
+    fn transpose_involution(rows in 1usize..40, cols in 1usize..40, seed in any::<u64>()) {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let m = Mat::from_fn(rows, cols, |_, _| rng.gen_range(-10.0..10.0));
+        let t = m.transposed();
+        prop_assert_eq!(t.shape(), (cols, rows));
+        for r in 0..rows.min(8) {
+            for c in 0..cols.min(8) {
+                prop_assert_eq!(m.get(r, c), t.get(c, r));
+            }
+        }
+        prop_assert_eq!(t.transposed(), m);
+    }
+
+    /// Row views agree with element access and cover the matrix exactly.
+    #[test]
+    fn row_views_consistent(rows in 1usize..30, cols in 1usize..30) {
+        let m = Mat::from_fn(rows, cols, |r, c| (r * cols + c) as f32);
+        let mut seen = 0usize;
+        for r in 0..rows {
+            let row = m.row(r);
+            prop_assert_eq!(row.len(), cols);
+            for (c, &v) in row.iter().enumerate() {
+                prop_assert_eq!(v, m.get(r, c));
+                seen += 1;
+            }
+        }
+        prop_assert_eq!(seen, rows * cols);
+    }
+
+    /// rows_range slices are views into the same data.
+    #[test]
+    fn rows_range_is_subslice(rows in 2usize..30, cols in 1usize..20, lo_frac in 0.0f64..1.0) {
+        let m = Mat::from_fn(rows, cols, |r, c| (r * 31 + c) as f32);
+        let lo = ((rows - 1) as f64 * lo_frac) as usize;
+        let hi = rows;
+        let v = m.rows_range(lo, hi);
+        prop_assert_eq!(v.rows(), hi - lo);
+        for r in 0..v.rows() {
+            prop_assert_eq!(v.row(r), m.row(lo + r));
+        }
+    }
+
+    /// Frobenius norm is homogeneous: ||a*M|| = |a|*||M||.
+    #[test]
+    fn frobenius_homogeneous(rows in 1usize..20, cols in 1usize..20, a in -5.0f32..5.0) {
+        let m = Mat::from_fn(rows, cols, |r, c| ((r + c) as f32).sin());
+        let scaled = m.map(|v| a * v);
+        let lhs = scaled.frobenius_norm();
+        let rhs = a.abs() * m.frobenius_norm();
+        prop_assert!((lhs - rhs).abs() <= 1e-3 * rhs.max(1.0), "{lhs} vs {rhs}");
+    }
+
+    /// Glorot initialization respects its documented range for any shape.
+    #[test]
+    fn glorot_within_range(rows in 1usize..64, cols in 1usize..64, seed in any::<u64>()) {
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let m = GlorotSigmoid.init(rows, cols, &mut rng);
+        let r = autoencoder_init_range(cols, rows);
+        for &v in m.as_slice() {
+            prop_assert!(v.abs() <= r, "{v} outside ±{r}");
+        }
+    }
+
+    /// from_vec rejects exactly the wrong lengths.
+    #[test]
+    fn from_vec_len_check(rows in 0usize..10, cols in 0usize..10, extra in 1usize..5) {
+        prop_assert!(Mat::from_vec(rows, cols, vec![0.0; rows * cols]).is_ok());
+        prop_assert!(Mat::from_vec(rows, cols, vec![0.0; rows * cols + extra]).is_err());
+    }
+}

@@ -1,0 +1,84 @@
+//! Pre-train a stack, then fine-tune it for digit classification — the
+//! downstream task the paper's introduction motivates ("make it easier to
+//! learn tasks of interests").
+//!
+//! ```text
+//! cargo run --release --example finetune_digits
+//! ```
+//!
+//! Compares a pre-trained network against the same architecture trained
+//! from random initialization with the same fine-tuning budget, and saves
+//! the first layer's model + a feature-grid PGM to the temp directory.
+
+use micdnn::train::TrainConfig;
+use micdnn::{
+    feature_grid, save_autoencoder_file, write_pgm, ExecCtx, FineTuneNet, OptLevel,
+    StackedAutoencoder,
+};
+use micdnn_data::{Dataset, DigitGenerator};
+
+fn main() {
+    let side = 14;
+    let n_train = 1200;
+    let classes = 10;
+
+    println!("generating {n_train} digits ({side}x{side}, {classes} classes)...");
+    let mut gen = DigitGenerator::new(side, 3);
+    let mut data = Dataset::new(gen.matrix(n_train));
+    data.normalize();
+    let labels: Vec<usize> = (0..n_train).map(|i| i % classes).collect();
+
+    let sizes = [side * side, 96, 48];
+    let ctx = ExecCtx::native(OptLevel::Improved, 5);
+    let tc = TrainConfig {
+        learning_rate: 0.3,
+        batch_size: 60,
+        chunk_rows: 300,
+        ..TrainConfig::default()
+    };
+
+    println!("pre-training stack {sizes:?} (12 passes/layer)...");
+    let t0 = std::time::Instant::now();
+    let mut stack = StackedAutoencoder::with_default_config(&sizes, 7);
+    stack.pretrain(&ctx, &data, &tc, 12).expect("pretraining failed");
+    println!("pre-training took {:.2?}", t0.elapsed());
+
+    let epochs = 12;
+    println!("\nfine-tuning with a softmax head ({epochs} epochs)...");
+    let mut pretrained = FineTuneNet::from_stack(&stack, classes, 9);
+    let hist_pre = pretrained.fit(&ctx, data.matrix().view(), &labels, 60, 0.5, epochs);
+    let acc_pre = pretrained.accuracy(&ctx, data.matrix().view(), &labels);
+
+    println!("training the same architecture from random init ({epochs} epochs)...");
+    let mut random = FineTuneNet::random(&sizes, classes, 9);
+    let hist_rand = random.fit(&ctx, data.matrix().view(), &labels, 60, 0.5, epochs);
+    let acc_rand = random.accuracy(&ctx, data.matrix().view(), &labels);
+
+    println!("\n                     cross-entropy            train accuracy");
+    println!(
+        "pre-trained:     {:.4} -> {:.4}            {:.1}%",
+        hist_pre[0],
+        hist_pre.last().unwrap(),
+        100.0 * acc_pre
+    );
+    println!(
+        "random init:     {:.4} -> {:.4}            {:.1}%",
+        hist_rand[0],
+        hist_rand.last().unwrap(),
+        100.0 * acc_rand
+    );
+    println!("(chance level: {:.1}%)", 100.0 / classes as f64);
+
+    // Persist artifacts.
+    let dir = std::env::temp_dir();
+    let model_path = dir.join("micdnn-layer1.bin");
+    let pgm_path = dir.join("micdnn-features.pgm");
+    save_autoencoder_file(&stack.layers()[0], &model_path).expect("save failed");
+    let grid = feature_grid(&stack.layers()[0], 48, side, 8);
+    write_pgm(&pgm_path, &grid).expect("pgm failed");
+    println!(
+        "\nsaved layer-1 model to {} and feature grid to {}",
+        model_path.display(),
+        pgm_path.display()
+    );
+}

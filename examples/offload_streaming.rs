@@ -1,0 +1,76 @@
+//! The offload pipeline end-to-end: a loading thread streams generated
+//! chunks to the modeled coprocessor while training consumes them, with
+//! and without double buffering (paper §IV.A / Fig. 5).
+//!
+//! ```text
+//! cargo run --release --example offload_streaming
+//! ```
+
+use micdnn::train::{train_stream, AeModel, TrainConfig};
+use micdnn::{AeConfig, ExecCtx, OptLevel, SparseAutoencoder};
+use micdnn_data::{Dataset, GeneratorSource, PatchGenerator};
+use micdnn_sim::{Link, Platform};
+
+fn main() {
+    let dim = 144; // 12x12 patches
+    let chunk_rows = 500;
+    let chunks = 12;
+
+    // A generator source materializes each chunk lazily on the loading
+    // thread — this is how paper-scale (multi-GB) datasets stream without
+    // living in host memory.
+    let make_source = || {
+        GeneratorSource::new(
+            move |i| {
+                // Seed per chunk index so the stream is reproducible, but
+                // keep overlap between chunks so training sees a coherent
+                // distribution.
+                let mut gen = PatchGenerator::new(12, 1000 + (i % 3) as u64);
+                let mut ds = Dataset::new(gen.matrix(chunk_rows));
+                ds.normalize();
+                ds.into_matrix()
+            },
+            chunk_rows,
+            chunks,
+        )
+    };
+
+    let cfg = AeConfig::new(dim, 64);
+    println!(
+        "streaming {chunks} chunks x {chunk_rows} patches through the offload pipeline\n"
+    );
+
+    for (label, double_buffered) in [("WITHOUT loading thread", false), ("WITH loading thread", true)]
+    {
+        let ctx = ExecCtx::simulated(OptLevel::Improved, Platform::xeon_phi(), 8);
+        let mut model = AeModel::new(SparseAutoencoder::new(cfg, 2));
+        let tc = TrainConfig {
+            learning_rate: 0.2,
+            batch_size: 100,
+            chunk_rows,
+            buffers: 2,
+            double_buffered,
+            // The paper's measured host pipeline: ~12.6 MB/s effective.
+            link: Link::paper_measured(),
+            history_every: 5,
+        };
+        let report = train_stream(&mut model, &ctx, make_source(), &tc).expect("training failed");
+        let st = report.stream;
+        println!("{label}:");
+        println!(
+            "  simulated total {:.2} s  (transfer {:.2} s, stalled {:.2} s, {:.0}% hidden)",
+            report.sim_total_secs,
+            st.transfer_secs,
+            st.stall_secs,
+            100.0 * st.hidden_fraction()
+        );
+        println!(
+            "  trained {} batches, recon {:.5} -> {:.5}\n",
+            report.batches,
+            report.initial_recon(),
+            report.final_recon()
+        );
+    }
+
+    println!("(the paper measures 13 s transfer vs 68 s training per chunk — ~17%\n overhead — and hides it with exactly this double-buffered loading thread)");
+}

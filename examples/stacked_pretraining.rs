@@ -1,0 +1,76 @@
+//! Layer-wise pre-training of a deep stack — the paper's Table I workload
+//! at laptop scale, run both natively and on the simulated Xeon Phi.
+//!
+//! ```text
+//! cargo run --release --example stacked_pretraining
+//! ```
+//!
+//! Trains a 256-128-64-32 stacked autoencoder on natural-image patches
+//! (the paper's stack is 1024-512-256-128), then repeats one layer across
+//! the four optimization rungs on the modeled coprocessor to show the
+//! Table I ladder in miniature.
+
+use micdnn::train::TrainConfig;
+use micdnn::{ExecCtx, OptLevel, StackedAutoencoder};
+use micdnn_data::{Dataset, PatchGenerator};
+use micdnn_sim::Platform;
+
+fn main() {
+    let sizes = [256usize, 128, 64, 32];
+    let n_examples = 1500;
+
+    println!("sampling {n_examples} natural-image patches (16x16)...");
+    let mut gen = PatchGenerator::new(16, 11);
+    let mut data = Dataset::new(gen.matrix(n_examples));
+    data.normalize();
+
+    let cfg = TrainConfig {
+        learning_rate: 0.3,
+        batch_size: 100,
+        chunk_rows: 500,
+        history_every: 10,
+        ..TrainConfig::default()
+    };
+
+    println!("pre-training stack {sizes:?} (greedy layer-wise, 20 passes/layer)...");
+    let ctx = ExecCtx::native(OptLevel::Improved, 5);
+    let mut stack = StackedAutoencoder::with_default_config(&sizes, 9);
+    let t0 = std::time::Instant::now();
+    let reports = stack.pretrain(&ctx, &data, &cfg, 20).expect("pretraining failed");
+    println!("done in {:.2?} wall-clock\n", t0.elapsed());
+
+    for (i, lr) in reports.iter().enumerate() {
+        println!(
+            "layer {} ({:>4} -> {:<4}): recon {:.5} -> {:.5}",
+            i + 1,
+            lr.shape.0,
+            lr.shape.1,
+            lr.report.initial_recon(),
+            lr.report.final_recon()
+        );
+    }
+
+    let code = stack.encode(&ctx, data.matrix().view());
+    println!(
+        "\ndeep code: {} examples x {} dims (from {} input dims)",
+        code.rows(),
+        code.cols(),
+        sizes[0]
+    );
+
+    // Miniature Table I: the same first layer trained at each optimization
+    // rung on the simulated Phi.
+    println!("\noptimization ladder on the simulated Xeon Phi (layer 1 only, 3 passes):");
+    println!("{:<26}{:>16}", "rung", "simulated time");
+    for lvl in OptLevel::ladder() {
+        let ctx = ExecCtx::simulated(lvl, Platform::xeon_phi(), 5);
+        let mut stack = StackedAutoencoder::with_default_config(&sizes[..2], 9);
+        let quick = TrainConfig {
+            history_every: 1000,
+            ..cfg
+        };
+        stack.pretrain(&ctx, &data, &quick, 3).expect("simulated pretraining failed");
+        println!("{:<26}{:>14.2} s", lvl.label(), ctx.sim_time());
+    }
+    println!("\n(the full-scale ladder is Table I — run `repro table1`)");
+}
