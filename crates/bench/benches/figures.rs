@@ -55,12 +55,18 @@ fn print_all_figures() {
 
     println!("== Thread count x affinity on the Xeon Phi ==");
     for p in exp::thread_sweep() {
-        println!("  {:>3} threads  {:<9} {:>8.2} s", p.threads, p.affinity, p.seconds);
+        println!(
+            "  {:>3} threads  {:<9} {:>8.2} s",
+            p.threads, p.affinity, p.seconds
+        );
     }
     let (points, best_f, best_secs) = exp::hybrid_sweep();
     println!("\n== Hybrid Xeon + Phi split (§VI future work) ==");
     for p in &points {
-        println!("  phi fraction {:.1} -> {:>7.1} s", p.phi_fraction, p.seconds);
+        println!(
+            "  phi fraction {:.1} -> {:>7.1} s",
+            p.phi_fraction, p.seconds
+        );
     }
     println!("  optimal split {:.2} -> {:.1} s\n", best_f, best_secs);
 }
@@ -68,7 +74,9 @@ fn print_all_figures() {
 fn bench_figures(c: &mut Criterion) {
     let mut group = c.benchmark_group("figure_generation");
     group.sample_size(10);
-    group.bench_function("fig7a", |b| b.iter(|| black_box(exp::fig7(Algo::Autoencoder))));
+    group.bench_function("fig7a", |b| {
+        b.iter(|| black_box(exp::fig7(Algo::Autoencoder)))
+    });
     group.bench_function("fig9b", |b| b.iter(|| black_box(exp::fig9(Algo::Rbm))));
     group.bench_function("table1", |b| b.iter(|| black_box(exp::table1())));
     group.finish();

@@ -29,7 +29,15 @@ fn bench_gemm_ladder(c: &mut Criterion) {
             group.bench_with_input(BenchmarkId::new("naive_scalar", n), &n, |bch, _| {
                 let mut out = Mat::zeros(n, n);
                 bch.iter(|| {
-                    naive::gemm_ref(1.0, a.view(), false, b.view(), false, 0.0, &mut out.view_mut());
+                    naive::gemm_ref(
+                        1.0,
+                        a.view(),
+                        false,
+                        b.view(),
+                        false,
+                        0.0,
+                        &mut out.view_mut(),
+                    );
                     black_box(out.get(0, 0))
                 });
             });
@@ -37,7 +45,15 @@ fn bench_gemm_ladder(c: &mut Criterion) {
                 let be = Backend::threaded();
                 let mut out = Mat::zeros(n, n);
                 bch.iter(|| {
-                    be.gemm(1.0, a.view(), false, b.view(), false, 0.0, &mut out.view_mut());
+                    be.gemm(
+                        1.0,
+                        a.view(),
+                        false,
+                        b.view(),
+                        false,
+                        0.0,
+                        &mut out.view_mut(),
+                    );
                     black_box(out.get(0, 0))
                 });
             });
@@ -45,14 +61,32 @@ fn bench_gemm_ladder(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::new("blocked_seq", n), &n, |bch, _| {
             let mut out = Mat::zeros(n, n);
             bch.iter(|| {
-                gemm(Par::Seq, 1.0, a.view(), false, b.view(), false, 0.0, &mut out.view_mut());
+                gemm(
+                    Par::Seq,
+                    1.0,
+                    a.view(),
+                    false,
+                    b.view(),
+                    false,
+                    0.0,
+                    &mut out.view_mut(),
+                );
                 black_box(out.get(0, 0))
             });
         });
         group.bench_with_input(BenchmarkId::new("blocked_par", n), &n, |bch, _| {
             let mut out = Mat::zeros(n, n);
             bch.iter(|| {
-                gemm(Par::Rayon, 1.0, a.view(), false, b.view(), false, 0.0, &mut out.view_mut());
+                gemm(
+                    Par::Rayon,
+                    1.0,
+                    a.view(),
+                    false,
+                    b.view(),
+                    false,
+                    0.0,
+                    &mut out.view_mut(),
+                );
                 black_box(out.get(0, 0))
             });
         });
@@ -66,9 +100,21 @@ fn bench_blocking_ablation(c: &mut Criterion) {
     let a = random_mat(n, n, 3);
     let b = random_mat(n, n, 4);
     for blk in [
-        GemmBlocking { mc: 16, kc: 64, nc: 128 },
-        GemmBlocking { mc: 64, kc: 256, nc: 512 }, // default
-        GemmBlocking { mc: 256, kc: 1024, nc: 2048 },
+        GemmBlocking {
+            mc: 16,
+            kc: 64,
+            nc: 128,
+        },
+        GemmBlocking {
+            mc: 64,
+            kc: 256,
+            nc: 512,
+        }, // default
+        GemmBlocking {
+            mc: 256,
+            kc: 1024,
+            nc: 2048,
+        },
     ] {
         let label = format!("mc{}_kc{}_nc{}", blk.mc, blk.kc, blk.nc);
         group.bench_function(BenchmarkId::new("blocking", label), |bch| {
@@ -106,7 +152,16 @@ fn bench_transpose_combos(c: &mut Criterion) {
         group.bench_function(BenchmarkId::new("combo", label), |bch| {
             let mut out = Mat::zeros(n, n);
             bch.iter(|| {
-                gemm(Par::Rayon, 1.0, a.view(), ta, b.view(), tb, 0.0, &mut out.view_mut());
+                gemm(
+                    Par::Rayon,
+                    1.0,
+                    a.view(),
+                    ta,
+                    b.view(),
+                    tb,
+                    0.0,
+                    &mut out.view_mut(),
+                );
                 black_box(out.get(0, 0))
             });
         });

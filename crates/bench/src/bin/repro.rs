@@ -1,8 +1,15 @@
 //! `repro` — regenerate every table and figure of the paper.
 //!
 //! ```text
-//! repro [--json] [EXPERIMENT...]
+//! repro [--json] [--bench-dir DIR] [EXPERIMENT...]
 //! ```
+//!
+//! `--bench-dir DIR` additionally writes one `BENCH_<experiment>.json`
+//! per selected experiment into DIR (the repo's bench trajectory:
+//! `{"schema": "micdnn-bench-v1", "figure": ..., "data": ...}`), plus a
+//! Chrome-trace JSON (`TRACE_overlap.json`) for the `overlap` experiment —
+//! load it in `chrome://tracing` or Perfetto to see the loading thread
+//! hide the PCIe transfers.
 //!
 //! Experiments: `fig7a fig7b fig8a fig8b fig9a fig9b fig10 table1 overlap
 //! graph scaling socket threads hybrid all` (default: `all`).
@@ -13,15 +20,51 @@
 
 use micdnn::analytic::Algo;
 use micdnn_bench::experiments as exp;
+use std::path::PathBuf;
+
+/// Schema tag of every emitted `BENCH_*.json`.
+const BENCH_SCHEMA: &str = "micdnn-bench-v1";
+
+/// Writes `BENCH_<figure>.json` into the bench directory.
+fn emit_bench(dir: &Option<PathBuf>, figure: &str, data: serde_json::Value) {
+    let Some(dir) = dir else { return };
+    let doc = serde_json::json!({
+        "schema": BENCH_SCHEMA,
+        "figure": figure,
+        "data": data
+    });
+    let path = dir.join(format!("BENCH_{figure}.json"));
+    let text = serde_json::to_string_pretty(&doc).unwrap();
+    std::fs::write(&path, text + "\n").unwrap_or_else(|e| {
+        eprintln!("failed to write {}: {e}", path.display());
+        std::process::exit(1);
+    });
+    eprintln!("wrote {}", path.display());
+}
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let json = args.iter().any(|a| a == "--json");
-    let mut wanted: Vec<String> = args
-        .iter()
-        .filter(|a| !a.starts_with("--"))
-        .cloned()
-        .collect();
+    let mut bench_dir: Option<PathBuf> = None;
+    let mut wanted: Vec<String> = Vec::new();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        if a == "--bench-dir" {
+            let Some(dir) = it.next() else {
+                eprintln!("--bench-dir needs a directory argument");
+                std::process::exit(2);
+            };
+            bench_dir = Some(PathBuf::from(dir));
+        } else if !a.starts_with("--") {
+            wanted.push(a.clone());
+        }
+    }
+    if let Some(dir) = &bench_dir {
+        if let Err(e) = std::fs::create_dir_all(dir) {
+            eprintln!("cannot create {}: {e}", dir.display());
+            std::process::exit(1);
+        }
+    }
     if wanted.is_empty() {
         wanted.push("all".to_string());
     }
@@ -33,9 +76,21 @@ fn main() {
         .filter(|w| {
             !matches!(
                 w.as_str(),
-                "all" | "fig7a" | "fig7b" | "fig8a" | "fig8b" | "fig9a" | "fig9b" | "fig10"
-                    | "table1" | "overlap" | "graph" | "scaling" | "socket"
-                    | "threads" | "hybrid"
+                "all"
+                    | "fig7a"
+                    | "fig7b"
+                    | "fig8a"
+                    | "fig8b"
+                    | "fig9a"
+                    | "fig9b"
+                    | "fig10"
+                    | "table1"
+                    | "overlap"
+                    | "graph"
+                    | "scaling"
+                    | "socket"
+                    | "threads"
+                    | "hybrid"
             )
         })
         .collect();
@@ -67,6 +122,7 @@ fn main() {
             } else {
                 println!("{}", fig.render());
             }
+            emit_bench(&bench_dir, name, serde_json::to_value(&fig));
         }
     }
 
@@ -85,6 +141,7 @@ fn main() {
             println!("{}", t.render());
             println!("(paper: fully-optimized ~300x baseline on 60 cores)\n");
         }
+        emit_bench(&bench_dir, "table1", serde_json::to_value(&t));
     }
 
     if want("overlap") {
@@ -94,6 +151,33 @@ fn main() {
         } else {
             println!("{}", r.render());
         }
+        if let Some(dir) = &bench_dir {
+            // The trajectory entry replays the full §IV.A configuration:
+            // enough 10 000 x 4096 chunks that double buffering hides >90%
+            // of the transfer time, with the event trace recorded.
+            const TRACED_CHUNKS: usize = 20;
+            let (stats, trace) = exp::overlap_traced(TRACED_CHUNKS);
+            let trace_path = dir.join("TRACE_overlap.json");
+            std::fs::write(&trace_path, micdnn_sim::chrome_trace_json(&trace)).unwrap_or_else(
+                |e| {
+                    eprintln!("failed to write {}: {e}", trace_path.display());
+                    std::process::exit(1);
+                },
+            );
+            eprintln!("wrote {}", trace_path.display());
+            emit_bench(
+                &bench_dir,
+                "overlap",
+                serde_json::json!({
+                    "comparison": serde_json::to_value(&r),
+                    "traced_chunks": TRACED_CHUNKS as u64,
+                    "traced_transfer_secs": stats.transfer_secs,
+                    "traced_stall_secs": stats.stall_secs,
+                    "traced_hidden_fraction": stats.hidden_fraction(),
+                    "trace_file": "TRACE_overlap.json"
+                }),
+            );
+        }
     }
 
     if want("graph") {
@@ -102,7 +186,10 @@ fn main() {
             println!("{}", serde_json::to_string_pretty(&rows).unwrap());
         } else {
             println!("== Fig. 6 — dependency-graph scheduling of one CD-1 step ==");
-            println!("{:<22}{:>14}{:>14}{:>10}", "network", "serial", "graph", "speedup");
+            println!(
+                "{:<22}{:>14}{:>14}{:>10}",
+                "network", "serial", "graph", "speedup"
+            );
             for r in &rows {
                 println!(
                     "{:<22}{:>11.2} ms{:>11.2} ms{:>9.2}x",
@@ -114,6 +201,7 @@ fn main() {
             }
             println!();
         }
+        emit_bench(&bench_dir, "graph", serde_json::to_value(&rows));
     }
 
     if want("scaling") {
@@ -128,6 +216,7 @@ fn main() {
             }
             println!();
         }
+        emit_bench(&bench_dir, "scaling", serde_json::to_value(&pts));
     }
 
     if want("threads") {
@@ -136,7 +225,10 @@ fn main() {
             println!("{}", serde_json::to_string_pretty(&pts).unwrap());
         } else {
             println!("== Thread count x affinity on the Xeon Phi (AE 1024x4096, 10k ex.) ==");
-            println!("{:<10}{:>14}{:>14}{:>14}", "threads", "Compact", "Scatter", "Balanced");
+            println!(
+                "{:<10}{:>14}{:>14}{:>14}",
+                "threads", "Compact", "Scatter", "Balanced"
+            );
             for &threads in &[15u32, 30, 60, 120, 180, 240] {
                 print!("{threads:<10}");
                 for aff in ["Compact", "Scatter", "Balanced"] {
@@ -151,6 +243,7 @@ fn main() {
             }
             println!("(in-order cores want >= 2 threads each; scatter engages cores fastest)\n");
         }
+        emit_bench(&bench_dir, "threads", serde_json::to_value(&pts));
     }
 
     if want("hybrid") {
@@ -163,8 +256,20 @@ fn main() {
             for p in &points {
                 println!("{:<16.1}{:>12.1} s", p.phi_fraction, p.seconds);
             }
-            println!("optimal split: {:.2} on the Phi -> {:.1} s\n", best_f, best_secs);
+            println!(
+                "optimal split: {:.2} on the Phi -> {:.1} s\n",
+                best_f, best_secs
+            );
         }
+        emit_bench(
+            &bench_dir,
+            "hybrid",
+            serde_json::json!({
+                "points": serde_json::to_value(&points),
+                "optimal_phi_fraction": best_f,
+                "optimal_secs": best_secs
+            }),
+        );
     }
 
     if want("socket") {
@@ -178,5 +283,10 @@ fn main() {
             println!("== Abstract claim — Phi vs full Xeon socket (AE, 1M examples) ==");
             println!("Xeon Phi: {phi:.1} s   Xeon E5620 socket: {cpu:.1} s   ratio {:.1}x (paper: 7-10x)\n", cpu / phi);
         }
+        emit_bench(
+            &bench_dir,
+            "socket",
+            serde_json::json!({"phi_secs": phi, "cpu_socket_secs": cpu, "ratio": cpu / phi}),
+        );
     }
 }

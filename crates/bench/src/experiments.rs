@@ -8,11 +8,14 @@
 //! *shapes*: who wins, by what factor, and where the trends bend.
 
 use micdnn::analytic::{estimate, Algo, Estimate, Workload};
-use micdnn::exec::{ExecCtx, OptLevel};
-use micdnn::rbm::{Rbm, RbmConfig, RbmScratch};
 use micdnn::cd_step_graph;
+use micdnn::exec::{ExecCtx, OptLevel};
 use micdnn::hybrid::{estimate_hybrid, optimal_fraction, HybridConfig};
-use micdnn_sim::{Affinity, ChunkStream, Link, Platform, SimClock, Trace, VecSource};
+use micdnn::rbm::{Rbm, RbmConfig, RbmScratch};
+use micdnn_kernels::OpKind;
+use micdnn_sim::{
+    Affinity, ChunkStream, EventKind, Link, Platform, SimClock, StreamStats, Trace, VecSource,
+};
 use micdnn_tensor::Mat;
 use serde::Serialize;
 
@@ -102,7 +105,14 @@ fn phi_improved(w: &Workload) -> f64 {
     // PCIe pipeline; the paper's pathological 13 s/chunk host pipeline is
     // reproduced separately in `overlap_experiment` (that is the scenario
     // §IV.A quotes it for).
-    estimate(OptLevel::Improved, Platform::xeon_phi(), Link::pcie_gen2(), true, w).total_secs
+    estimate(
+        OptLevel::Improved,
+        Platform::xeon_phi(),
+        Link::pcie_gen2(),
+        true,
+        w,
+    )
+    .total_secs
 }
 
 fn cpu_single_core(w: &Workload) -> f64 {
@@ -323,9 +333,8 @@ pub struct Table1 {
 impl Table1 {
     /// Renders as an aligned text table mirroring the paper's layout.
     pub fn render(&self) -> String {
-        let mut s = String::from(
-            "== Table I — performance after each optimization step on Xeon Phi ==\n",
-        );
+        let mut s =
+            String::from("== Table I — performance after each optimization step on Xeon Phi ==\n");
         s.push_str(&format!("{:<24}{:>14}{:>14}\n", "", "60 cores", "30 cores"));
         for r in &self.rows {
             s.push_str(&format!(
@@ -457,6 +466,47 @@ pub fn overlap_experiment(chunks: usize) -> OverlapResult {
     }
 }
 
+/// §IV.A with trace recording: replays the double-buffered workload
+/// (10 000 × 4096 chunks, 13 s transfer vs 68 s training) with the event
+/// trace enabled, returning the loader statistics plus the trace for
+/// Chrome-trace export. Chunks are produced lazily so memory stays at a
+/// few buffer slots regardless of `chunks`.
+pub fn overlap_traced(chunks: usize) -> (StreamStats, Trace) {
+    let clock = SimClock::new();
+    let trace = Trace::new(true);
+    let mut remaining = chunks;
+    let source = move || {
+        if remaining == 0 {
+            None
+        } else {
+            remaining -= 1;
+            Some(Mat::zeros(10_000, 4096))
+        }
+    };
+    let mut stream = ChunkStream::spawn(
+        source,
+        Link::paper_measured(),
+        clock.clone(),
+        trace.clone(),
+        2,
+        true,
+    );
+    const TRAIN_PER_CHUNK: f64 = 68.0;
+    let mut i = 0u64;
+    while let Some(_chunk) = stream.next() {
+        let t0 = clock.now();
+        clock.advance(TRAIN_PER_CHUNK);
+        trace.push(
+            t0,
+            clock.now(),
+            EventKind::Compute(OpKind::Gemm),
+            format!("train chunk {i}"),
+        );
+        i += 1;
+    }
+    (stream.stats(), trace)
+}
+
 /// Result of the Fig. 6 dependency-graph ablation.
 #[derive(Debug, Clone, Serialize)]
 pub struct GraphAblation {
@@ -474,7 +524,11 @@ pub struct GraphAblation {
 /// scheduled, on the simulated Phi.
 pub fn graph_ablation() -> Vec<GraphAblation> {
     let mut out = Vec::new();
-    for &(v, h, b) in &[(256usize, 512usize, 100usize), (512, 1024, 200), (1024, 2048, 200)] {
+    for &(v, h, b) in &[
+        (256usize, 512usize, 100usize),
+        (512, 1024, 200),
+        (1024, 2048, 200),
+    ] {
         let cfg = RbmConfig::new(v, h);
         let mut rbm = Rbm::new(cfg, 1);
         let ctx = ExecCtx::simulated(OptLevel::Improved, Platform::xeon_phi(), 2);
@@ -641,8 +695,8 @@ mod tests {
             // At the largest network the difference is large (paper: CPU
             // grows sharply, Phi growth is mild).
             let last = xs.last().unwrap();
-            let ratio =
-                fig.get(last, "1 CPU core").unwrap() / fig.get(last, "Xeon Phi (60 cores)").unwrap();
+            let ratio = fig.get(last, "1 CPU core").unwrap()
+                / fig.get(last, "Xeon Phi (60 cores)").unwrap();
             assert!(ratio > 10.0, "largest-network ratio only {ratio}");
         }
     }
@@ -650,16 +704,18 @@ mod tests {
     #[test]
     fn fig8_cpu_grows_faster_than_phi() {
         let fig = fig8(Algo::Autoencoder);
-        let growth = |series: &str| {
-            fig.get("1000k", series).unwrap() / fig.get("100k", series).unwrap()
-        };
+        let growth =
+            |series: &str| fig.get("1000k", series).unwrap() / fig.get("100k", series).unwrap();
         // Both scale ~linearly in examples, but the CPU's absolute increase
         // dwarfs the Phi's (the paper's reading of Fig. 8).
         let phi_inc = fig.get("1000k", "Xeon Phi (60 cores)").unwrap()
             - fig.get("100k", "Xeon Phi (60 cores)").unwrap();
         let cpu_inc =
             fig.get("1000k", "1 CPU core").unwrap() - fig.get("100k", "1 CPU core").unwrap();
-        assert!(cpu_inc > 10.0 * phi_inc, "cpu_inc {cpu_inc} phi_inc {phi_inc}");
+        assert!(
+            cpu_inc > 10.0 * phi_inc,
+            "cpu_inc {cpu_inc} phi_inc {phi_inc}"
+        );
         assert!(growth("1 CPU core") > 5.0);
     }
 
@@ -672,8 +728,14 @@ mod tests {
             fig.get("200", "1 CPU core").unwrap() / fig.get("10000", "1 CPU core").unwrap();
         // Paper: Phi drops by about two thirds (3x); CPU change "not obvious".
         assert!(phi_ratio > 2.0 && phi_ratio < 8.0, "phi ratio {phi_ratio}");
-        assert!(cpu_ratio < phi_ratio, "cpu ratio {cpu_ratio} >= phi {phi_ratio}");
-        assert!(cpu_ratio < 2.0, "cpu ratio should be modest, got {cpu_ratio}");
+        assert!(
+            cpu_ratio < phi_ratio,
+            "cpu ratio {cpu_ratio} >= phi {phi_ratio}"
+        );
+        assert!(
+            cpu_ratio < 2.0,
+            "cpu ratio should be modest, got {cpu_ratio}"
+        );
     }
 
     #[test]
@@ -718,15 +780,25 @@ mod tests {
         // 30 cores: baseline is single-threaded so nearly equal; improved
         // is meaningfully slower than with 60 cores.
         let base_ratio = t.rows[0].cores30 / t.rows[0].cores60;
-        assert!((0.95..1.05).contains(&base_ratio), "baseline unaffected by cores");
+        assert!(
+            (0.95..1.05).contains(&base_ratio),
+            "baseline unaffected by cores"
+        );
         let impr_ratio = t.rows[3].cores30 / t.rows[3].cores60;
-        assert!(impr_ratio > 1.2 && impr_ratio < 2.2, "improved 30/60 ratio {impr_ratio}");
+        assert!(
+            impr_ratio > 1.2 && impr_ratio < 2.2,
+            "improved 30/60 ratio {impr_ratio}"
+        );
     }
 
     #[test]
     fn overlap_matches_paper_17_percent() {
         let r = overlap_experiment(6);
-        assert!((r.transfer_per_chunk - 13.0).abs() < 1.0, "{}", r.transfer_per_chunk);
+        assert!(
+            (r.transfer_per_chunk - 13.0).abs() < 1.0,
+            "{}",
+            r.transfer_per_chunk
+        );
         assert!(
             (r.stall_fraction_naive - 0.17).abs() < 0.03,
             "naive stall {} (paper ~17%)",

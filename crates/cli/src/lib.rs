@@ -11,6 +11,9 @@
 //! * `features` — export a trained autoencoder's weight images as PGM.
 //! * `estimate` — price a workload on every modeled platform (no
 //!   training).
+//! * `profile` — run a (default simulated-Phi) training with the per-op
+//!   profiler attached; print the op/phase/stream breakdown and
+//!   optionally export the profile JSON and a Chrome trace.
 //!
 //! The logic lives in this library crate so it is unit-testable; `main`
 //! is a two-liner.
@@ -18,8 +21,7 @@
 use micdnn::analytic::{estimate, Algo, Workload};
 use micdnn::train::{train_dataset, AeModel, RbmModel, TrainConfig};
 use micdnn::{
-    AeConfig, ExecCtx, FineTuneNet, OptLevel, Rbm, RbmConfig, SparseAutoencoder,
-    StackedAutoencoder,
+    AeConfig, ExecCtx, FineTuneNet, OptLevel, Rbm, RbmConfig, SparseAutoencoder, StackedAutoencoder,
 };
 use micdnn_data::{read_idx, Dataset, DigitGenerator, PatchGenerator};
 use micdnn_sim::{Link, Platform};
@@ -154,6 +156,7 @@ pub fn run(argv: &[String]) -> Result<String, String> {
         "classify" => cmd_classify(&args, seed),
         "features" => cmd_features(&args),
         "estimate" => cmd_estimate(&args),
+        "profile" => cmd_profile(&args, seed),
         "help" | "--help" | "-h" => Ok(usage()),
         other => Err(format!("unknown command `{other}`\n\n{}", usage())),
     }
@@ -174,7 +177,9 @@ pub fn usage() -> String {
        pretrain   --sizes 256,128,64 [--passes N] ...\n\
        classify   --sizes 256,128,64 --classes 10 [--finetune-epochs N] ...\n\
        features   --model FILE --side N --out FILE.pgm [--units N]\n\
-       estimate   --visible N --hidden N --examples N --batch N [--algo ae|rbm]\n"
+       estimate   --visible N --hidden N --examples N --batch N [--algo ae|rbm]\n\
+       profile    [--algo ae|rbm] [--examples N] [--passes N] [--batch N]\n\
+                  [--platform phi|...] [--level ...] [--json FILE] [--trace FILE]\n"
         .to_string()
 }
 
@@ -193,7 +198,9 @@ fn cmd_train_ae(args: &Args, seed: u64) -> Result<String, String> {
     let cfg = AeConfig::new(visible, hidden);
     let mut model = AeModel::new(SparseAutoencoder::new(cfg, seed));
     if let Some(mu) = args.get("momentum") {
-        let mu: f32 = mu.parse().map_err(|_| "--momentum: bad value".to_string())?;
+        let mu: f32 = mu
+            .parse()
+            .map_err(|_| "--momentum: bad value".to_string())?;
         let lr = args.num("lr", 0.3f32)?;
         let opt = micdnn::Optimizer::new(
             micdnn::Rule::Momentum { mu },
@@ -220,6 +227,72 @@ fn cmd_train_ae(args: &Args, seed: u64) -> Result<String, String> {
     if let Some(path) = args.get("save") {
         micdnn::save_autoencoder_file(&model.into_inner(), path).map_err(|e| e.to_string())?;
         out.push_str(&format!("saved model to {path}\n"));
+    }
+    Ok(out)
+}
+
+/// `profile`: trains a small model with the profiler (and, when a trace
+/// export is requested, the event trace) attached, then reports where the
+/// time went. Defaults to the simulated Xeon Phi so the breakdown shows
+/// modeled-device seconds and fractions of the 5110P's peak.
+fn cmd_profile(args: &Args, seed: u64) -> Result<String, String> {
+    let examples = args.num("examples", 2000usize)?;
+    let mut ds = load_data(args, examples, seed)?;
+    let algo = args.get("algo").unwrap_or("ae");
+    let visible = ds.dim();
+    let hidden = args.num("hidden", (visible / 2).max(2))?;
+    let passes = args.num("passes", 2usize)?;
+
+    let level = parse_level(args)?;
+    let platform = match args.get("platform") {
+        None => Some(Platform::xeon_phi()),
+        Some(_) => parse_platform(args)?,
+    };
+    let profiler = micdnn::Profiler::new();
+    let mut ctx = match platform {
+        Some(p) => ExecCtx::simulated(level, p, seed),
+        None => ExecCtx::native(level, seed),
+    }
+    .with_profiler(profiler.clone());
+    if args.has("trace") {
+        ctx = ctx.with_trace();
+    }
+
+    let tc = train_config(args)?;
+    let report = match algo {
+        "ae" => {
+            let cfg = AeConfig::new(visible, hidden);
+            let mut model = AeModel::new(SparseAutoencoder::new(cfg, seed));
+            train_dataset(&mut model, &ctx, &ds, &tc, passes)
+        }
+        "rbm" => {
+            ds.binarize(0.5);
+            let cfg = RbmConfig::new(visible, hidden);
+            let mut model = RbmModel::new(Rbm::new(cfg, seed));
+            train_dataset(&mut model, &ctx, &ds, &tc, passes)
+        }
+        other => return Err(format!("unknown --algo `{other}` (ae|rbm)")),
+    }
+    .map_err(|e| e.to_string())?;
+
+    let profile = ctx.profile_report().expect("profiler attached");
+    let mut out = format!(
+        "profiled {algo} {visible} -> {hidden} on {}\n\
+         examples {}  batches {}\n\n{}",
+        ctx.platform().map_or("native", |p| p.label.as_str()),
+        report.examples,
+        report.batches,
+        profile.render()
+    );
+    if let Some(path) = args.get("json") {
+        let text = serde_json::to_string_pretty(&profile).map_err(|e| e.to_string())?;
+        std::fs::write(path, text + "\n").map_err(|e| format!("cannot write `{path}`: {e}"))?;
+        out.push_str(&format!("wrote profile JSON to {path}\n"));
+    }
+    if let Some(path) = args.get("trace") {
+        std::fs::write(path, micdnn_sim::chrome_trace_json(ctx.trace()))
+            .map_err(|e| format!("cannot write `{path}`: {e}"))?;
+        out.push_str(&format!("wrote Chrome trace to {path}\n"));
     }
     Ok(out)
 }
@@ -255,7 +328,11 @@ fn cmd_train_rbm(args: &Args, seed: u64) -> Result<String, String> {
             }
         }
         rbm = m;
-        report = (history[0], *history.last().expect("non-empty"), history.len());
+        report = (
+            history[0],
+            *history.last().expect("non-empty"),
+            history.len(),
+        );
     } else {
         let mut model = RbmModel::new(Rbm::new(cfg, seed));
         let r = train_dataset(&mut model, &ctx, &ds, &tc, passes).map_err(|e| e.to_string())?;
@@ -279,7 +356,11 @@ fn cmd_train_rbm(args: &Args, seed: u64) -> Result<String, String> {
 
 fn parse_sizes(args: &Args, input_dim: usize) -> Result<Vec<usize>, String> {
     match args.get("sizes") {
-        None => Ok(vec![input_dim, (input_dim / 2).max(2), (input_dim / 4).max(2)]),
+        None => Ok(vec![
+            input_dim,
+            (input_dim / 2).max(2),
+            (input_dim / 4).max(2),
+        ]),
         Some(spec) => {
             let mut sizes = vec![input_dim];
             for part in spec.split(',') {
@@ -305,7 +386,9 @@ fn cmd_pretrain(args: &Args, seed: u64) -> Result<String, String> {
     let ctx = make_ctx(args, seed)?;
     let tc = train_config(args)?;
     let mut stack = StackedAutoencoder::with_default_config(&sizes, seed);
-    let reports = stack.pretrain(&ctx, &ds, &tc, passes).map_err(|e| e.to_string())?;
+    let reports = stack
+        .pretrain(&ctx, &ds, &tc, passes)
+        .map_err(|e| e.to_string())?;
     let mut out = format!("pre-trained stack {sizes:?}\n");
     for (i, lr) in reports.iter().enumerate() {
         out.push_str(&format!(
@@ -342,7 +425,9 @@ fn cmd_classify(args: &Args, seed: u64) -> Result<String, String> {
     let tc = train_config(args)?;
 
     let mut stack = StackedAutoencoder::with_default_config(&sizes, seed);
-    stack.pretrain(&ctx, &ds, &tc, passes).map_err(|e| e.to_string())?;
+    stack
+        .pretrain(&ctx, &ds, &tc, passes)
+        .map_err(|e| e.to_string())?;
     let mut net = FineTuneNet::from_stack(&stack, classes, seed ^ 0xF1);
     let history = net.fit(
         &ctx,
@@ -434,7 +519,9 @@ mod tests {
     #[test]
     fn arg_parser_rejects_positional() {
         assert!(Args::parse(&sv(&["oops"])).is_err());
-        assert!(!Args::parse(&sv(&["--x", "1", "stray"])).unwrap_err().is_empty());
+        assert!(!Args::parse(&sv(&["--x", "1", "stray"]))
+            .unwrap_err()
+            .is_empty());
     }
 
     #[test]
@@ -454,18 +541,47 @@ mod tests {
     #[test]
     fn train_ae_end_to_end_tiny() {
         let out = run(&sv(&[
-            "train-ae", "--examples", "120", "--side", "10", "--hidden", "24", "--passes", "4",
-            "--batch", "30", "--chunk", "60",
+            "train-ae",
+            "--examples",
+            "120",
+            "--side",
+            "10",
+            "--hidden",
+            "24",
+            "--passes",
+            "4",
+            "--batch",
+            "30",
+            "--chunk",
+            "60",
         ]))
         .unwrap();
-        assert!(out.contains("trained sparse autoencoder 100 -> 24"), "{out}");
+        assert!(
+            out.contains("trained sparse autoencoder 100 -> 24"),
+            "{out}"
+        );
     }
 
     #[test]
     fn train_ae_with_momentum_and_sim_platform() {
         let out = run(&sv(&[
-            "train-ae", "--examples", "100", "--side", "8", "--hidden", "16", "--passes", "3",
-            "--batch", "25", "--chunk", "50", "--momentum", "0.8", "--platform", "phi",
+            "train-ae",
+            "--examples",
+            "100",
+            "--side",
+            "8",
+            "--hidden",
+            "16",
+            "--passes",
+            "3",
+            "--batch",
+            "25",
+            "--chunk",
+            "50",
+            "--momentum",
+            "0.8",
+            "--platform",
+            "phi",
         ]))
         .unwrap();
         assert!(out.contains("simulated time"), "{out}");
@@ -475,8 +591,19 @@ mod tests {
     fn train_rbm_cd_and_pcd() {
         for extra in [&[][..], &["--pcd"][..]] {
             let mut argv = sv(&[
-                "train-rbm", "--examples", "100", "--side", "8", "--hidden", "20", "--passes",
-                "3", "--batch", "25", "--chunk", "50",
+                "train-rbm",
+                "--examples",
+                "100",
+                "--side",
+                "8",
+                "--hidden",
+                "20",
+                "--passes",
+                "3",
+                "--batch",
+                "25",
+                "--chunk",
+                "50",
             ]);
             argv.extend(sv(extra));
             let out = run(&argv).unwrap();
@@ -487,15 +614,41 @@ mod tests {
     #[test]
     fn pretrain_and_classify_smoke() {
         let out = run(&sv(&[
-            "pretrain", "--examples", "150", "--side", "10", "--sizes", "40,16", "--passes",
-            "3", "--batch", "30", "--chunk", "75",
+            "pretrain",
+            "--examples",
+            "150",
+            "--side",
+            "10",
+            "--sizes",
+            "40,16",
+            "--passes",
+            "3",
+            "--batch",
+            "30",
+            "--chunk",
+            "75",
         ]))
         .unwrap();
         assert!(out.contains("layer 2 (40 -> 16)"), "{out}");
 
         let out = run(&sv(&[
-            "classify", "--examples", "120", "--side", "10", "--sizes", "40,16", "--classes",
-            "4", "--passes", "2", "--finetune-epochs", "6", "--batch", "30", "--chunk", "60",
+            "classify",
+            "--examples",
+            "120",
+            "--side",
+            "10",
+            "--sizes",
+            "40,16",
+            "--classes",
+            "4",
+            "--passes",
+            "2",
+            "--finetune-epochs",
+            "6",
+            "--batch",
+            "30",
+            "--chunk",
+            "60",
         ]))
         .unwrap();
         assert!(out.contains("training accuracy"), "{out}");
@@ -507,13 +660,33 @@ mod tests {
         let model = dir.join(format!("micdnn-cli-{}.bin", std::process::id()));
         let pgm = dir.join(format!("micdnn-cli-{}.pgm", std::process::id()));
         run(&sv(&[
-            "train-ae", "--examples", "80", "--side", "8", "--hidden", "9", "--passes", "2",
-            "--batch", "20", "--chunk", "40", "--save", model.to_str().unwrap(),
+            "train-ae",
+            "--examples",
+            "80",
+            "--side",
+            "8",
+            "--hidden",
+            "9",
+            "--passes",
+            "2",
+            "--batch",
+            "20",
+            "--chunk",
+            "40",
+            "--save",
+            model.to_str().unwrap(),
         ]))
         .unwrap();
         let out = run(&sv(&[
-            "features", "--model", model.to_str().unwrap(), "--side", "8", "--out",
-            pgm.to_str().unwrap(), "--units", "9",
+            "features",
+            "--model",
+            model.to_str().unwrap(),
+            "--side",
+            "8",
+            "--out",
+            pgm.to_str().unwrap(),
+            "--units",
+            "9",
         ]))
         .unwrap();
         assert!(out.contains("wrote 9 features"), "{out}");
@@ -525,8 +698,15 @@ mod tests {
     #[test]
     fn estimate_prints_all_platforms() {
         let out = run(&sv(&[
-            "estimate", "--visible", "256", "--hidden", "512", "--examples", "10000",
-            "--batch", "100",
+            "estimate",
+            "--visible",
+            "256",
+            "--hidden",
+            "512",
+            "--examples",
+            "10000",
+            "--batch",
+            "100",
         ]))
         .unwrap();
         assert!(out.contains("Xeon Phi (60 cores)"));
@@ -534,9 +714,77 @@ mod tests {
     }
 
     #[test]
+    fn profile_reports_ops_phases_and_exports() {
+        let dir = std::env::temp_dir();
+        let json = dir.join(format!("micdnn-profile-{}.json", std::process::id()));
+        let trace = dir.join(format!("micdnn-trace-{}.json", std::process::id()));
+        let out = run(&sv(&[
+            "profile",
+            "--examples",
+            "100",
+            "--side",
+            "8",
+            "--hidden",
+            "16",
+            "--passes",
+            "2",
+            "--batch",
+            "25",
+            "--chunk",
+            "50",
+            "--json",
+            json.to_str().unwrap(),
+            "--trace",
+            trace.to_str().unwrap(),
+        ]))
+        .unwrap();
+        assert!(out.contains("profiled ae 64 -> 16"), "{out}");
+        assert!(out.contains("gemm"), "{out}");
+        assert!(out.contains("forward"), "{out}");
+        let json_text = std::fs::read_to_string(&json).unwrap();
+        assert!(json_text.contains("micdnn-profile-v1"), "{json_text}");
+        let trace_text = std::fs::read_to_string(&trace).unwrap();
+        assert!(trace_text.contains("traceEvents"), "{trace_text}");
+        std::fs::remove_file(&json).ok();
+        std::fs::remove_file(&trace).ok();
+    }
+
+    #[test]
+    fn profile_rbm_on_native_backend() {
+        let out = run(&sv(&[
+            "profile",
+            "--algo",
+            "rbm",
+            "--examples",
+            "80",
+            "--side",
+            "8",
+            "--hidden",
+            "12",
+            "--passes",
+            "1",
+            "--batch",
+            "20",
+            "--chunk",
+            "40",
+            "--platform",
+            "native",
+        ]))
+        .unwrap();
+        assert!(out.contains("profiled rbm 64 -> 12"), "{out}");
+        assert!(out.contains("update"), "{out}");
+    }
+
+    #[test]
     fn visible_mismatch_rejected() {
         let err = run(&sv(&[
-            "train-ae", "--examples", "50", "--side", "8", "--visible", "100",
+            "train-ae",
+            "--examples",
+            "50",
+            "--side",
+            "8",
+            "--visible",
+            "100",
         ]))
         .unwrap_err();
         assert!(err.contains("does not match"), "{err}");

@@ -309,9 +309,21 @@ mod tests {
     #[test]
     fn resident_passes_multiply_compute_not_transfer() {
         let mut w = workload();
-        let e1 = estimate(OptLevel::Improved, Platform::xeon_phi(), Link::paper_measured(), true, &w);
+        let e1 = estimate(
+            OptLevel::Improved,
+            Platform::xeon_phi(),
+            Link::paper_measured(),
+            true,
+            &w,
+        );
         w.passes = 5;
-        let e5 = estimate(OptLevel::Improved, Platform::xeon_phi(), Link::paper_measured(), true, &w);
+        let e5 = estimate(
+            OptLevel::Improved,
+            Platform::xeon_phi(),
+            Link::paper_measured(),
+            true,
+            &w,
+        );
         assert_eq!(e1.transfer_secs, e5.transfer_secs);
         assert!((e5.compute_secs - 5.0 * e1.compute_secs).abs() < 1e-12);
     }
@@ -327,7 +339,13 @@ mod tests {
             chunk_rows: 100,
             passes: 1,
         };
-        let e = estimate(OptLevel::Improved, Platform::xeon_phi(), Link::pcie_gen2(), true, &w);
+        let e = estimate(
+            OptLevel::Improved,
+            Platform::xeon_phi(),
+            Link::pcie_gen2(),
+            true,
+            &w,
+        );
         assert!(e.compute_secs > 0.0 && e.total_secs >= e.compute_secs);
     }
 }

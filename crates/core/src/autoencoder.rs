@@ -133,12 +133,7 @@ impl AeScratch {
     /// Mutable access to the gradient buffers (hybrid training blends
     /// partition gradients in place).
     pub fn gradients_mut(&mut self) -> (&mut Mat, &mut Mat, &mut [f32], &mut [f32]) {
-        (
-            &mut self.gw1,
-            &mut self.gw2,
-            &mut self.gb1,
-            &mut self.gb2,
-        )
+        (&mut self.gw1, &mut self.gw2, &mut self.gb1, &mut self.gb2)
     }
 
     /// Hidden activations of the last forward pass (first `b` rows valid).
@@ -169,7 +164,10 @@ pub struct SparseAutoencoder {
 impl SparseAutoencoder {
     /// Fresh model with Glorot-for-sigmoid weights and zero biases.
     pub fn new(cfg: AeConfig, seed: u64) -> Self {
-        assert!(cfg.n_visible > 0 && cfg.n_hidden > 0, "layer sizes must be positive");
+        assert!(
+            cfg.n_visible > 0 && cfg.n_hidden > 0,
+            "layer sizes must be positive"
+        );
         let mut rng = StdRng::seed_from_u64(seed);
         SparseAutoencoder {
             w1: GlorotSigmoid.init(cfg.n_hidden, cfg.n_visible, &mut rng),
@@ -191,7 +189,11 @@ impl SparseAutoencoder {
     pub fn forward(&self, ctx: &ExecCtx, x: MatView<'_>, scratch: &mut AeScratch) {
         let b = x.rows();
         assert!(b <= scratch.max_batch, "batch exceeds scratch capacity");
-        assert_eq!(x.cols(), self.cfg.n_visible, "input dimensionality mismatch");
+        assert_eq!(
+            x.cols(),
+            self.cfg.n_visible,
+            "input dimensionality mismatch"
+        );
 
         // a2 = sigmoid(x W1^T + b1)
         let mut a2 = scratch.a2.rows_range_mut(0, b);
@@ -214,7 +216,11 @@ impl SparseAutoencoder {
     pub fn cost_and_grad(&self, ctx: &ExecCtx, x: MatView<'_>, scratch: &mut AeScratch) -> AeCost {
         let b = x.rows();
         assert!(b > 0, "empty batch");
-        self.forward(ctx, x, scratch);
+        {
+            let _forward = ctx.phase("forward");
+            self.forward(ctx, x, scratch);
+        }
+        let _backward = ctx.phase("backward");
         let inv_b = 1.0 / b as f32;
 
         // Costs.
@@ -304,6 +310,7 @@ impl SparseAutoencoder {
     /// Applies the gradients in `scratch` with learning rate `lr`
     /// (weight decay on the weights, none on the biases).
     pub fn apply_gradients(&mut self, ctx: &ExecCtx, scratch: &AeScratch, lr: f32) {
+        let _update = ctx.phase("update");
         let lambda = self.cfg.weight_decay;
         ctx.sgd_step(lr, lambda, scratch.gw1.as_slice(), self.w1.as_mut_slice());
         ctx.sgd_step(lr, lambda, scratch.gw2.as_slice(), self.w2.as_mut_slice());
@@ -320,9 +327,22 @@ impl SparseAutoencoder {
         scratch: &AeScratch,
         opt: &mut crate::optim::Optimizer,
     ) {
+        let _update = ctx.phase("update");
         let lambda = self.cfg.weight_decay;
-        opt.step_slot(ctx, 0, lambda, scratch.gw1.as_slice(), self.w1.as_mut_slice());
-        opt.step_slot(ctx, 1, lambda, scratch.gw2.as_slice(), self.w2.as_mut_slice());
+        opt.step_slot(
+            ctx,
+            0,
+            lambda,
+            scratch.gw1.as_slice(),
+            self.w1.as_mut_slice(),
+        );
+        opt.step_slot(
+            ctx,
+            1,
+            lambda,
+            scratch.gw2.as_slice(),
+            self.w2.as_mut_slice(),
+        );
         opt.step_slot(ctx, 2, 0.0, &scratch.gb1, &mut self.b1);
         opt.step_slot(ctx, 3, 0.0, &scratch.gb2, &mut self.b2);
         opt.advance();
@@ -362,7 +382,10 @@ impl SparseAutoencoder {
         lr: f32,
         corruption: f32,
     ) -> AeCost {
-        assert!((0.0..1.0).contains(&corruption), "corruption must be in [0,1)");
+        assert!(
+            (0.0..1.0).contains(&corruption),
+            "corruption must be in [0,1)"
+        );
         let b = x.rows();
         assert!(b > 0, "empty batch");
 
@@ -567,7 +590,10 @@ mod tests {
         let x = tiny_batch(16, 8, 2);
         let mut s = AeScratch::new(&cfg, 16);
         let cost = ae.cost_and_grad(&ctx, x.view(), &mut s);
-        assert!(cost.sparsity_penalty > 0.0, "fresh model can't be exactly at target");
+        assert!(
+            cost.sparsity_penalty > 0.0,
+            "fresh model can't be exactly at target"
+        );
         assert!(cost.weight_penalty > 0.0);
         assert!(cost.total() > cost.reconstruction);
 
@@ -588,10 +614,8 @@ mod tests {
         ae.forward(&ctx, x.view(), &mut s);
         let code = ae.encode(&ctx, x.view());
         assert!(
-            micdnn_tensor::max_abs_diff(
-                code.as_slice(),
-                s.hidden().rows_range(0, 5).as_slice()
-            ) < 1e-6
+            micdnn_tensor::max_abs_diff(code.as_slice(), s.hidden().rows_range(0, 5).as_slice())
+                < 1e-6
         );
     }
 
@@ -636,7 +660,10 @@ mod tests {
         assert!(last < 0.6 * first, "denoising AE failed: {first} -> {last}");
         // The *clean* reconstruction should now also be good.
         let clean = ae.reconstruction_error(&ctx, x.view(), &mut scratch);
-        assert!(clean < first, "clean reconstruction {clean} vs initial {first}");
+        assert!(
+            clean < first,
+            "clean reconstruction {clean} vs initial {first}"
+        );
     }
 
     #[test]

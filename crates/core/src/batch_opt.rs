@@ -81,11 +81,17 @@ impl Default for BatchOptOptions {
 }
 
 fn norm(v: &[f32]) -> f64 {
-    v.iter().map(|&x| (x as f64) * (x as f64)).sum::<f64>().sqrt()
+    v.iter()
+        .map(|&x| (x as f64) * (x as f64))
+        .sum::<f64>()
+        .sqrt()
 }
 
 fn dot(a: &[f32], b: &[f32]) -> f64 {
-    a.iter().zip(b).map(|(&x, &y)| (x as f64) * (y as f64)).sum()
+    a.iter()
+        .zip(b)
+        .map(|(&x, &y)| (x as f64) * (y as f64))
+        .sum()
 }
 
 /// Backtracking Armijo line search along `dir` from `x` (descent
@@ -185,7 +191,11 @@ pub fn conjugate_gradient(
         let gg_prev = dot(&prev_grad, &prev_grad);
         let beta = if gg_prev > 0.0 {
             let pr = (dot(&grad, &grad)
-                - grad.iter().zip(&prev_grad).map(|(&g, &p)| (g as f64) * (p as f64)).sum::<f64>())
+                - grad
+                    .iter()
+                    .zip(&prev_grad)
+                    .map(|(&g, &p)| (g as f64) * (p as f64))
+                    .sum::<f64>())
                 / gg_prev;
             pr.max(0.0)
         } else {
@@ -240,7 +250,11 @@ pub fn lbfgs(
         let mut alphas = vec![0.0f64; k];
         for i in (0..k).rev() {
             let alpha = rho_hist[i]
-                * s_hist[i].iter().zip(&q).map(|(&s, &qv)| s as f64 * qv).sum::<f64>();
+                * s_hist[i]
+                    .iter()
+                    .zip(&q)
+                    .map(|(&s, &qv)| s as f64 * qv)
+                    .sum::<f64>();
             alphas[i] = alpha;
             for (qv, &yv) in q.iter_mut().zip(&y_hist[i]) {
                 *qv -= alpha * yv as f64;
@@ -263,7 +277,11 @@ pub fn lbfgs(
         }
         for i in 0..k {
             let beta = rho_hist[i]
-                * y_hist[i].iter().zip(&q).map(|(&y, &qv)| y as f64 * qv).sum::<f64>();
+                * y_hist[i]
+                    .iter()
+                    .zip(&q)
+                    .map(|(&y, &qv)| y as f64 * qv)
+                    .sum::<f64>();
             for (qv, &sv) in q.iter_mut().zip(&s_hist[i]) {
                 *qv += (alphas[i] - beta) * sv as f64;
             }
@@ -286,7 +304,11 @@ pub fn lbfgs(
 
         // Curvature pair.
         let s: Vec<f32> = x.iter().zip(&x_before).map(|(&a, &b)| a - b).collect();
-        let y: Vec<f32> = grad.iter().zip(&grad_before).map(|(&a, &b)| a - b).collect();
+        let y: Vec<f32> = grad
+            .iter()
+            .zip(&grad_before)
+            .map(|(&a, &b)| a - b)
+            .collect();
         let sy = dot(&s, &y);
         if sy > 1e-10 {
             s_hist.push(s);
@@ -319,13 +341,17 @@ impl<'a> AeObjective<'a> {
     /// Wraps a model and a full training batch.
     pub fn new(ae: SparseAutoencoder, ctx: &'a ExecCtx, data: MatView<'a>) -> Self {
         let scratch = AeScratch::new(ae.config(), data.rows());
-        AeObjective { ae, ctx, data, scratch }
+        AeObjective {
+            ae,
+            ctx,
+            data,
+            scratch,
+        }
     }
 
     /// The current flattened parameters (layout: w1, w2, b1, b2).
     pub fn params(&self) -> Vec<f32> {
-        let mut out =
-            Vec::with_capacity(self.ae.config().param_count());
+        let mut out = Vec::with_capacity(self.ae.config().param_count());
         out.extend_from_slice(self.ae.w1.as_slice());
         out.extend_from_slice(self.ae.w2.as_slice());
         out.extend_from_slice(&self.ae.b1);
@@ -339,7 +365,9 @@ impl<'a> AeObjective<'a> {
         assert_eq!(x.len(), cfg.param_count(), "flat parameter length mismatch");
         self.ae.w1.as_mut_slice().copy_from_slice(&x[..wn]);
         self.ae.w2.as_mut_slice().copy_from_slice(&x[wn..2 * wn]);
-        self.ae.b1.copy_from_slice(&x[2 * wn..2 * wn + cfg.n_hidden]);
+        self.ae
+            .b1
+            .copy_from_slice(&x[2 * wn..2 * wn + cfg.n_hidden]);
         self.ae.b2.copy_from_slice(&x[2 * wn + cfg.n_hidden..]);
     }
 
@@ -357,7 +385,9 @@ impl Objective for AeObjective<'_> {
     fn eval(&mut self, x: &[f32], grad: &mut [f32]) -> f64 {
         assert_eq!(grad.len(), self.dim());
         self.set_params(x);
-        let cost = self.ae.cost_and_grad(self.ctx, self.data, &mut self.scratch);
+        let cost = self
+            .ae
+            .cost_and_grad(self.ctx, self.data, &mut self.scratch);
         let cfg = *self.ae.config();
         let wn = cfg.n_visible * cfg.n_hidden;
         let (gw1, gw2, gb1, gb2) = self.scratch.gradients();

@@ -163,8 +163,16 @@ mod tests {
     fn batch(b: usize, v: usize, seed: u64) -> Mat {
         let mut rng = StdRng::seed_from_u64(seed);
         Mat::from_fn(b, v, |r, c| {
-            let proto = if r % 2 == 0 { (c % 2) as f32 } else { ((c + 1) % 2) as f32 };
-            if rng.gen_bool(0.05) { 1.0 - proto } else { proto }
+            let proto = if r % 2 == 0 {
+                (c % 2) as f32
+            } else {
+                ((c + 1) % 2) as f32
+            };
+            if rng.gen_bool(0.05) {
+                1.0 - proto
+            } else {
+                proto
+            }
         })
     }
 
@@ -205,7 +213,11 @@ mod tests {
             run.critical_path,
             run.serial_time
         );
-        assert!(run.speedup() > 1.0 && run.speedup() < 3.0, "speedup {}", run.speedup());
+        assert!(
+            run.speedup() > 1.0 && run.speedup() < 3.0,
+            "speedup {}",
+            run.speedup()
+        );
         assert!((ctx.sim_time() - run.critical_path).abs() < 1e-9);
     }
 

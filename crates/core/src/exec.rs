@@ -8,11 +8,14 @@
 //! serves as the functional implementation, the wall-clock benchmark body,
 //! and the source of every simulated figure in the paper reproduction.
 
+use crate::profile::{ProfileReport, Profiler};
 use micdnn_kernels::rng::{SampleStream, StreamId};
 use micdnn_kernels::{Backend, OpCost};
 use micdnn_sim::{CostModel, EventKind, Platform, SimClock, Trace};
 use micdnn_tensor::{MatView, MatViewMut};
 use parking_lot::Mutex;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::time::Instant;
 
 /// The optimization rungs of the paper's Table I, plus the comparator
 /// configuration used by its host-CPU baselines.
@@ -67,12 +70,6 @@ impl OptLevel {
     }
 }
 
-#[derive(Debug, Default)]
-struct Recorder {
-    enabled: bool,
-    ops: Vec<OpCost>,
-}
-
 /// Execution context binding a kernel backend to an optional device model.
 ///
 /// Without a model (`ExecCtx::native`) it is a thin veneer over
@@ -85,7 +82,13 @@ pub struct ExecCtx {
     clock: SimClock,
     trace: Trace,
     sampler: Mutex<SampleStream>,
-    recorder: Mutex<Recorder>,
+    /// Fast-path gate for `recorder`: ops check this atomic and skip the
+    /// lock entirely while recording is off (the common case).
+    recording: AtomicBool,
+    recorder: Mutex<Vec<OpCost>>,
+    /// Opt-in statistics collector; `None` keeps the op path lock- and
+    /// allocation-free.
+    profiler: Option<Profiler>,
     /// When > 0, op prices accumulate here instead of the clock
     /// (dependency-graph execution, see [`ExecCtx::run_deferred`]).
     deferred: Mutex<Option<f64>>,
@@ -100,7 +103,9 @@ impl ExecCtx {
             clock: SimClock::new(),
             trace: Trace::new(false),
             sampler: Mutex::new(SampleStream::new(seed)),
-            recorder: Mutex::new(Recorder::default()),
+            recording: AtomicBool::new(false),
+            recorder: Mutex::new(Vec::new()),
+            profiler: None,
             deferred: Mutex::new(None),
         }
     }
@@ -113,7 +118,9 @@ impl ExecCtx {
             clock: SimClock::new(),
             trace: Trace::new(false),
             sampler: Mutex::new(SampleStream::new(seed)),
-            recorder: Mutex::new(Recorder::default()),
+            recording: AtomicBool::new(false),
+            recorder: Mutex::new(Vec::new()),
+            profiler: None,
             deferred: Mutex::new(None),
         }
     }
@@ -122,6 +129,42 @@ impl ExecCtx {
     pub fn with_trace(mut self) -> Self {
         self.trace = Trace::new(true);
         self
+    }
+
+    /// Attaches a [`Profiler`]; every subsequent op and phase span is
+    /// aggregated into it. The caller usually keeps a clone of the handle
+    /// to read the report afterwards (or uses
+    /// [`ExecCtx::profile_report`]).
+    pub fn with_profiler(mut self, profiler: Profiler) -> Self {
+        self.profiler = Some(profiler);
+        self
+    }
+
+    /// The attached profiler, if any.
+    pub fn profiler(&self) -> Option<&Profiler> {
+        self.profiler.as_ref()
+    }
+
+    /// Builds the profiler's report with this context's platform peak and
+    /// elapsed simulated time filled in. `None` when no profiler is
+    /// attached.
+    pub fn profile_report(&self) -> Option<ProfileReport> {
+        self.profiler.as_ref().map(|p| {
+            let peak = self.platform().map(|pl| pl.spec.vector_peak_gflops());
+            p.report(peak, self.sim_time())
+        })
+    }
+
+    /// Opens a named profiling span covering everything executed until the
+    /// returned guard drops. Spans record the covered simulated interval
+    /// and wall time; without an attached profiler the guard is inert.
+    pub fn phase(&self, name: &str) -> PhaseGuard<'_> {
+        PhaseGuard {
+            ctx: self,
+            name: self.profiler.as_ref().map(|_| name.to_string()),
+            sim_start: self.clock.now(),
+            wall_start: Instant::now(),
+        }
     }
 
     /// The kernel backend in use.
@@ -167,17 +210,15 @@ impl ExecCtx {
     /// Starts recording the [`OpCost`] of every op (used by the tests that
     /// pin the analytic op streams to the executed ones).
     pub fn start_recording(&self) {
-        let mut r = self.recorder.lock();
-        r.enabled = true;
-        r.ops.clear();
+        self.recorder.lock().clear();
+        self.recording.store(true, Ordering::Release);
     }
 
     /// Stops recording and returns the ops seen since
     /// [`ExecCtx::start_recording`].
     pub fn stop_recording(&self) -> Vec<OpCost> {
-        let mut r = self.recorder.lock();
-        r.enabled = false;
-        std::mem::take(&mut r.ops)
+        self.recording.store(false, Ordering::Release);
+        std::mem::take(&mut *self.recorder.lock())
     }
 
     /// Runs `f` with op prices diverted into an accumulator instead of the
@@ -216,15 +257,37 @@ impl ExecCtx {
         self.trace.push(t0, t0 + secs, kind, label);
     }
 
-    fn charge(&self, cost: OpCost) {
-        {
-            let mut r = self.recorder.lock();
-            if r.enabled {
-                r.ops.push(cost);
-            }
+    /// Wall-clock start of the op about to run, taken only when a native
+    /// (unpriced) context has a profiler attached — the one case that
+    /// needs real timing. Everything else stays free of clock syscalls.
+    #[inline]
+    fn op_start(&self) -> Option<Instant> {
+        if self.profiler.is_some() && self.pricing.is_none() {
+            Some(Instant::now())
+        } else {
+            None
         }
-        let Some(model) = &self.pricing else { return };
+    }
+
+    fn charge(&self, cost: OpCost) {
+        self.charge_timed(cost, None);
+    }
+
+    fn charge_timed(&self, cost: OpCost, started: Option<Instant>) {
+        if self.recording.load(Ordering::Acquire) {
+            self.recorder.lock().push(cost);
+        }
+        let Some(model) = &self.pricing else {
+            if let Some(p) = &self.profiler {
+                let wall = started.map_or(0.0, |t| t.elapsed().as_secs_f64());
+                p.record_op(&cost, wall);
+            }
+            return;
+        };
         let t = model.price(&cost, self.backend.par().is_parallel());
+        if let Some(p) = &self.profiler {
+            p.record_op(&cost, t);
+        }
         let mut d = self.deferred.lock();
         if let Some(acc) = d.as_mut() {
             *acc += t;
@@ -234,7 +297,7 @@ impl ExecCtx {
         let t0 = self.clock.now();
         self.clock.advance(t);
         self.trace
-            .push(t0, t0 + t, EventKind::Compute(cost.kind), "");
+            .push(t0, t0 + t, EventKind::Compute(cost.kind), cost.label);
     }
 
     // --- mirrored kernel ops -------------------------------------------
@@ -251,56 +314,65 @@ impl ExecCtx {
         beta: f32,
         c: &mut MatViewMut<'_>,
     ) {
+        let t0 = self.op_start();
         let cost = self.backend.gemm(alpha, a, ta, b, tb, beta, c);
-        self.charge(cost);
+        self.charge_timed(cost, t0);
     }
 
     /// See [`Backend::bias_sigmoid_rows`].
     pub fn bias_sigmoid_rows(&self, bias: &[f32], c: &mut MatViewMut<'_>) {
+        let t0 = self.op_start();
         let cost = self.backend.bias_sigmoid_rows(bias, c);
-        self.charge(cost);
+        self.charge_timed(cost, t0);
     }
 
     /// See [`Backend::bias_deriv_rows`].
     pub fn bias_deriv_rows(&self, s: &[f32], y: MatView<'_>, delta: &mut MatViewMut<'_>) {
+        let t0 = self.op_start();
         let cost = self.backend.bias_deriv_rows(s, y, delta);
-        self.charge(cost);
+        self.charge_timed(cost, t0);
     }
 
     /// See [`Backend::delta_output`].
     pub fn delta_output(&self, z: &[f32], x: &[f32], out: &mut [f32]) {
+        let t0 = self.op_start();
         let cost = self.backend.delta_output(z, x, out);
-        self.charge(cost);
+        self.charge_timed(cost, t0);
     }
 
     /// See [`Backend::sgd_step`].
     pub fn sgd_step(&self, lr: f32, lambda: f32, g: &[f32], w: &mut [f32]) {
+        let t0 = self.op_start();
         let cost = self.backend.sgd_step(lr, lambda, g, w);
-        self.charge(cost);
+        self.charge_timed(cost, t0);
     }
 
     /// See [`Backend::cd_update`].
     pub fn cd_update(&self, scale: f32, pos: &[f32], neg: &[f32], w: &mut [f32]) {
+        let t0 = self.op_start();
         let cost = self.backend.cd_update(scale, pos, neg, w);
-        self.charge(cost);
+        self.charge_timed(cost, t0);
     }
 
     /// See [`Backend::colmean`].
     pub fn colmean(&self, a: MatView<'_>, out: &mut [f32]) {
+        let t0 = self.op_start();
         let cost = self.backend.colmean(a, out);
-        self.charge(cost);
+        self.charge_timed(cost, t0);
     }
 
     /// See [`Backend::colsum`].
     pub fn colsum(&self, a: MatView<'_>, out: &mut [f32]) {
+        let t0 = self.op_start();
         let cost = self.backend.colsum(a, out);
-        self.charge(cost);
+        self.charge_timed(cost, t0);
     }
 
     /// See [`Backend::frob_dist_sq`].
     pub fn frob_dist_sq(&self, a: MatView<'_>, b: MatView<'_>) -> f64 {
+        let t0 = self.op_start();
         let (d, cost) = self.backend.frob_dist_sq(a, b);
-        self.charge(cost);
+        self.charge_timed(cost, t0);
         d
     }
 
@@ -309,26 +381,53 @@ impl ExecCtx {
     pub fn bernoulli(&self, probs: &[f32], out: &mut [f32]) {
         let stream = self.next_stream();
         let seed = self.seed();
+        let t0 = self.op_start();
         let cost = self.backend.bernoulli(seed, stream, probs, out);
-        self.charge(cost);
+        self.charge_timed(cost, t0);
     }
 
     /// See [`Backend::axpy`].
     pub fn axpy(&self, alpha: f32, x: &[f32], y: &mut [f32]) {
+        let t0 = self.op_start();
         let cost = self.backend.axpy(alpha, x, y);
-        self.charge(cost);
+        self.charge_timed(cost, t0);
     }
 
     /// See [`Backend::scale`].
     pub fn scale(&self, alpha: f32, y: &mut [f32]) {
+        let t0 = self.op_start();
         let cost = self.backend.scale(alpha, y);
-        self.charge(cost);
+        self.charge_timed(cost, t0);
     }
 
     /// See [`Backend::sub`].
     pub fn sub(&self, a: &[f32], b: &[f32], out: &mut [f32]) {
+        let t0 = self.op_start();
         let cost = self.backend.sub(a, b, out);
-        self.charge(cost);
+        self.charge_timed(cost, t0);
+    }
+}
+
+/// RAII span opened by [`ExecCtx::phase`]; records the covered simulated
+/// and wall time into the context's profiler when dropped.
+pub struct PhaseGuard<'a> {
+    ctx: &'a ExecCtx,
+    /// `Some` only when a profiler is attached (keeps the disabled path
+    /// allocation-free).
+    name: Option<String>,
+    sim_start: f64,
+    wall_start: Instant,
+}
+
+impl Drop for PhaseGuard<'_> {
+    fn drop(&mut self) {
+        if let (Some(name), Some(profiler)) = (self.name.take(), self.ctx.profiler.as_ref()) {
+            profiler.record_phase(
+                &name,
+                self.ctx.clock.now() - self.sim_start,
+                self.wall_start.elapsed().as_secs_f64(),
+            );
+        }
     }
 }
 
@@ -354,7 +453,15 @@ mod tests {
         let a = Mat::eye(4);
         let b = Mat::full(4, 4, 1.0);
         let mut c = Mat::zeros(4, 4);
-        ctx.gemm(1.0, a.view(), false, b.view(), false, 0.0, &mut c.view_mut());
+        ctx.gemm(
+            1.0,
+            a.view(),
+            false,
+            b.view(),
+            false,
+            0.0,
+            &mut c.view_mut(),
+        );
         assert_eq!(ctx.sim_time(), 0.0);
         assert!(c.as_slice().iter().all(|&v| v == 1.0));
     }
@@ -365,7 +472,15 @@ mod tests {
         let a = Mat::full(64, 64, 0.5);
         let b = Mat::full(64, 64, 0.5);
         let mut c = Mat::zeros(64, 64);
-        ctx.gemm(1.0, a.view(), false, b.view(), false, 0.0, &mut c.view_mut());
+        ctx.gemm(
+            1.0,
+            a.view(),
+            false,
+            b.view(),
+            false,
+            0.0,
+            &mut c.view_mut(),
+        );
         assert!(ctx.sim_time() > 0.0);
     }
 
@@ -376,7 +491,15 @@ mod tests {
             let a = Mat::full(128, 256, 0.1);
             let b = Mat::full(256, 128, 0.1);
             let mut c = Mat::zeros(128, 128);
-            ctx.gemm(1.0, a.view(), false, b.view(), false, 0.0, &mut c.view_mut());
+            ctx.gemm(
+                1.0,
+                a.view(),
+                false,
+                b.view(),
+                false,
+                0.0,
+                &mut c.view_mut(),
+            );
             ctx.sim_time()
         };
         let t_base = run(OptLevel::Baseline);
@@ -412,6 +535,137 @@ mod tests {
         assert_eq!(ctx.sim_time(), 0.0, "deferred must not touch the clock");
         ctx.advance_clock(dur, EventKind::Sync, "graph");
         assert!((ctx.sim_time() - dur).abs() < 1e-12);
+    }
+
+    #[test]
+    fn trace_events_carry_op_labels() {
+        let ctx = ExecCtx::simulated(OptLevel::Improved, Platform::xeon_phi(), 0).with_trace();
+        let a = Mat::full(16, 16, 0.5);
+        let b = Mat::full(16, 16, 0.5);
+        let mut c = Mat::zeros(16, 16);
+        ctx.gemm(
+            1.0,
+            a.view(),
+            false,
+            b.view(),
+            false,
+            0.0,
+            &mut c.view_mut(),
+        );
+        let mut v = vec![0.5f32; 32];
+        ctx.scale(2.0, &mut v);
+        let events = ctx.trace().events();
+        let labels: Vec<&str> = events.iter().map(|e| e.label.as_str()).collect();
+        assert_eq!(labels, ["gemm", "scale"]);
+    }
+
+    #[test]
+    fn profiler_aggregates_simulated_ops_and_phases() {
+        let profiler = crate::profile::Profiler::new();
+        let ctx = ExecCtx::simulated(OptLevel::Improved, Platform::xeon_phi(), 0)
+            .with_profiler(profiler.clone());
+        {
+            let _span = ctx.phase("work");
+            let a = Mat::full(32, 32, 0.5);
+            let b = Mat::full(32, 32, 0.5);
+            let mut c = Mat::zeros(32, 32);
+            ctx.gemm(
+                1.0,
+                a.view(),
+                false,
+                b.view(),
+                false,
+                0.0,
+                &mut c.view_mut(),
+            );
+            ctx.gemm(
+                1.0,
+                a.view(),
+                false,
+                b.view(),
+                false,
+                0.0,
+                &mut c.view_mut(),
+            );
+        }
+        let report = ctx.profile_report().expect("profiler attached");
+        assert_eq!(report.ops.len(), 1);
+        assert_eq!(report.ops[0].op, "gemm");
+        assert_eq!(report.ops[0].count, 2);
+        assert!(report.ops[0].total_secs > 0.0);
+        assert!(report.ops[0].gflops > 0.0);
+        assert!(report.peak_gflops.unwrap() > 2000.0);
+        assert_eq!(report.phases.len(), 1);
+        assert_eq!(report.phases[0].phase, "work");
+        // The span covers exactly the two priced ops.
+        assert!((report.phases[0].sim_secs - ctx.sim_time()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn native_profiled_ops_are_wall_timed() {
+        let profiler = crate::profile::Profiler::new();
+        let ctx = ExecCtx::native(OptLevel::Improved, 0).with_profiler(profiler.clone());
+        let a = Mat::full(64, 64, 0.5);
+        let b = Mat::full(64, 64, 0.5);
+        let mut c = Mat::zeros(64, 64);
+        ctx.gemm(
+            1.0,
+            a.view(),
+            false,
+            b.view(),
+            false,
+            0.0,
+            &mut c.view_mut(),
+        );
+        let report = ctx.profile_report().unwrap();
+        assert_eq!(report.ops[0].count, 1);
+        assert!(report.ops[0].total_secs > 0.0, "wall-timed duration");
+        assert!(report.peak_gflops.is_none(), "no modeled peak natively");
+    }
+
+    /// Acceptance criterion: profiling is opt-in and does not perturb
+    /// execution — the recorded op stream and the simulated time are
+    /// bit-identical with and without an attached profiler.
+    #[test]
+    fn profiler_does_not_perturb_op_stream() {
+        let run = |with_profiler: bool| -> (Vec<OpCost>, f64) {
+            let mut ctx = ExecCtx::simulated(OptLevel::Improved, Platform::xeon_phi(), 7);
+            if with_profiler {
+                ctx = ctx.with_profiler(crate::profile::Profiler::new());
+            }
+            ctx.start_recording();
+            let a = Mat::full(24, 16, 0.3);
+            let b = Mat::full(16, 24, 0.7);
+            let mut c = Mat::zeros(24, 24);
+            ctx.gemm(
+                1.0,
+                a.view(),
+                false,
+                b.view(),
+                false,
+                0.0,
+                &mut c.view_mut(),
+            );
+            ctx.bias_sigmoid_rows(&vec![0.1; 24], &mut c.view_mut());
+            let mut v = vec![0.5f32; 100];
+            ctx.sgd_step(0.1, 0.01, &vec![1.0; 100], &mut v);
+            (ctx.stop_recording(), ctx.sim_time())
+        };
+        let (ops_off, secs_off) = run(false);
+        let (ops_on, secs_on) = run(true);
+        assert_eq!(ops_off, ops_on);
+        assert_eq!(secs_off.to_bits(), secs_on.to_bits());
+    }
+
+    #[test]
+    fn phase_guard_is_inert_without_profiler() {
+        let ctx = ExecCtx::native(OptLevel::Improved, 0);
+        {
+            let _span = ctx.phase("unprofiled");
+            let mut v = vec![1.0f32; 8];
+            ctx.scale(0.5, &mut v);
+        }
+        assert!(ctx.profile_report().is_none());
     }
 
     #[test]

@@ -116,12 +116,7 @@ impl FineTuneNet {
         let mut rng = StdRng::seed_from_u64(seed);
         let layers = sizes
             .windows(2)
-            .map(|w| {
-                (
-                    GlorotSigmoid.init(w[1], w[0], &mut rng),
-                    vec![0.0f32; w[1]],
-                )
-            })
+            .map(|w| (GlorotSigmoid.init(w[1], w[0], &mut rng), vec![0.0f32; w[1]]))
             .collect();
         FineTuneNet {
             layers,
@@ -151,7 +146,9 @@ impl FineTuneNet {
             }
             acts.push(a);
         }
-        let probs = self.softmax.forward(ctx, acts.last().expect("non-empty").view());
+        let probs = self
+            .softmax
+            .forward(ctx, acts.last().expect("non-empty").view());
         (acts, probs)
     }
 
@@ -192,13 +189,7 @@ impl FineTuneNet {
 
     /// One fine-tuning SGD step on a labeled batch; returns the batch's
     /// mean cross-entropy before the update.
-    pub fn train_batch(
-        &mut self,
-        ctx: &ExecCtx,
-        x: MatView<'_>,
-        labels: &[usize],
-        lr: f32,
-    ) -> f64 {
+    pub fn train_batch(&mut self, ctx: &ExecCtx, x: MatView<'_>, labels: &[usize], lr: f32) -> f64 {
         let b = x.rows();
         assert!(b > 0, "empty batch");
         assert_eq!(labels.len(), b, "one label per example");
@@ -225,7 +216,15 @@ impl FineTuneNet {
         // Head gradients.
         let top_act = acts.last().expect("non-empty");
         let mut gw = Mat::zeros(c, self.softmax.in_dim());
-        ctx.gemm(1.0, delta.view(), true, top_act.view(), false, 0.0, &mut gw.view_mut());
+        ctx.gemm(
+            1.0,
+            delta.view(),
+            true,
+            top_act.view(),
+            false,
+            0.0,
+            &mut gw.view_mut(),
+        );
         let mut gb = vec![0.0f32; c];
         ctx.colsum(delta.view(), &mut gb);
 
@@ -237,7 +236,15 @@ impl FineTuneNet {
             let mut d = Mat::zeros(b, self.layers[l].0.rows());
             {
                 let mut v = d.view_mut();
-                ctx.gemm(1.0, upstream.view(), false, upstream_w.view(), false, 0.0, &mut v);
+                ctx.gemm(
+                    1.0,
+                    upstream.view(),
+                    false,
+                    upstream_w.view(),
+                    false,
+                    0.0,
+                    &mut v,
+                );
             }
             ctx.backend()
                 .sigmoid_backprop(acts[l].as_slice(), d.as_mut_slice());
@@ -254,7 +261,15 @@ impl FineTuneNet {
             let input: MatView<'_> = if l == 0 { x } else { acts[l - 1].view() };
             let (w, bias) = &mut self.layers[l];
             let mut gwl = Mat::zeros(w.rows(), w.cols());
-            ctx.gemm(1.0, deltas[l].view(), true, input, false, 0.0, &mut gwl.view_mut());
+            ctx.gemm(
+                1.0,
+                deltas[l].view(),
+                true,
+                input,
+                false,
+                0.0,
+                &mut gwl.view_mut(),
+            );
             let mut gbl = vec![0.0f32; bias.len()];
             ctx.colsum(deltas[l].view(), &mut gbl);
             ctx.sgd_step(lr, lambda, gwl.as_slice(), w.as_mut_slice());
@@ -419,9 +434,8 @@ mod tests {
         let mut checked = 0;
         for idx in [0usize, 3, 11] {
             // layer 0 weights
-            let analytic = (before.layers[0].0.as_slice()[idx]
-                - stepped.layers[0].0.as_slice()[idx])
-                / lr;
+            let analytic =
+                (before.layers[0].0.as_slice()[idx] - stepped.layers[0].0.as_slice()[idx]) / lr;
             let mut plus = before.clone();
             plus.layers[0].0.as_mut_slice()[idx] += eps;
             let mut minus = before.clone();

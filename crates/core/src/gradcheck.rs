@@ -89,8 +89,14 @@ pub fn check_autoencoder(
         let mut minus = ae.clone();
         {
             let (p, m): (&mut f32, &mut f32) = match coord {
-                Param::W1(i) => (&mut plus.w1.as_mut_slice()[i], &mut minus.w1.as_mut_slice()[i]),
-                Param::W2(i) => (&mut plus.w2.as_mut_slice()[i], &mut minus.w2.as_mut_slice()[i]),
+                Param::W1(i) => (
+                    &mut plus.w1.as_mut_slice()[i],
+                    &mut minus.w1.as_mut_slice()[i],
+                ),
+                Param::W2(i) => (
+                    &mut plus.w2.as_mut_slice()[i],
+                    &mut minus.w2.as_mut_slice()[i],
+                ),
                 Param::B1(i) => (&mut plus.b1[i], &mut minus.b1[i]),
                 Param::B2(i) => (&mut plus.b2[i], &mut minus.b2[i]),
             };

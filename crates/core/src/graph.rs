@@ -181,7 +181,11 @@ mod tests {
         let mut state = vec![1.0f32; 1_000_000];
         let run = g.execute(&ctx, &mut state);
         // Four equal nodes, critical path of three.
-        assert!(run.speedup() > 1.2 && run.speedup() < 1.4, "speedup {}", run.speedup());
+        assert!(
+            run.speedup() > 1.2 && run.speedup() < 1.4,
+            "speedup {}",
+            run.speedup()
+        );
         assert!(run.critical_path < run.serial_time);
         assert_eq!(g.depth(), 3);
     }

@@ -118,10 +118,27 @@ pub fn optimal_fraction(
     steps: usize,
 ) -> (f64, HybridEstimate) {
     assert!(steps >= 1);
-    let mut best = (1.0, estimate_hybrid(level, &HybridConfig { phi_fraction: 1.0, ..cfg.clone() }, w));
+    let mut best = (
+        1.0,
+        estimate_hybrid(
+            level,
+            &HybridConfig {
+                phi_fraction: 1.0,
+                ..cfg.clone()
+            },
+            w,
+        ),
+    );
     for i in 0..=steps {
         let f = i as f64 / steps as f64;
-        let e = estimate_hybrid(level, &HybridConfig { phi_fraction: f, ..cfg.clone() }, w);
+        let e = estimate_hybrid(
+            level,
+            &HybridConfig {
+                phi_fraction: f,
+                ..cfg.clone()
+            },
+            w,
+        );
         if e.total_secs < best.1.total_secs {
             best = (f, e);
         }
@@ -182,12 +199,16 @@ impl HybridAeTrainer {
 
         let mut recon = 0.0f64;
         if b_phi > 0 {
-            let cost = ae.cost_and_grad(&self.phi_ctx, x.rows_range(0, b_phi), &mut self.scratch_phi);
+            let cost =
+                ae.cost_and_grad(&self.phi_ctx, x.rows_range(0, b_phi), &mut self.scratch_phi);
             recon += cost.reconstruction * b_phi as f64;
         }
         if b_host > 0 {
-            let cost =
-                ae.cost_and_grad(&self.host_ctx, x.rows_range(b_phi, b), &mut self.scratch_host);
+            let cost = ae.cost_and_grad(
+                &self.host_ctx,
+                x.rows_range(b_phi, b),
+                &mut self.scratch_host,
+            );
             recon += cost.reconstruction * b_host as f64;
         }
         recon /= b as f64;
@@ -266,10 +287,8 @@ mod tests {
         let w = workload();
         let cfg = HybridConfig::paper_hardware(0.5);
         let (frac, best) = optimal_fraction(OptLevel::Improved, &cfg, &w, 50);
-        let pure_phi =
-            estimate_hybrid(OptLevel::Improved, &HybridConfig::paper_hardware(1.0), &w);
-        let pure_host =
-            estimate_hybrid(OptLevel::Improved, &HybridConfig::paper_hardware(0.0), &w);
+        let pure_phi = estimate_hybrid(OptLevel::Improved, &HybridConfig::paper_hardware(1.0), &w);
+        let pure_host = estimate_hybrid(OptLevel::Improved, &HybridConfig::paper_hardware(0.0), &w);
         assert!(
             best.total_secs <= pure_phi.total_secs,
             "hybrid {} vs pure phi {}",
@@ -311,7 +330,10 @@ mod tests {
         trainer.train_batch(&mut ae_hyb, x.view(), 0.1);
 
         let diff = micdnn_tensor::max_abs_diff(ae_ref.w1.as_slice(), ae_hyb.w1.as_slice());
-        assert!(diff < 1e-5, "hybrid step diverged from full batch by {diff}");
+        assert!(
+            diff < 1e-5,
+            "hybrid step diverged from full batch by {diff}"
+        );
     }
 
     #[test]

@@ -57,22 +57,27 @@ pub mod hybrid;
 pub mod metrics;
 pub mod model_io;
 pub mod optim;
+pub mod profile;
 pub mod rbm;
 pub mod stacked;
 pub mod train;
 
 pub use analytic::{estimate, Algo, Estimate, Workload};
-pub use batch_opt::{conjugate_gradient, lbfgs, AeObjective, BatchOptOptions, Objective};
-pub use finetune::{FineTuneNet, SoftmaxLayer};
-pub use hybrid::{estimate_hybrid, optimal_fraction, HybridAeTrainer, HybridConfig};
-pub use metrics::{activation_stats, feature_ascii, feature_grid, reconstruction_stats, write_pgm, ActivationStats, ReconstructionStats};
-pub use model_io::{load_autoencoder_file, load_rbm_file, save_autoencoder_file, save_rbm_file};
-pub use optim::{Optimizer, Rule, Schedule};
 pub use autoencoder::{AeConfig, AeCost, AeScratch, SparseAutoencoder};
+pub use batch_opt::{conjugate_gradient, lbfgs, AeObjective, BatchOptOptions, Objective};
 pub use cd_graph::cd_step_graph;
-pub use exec::{ExecCtx, OptLevel};
+pub use exec::{ExecCtx, OptLevel, PhaseGuard};
+pub use finetune::{FineTuneNet, SoftmaxLayer};
 pub use gradcheck::{check_autoencoder, GradCheckResult};
 pub use graph::{GraphRun, TaskGraph};
+pub use hybrid::{estimate_hybrid, optimal_fraction, HybridAeTrainer, HybridConfig};
+pub use metrics::{
+    activation_stats, feature_ascii, feature_grid, reconstruction_stats, write_pgm,
+    ActivationStats, ReconstructionStats,
+};
+pub use model_io::{load_autoencoder_file, load_rbm_file, save_autoencoder_file, save_rbm_file};
+pub use optim::{Optimizer, Rule, Schedule};
+pub use profile::{OpReport, PhaseReport, ProfileReport, Profiler, StreamReport};
 pub use rbm::{Rbm, RbmConfig, RbmScratch};
 pub use stacked::{DeepBeliefNet, LayerReport, StackedAutoencoder};
 pub use train::{

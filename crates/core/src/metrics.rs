@@ -70,11 +70,7 @@ pub struct ActivationStats {
 
 /// Computes activation health over `x` with the conventional thresholds
 /// (dead < 0.02, saturated > 0.98).
-pub fn activation_stats(
-    ae: &SparseAutoencoder,
-    ctx: &ExecCtx,
-    x: MatView<'_>,
-) -> ActivationStats {
+pub fn activation_stats(ae: &SparseAutoencoder, ctx: &ExecCtx, x: MatView<'_>) -> ActivationStats {
     activation_stats_with(ae, ctx, x, 0.02, 0.98)
 }
 
@@ -132,10 +128,7 @@ pub fn feature_ascii(ae: &SparseAutoencoder, unit: usize, side: usize) -> String
 
 /// Writes a weight matrix (or any image-shaped data) as a binary PGM file
 /// — the zero-dependency way to look at learned features.
-pub fn write_pgm(
-    path: impl AsRef<std::path::Path>,
-    image: &Mat,
-) -> std::io::Result<()> {
+pub fn write_pgm(path: impl AsRef<std::path::Path>, image: &Mat) -> std::io::Result<()> {
     use std::io::Write;
     let (rows, cols) = image.shape();
     let mut lo = f32::INFINITY;

@@ -46,7 +46,11 @@ impl Schedule {
     pub fn rate_at(&self, step: u64) -> f32 {
         match *self {
             Schedule::Constant(r) => r,
-            Schedule::Step { base, factor, every } => {
+            Schedule::Step {
+                base,
+                factor,
+                every,
+            } => {
                 let stages = (step / every.max(1)) as i32;
                 base * factor.powi(stages)
             }
@@ -133,15 +137,11 @@ impl Optimizer {
 
     /// Applies the rule to slot `slot`: `w` updated in place from gradient
     /// `g` with weight decay `lambda`.
-    pub fn step_slot(
-        &mut self,
-        ctx: &ExecCtx,
-        slot: usize,
-        lambda: f32,
-        g: &[f32],
-        w: &mut [f32],
-    ) {
-        assert!(slot < self.state.len(), "unregistered optimizer slot {slot}");
+    pub fn step_slot(&mut self, ctx: &ExecCtx, slot: usize, lambda: f32, g: &[f32], w: &mut [f32]) {
+        assert!(
+            slot < self.state.len(),
+            "unregistered optimizer slot {slot}"
+        );
         assert_eq!(g.len(), w.len(), "gradient/parameter length mismatch");
         let lr = self.current_rate();
         match self.rule {
@@ -161,7 +161,11 @@ impl Optimizer {
             }
             Rule::AdaGrad { eps } => {
                 let acc = &mut self.state[slot];
-                assert_eq!(acc.len(), w.len(), "slot {slot} registered with wrong length");
+                assert_eq!(
+                    acc.len(),
+                    w.len(),
+                    "slot {slot} registered with wrong length"
+                );
                 // Accumulate squared gradients and apply the per-coordinate
                 // scaled update in one pass (scalar loop: AdaGrad is not a
                 // paper optimization, so it is not cost-instrumented beyond
@@ -191,13 +195,20 @@ mod tests {
         assert_eq!(c.rate_at(0), 0.1);
         assert_eq!(c.rate_at(1000), 0.1);
 
-        let s = Schedule::Step { base: 1.0, factor: 0.5, every: 10 };
+        let s = Schedule::Step {
+            base: 1.0,
+            factor: 0.5,
+            every: 10,
+        };
         assert_eq!(s.rate_at(0), 1.0);
         assert_eq!(s.rate_at(9), 1.0);
         assert_eq!(s.rate_at(10), 0.5);
         assert_eq!(s.rate_at(25), 0.25);
 
-        let e = Schedule::Exponential { base: 1.0, gamma: 0.9 };
+        let e = Schedule::Exponential {
+            base: 1.0,
+            gamma: 0.9,
+        };
         assert!((e.rate_at(2) - 0.81).abs() < 1e-6);
 
         let i = Schedule::InvSqrt { base: 1.0, t0: 1.0 };
@@ -282,7 +293,10 @@ mod tests {
         };
         let sgd_final = run(Rule::Sgd);
         let mom_final = run(Rule::Momentum { mu: 0.8 });
-        assert!(mom_final < sgd_final, "momentum {mom_final} vs sgd {sgd_final}");
+        assert!(
+            mom_final < sgd_final,
+            "momentum {mom_final} vs sgd {sgd_final}"
+        );
     }
 
     #[test]

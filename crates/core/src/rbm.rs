@@ -133,7 +133,10 @@ impl Rbm {
     /// Fresh RBM with `N(0, 0.01)` weights and zero biases (Hinton's
     /// recipe).
     pub fn new(cfg: RbmConfig, seed: u64) -> Self {
-        assert!(cfg.n_visible > 0 && cfg.n_hidden > 0, "layer sizes must be positive");
+        assert!(
+            cfg.n_visible > 0 && cfg.n_hidden > 0,
+            "layer sizes must be positive"
+        );
         let mut rng = StdRng::seed_from_u64(seed);
         Rbm {
             w: NormalInit { sigma: 0.01 }.init(cfg.n_hidden, cfg.n_visible, &mut rng),
@@ -152,7 +155,11 @@ impl Rbm {
     /// (paper eq. 9), written into `out` (`b x h`).
     pub fn prop_up(&self, ctx: &ExecCtx, v: MatView<'_>, out: &mut Mat) {
         let b = v.rows();
-        assert_eq!(v.cols(), self.cfg.n_visible, "visible dimensionality mismatch");
+        assert_eq!(
+            v.cols(),
+            self.cfg.n_visible,
+            "visible dimensionality mismatch"
+        );
         let mut o = out.rows_range_mut(0, b);
         ctx.gemm(1.0, v, false, self.w.view(), true, 0.0, &mut o);
         ctx.bias_sigmoid_rows(&self.c_hid, &mut o);
@@ -162,7 +169,11 @@ impl Rbm {
     /// (paper eq. 8), written into `out` (`b x v`).
     pub fn prop_down(&self, ctx: &ExecCtx, h: MatView<'_>, out: &mut Mat) {
         let b = h.rows();
-        assert_eq!(h.cols(), self.cfg.n_hidden, "hidden dimensionality mismatch");
+        assert_eq!(
+            h.cols(),
+            self.cfg.n_hidden,
+            "hidden dimensionality mismatch"
+        );
         let mut o = out.rows_range_mut(0, b);
         ctx.gemm(1.0, h, false, self.w.view(), false, 0.0, &mut o);
         ctx.bias_sigmoid_rows(&self.b_vis, &mut o);
@@ -184,12 +195,14 @@ impl Rbm {
         assert!(b <= scratch.max_batch, "batch exceeds scratch capacity");
 
         // Positive phase: H0 ~ p(h | v0).
-        self.prop_up(ctx, v0, &mut scratch.h0_prob);
         {
+            let _forward = ctx.phase("forward");
+            self.prop_up(ctx, v0, &mut scratch.h0_prob);
             let probs = scratch.h0_prob.rows_range(0, b);
             let mut sample = scratch.h0_sample.rows_range_mut(0, b);
             ctx.bernoulli(probs.as_slice(), sample.as_mut_slice());
         }
+        let backward = ctx.phase("backward");
 
         // Gibbs chain: V1 <- p(v | H0); H1 <- p(h | V1); extra steps for
         // CD-k resample the hiddens.
@@ -202,7 +215,11 @@ impl Rbm {
                 let mut sample = hs.rows_range_mut(0, b);
                 ctx.bernoulli(probs.as_slice(), sample.as_mut_slice());
             }
-            self.prop_down(ctx, scratch.h0_sample.rows_range(0, b), &mut scratch.v1_prob);
+            self.prop_down(
+                ctx,
+                scratch.h0_sample.rows_range(0, b),
+                &mut scratch.v1_prob,
+            );
             if step == 0 {
                 recon_err = ctx.frob_dist_sq(scratch.v1_prob.rows_range(0, b), v0) / b as f64;
             }
@@ -235,15 +252,27 @@ impl Rbm {
         ctx.colmean(scratch.h0_prob.rows_range(0, b), &mut scratch.hid_pos);
         ctx.colmean(scratch.h1_prob.rows_range(0, b), &mut scratch.hid_neg);
 
+        drop(backward);
         // Updates (paper eqs. 11–13): w += eta (pos - neg), etc.
+        let _update = ctx.phase("update");
         ctx.cd_update(
             learning_rate,
             scratch.pos_stats.as_slice(),
             scratch.neg_stats.as_slice(),
             self.w.as_mut_slice(),
         );
-        ctx.cd_update(learning_rate, &scratch.vis_pos, &scratch.vis_neg, &mut self.b_vis);
-        ctx.cd_update(learning_rate, &scratch.hid_pos, &scratch.hid_neg, &mut self.c_hid);
+        ctx.cd_update(
+            learning_rate,
+            &scratch.vis_pos,
+            &scratch.vis_neg,
+            &mut self.b_vis,
+        );
+        ctx.cd_update(
+            learning_rate,
+            &scratch.hid_pos,
+            &scratch.hid_neg,
+            &mut self.c_hid,
+        );
 
         recon_err
     }
@@ -293,7 +322,15 @@ impl Rbm {
         {
             let (h1p, hs) = (&mut scratch.h1_prob, &mut scratch.h0_sample);
             let mut o = h1p.rows_range_mut(0, b);
-            ctx.gemm(1.0, chain.rows_range(0, b), false, self.w.view(), true, 0.0, &mut o);
+            ctx.gemm(
+                1.0,
+                chain.rows_range(0, b),
+                false,
+                self.w.view(),
+                true,
+                0.0,
+                &mut o,
+            );
             ctx.bias_sigmoid_rows(&self.c_hid, &mut o);
             let probs = h1p.rows_range(0, b);
             let mut sample = hs.rows_range_mut(0, b);
@@ -322,7 +359,15 @@ impl Rbm {
         {
             let (h1p, ch) = (&mut scratch.h1_prob, &*chain);
             let mut o = h1p.rows_range_mut(0, b);
-            ctx.gemm(1.0, ch.rows_range(0, b), false, self.w.view(), true, 0.0, &mut o);
+            ctx.gemm(
+                1.0,
+                ch.rows_range(0, b),
+                false,
+                self.w.view(),
+                true,
+                0.0,
+                &mut o,
+            );
             ctx.bias_sigmoid_rows(&self.c_hid, &mut o);
         }
 
@@ -338,7 +383,11 @@ impl Rbm {
             &mut scratch.pos_stats.view_mut(),
         );
         {
-            let (h1p, ch, neg) = (&scratch.h1_prob, scratch.pcd_chain.as_ref().expect("chain"), &mut scratch.neg_stats);
+            let (h1p, ch, neg) = (
+                &scratch.h1_prob,
+                scratch.pcd_chain.as_ref().expect("chain"),
+                &mut scratch.neg_stats,
+            );
             ctx.gemm(
                 inv_b,
                 h1p.rows_range(0, b),
@@ -351,7 +400,10 @@ impl Rbm {
         }
         ctx.colmean(v0, &mut scratch.vis_pos);
         {
-            let (ch, out) = (scratch.pcd_chain.as_ref().expect("chain"), &mut scratch.vis_neg);
+            let (ch, out) = (
+                scratch.pcd_chain.as_ref().expect("chain"),
+                &mut scratch.vis_neg,
+            );
             ctx.colmean(ch.rows_range(0, b), out);
         }
         ctx.colmean(scratch.h0_prob.rows_range(0, b), &mut scratch.hid_pos);
@@ -366,8 +418,18 @@ impl Rbm {
             scratch.neg_stats.as_slice(),
             self.w.as_mut_slice(),
         );
-        ctx.cd_update(learning_rate, &scratch.vis_pos, &scratch.vis_neg, &mut self.b_vis);
-        ctx.cd_update(learning_rate, &scratch.hid_pos, &scratch.hid_neg, &mut self.c_hid);
+        ctx.cd_update(
+            learning_rate,
+            &scratch.vis_pos,
+            &scratch.vis_neg,
+            &mut self.b_vis,
+        );
+        ctx.cd_update(
+            learning_rate,
+            &scratch.hid_pos,
+            &scratch.hid_neg,
+            &mut self.c_hid,
+        );
 
         recon_err
     }
@@ -438,7 +500,11 @@ mod tests {
     fn patterned_batch(b: usize, v: usize, seed: u64) -> Mat {
         let mut rng = StdRng::seed_from_u64(seed);
         Mat::from_fn(b, v, |r, c| {
-            let proto = if r % 2 == 0 { (c % 2) as f32 } else { ((c + 1) % 2) as f32 };
+            let proto = if r % 2 == 0 {
+                (c % 2) as f32
+            } else {
+                ((c + 1) % 2) as f32
+            };
             if rng.gen_bool(0.05) {
                 1.0 - proto
             } else {
@@ -574,7 +640,10 @@ mod tests {
         rbm.pcd_step(&ctx, v.view(), &mut scratch, 0.05);
         let second = scratch.pcd_chain.as_ref().unwrap().clone();
         assert_ne!(first.as_slice(), second.as_slice(), "chain should move");
-        assert!(second.as_slice().iter().all(|&s| s == 0.0 || s == 1.0), "chain stays binary");
+        assert!(
+            second.as_slice().iter().all(|&s| s == 0.0 || s == 1.0),
+            "chain stays binary"
+        );
     }
 
     #[test]

@@ -77,7 +77,8 @@ impl StackedAutoencoder {
     ) -> Result<Vec<LayerReport>, TrainError> {
         let mut current = data.clone();
         let mut reports = Vec::with_capacity(self.layers.len());
-        for layer in &mut self.layers {
+        for (i, layer) in self.layers.iter_mut().enumerate() {
+            let _layer_span = ctx.phase(&format!("pretrain layer {i}"));
             let shape = (layer.config().n_visible, layer.config().n_hidden);
             let mut model = AeModel::new(layer.clone());
             let report = train_dataset(&mut model, ctx, &current, cfg, passes)?;
@@ -149,7 +150,8 @@ impl DeepBeliefNet {
     ) -> Result<Vec<LayerReport>, TrainError> {
         let mut current = data.clone();
         let mut reports = Vec::with_capacity(self.layers.len());
-        for rbm in &mut self.layers {
+        for (i, rbm) in self.layers.iter_mut().enumerate() {
+            let _layer_span = ctx.phase(&format!("pretrain layer {i}"));
             let shape = (rbm.config().n_visible, rbm.config().n_hidden);
             let mut model = RbmModel::new(rbm.clone());
             let report = train_dataset(&mut model, ctx, &current, cfg, passes)?;

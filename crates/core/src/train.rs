@@ -48,7 +48,11 @@ impl AeModel {
     /// Wraps an autoencoder for training with plain SGD at the trainer's
     /// learning rate (the paper's configuration).
     pub fn new(ae: SparseAutoencoder) -> Self {
-        AeModel { ae, scratch: None, optimizer: None }
+        AeModel {
+            ae,
+            scratch: None,
+            optimizer: None,
+        }
     }
 
     /// Uses an [`crate::Optimizer`] (momentum, schedules, AdaGrad) instead
@@ -136,7 +140,11 @@ impl RbmModel {
 
     /// Schedules each CD-1 step through the Fig. 6 dependency graph.
     pub fn with_graph_schedule(mut self) -> Self {
-        assert_eq!(self.rbm.config().cd_steps, 1, "graph schedule requires CD-1");
+        assert_eq!(
+            self.rbm.config().cd_steps,
+            1,
+            "graph schedule requires CD-1"
+        );
         self.use_graph = true;
         self
     }
@@ -193,7 +201,12 @@ impl UnsupervisedModel for RbmModel {
             ctx.axpy(mu, vb, &mut self.rbm.b_vis);
             ctx.axpy(mu, vc, &mut self.rbm.c_hid);
             ctx.scale(mu, vw);
-            ctx.cd_update(lr, scratch.pos_stats.as_slice(), scratch.neg_stats.as_slice(), vw);
+            ctx.cd_update(
+                lr,
+                scratch.pos_stats.as_slice(),
+                scratch.neg_stats.as_slice(),
+                vw,
+            );
             ctx.scale(mu, vb);
             ctx.cd_update(lr, &scratch.vis_pos, &scratch.vis_neg, vb);
             ctx.scale(mu, vc);
@@ -205,8 +218,7 @@ impl UnsupervisedModel for RbmModel {
     fn resident_bytes(&self, max_batch: usize) -> u64 {
         let cfg = self.rbm.config();
         let f = std::mem::size_of::<f32>() as u64;
-        let temps =
-            (3 * max_batch * cfg.n_hidden + max_batch * cfg.n_visible) as u64 * f;
+        let temps = (3 * max_batch * cfg.n_hidden + max_batch * cfg.n_visible) as u64 * f;
         cfg.param_bytes() * 3 + temps
     }
 }
@@ -266,7 +278,10 @@ impl std::fmt::Display for TrainError {
         match self {
             TrainError::DeviceMemory(e) => write!(f, "{e}"),
             TrainError::DimensionMismatch { expected, got } => {
-                write!(f, "chunk dimensionality {got} does not match model input {expected}")
+                write!(
+                    f,
+                    "chunk dimensionality {got} does not match model input {expected}"
+                )
             }
             TrainError::EmptyStream => write!(f, "training stream produced no chunks"),
         }
@@ -327,8 +342,7 @@ pub fn train_stream(
         Some(p) => {
             let mem = DeviceMemory::new(p.spec.mem_capacity_bytes);
             let chunk_bytes = (cfg.chunk_rows * dim * std::mem::size_of::<f32>()) as u64;
-            let total = model.resident_bytes(cfg.batch_size)
-                + chunk_bytes * cfg.buffers as u64;
+            let total = model.resident_bytes(cfg.batch_size) + chunk_bytes * cfg.buffers as u64;
             Some(mem.alloc(total, "model + loading buffers")?)
         }
         None => None,
@@ -351,7 +365,12 @@ pub fn train_stream(
         stream: StreamStats::default(),
     };
 
-    while let Some(chunk) = stream.next() {
+    loop {
+        let chunk = {
+            let _load = ctx.phase("load");
+            stream.next()
+        };
+        let Some(chunk) = chunk else { break };
         if chunk.cols() != dim {
             return Err(TrainError::DimensionMismatch {
                 expected: dim,
@@ -377,6 +396,9 @@ pub fn train_stream(
     }
     report.stream = stream.stats();
     report.sim_total_secs = ctx.sim_time();
+    if let Some(profiler) = ctx.profiler() {
+        profiler.record_stream(report.stream);
+    }
     Ok(report)
 }
 
@@ -449,7 +471,10 @@ mod tests {
         let slots = SparseAutoencoder::optimizer_slots(&cfg);
         let opt = Optimizer::new(
             Rule::Momentum { mu: 0.8 },
-            Schedule::Exponential { base: 0.2, gamma: 0.999 },
+            Schedule::Exponential {
+                base: 0.2,
+                gamma: 0.999,
+            },
             &slots,
         );
         let mut model = AeModel::new(SparseAutoencoder::new(cfg, 1)).with_optimizer(opt);
@@ -514,9 +539,16 @@ mod tests {
         let (plain_err, plain) = run(None);
         let (mom_err, mom) = run(Some(0.7));
         assert!(mom_err.is_finite() && mom_err < 1e3);
-        assert_ne!(plain.w.as_slice(), mom.w.as_slice(), "momentum changed nothing");
+        assert_ne!(
+            plain.w.as_slice(),
+            mom.w.as_slice(),
+            "momentum changed nothing"
+        );
         // Both must actually learn.
-        assert!(plain_err < 5.0 && mom_err < 5.0, "plain {plain_err} mom {mom_err}");
+        assert!(
+            plain_err < 5.0 && mom_err < 5.0,
+            "plain {plain_err} mom {mom_err}"
+        );
     }
 
     #[test]
@@ -598,7 +630,13 @@ mod tests {
             &TrainConfig::default(),
         )
         .unwrap_err();
-        assert!(matches!(err, TrainError::DimensionMismatch { expected: 10, got: 12 }));
+        assert!(matches!(
+            err,
+            TrainError::DimensionMismatch {
+                expected: 10,
+                got: 12
+            }
+        ));
     }
 
     #[test]

@@ -66,7 +66,11 @@ impl Dataset {
     pub fn normalize(&mut self) -> Normalization {
         let n = self.data.len() as f64;
         if n == 0.0 {
-            return Normalization { mean: 0.0, scale: 1.0, offset: 0.5 };
+            return Normalization {
+                mean: 0.0,
+                scale: 1.0,
+                offset: 0.5,
+            };
         }
         let mean = (self.data.sum() / n) as f32;
         let var = self
@@ -79,7 +83,11 @@ impl Dataset {
         let limit = (3.0 * var.sqrt()).max(1e-6) as f32;
         // (clamped to [-limit, limit]) / limit -> [-1, 1]; * 0.4 + 0.5 -> [0.1, 0.9]
         let scale = 0.4 / limit;
-        let norm = Normalization { mean, scale, offset: 0.5 };
+        let norm = Normalization {
+            mean,
+            scale,
+            offset: 0.5,
+        };
         self.data.map_inplace(|v| {
             let c = (v - mean).clamp(-limit, limit);
             c * scale + 0.5
@@ -212,7 +220,10 @@ mod tests {
         let norm = ds.normalize();
         assert!(norm.scale > 0.0);
         for &v in ds.matrix().as_slice() {
-            assert!((0.1 - 1e-4..=0.9 + 1e-4).contains(&v), "value {v} escaped range");
+            assert!(
+                (0.1 - 1e-4..=0.9 + 1e-4).contains(&v),
+                "value {v} escaped range"
+            );
         }
         // Mean should be near the center of the range.
         let mean = ds.matrix().sum() / ds.matrix().len() as f64;

@@ -101,9 +101,9 @@ pub fn read_idx_from(r: &mut impl Read) -> io::Result<IdxData> {
         let mut buf = [0u8; 4];
         r.read_exact(&mut buf)?;
         let d = u32::from_be_bytes(buf) as usize;
-        total = total.checked_mul(d).ok_or_else(|| {
-            io::Error::new(io::ErrorKind::InvalidData, "IDX dimensions overflow")
-        })?;
+        total = total
+            .checked_mul(d)
+            .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "IDX dimensions overflow"))?;
         dims.push(d);
     }
 
@@ -155,11 +155,18 @@ pub fn write_idx_to(
     if total != data.len() {
         return Err(io::Error::new(
             io::ErrorKind::InvalidInput,
-            format!("dims {:?} require {total} elements, got {}", dims, data.len()),
+            format!(
+                "dims {:?} require {total} elements, got {}",
+                dims,
+                data.len()
+            ),
         ));
     }
     if dims.len() > u8::MAX as usize {
-        return Err(io::Error::new(io::ErrorKind::InvalidInput, "too many dimensions"));
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidInput,
+            "too many dimensions",
+        ));
     }
     w.write_all(&[0, 0, ty.code(), dims.len() as u8])?;
     for &d in dims {

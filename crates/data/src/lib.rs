@@ -27,6 +27,6 @@ pub mod idx;
 pub mod patches;
 
 pub use dataset::{Dataset, GeneratorSource, Normalization};
-pub use idx::{read_idx, write_idx, IdxData, IdxType};
 pub use digits::DigitGenerator;
+pub use idx::{read_idx, write_idx, IdxData, IdxType};
 pub use patches::PatchGenerator;

@@ -227,7 +227,10 @@ mod tests {
             }
         }
         let r = corr / (norm_a.sqrt() * norm_b.sqrt());
-        assert!(r > 0.5, "neighbor correlation {r} too low for natural images");
+        assert!(
+            r > 0.5,
+            "neighbor correlation {r} too low for natural images"
+        );
     }
 
     #[test]

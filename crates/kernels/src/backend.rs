@@ -50,30 +50,50 @@ impl Default for Backend {
 impl Backend {
     /// Sequential scalar code, no BLAS — Table I "Baseline".
     pub const fn baseline() -> Backend {
-        Backend { par: Par::Seq, blas: false, fused: false }
+        Backend {
+            par: Par::Seq,
+            blas: false,
+            fused: false,
+        }
     }
 
     /// Loops threaded, scalar math — Table I "OpenMP".
     pub const fn threaded() -> Backend {
-        Backend { par: Par::Rayon, blas: false, fused: false }
+        Backend {
+            par: Par::Rayon,
+            blas: false,
+            fused: false,
+        }
     }
 
     /// Threaded + blocked/vectorized GEMM — Table I "OpenMP+MKL".
     pub const fn threaded_blas() -> Backend {
-        Backend { par: Par::Rayon, blas: true, fused: false }
+        Backend {
+            par: Par::Rayon,
+            blas: true,
+            fused: false,
+        }
     }
 
     /// Threaded + BLAS + fused, hand-vectorized loops — Table I
     /// "Improved OpenMP+MKL".
     pub const fn improved() -> Backend {
-        Backend { par: Par::Rayon, blas: true, fused: true }
+        Backend {
+            par: Par::Rayon,
+            blas: true,
+            fused: true,
+        }
     }
 
     /// Single-threaded but vectorized + BLAS: models an optimized
     /// single-CPU-core comparator (the host core in Figs. 7–9) and the
     /// "Matlab" comparator of Fig. 10.
     pub const fn sequential_blas() -> Backend {
-        Backend { par: Par::Seq, blas: true, fused: false }
+        Backend {
+            par: Par::Seq,
+            blas: true,
+            fused: false,
+        }
     }
 
     /// The threading strategy of this backend.
@@ -102,92 +122,125 @@ impl Backend {
 
     /// Cost of [`Backend::bias_sigmoid_rows`] over `n` elements.
     pub fn bias_sigmoid_cost(&self, n: usize) -> OpCost {
-        if self.fused {
+        let c = if self.fused {
             OpCost::elementwise(n, 2, 1).fuse(OpCost::sigmoid(n))
         } else {
             // Pre-"improved" code: two sweeps, not hand-vectorized.
             combine(OpCost::elementwise(n, 2, 1), OpCost::sigmoid(n)).scalar()
-        }
+        };
+        c.with_label("bias+sigmoid")
     }
 
     /// Cost of [`Backend::sigmoid`] over `n` elements.
     pub fn sigmoid_cost(&self, n: usize) -> OpCost {
         let c = OpCost::sigmoid(n);
-        if self.blas { c } else { c.scalar() }
+        if self.blas {
+            c
+        } else {
+            c.scalar()
+        }
     }
 
     /// Cost of [`Backend::sub`] over `n` elements.
     pub fn sub_cost(&self, n: usize) -> OpCost {
-        let c = OpCost::elementwise(n, 2, 1);
-        if self.blas { c } else { c.scalar() }
+        let c = OpCost::elementwise(n, 2, 1).with_label("sub");
+        if self.blas {
+            c
+        } else {
+            c.scalar()
+        }
     }
 
     /// Cost of [`Backend::axpy`] over `n` elements.
     pub fn axpy_cost(&self, n: usize) -> OpCost {
-        let c = OpCost::elementwise(n, 2, 2);
-        if self.blas { c } else { c.scalar() }
+        let c = OpCost::elementwise(n, 2, 2).with_label("axpy");
+        if self.blas {
+            c
+        } else {
+            c.scalar()
+        }
     }
 
     /// Cost of [`Backend::scale`] over `n` elements.
     pub fn scale_cost(&self, n: usize) -> OpCost {
-        let c = OpCost::elementwise(n, 1, 1);
-        if self.blas { c } else { c.scalar() }
+        let c = OpCost::elementwise(n, 1, 1).with_label("scale");
+        if self.blas {
+            c
+        } else {
+            c.scalar()
+        }
     }
 
     /// Cost of [`Backend::sigmoid_backprop`] over `n` elements.
     pub fn sigmoid_backprop_cost(&self, n: usize) -> OpCost {
-        let c = OpCost::elementwise(n, 2, 3);
-        if self.blas { c } else { c.scalar() }
+        let c = OpCost::elementwise(n, 2, 3).with_label("sigmoid-backprop");
+        if self.blas {
+            c
+        } else {
+            c.scalar()
+        }
     }
 
     /// Cost of [`Backend::delta_output`] over `n` elements.
     pub fn delta_output_cost(&self, n: usize) -> OpCost {
-        if self.fused {
+        let c = if self.fused {
             OpCost::elementwise(n, 2, 4)
         } else {
             combine(OpCost::elementwise(n, 2, 1), OpCost::elementwise(n, 2, 3)).scalar()
-        }
+        };
+        c.with_label("delta-output")
     }
 
     /// Cost of [`Backend::bias_deriv_rows`] over `n` elements.
     pub fn bias_deriv_cost(&self, n: usize) -> OpCost {
-        if self.fused {
+        let c = if self.fused {
             OpCost::elementwise(n, 3, 4)
         } else {
             combine(OpCost::elementwise(n, 2, 1), OpCost::elementwise(n, 2, 3)).scalar()
-        }
+        };
+        c.with_label("bias-deriv")
     }
 
     /// Cost of [`Backend::sgd_step`] over `n` elements.
     pub fn sgd_cost(&self, n: usize) -> OpCost {
-        if self.fused {
+        let c = if self.fused {
             OpCost::elementwise(n, 2, 3)
         } else {
             combine(OpCost::elementwise(n, 1, 1), OpCost::elementwise(n, 2, 2)).scalar()
-        }
+        };
+        c.with_label("sgd-step")
     }
 
     /// Cost of [`Backend::cd_update`] over `n` elements.
     pub fn cd_update_cost(&self, n: usize) -> OpCost {
-        if self.fused {
+        let c = if self.fused {
             OpCost::elementwise(n, 3, 3)
         } else {
             combine(OpCost::elementwise(n, 2, 1), OpCost::elementwise(n, 2, 2)).scalar()
-        }
+        };
+        c.with_label("cd-update")
     }
 
     /// Cost of [`Backend::colsum`] / [`Backend::colmean`] /
     /// [`Backend::frob_dist_sq`] over an `m x n` operand.
     pub fn reduce_cost(&self, m: usize, n: usize) -> OpCost {
         let c = OpCost::reduce(m, n);
-        if self.blas { c } else { c.scalar() }
+        if self.blas {
+            c
+        } else {
+            c.scalar()
+        }
     }
 
     /// Cost of [`Backend::bernoulli`] over `n` elements. The paper
     /// vectorizes the sampling loop only in its final optimization step.
     pub fn sample_cost(&self, n: usize) -> OpCost {
-        let c = OpCost::sample(n);
-        if self.fused { c } else { c.scalar() }
+        let c = OpCost::sample(n).with_label("bernoulli");
+        if self.fused {
+            c
+        } else {
+            c.scalar()
+        }
     }
 
     // ------------------------------------------------------------------
@@ -292,12 +345,7 @@ impl Backend {
 
     /// Hidden-layer delta: per row `delta = (delta + s) ⊙ y ⊙ (1 - y)`
     /// (sparsity term plus sigmoid derivative). Fused or two sweeps.
-    pub fn bias_deriv_rows(
-        &self,
-        s: &[f32],
-        y: MatView<'_>,
-        delta: &mut MatViewMut<'_>,
-    ) -> OpCost {
+    pub fn bias_deriv_rows(&self, s: &[f32], y: MatView<'_>, delta: &mut MatViewMut<'_>) -> OpCost {
         let n = delta.as_slice().len();
         if self.fused {
             fused::bias_deriv_rows(self.par, s, y, delta);
@@ -449,10 +497,26 @@ mod tests {
         let a = Mat::from_fn(33, 47, |r, c| ((r * 47 + c) as f32 * 0.01).sin());
         let b = Mat::from_fn(47, 29, |r, c| ((r + c) as f32 * 0.02).cos());
         let mut reference = Mat::zeros(33, 29);
-        naive::gemm_ref(1.0, a.view(), false, b.view(), false, 0.0, &mut reference.view_mut());
+        naive::gemm_ref(
+            1.0,
+            a.view(),
+            false,
+            b.view(),
+            false,
+            0.0,
+            &mut reference.view_mut(),
+        );
         for be in all_backends() {
             let mut c = Mat::zeros(33, 29);
-            let cost = be.gemm(1.0, a.view(), false, b.view(), false, 0.0, &mut c.view_mut());
+            let cost = be.gemm(
+                1.0,
+                a.view(),
+                false,
+                b.view(),
+                false,
+                0.0,
+                &mut c.view_mut(),
+            );
             assert!(
                 max_abs_diff(c.as_slice(), reference.as_slice()) < 1e-3,
                 "backend {be:?} diverged"
@@ -469,8 +533,24 @@ mod tests {
         let b = Mat::from_fn(31, 17, |r, c| ((r * 17 + c) as f32).cos());
         let mut c_ref = Mat::full(20, 17, 0.5);
         let mut c_thr = Mat::full(20, 17, 0.5);
-        naive::gemm_ref(0.7, a.view(), false, b.view(), false, 0.3, &mut c_ref.view_mut());
-        gemm_threaded_scalar(0.7, a.view(), false, b.view(), false, 0.3, &mut c_thr.view_mut());
+        naive::gemm_ref(
+            0.7,
+            a.view(),
+            false,
+            b.view(),
+            false,
+            0.3,
+            &mut c_ref.view_mut(),
+        );
+        gemm_threaded_scalar(
+            0.7,
+            a.view(),
+            false,
+            b.view(),
+            false,
+            0.3,
+            &mut c_thr.view_mut(),
+        );
         assert_eq!(c_ref.as_slice(), c_thr.as_slice());
     }
 
@@ -498,7 +578,9 @@ mod tests {
 
     #[test]
     fn bias_deriv_agrees_fused_vs_not() {
-        let y = Mat::from_fn(30, 20, |r, c| 0.1 + 0.8 * (((r * 20 + c) % 13) as f32 / 13.0));
+        let y = Mat::from_fn(30, 20, |r, c| {
+            0.1 + 0.8 * (((r * 20 + c) % 13) as f32 / 13.0)
+        });
         let d0 = Mat::from_fn(30, 20, |r, c| ((r + c) as f32 * 0.03).sin());
         let s: Vec<f32> = (0..20).map(|i| (i as f32 * 0.1).cos()).collect();
         let mut outs = Vec::new();
@@ -514,7 +596,9 @@ mod tests {
 
     #[test]
     fn delta_output_and_sgd_agree() {
-        let z: Vec<f32> = (0..5000).map(|i| 0.1 + 0.8 * ((i % 97) as f32 / 97.0)).collect();
+        let z: Vec<f32> = (0..5000)
+            .map(|i| 0.1 + 0.8 * ((i % 97) as f32 / 97.0))
+            .collect();
         let x: Vec<f32> = (0..5000).map(|i| (i % 13) as f32 / 13.0).collect();
         let mut ref_out = vec![0.0f32; 5000];
         Backend::baseline().delta_output(&z, &x, &mut ref_out);
@@ -575,9 +659,15 @@ mod tests {
         let be = Backend::threaded_blas();
         let bias = vec![0.1f32; 16];
         let mut m = Mat::zeros(8, 16);
-        assert_eq!(be.bias_sigmoid_rows(&bias, &mut m.view_mut()), be.bias_sigmoid_cost(128));
+        assert_eq!(
+            be.bias_sigmoid_rows(&bias, &mut m.view_mut()),
+            be.bias_sigmoid_cost(128)
+        );
         let mut w = vec![0.0f32; 64];
-        assert_eq!(be.sgd_step(0.1, 0.0, &vec![0.0; 64], &mut w), be.sgd_cost(64));
+        assert_eq!(
+            be.sgd_step(0.1, 0.0, &vec![0.0; 64], &mut w),
+            be.sgd_cost(64)
+        );
         assert_eq!(
             be.cd_update(0.1, &vec![0.0; 64], &vec![0.0; 64], &mut w),
             be.cd_update_cost(64)

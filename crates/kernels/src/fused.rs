@@ -28,7 +28,11 @@ pub fn add_bias_rows(par: Par, bias: &[f32], c: &mut MatViewMut<'_>) {
 
 /// Fused `c = sigmoid(c + bias)` per row — one sweep, one barrier.
 pub fn bias_sigmoid_rows(par: Par, bias: &[f32], c: &mut MatViewMut<'_>) {
-    assert_eq!(bias.len(), c.cols(), "bias_sigmoid_rows: bias length mismatch");
+    assert_eq!(
+        bias.len(),
+        c.cols(),
+        "bias_sigmoid_rows: bias length mismatch"
+    );
     let cols = c.cols();
     let body = |rows: &mut [f32]| {
         for row in rows.chunks_exact_mut(cols) {
@@ -126,7 +130,10 @@ pub fn cd_update(par: Par, scale: f32, pos: &[f32], neg: &[f32], w: &mut [f32]) 
     };
     if par.is_parallel() && w.len() >= PAR_THRESHOLD {
         w.par_chunks_mut(PAR_THRESHOLD)
-            .zip(pos.par_chunks(PAR_THRESHOLD).zip(neg.par_chunks(PAR_THRESHOLD)))
+            .zip(
+                pos.par_chunks(PAR_THRESHOLD)
+                    .zip(neg.par_chunks(PAR_THRESHOLD)),
+            )
             .for_each(|(wc, (pc, nc))| body(wc, pc, nc));
     } else {
         body(w, pos, neg);
@@ -142,8 +149,15 @@ pub fn cd_update(par: Par, scale: f32, pos: &[f32], neg: &[f32], w: &mut [f32]) 
 /// Activations are clamped away from {0, 1} so the penalty stays finite
 /// even for dead or saturated units.
 pub fn kl_sparsity(rho: f32, beta: f32, rho_hat: &[f32], delta_term: &mut [f32]) -> f64 {
-    assert_eq!(rho_hat.len(), delta_term.len(), "kl_sparsity: length mismatch");
-    assert!((0.0..1.0).contains(&rho) && rho > 0.0, "rho must be in (0,1)");
+    assert_eq!(
+        rho_hat.len(),
+        delta_term.len(),
+        "kl_sparsity: length mismatch"
+    );
+    assert!(
+        (0.0..1.0).contains(&rho) && rho > 0.0,
+        "rho must be in (0,1)"
+    );
     const EPS: f32 = 1e-6;
     let mut kl = 0.0f64;
     for (d, &rh) in delta_term.iter_mut().zip(rho_hat) {
@@ -162,9 +176,7 @@ fn run_rows(par: Par, c: &mut MatViewMut<'_>, cols: usize, body: impl Fn(&mut [f
     let rows_per_task = (PAR_THRESHOLD / cols).max(1);
     let slice = c.as_mut_slice();
     if par.is_parallel() && slice.len() >= PAR_THRESHOLD {
-        slice
-            .par_chunks_mut(rows_per_task * cols)
-            .for_each(&body);
+        slice.par_chunks_mut(rows_per_task * cols).for_each(&body);
     } else {
         body(slice);
     }

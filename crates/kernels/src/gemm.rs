@@ -50,7 +50,10 @@ impl Default for GemmBlocking {
 impl GemmBlocking {
     /// Validates that every block dimension is non-zero.
     pub fn validated(self) -> Self {
-        assert!(self.mc > 0 && self.kc > 0 && self.nc > 0, "GemmBlocking: zero block size");
+        assert!(
+            self.mc > 0 && self.kc > 0 && self.nc > 0,
+            "GemmBlocking: zero block size"
+        );
         self
     }
 }
@@ -134,10 +137,7 @@ pub fn gemm_with_blocking(
             };
 
             if par.is_parallel() {
-                c_slice
-                    .par_chunks_mut(row_block)
-                    .enumerate()
-                    .for_each(task);
+                c_slice.par_chunks_mut(row_block).enumerate().for_each(task);
             } else {
                 c_slice.chunks_mut(row_block).enumerate().for_each(task);
             }
@@ -177,7 +177,15 @@ fn pack_b(b: &MatView<'_>, tb: bool, pc: usize, kc: usize, jc: usize, nc: usize,
 
 /// Packs `alpha * op(A)[ic..ic+mc, pc..pc+kc]` into a fresh `mc x kc`
 /// row-major slab.
-fn pack_a(a: &MatView<'_>, ta: bool, ic: usize, mc: usize, pc: usize, kc: usize, alpha: f32) -> Vec<f32> {
+fn pack_a(
+    a: &MatView<'_>,
+    ta: bool,
+    ic: usize,
+    mc: usize,
+    pc: usize,
+    kc: usize,
+    alpha: f32,
+) -> Vec<f32> {
     let mut out = vec![0.0f32; mc * kc];
     if !ta {
         for i in 0..mc {
@@ -250,16 +258,41 @@ mod tests {
 
     fn check_against_ref(m: usize, n: usize, k: usize, ta: bool, tb: bool, alpha: f32, beta: f32) {
         let mut rng = StdRng::seed_from_u64((m * 31 + n * 7 + k) as u64);
-        let a = if ta { random_mat(k, m, &mut rng) } else { random_mat(m, k, &mut rng) };
-        let b = if tb { random_mat(n, k, &mut rng) } else { random_mat(k, n, &mut rng) };
+        let a = if ta {
+            random_mat(k, m, &mut rng)
+        } else {
+            random_mat(m, k, &mut rng)
+        };
+        let b = if tb {
+            random_mat(n, k, &mut rng)
+        } else {
+            random_mat(k, n, &mut rng)
+        };
         let c0 = random_mat(m, n, &mut rng);
 
         let mut c_ref = c0.clone();
-        gemm_ref(alpha, a.view(), ta, b.view(), tb, beta, &mut c_ref.view_mut());
+        gemm_ref(
+            alpha,
+            a.view(),
+            ta,
+            b.view(),
+            tb,
+            beta,
+            &mut c_ref.view_mut(),
+        );
 
         for par in [Par::Seq, Par::Rayon] {
             let mut c = c0.clone();
-            gemm(par, alpha, a.view(), ta, b.view(), tb, beta, &mut c.view_mut());
+            gemm(
+                par,
+                alpha,
+                a.view(),
+                ta,
+                b.view(),
+                tb,
+                beta,
+                &mut c.view_mut(),
+            );
             let diff = max_abs_diff(c.as_slice(), c_ref.as_slice());
             assert!(
                 diff < 1e-3 * (k as f32).max(1.0).sqrt(),
@@ -295,8 +328,26 @@ mod tests {
         let b = random_mat(300, 150, &mut rng);
         let mut c1 = Mat::zeros(200, 150);
         let mut c2 = Mat::zeros(200, 150);
-        gemm(Par::Seq, 1.0, a.view(), false, b.view(), false, 0.0, &mut c1.view_mut());
-        gemm(Par::Rayon, 1.0, a.view(), false, b.view(), false, 0.0, &mut c2.view_mut());
+        gemm(
+            Par::Seq,
+            1.0,
+            a.view(),
+            false,
+            b.view(),
+            false,
+            0.0,
+            &mut c1.view_mut(),
+        );
+        gemm(
+            Par::Rayon,
+            1.0,
+            a.view(),
+            false,
+            b.view(),
+            false,
+            0.0,
+            &mut c2.view_mut(),
+        );
         assert_eq!(c1.as_slice(), c2.as_slice(), "threading changed bits");
     }
 
@@ -306,14 +357,45 @@ mod tests {
         let a = random_mat(50, 70, &mut rng);
         let b = random_mat(70, 40, &mut rng);
         let mut c_default = Mat::zeros(50, 40);
-        gemm(Par::Seq, 1.0, a.view(), false, b.view(), false, 0.0, &mut c_default.view_mut());
+        gemm(
+            Par::Seq,
+            1.0,
+            a.view(),
+            false,
+            b.view(),
+            false,
+            0.0,
+            &mut c_default.view_mut(),
+        );
         for blk in [
-            GemmBlocking { mc: 1, kc: 1, nc: 1 },
-            GemmBlocking { mc: 7, kc: 13, nc: 5 },
-            GemmBlocking { mc: 1000, kc: 1000, nc: 1000 },
+            GemmBlocking {
+                mc: 1,
+                kc: 1,
+                nc: 1,
+            },
+            GemmBlocking {
+                mc: 7,
+                kc: 13,
+                nc: 5,
+            },
+            GemmBlocking {
+                mc: 1000,
+                kc: 1000,
+                nc: 1000,
+            },
         ] {
             let mut c = Mat::zeros(50, 40);
-            gemm_with_blocking(Par::Seq, 1.0, a.view(), false, b.view(), false, 0.0, &mut c.view_mut(), blk);
+            gemm_with_blocking(
+                Par::Seq,
+                1.0,
+                a.view(),
+                false,
+                b.view(),
+                false,
+                0.0,
+                &mut c.view_mut(),
+                blk,
+            );
             let diff = max_abs_diff(c.as_slice(), c_default.as_slice());
             assert!(diff < 1e-4, "blocking {blk:?} diverged: {diff}");
         }
@@ -325,7 +407,16 @@ mod tests {
         let a = Mat::eye(2);
         let b = Mat::full(2, 2, 3.0);
         let mut c = Mat::full(2, 2, f32::NAN);
-        gemm(Par::Seq, 1.0, a.view(), false, b.view(), false, 0.0, &mut c.view_mut());
+        gemm(
+            Par::Seq,
+            1.0,
+            a.view(),
+            false,
+            b.view(),
+            false,
+            0.0,
+            &mut c.view_mut(),
+        );
         assert!(c.all_finite());
         assert!(c.as_slice().iter().all(|&x| x == 3.0));
     }
@@ -335,7 +426,16 @@ mod tests {
         let a = Mat::full(2, 3, f32::NAN); // must never be touched
         let b = Mat::full(3, 2, f32::NAN);
         let mut c = Mat::full(2, 2, 4.0);
-        gemm(Par::Seq, 0.0, a.view(), false, b.view(), false, 0.5, &mut c.view_mut());
+        gemm(
+            Par::Seq,
+            0.0,
+            a.view(),
+            false,
+            b.view(),
+            false,
+            0.5,
+            &mut c.view_mut(),
+        );
         assert!(c.as_slice().iter().all(|&x| x == 2.0));
     }
 
@@ -344,12 +444,33 @@ mod tests {
         let a = Mat::zeros(0, 5);
         let b = Mat::zeros(5, 3);
         let mut c = Mat::zeros(0, 3);
-        gemm(Par::Seq, 1.0, a.view(), false, b.view(), false, 0.0, &mut c.view_mut());
+        gemm(
+            Par::Seq,
+            1.0,
+            a.view(),
+            false,
+            b.view(),
+            false,
+            0.0,
+            &mut c.view_mut(),
+        );
         let a = Mat::zeros(2, 0);
         let b = Mat::zeros(0, 3);
         let mut c = Mat::full(2, 3, 1.0);
-        gemm(Par::Seq, 1.0, a.view(), false, b.view(), false, 1.0, &mut c.view_mut());
-        assert!(c.as_slice().iter().all(|&x| x == 1.0), "k=0 with beta=1 must keep C");
+        gemm(
+            Par::Seq,
+            1.0,
+            a.view(),
+            false,
+            b.view(),
+            false,
+            1.0,
+            &mut c.view_mut(),
+        );
+        assert!(
+            c.as_slice().iter().all(|&x| x == 1.0),
+            "k=0 with beta=1 must keep C"
+        );
     }
 
     #[test]
@@ -378,6 +499,15 @@ mod tests {
         let a = Mat::zeros(2, 3);
         let b = Mat::zeros(3, 4);
         let mut c = Mat::zeros(2, 5);
-        gemm(Par::Seq, 1.0, a.view(), false, b.view(), false, 0.0, &mut c.view_mut());
+        gemm(
+            Par::Seq,
+            1.0,
+            a.view(),
+            false,
+            b.view(),
+            false,
+            0.0,
+            &mut c.view_mut(),
+        );
     }
 }

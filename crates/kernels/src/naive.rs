@@ -98,7 +98,15 @@ mod tests {
         let a = Mat::from_fn(3, 3, |r, c| (r * 3 + c) as f32);
         let i = Mat::eye(3);
         let mut c = Mat::zeros(3, 3);
-        gemm_ref(1.0, a.view(), false, i.view(), false, 0.0, &mut c.view_mut());
+        gemm_ref(
+            1.0,
+            a.view(),
+            false,
+            i.view(),
+            false,
+            0.0,
+            &mut c.view_mut(),
+        );
         assert_eq!(c, a);
     }
 
@@ -108,7 +116,15 @@ mod tests {
         let a = Mat::from_vec(2, 2, vec![1.0, 2.0, 3.0, 4.0]).unwrap();
         let b = Mat::from_vec(2, 2, vec![5.0, 6.0, 7.0, 8.0]).unwrap();
         let mut c = Mat::zeros(2, 2);
-        gemm_ref(1.0, a.view(), false, b.view(), false, 0.0, &mut c.view_mut());
+        gemm_ref(
+            1.0,
+            a.view(),
+            false,
+            b.view(),
+            false,
+            0.0,
+            &mut c.view_mut(),
+        );
         assert_eq!(c.as_slice(), &[19.0, 22.0, 43.0, 50.0]);
     }
 
@@ -121,16 +137,40 @@ mod tests {
         gemm_ref(1.0, a.view(), true, b.view(), false, 0.0, &mut c.view_mut());
         let at = a.transposed();
         let mut expect = Mat::zeros(3, 5);
-        gemm_ref(1.0, at.view(), false, b.view(), false, 0.0, &mut expect.view_mut());
+        gemm_ref(
+            1.0,
+            at.view(),
+            false,
+            b.view(),
+            false,
+            0.0,
+            &mut expect.view_mut(),
+        );
         assert_eq!(c, expect);
 
         // C = A^T * B^T would mismatch dims; use B: 5x4 instead.
         let b2 = Mat::from_fn(5, 4, |r, c| (r * 2 + c) as f32);
         let mut c2 = Mat::zeros(3, 5);
-        gemm_ref(1.0, a.view(), true, b2.view(), true, 0.0, &mut c2.view_mut());
+        gemm_ref(
+            1.0,
+            a.view(),
+            true,
+            b2.view(),
+            true,
+            0.0,
+            &mut c2.view_mut(),
+        );
         let b2t = b2.transposed();
         let mut expect2 = Mat::zeros(3, 5);
-        gemm_ref(1.0, at.view(), false, b2t.view(), false, 0.0, &mut expect2.view_mut());
+        gemm_ref(
+            1.0,
+            at.view(),
+            false,
+            b2t.view(),
+            false,
+            0.0,
+            &mut expect2.view_mut(),
+        );
         assert_eq!(c2, expect2);
     }
 
@@ -139,7 +179,15 @@ mod tests {
         let a = Mat::eye(2);
         let b = Mat::full(2, 2, 1.0);
         let mut c = Mat::full(2, 2, 10.0);
-        gemm_ref(2.0, a.view(), false, b.view(), false, 0.5, &mut c.view_mut());
+        gemm_ref(
+            2.0,
+            a.view(),
+            false,
+            b.view(),
+            false,
+            0.5,
+            &mut c.view_mut(),
+        );
         // alpha*I*ones + 0.5*10 = 2 + 5 = 7 everywhere
         assert!(c.as_slice().iter().all(|&x| x == 7.0));
     }
@@ -152,7 +200,15 @@ mod tests {
         gemv_ref(1.0, a.view(), false, &x, 1.0, &mut y);
         let xm = Mat::from_vec(4, 1, x.to_vec()).unwrap();
         let mut c = Mat::full(3, 1, 1.0);
-        gemm_ref(1.0, a.view(), false, xm.view(), false, 1.0, &mut c.view_mut());
+        gemm_ref(
+            1.0,
+            a.view(),
+            false,
+            xm.view(),
+            false,
+            1.0,
+            &mut c.view_mut(),
+        );
         assert_eq!(&y[..], c.as_slice());
     }
 
@@ -170,6 +226,14 @@ mod tests {
         let a = Mat::zeros(2, 3);
         let b = Mat::zeros(4, 2);
         let mut c = Mat::zeros(2, 2);
-        gemm_ref(1.0, a.view(), false, b.view(), false, 0.0, &mut c.view_mut());
+        gemm_ref(
+            1.0,
+            a.view(),
+            false,
+            b.view(),
+            false,
+            0.0,
+            &mut c.view_mut(),
+        );
     }
 }

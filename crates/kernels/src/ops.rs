@@ -26,6 +26,22 @@ pub enum OpKind {
     Memcpy,
 }
 
+impl OpKind {
+    /// Stable lowercase name, used as a trace category and aggregation key
+    /// by the profiler.
+    pub fn name(self) -> &'static str {
+        match self {
+            OpKind::Gemm => "gemm",
+            OpKind::Gemv => "gemv",
+            OpKind::Elementwise => "elementwise",
+            OpKind::Transcendental => "transcendental",
+            OpKind::Reduce => "reduce",
+            OpKind::Sample => "sample",
+            OpKind::Memcpy => "memcpy",
+        }
+    }
+}
+
 /// Work and traffic performed by one kernel invocation.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct OpCost {
@@ -50,6 +66,10 @@ pub struct OpCost {
     /// paper's Fig. 9 batch-size sweep measures; the cost model scales
     /// GEMM efficiency by this. Zero for non-GEMM ops.
     pub min_dim: u32,
+    /// Human-readable op name, carried into trace events and profiler
+    /// aggregation. Defaults to the constructor's kernel family; backends
+    /// override it per fused kernel via [`OpCost::with_label`].
+    pub label: &'static str,
 }
 
 const F32: u64 = std::mem::size_of::<f32>() as u64;
@@ -66,6 +86,7 @@ impl OpCost {
             parallel_regions: 1,
             vectorizable: blas,
             blas,
+            label: "gemm",
             min_dim: m.min(n).min(k) as u32,
         }
     }
@@ -81,6 +102,7 @@ impl OpCost {
             parallel_regions: 1,
             vectorizable: blas,
             blas,
+            label: "gemv",
             min_dim: m.min(k) as u32,
         }
     }
@@ -96,6 +118,7 @@ impl OpCost {
             parallel_regions: 1,
             vectorizable: true,
             blas: false,
+            label: "elementwise",
             min_dim: 0,
         }
     }
@@ -110,6 +133,7 @@ impl OpCost {
             parallel_regions: 1,
             vectorizable: true,
             blas: false,
+            label: "sigmoid",
             min_dim: 0,
         }
     }
@@ -124,6 +148,7 @@ impl OpCost {
             parallel_regions: 1,
             vectorizable: true,
             blas: false,
+            label: "reduce",
             min_dim: 0,
         }
     }
@@ -138,6 +163,7 @@ impl OpCost {
             parallel_regions: 1,
             vectorizable: true,
             blas: false,
+            label: "sample",
             min_dim: 0,
         }
     }
@@ -152,6 +178,7 @@ impl OpCost {
             parallel_regions: 1,
             vectorizable: true,
             blas: false,
+            label: "memcpy",
             min_dim: 0,
         }
     }
@@ -160,6 +187,13 @@ impl OpCost {
     /// the naive kernels.
     pub fn scalar(mut self) -> OpCost {
         self.vectorizable = false;
+        self
+    }
+
+    /// Renames the op (fused kernels report a name describing the whole
+    /// fused loop, e.g. "bias+sigmoid").
+    pub fn with_label(mut self, label: &'static str) -> OpCost {
+        self.label = label;
         self
     }
 
@@ -217,5 +251,17 @@ mod tests {
     #[test]
     fn scalar_strips_vectorization() {
         assert!(!OpCost::sigmoid(10).scalar().vectorizable);
+    }
+
+    #[test]
+    fn labels_and_kind_names() {
+        assert_eq!(OpCost::gemm(2, 2, 2, true).label, "gemm");
+        assert_eq!(OpCost::sigmoid(4).label, "sigmoid");
+        assert_eq!(
+            OpCost::sigmoid(4).with_label("bias+sigmoid").label,
+            "bias+sigmoid"
+        );
+        assert_eq!(OpKind::Transcendental.name(), "transcendental");
+        assert_eq!(OpKind::Gemm.name(), "gemm");
     }
 }

@@ -1,0 +1,260 @@
+//! Workspace-local substitute for the `rayon` crate.
+//!
+//! The build environment has no access to crates.io, so this crate
+//! implements the small slice-parallelism surface the workspace actually
+//! uses — `par_chunks`, `par_chunks_mut`, `par_iter_mut`, `enumerate`,
+//! `zip`, `map`/`collect`, `for_each` and `current_num_threads` — on top of
+//! `std::thread::scope`. Semantics match rayon where it matters for this
+//! workspace: items are processed exactly once, `map`+`collect` preserves
+//! order, and chunk boundaries are identical to the sequential chunking (the
+//! kernels rely on fixed chunking for bit-reproducibility).
+
+use std::num::NonZeroUsize;
+
+/// Number of worker threads a parallel region may fork across.
+pub fn current_num_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+fn run_each<T: Send, F: Fn(T) + Sync>(items: Vec<T>, f: F) {
+    let threads = current_num_threads().min(items.len().max(1));
+    if threads <= 1 || items.len() <= 1 {
+        for it in items {
+            f(it);
+        }
+        return;
+    }
+    // Contiguous block distribution; each worker owns its block.
+    let len = items.len();
+    let per = len.div_ceil(threads);
+    let mut blocks: Vec<Vec<T>> = Vec::with_capacity(threads);
+    let mut it = items.into_iter();
+    while it.len() > 0 {
+        blocks.push(it.by_ref().take(per).collect());
+    }
+    let f = &f;
+    std::thread::scope(|s| {
+        // The first block runs on the calling thread.
+        let mut blocks = blocks.into_iter();
+        let mine = blocks.next().unwrap_or_default();
+        for b in blocks {
+            s.spawn(move || {
+                for x in b {
+                    f(x)
+                }
+            });
+        }
+        for x in mine {
+            f(x)
+        }
+    });
+}
+
+fn run_map<T: Send, R: Send, F: Fn(T) -> R + Sync>(items: Vec<T>, f: F) -> Vec<R> {
+    let threads = current_num_threads().min(items.len().max(1));
+    if threads <= 1 || items.len() <= 1 {
+        return items.into_iter().map(f).collect();
+    }
+    let len = items.len();
+    let per = len.div_ceil(threads);
+    let mut blocks: Vec<Vec<T>> = Vec::with_capacity(threads);
+    let mut it = items.into_iter();
+    while it.len() > 0 {
+        blocks.push(it.by_ref().take(per).collect());
+    }
+    let f = &f;
+    let mut out: Vec<Vec<R>> = Vec::new();
+    std::thread::scope(|s| {
+        let handles: Vec<_> = blocks
+            .into_iter()
+            .map(|b| s.spawn(move || b.into_iter().map(f).collect::<Vec<R>>()))
+            .collect();
+        for h in handles {
+            out.push(h.join().expect("parallel map worker panicked"));
+        }
+    });
+    out.into_iter().flatten().collect()
+}
+
+/// An eager "parallel iterator": the item list is materialized up front and
+/// the terminal operation fans out over threads.
+pub struct ParIter<T> {
+    items: Vec<T>,
+}
+
+impl<T: Send> ParIter<T> {
+    /// Pairs every item with its index.
+    pub fn enumerate(self) -> ParIter<(usize, T)> {
+        ParIter {
+            items: self.items.into_iter().enumerate().collect(),
+        }
+    }
+
+    /// Zips with another parallel iterator (truncating to the shorter).
+    pub fn zip<U: Send>(self, other: ParIter<U>) -> ParIter<(T, U)> {
+        ParIter {
+            items: self.items.into_iter().zip(other.items).collect(),
+        }
+    }
+
+    /// Applies `f` to every item, potentially in parallel.
+    pub fn for_each<F: Fn(T) + Sync>(self, f: F) {
+        run_each(self.items, f);
+    }
+
+    /// Lazily maps items; realized by [`ParMap::collect`].
+    pub fn map<R: Send, F: Fn(T) -> R + Sync>(self, f: F) -> ParMap<T, F> {
+        ParMap {
+            items: self.items,
+            f,
+        }
+    }
+
+    /// Number of items.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// `true` when there are no items.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+}
+
+/// A mapped parallel iterator awaiting collection.
+pub struct ParMap<T, F> {
+    items: Vec<T>,
+    f: F,
+}
+
+impl<T: Send, F> ParMap<T, F> {
+    /// Runs the map in parallel, preserving input order.
+    pub fn collect<C, R>(self) -> C
+    where
+        R: Send,
+        F: Fn(T) -> R + Sync,
+        C: FromIterator<R>,
+    {
+        run_map(self.items, self.f).into_iter().collect()
+    }
+}
+
+/// `par_chunks` on shared slices.
+pub trait ParallelSlice<T: Sync> {
+    /// Parallel iterator over `chunk_size`-sized sub-slices.
+    fn par_chunks(&self, chunk_size: usize) -> ParIter<&[T]>;
+}
+
+impl<T: Sync> ParallelSlice<T> for [T] {
+    fn par_chunks(&self, chunk_size: usize) -> ParIter<&[T]> {
+        assert!(chunk_size > 0, "chunk size must be positive");
+        ParIter {
+            items: self.chunks(chunk_size).collect(),
+        }
+    }
+}
+
+/// `par_chunks_mut` on mutable slices.
+pub trait ParallelSliceMut<T: Send> {
+    /// Parallel iterator over `chunk_size`-sized mutable sub-slices.
+    fn par_chunks_mut(&mut self, chunk_size: usize) -> ParIter<&mut [T]>;
+}
+
+impl<T: Send> ParallelSliceMut<T> for [T] {
+    fn par_chunks_mut(&mut self, chunk_size: usize) -> ParIter<&mut [T]> {
+        assert!(chunk_size > 0, "chunk size must be positive");
+        ParIter {
+            items: self.chunks_mut(chunk_size).collect(),
+        }
+    }
+}
+
+/// `par_iter_mut` on mutable slices (and anything derefing to one).
+pub trait IntoParallelRefMutIterator<T: Send> {
+    /// Parallel iterator over `&mut` items.
+    fn par_iter_mut(&mut self) -> ParIter<&mut T>;
+}
+
+impl<T: Send> IntoParallelRefMutIterator<T> for [T] {
+    fn par_iter_mut(&mut self) -> ParIter<&mut T> {
+        ParIter {
+            items: self.iter_mut().collect(),
+        }
+    }
+}
+
+/// Runs two closures, potentially in parallel, returning both results.
+pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA + Send,
+    B: FnOnce() -> RB + Send,
+    RA: Send,
+    RB: Send,
+{
+    std::thread::scope(|s| {
+        let hb = s.spawn(b);
+        let ra = a();
+        (ra, hb.join().expect("join worker panicked"))
+    })
+}
+
+/// The drop-in `use rayon::prelude::*` surface.
+pub mod prelude {
+    pub use crate::{IntoParallelRefMutIterator, ParIter, ParMap, ParallelSlice, ParallelSliceMut};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn chunks_cover_everything_in_order() {
+        let v: Vec<u32> = (0..100).collect();
+        let sums: Vec<u32> = v
+            .par_chunks(7)
+            .map(|c| c.iter().sum::<u32>())
+            .collect::<Vec<u32>>();
+        assert_eq!(sums.len(), 15);
+        assert_eq!(sums.iter().sum::<u32>(), (0..100).sum::<u32>());
+        // Order preserved: first chunk is 0..7.
+        assert_eq!(sums[0], (0..7).sum::<u32>());
+    }
+
+    #[test]
+    fn chunks_mut_enumerate_writes_disjoint() {
+        let mut v = vec![0usize; 40];
+        v.par_chunks_mut(8).enumerate().for_each(|(i, c)| {
+            for x in c.iter_mut() {
+                *x = i;
+            }
+        });
+        assert_eq!(v[0], 0);
+        assert_eq!(v[39], 4);
+    }
+
+    #[test]
+    fn zip_truncates_and_pairs() {
+        let a = [1, 2, 3, 4];
+        let mut out = vec![0; 4];
+        out.par_chunks_mut(1)
+            .zip(a.par_chunks(1))
+            .for_each(|(o, c)| o[0] = c[0] * 10);
+        assert_eq!(out, vec![10, 20, 30, 40]);
+    }
+
+    #[test]
+    fn par_iter_mut_enumerates() {
+        let mut v = vec![0usize; 10];
+        v.par_iter_mut().enumerate().for_each(|(i, x)| *x = i * i);
+        assert_eq!(v[3], 9);
+    }
+
+    #[test]
+    fn join_returns_both() {
+        let (a, b) = super::join(|| 1 + 1, || "x".to_string());
+        assert_eq!(a, 2);
+        assert_eq!(b, "x");
+    }
+}

@@ -51,7 +51,8 @@ impl CostModel {
             let threads = p.threads_used();
             (
                 threads,
-                p.affinity.place(threads, p.cores_used.max(1), spec.threads_per_core),
+                p.affinity
+                    .place(threads, p.cores_used.max(1), spec.threads_per_core),
             )
         } else {
             (1, p.affinity.place(1, 1, spec.threads_per_core))
@@ -60,14 +61,14 @@ impl CostModel {
         // An in-order core with a single resident thread cannot fill its
         // vector pipeline (this is why the Phi wants 2+ threads/core).
         let issue = if threaded {
-            p.affinity.issue_efficiency(placement, spec.single_thread_issue)
+            p.affinity
+                .issue_efficiency(placement, spec.single_thread_issue)
         } else {
             spec.single_thread_issue
         };
 
         // Effective compute rate in GF/s.
-        let per_core_vec =
-            spec.clock_ghz * spec.simd_f32_lanes as f64 * spec.flops_per_lane_cycle;
+        let per_core_vec = spec.clock_ghz * spec.simd_f32_lanes as f64 * spec.flops_per_lane_cycle;
         let gflops = if op.vectorizable {
             let eff = match op.kind {
                 OpKind::Gemm | OpKind::Gemv => {
@@ -171,7 +172,11 @@ mod tests {
         let d = m.price(&four, true) - m.price(&one, true);
         // 3 extra barriers at 240 threads: 3 * (10 + 4*log2(240)) us.
         let barrier = (10.0 + 4.0 * (240.0f64).log2()) * 1e-6;
-        assert!((d - 3.0 * barrier).abs() < 1e-9, "delta {d} vs {}", 3.0 * barrier);
+        assert!(
+            (d - 3.0 * barrier).abs() < 1e-9,
+            "delta {d} vs {}",
+            3.0 * barrier
+        );
         // Sequential execution pays no barrier.
         assert_eq!(m.price(&one, false), m.price(&four, false));
     }

@@ -31,6 +31,7 @@ pub mod affinity;
 pub mod clock;
 pub mod cost;
 pub mod device;
+pub mod export;
 pub mod link;
 pub mod memory;
 pub mod stream;
@@ -40,6 +41,7 @@ pub use affinity::{Affinity, Placement};
 pub use clock::SimClock;
 pub use cost::CostModel;
 pub use device::{DeviceSpec, Platform};
+pub use export::{chrome_trace_json, chrome_trace_value};
 pub use link::Link;
 pub use memory::{DeviceAlloc, DeviceMemory, OutOfDeviceMemory};
 pub use stream::{ChunkSource, ChunkStream, StreamStats, VecSource};

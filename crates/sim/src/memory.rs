@@ -62,7 +62,11 @@ impl DeviceMemory {
     }
 
     /// Reserves `bytes`, failing if the pool cannot hold them.
-    pub fn alloc(&self, bytes: u64, label: impl Into<String>) -> Result<DeviceAlloc, OutOfDeviceMemory> {
+    pub fn alloc(
+        &self,
+        bytes: u64,
+        label: impl Into<String>,
+    ) -> Result<DeviceAlloc, OutOfDeviceMemory> {
         let label = label.into();
         let mut inner = self.inner.lock();
         let available = inner.capacity - inner.used;

@@ -157,13 +157,21 @@ impl ChunkStream {
             // — or when the previous transfer finished, whichever is later.
             let started = self.compute_started_at.max(self.next_ready_at);
             let ready = started + t_transfer;
-            self.trace
-                .push(started, ready, EventKind::Transfer, format!("chunk {}", self.stats.chunks));
+            self.trace.push(
+                started,
+                ready,
+                EventKind::Transfer,
+                format!("chunk {}", self.stats.chunks),
+            );
             let before = self.clock.now();
             let stall = self.clock.advance_to(ready);
             if stall > 0.0 {
-                self.trace
-                    .push(before, before + stall, EventKind::Stall, format!("chunk {}", self.stats.chunks));
+                self.trace.push(
+                    before,
+                    before + stall,
+                    EventKind::Stall,
+                    format!("chunk {}", self.stats.chunks),
+                );
             }
             self.stats.stall_secs += stall;
             self.next_ready_at = ready;
@@ -171,8 +179,12 @@ impl ChunkStream {
             // Naive design: compute sits idle for the whole transfer.
             let start = self.clock.now();
             self.clock.advance(t_transfer);
-            self.trace
-                .push(start, start + t_transfer, EventKind::Transfer, format!("chunk {}", self.stats.chunks));
+            self.trace.push(
+                start,
+                start + t_transfer,
+                EventKind::Transfer,
+                format!("chunk {}", self.stats.chunks),
+            );
             self.stats.stall_secs += t_transfer;
         }
         self.compute_started_at = self.clock.now();
@@ -306,8 +318,12 @@ mod tests {
         // End-to-end time ~= total transfer time (compute fully hidden
         // inside it), so stall ~= transfer - compute_overlappable.
         assert!(st.stall_secs > 0.5 * st.transfer_secs);
-        assert!((clock.now() - st.transfer_secs).abs() / st.transfer_secs < 0.05,
-            "wall {} vs transfers {}", clock.now(), st.transfer_secs);
+        assert!(
+            (clock.now() - st.transfer_secs).abs() / st.transfer_secs < 0.05,
+            "wall {} vs transfers {}",
+            clock.now(),
+            st.transfer_secs
+        );
         let _ = total_compute;
     }
 
@@ -339,7 +355,14 @@ mod tests {
                 Some(Mat::zeros(2, 2))
             }
         };
-        let mut s = ChunkStream::spawn(src, fast_link(), SimClock::new(), Trace::new(false), 1, true);
+        let mut s = ChunkStream::spawn(
+            src,
+            fast_link(),
+            SimClock::new(),
+            Trace::new(false),
+            1,
+            true,
+        );
         let mut n = 0;
         while s.next().is_some() {
             n += 1;
@@ -350,7 +373,14 @@ mod tests {
     #[test]
     fn dropping_stream_early_does_not_hang() {
         let src = VecSource::new(chunks(100, 50, 50));
-        let mut s = ChunkStream::spawn(src, fast_link(), SimClock::new(), Trace::new(false), 1, true);
+        let mut s = ChunkStream::spawn(
+            src,
+            fast_link(),
+            SimClock::new(),
+            Trace::new(false),
+            1,
+            true,
+        );
         let _ = s.next();
         drop(s); // must join the loader without deadlock
     }

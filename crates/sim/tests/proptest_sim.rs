@@ -1,7 +1,9 @@
 //! Property tests on the performance model and offload machinery.
 
 use micdnn_kernels::OpCost;
-use micdnn_sim::{ChunkStream, CostModel, DeviceMemory, Link, Platform, SimClock, Trace, VecSource};
+use micdnn_sim::{
+    ChunkStream, CostModel, DeviceMemory, Link, Platform, SimClock, Trace, VecSource,
+};
 use micdnn_tensor::Mat;
 use proptest::prelude::*;
 
@@ -93,6 +95,60 @@ proptest! {
         prop_assert!(st.stall_secs <= st.transfer_secs + 1e-12);
         if !double_buffered && n_chunks > 0 {
             prop_assert!((st.stall_secs - st.transfer_secs).abs() < 1e-12);
+        }
+    }
+
+    /// Across random chunk geometries, link speeds, and buffer depths the
+    /// stream completes with exact byte/chunk accounting and a
+    /// `hidden_fraction` that stays a fraction.
+    #[test]
+    fn stream_accounting_over_random_links(
+        n_chunks in 0usize..10,
+        rows in 1usize..16,
+        cols in 1usize..16,
+        wire_gbs in 1e-6f64..10.0,
+        latency_s in 0.0f64..1e-2,
+        buffers in 1usize..5,
+        double_buffered in any::<bool>(),
+        compute_secs in 0.0f64..0.5,
+    ) {
+        let clock = SimClock::new();
+        let chunks: Vec<Mat> = (0..n_chunks).map(|i| Mat::full(rows, cols, i as f32)).collect();
+        let link = Link { latency_s, wire_gbs, host_pipeline_gbs: wire_gbs };
+        let mut stream = ChunkStream::spawn(
+            VecSource::new(chunks),
+            link,
+            clock.clone(),
+            Trace::new(false),
+            buffers,
+            double_buffered,
+        );
+        let mut seen = 0usize;
+        while let Some(c) = stream.next() {
+            prop_assert_eq!((c.rows(), c.cols()), (rows, cols), "chunk shape changed in flight");
+            prop_assert_eq!(c.get(0, 0), seen as f32, "chunks delivered out of order");
+            clock.advance(compute_secs);
+            seen += 1;
+        }
+        // Exhausted streams stay exhausted.
+        prop_assert!(stream.next().is_none());
+        prop_assert_eq!(seen, n_chunks, "stream dropped or duplicated chunks");
+
+        let st = stream.stats();
+        prop_assert_eq!(st.chunks, n_chunks as u64);
+        let payload = (rows * cols * std::mem::size_of::<f32>()) as u64;
+        prop_assert_eq!(st.bytes, payload * n_chunks as u64);
+        // Every chunk pays the link at least once; stalls are bounded by
+        // the transfers they wait on.
+        let min_transfer = n_chunks as f64 * link.transfer_time(payload);
+        prop_assert!(st.transfer_secs >= min_transfer - 1e-9);
+        prop_assert!(st.stall_secs >= 0.0);
+        prop_assert!(st.stall_secs <= st.transfer_secs + 1e-9);
+        let hf = st.hidden_fraction();
+        prop_assert!((0.0..=1.0).contains(&hf), "hidden_fraction {hf} out of [0,1]");
+        // A stream that never transferred hides nothing.
+        if n_chunks == 0 {
+            prop_assert_eq!(hf, 0.0);
         }
     }
 

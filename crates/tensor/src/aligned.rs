@@ -114,7 +114,9 @@ impl std::ops::DerefMut for AlignedBuf {
 
 impl std::fmt::Debug for AlignedBuf {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("AlignedBuf").field("len", &self.len).finish()
+        f.debug_struct("AlignedBuf")
+            .field("len", &self.len)
+            .finish()
     }
 }
 

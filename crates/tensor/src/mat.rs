@@ -139,13 +139,23 @@ impl Mat {
     ///
     /// This is how mini-batches are cut out of a chunk without copying.
     pub fn rows_range(&self, lo: usize, hi: usize) -> MatView<'_> {
-        assert!(lo <= hi && hi <= self.rows, "rows_range {lo}..{hi} out of bounds");
-        MatView::new(&self.data[lo * self.cols..hi * self.cols], hi - lo, self.cols)
+        assert!(
+            lo <= hi && hi <= self.rows,
+            "rows_range {lo}..{hi} out of bounds"
+        );
+        MatView::new(
+            &self.data[lo * self.cols..hi * self.cols],
+            hi - lo,
+            self.cols,
+        )
     }
 
     /// Mutably borrows the contiguous row range `lo..hi`.
     pub fn rows_range_mut(&mut self, lo: usize, hi: usize) -> MatViewMut<'_> {
-        assert!(lo <= hi && hi <= self.rows, "rows_range {lo}..{hi} out of bounds");
+        assert!(
+            lo <= hi && hi <= self.rows,
+            "rows_range {lo}..{hi} out of bounds"
+        );
         let cols = self.cols;
         MatViewMut::new(&mut self.data[lo * cols..hi * cols], hi - lo, cols)
     }
@@ -203,7 +213,11 @@ impl Mat {
 
     /// Frobenius norm (square root of the sum of squared elements).
     pub fn frobenius_norm(&self) -> f32 {
-        self.data.iter().map(|&x| (x as f64) * (x as f64)).sum::<f64>().sqrt() as f32
+        self.data
+            .iter()
+            .map(|&x| (x as f64) * (x as f64))
+            .sum::<f64>()
+            .sqrt() as f32
     }
 
     /// Sum of all elements, accumulated in f64 for stability.
@@ -232,7 +246,10 @@ impl std::ops::Index<(usize, usize)> for Mat {
     type Output = f32;
     #[inline]
     fn index(&self, (r, c): (usize, usize)) -> &f32 {
-        assert!(r < self.rows && c < self.cols, "index ({r},{c}) out of bounds");
+        assert!(
+            r < self.rows && c < self.cols,
+            "index ({r},{c}) out of bounds"
+        );
         &self.data[r * self.cols + c]
     }
 }
@@ -240,7 +257,10 @@ impl std::ops::Index<(usize, usize)> for Mat {
 impl std::ops::IndexMut<(usize, usize)> for Mat {
     #[inline]
     fn index_mut(&mut self, (r, c): (usize, usize)) -> &mut f32 {
-        assert!(r < self.rows && c < self.cols, "index ({r},{c}) out of bounds");
+        assert!(
+            r < self.rows && c < self.cols,
+            "index ({r},{c}) out of bounds"
+        );
         &mut self.data[r * self.cols + c]
     }
 }

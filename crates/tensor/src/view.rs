@@ -61,8 +61,15 @@ impl<'a> MatView<'a> {
 
     /// Sub-view of rows `lo..hi`.
     pub fn rows_range(&self, lo: usize, hi: usize) -> MatView<'a> {
-        assert!(lo <= hi && hi <= self.rows, "rows_range {lo}..{hi} out of bounds");
-        MatView::new(&self.data[lo * self.cols..hi * self.cols], hi - lo, self.cols)
+        assert!(
+            lo <= hi && hi <= self.rows,
+            "rows_range {lo}..{hi} out of bounds"
+        );
+        MatView::new(
+            &self.data[lo * self.cols..hi * self.cols],
+            hi - lo,
+            self.cols,
+        )
     }
 
     /// Copies this view into an owned [`crate::Mat`].

@@ -39,7 +39,9 @@ fn main() {
         ..TrainConfig::default()
     };
     let t0 = std::time::Instant::now();
-    let reports = dbn.pretrain(&ctx, &data, &cfg, 15).expect("pretraining failed");
+    let reports = dbn
+        .pretrain(&ctx, &data, &cfg, 15)
+        .expect("pretraining failed");
     println!("done in {:.2?} wall-clock\n", t0.elapsed());
 
     for (i, lr) in reports.iter().enumerate() {
@@ -56,7 +58,11 @@ fn main() {
     // Free-energy gap: a trained RBM should prefer data over noise.
     let first = &dbn.layers()[0];
     let mut rng = StdRng::seed_from_u64(99);
-    let noise = Mat::from_fn(200, sizes[0], |_, _| if rng.gen_bool(0.5) { 1.0 } else { 0.0 });
+    let noise = Mat::from_fn(
+        200,
+        sizes[0],
+        |_, _| if rng.gen_bool(0.5) { 1.0 } else { 0.0 },
+    );
     let fe_data = first.free_energy(&ctx, data.batch(0, 200));
     let fe_noise = first.free_energy(&ctx, noise.view());
     println!(

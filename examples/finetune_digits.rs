@@ -40,7 +40,9 @@ fn main() {
     println!("pre-training stack {sizes:?} (12 passes/layer)...");
     let t0 = std::time::Instant::now();
     let mut stack = StackedAutoencoder::with_default_config(&sizes, 7);
-    stack.pretrain(&ctx, &data, &tc, 12).expect("pretraining failed");
+    stack
+        .pretrain(&ctx, &data, &tc, 12)
+        .expect("pretraining failed");
     println!("pre-training took {:.2?}", t0.elapsed());
 
     let epochs = 12;

@@ -36,12 +36,12 @@ fn main() {
     };
 
     let cfg = AeConfig::new(dim, 64);
-    println!(
-        "streaming {chunks} chunks x {chunk_rows} patches through the offload pipeline\n"
-    );
+    println!("streaming {chunks} chunks x {chunk_rows} patches through the offload pipeline\n");
 
-    for (label, double_buffered) in [("WITHOUT loading thread", false), ("WITH loading thread", true)]
-    {
+    for (label, double_buffered) in [
+        ("WITHOUT loading thread", false),
+        ("WITH loading thread", true),
+    ] {
         let ctx = ExecCtx::simulated(OptLevel::Improved, Platform::xeon_phi(), 8);
         let mut model = AeModel::new(SparseAutoencoder::new(cfg, 2));
         let tc = TrainConfig {

@@ -47,8 +47,8 @@ fn main() {
     };
     let passes = 30;
     let t0 = std::time::Instant::now();
-    let report = train_dataset(&mut model, &ctx, &data, &train_cfg, passes)
-        .expect("training failed");
+    let report =
+        train_dataset(&mut model, &ctx, &data, &train_cfg, passes).expect("training failed");
     let wall = t0.elapsed();
 
     println!(

@@ -36,7 +36,9 @@ fn main() {
     let ctx = ExecCtx::native(OptLevel::Improved, 5);
     let mut stack = StackedAutoencoder::with_default_config(&sizes, 9);
     let t0 = std::time::Instant::now();
-    let reports = stack.pretrain(&ctx, &data, &cfg, 20).expect("pretraining failed");
+    let reports = stack
+        .pretrain(&ctx, &data, &cfg, 20)
+        .expect("pretraining failed");
     println!("done in {:.2?} wall-clock\n", t0.elapsed());
 
     for (i, lr) in reports.iter().enumerate() {
@@ -69,7 +71,9 @@ fn main() {
             history_every: 1000,
             ..cfg
         };
-        stack.pretrain(&ctx, &data, &quick, 3).expect("simulated pretraining failed");
+        stack
+            .pretrain(&ctx, &data, &quick, 3)
+            .expect("simulated pretraining failed");
         println!("{:<26}{:>14.2} s", lvl.label(), ctx.sim_time());
     }
     println!("\n(the full-scale ladder is Table I — run `repro table1`)");

@@ -7,9 +7,9 @@ use micdnn::batch_opt::{conjugate_gradient, lbfgs, AeObjective, BatchOptOptions}
 use micdnn::hybrid::{HybridAeTrainer, HybridConfig};
 use micdnn::train::{train_dataset, AeModel, TrainConfig};
 use micdnn::{
-    activation_stats, load_autoencoder_file, reconstruction_stats, save_autoencoder_file,
-    AeConfig, AeScratch, ExecCtx, FineTuneNet, OptLevel, Optimizer, Rbm, RbmConfig, RbmScratch,
-    Rule, Schedule, SparseAutoencoder, StackedAutoencoder,
+    activation_stats, load_autoencoder_file, reconstruction_stats, save_autoencoder_file, AeConfig,
+    AeScratch, ExecCtx, FineTuneNet, OptLevel, Optimizer, Rbm, RbmConfig, RbmScratch, Rule,
+    Schedule, SparseAutoencoder, StackedAutoencoder,
 };
 use micdnn_data::{Dataset, DigitGenerator};
 
@@ -36,7 +36,9 @@ fn momentum_with_decay_schedule_converges_faster_than_plain_sgd_early() {
             model = model.with_optimizer(o);
         }
         let ctx = ExecCtx::native(OptLevel::Improved, 3);
-        train_dataset(&mut model, &ctx, &ds, &tc, 6).unwrap().final_recon()
+        train_dataset(&mut model, &ctx, &ds, &tc, 6)
+            .unwrap()
+            .final_recon()
     };
     let plain = run(None);
     let momentum = run(Some(Optimizer::new(
@@ -193,7 +195,10 @@ fn hybrid_trainer_matches_plain_training_quality() {
             lo = hi;
         }
     }
-    assert!(last < 0.5 * first, "hybrid training failed: {first} -> {last}");
+    assert!(
+        last < 0.5 * first,
+        "hybrid training failed: {first} -> {last}"
+    );
     assert!(trainer.combined_secs > 0.0);
     // Both simulated sides actually did work.
     assert!(trainer.phi_ctx.sim_time() > 0.0);

@@ -1,0 +1,121 @@
+//! Golden-file tests for the exported observability formats.
+//!
+//! The profile report (`micdnn-profile-v1`) and the Chrome trace export
+//! are consumed outside this repo (dashboards, `chrome://tracing`), so
+//! their wire shape is pinned byte-for-byte against committed golden
+//! files. A deliberate schema change must update the golden alongside a
+//! version bump; an accidental one fails here first.
+
+use micdnn::{ProfileReport, Profiler};
+use micdnn_kernels::{OpCost, OpKind};
+use micdnn_sim::{chrome_trace_json, EventKind, StreamStats, Trace};
+
+const PROFILE_GOLDEN: &str = include_str!("golden/profile_report.json");
+const TRACE_GOLDEN: &str = include_str!("golden/chrome_trace.json");
+
+/// With `UPDATE_GOLDEN=1`, rewrites the golden file instead of comparing.
+/// Returns true when the caller should skip the assertion.
+fn maybe_update(name: &str, text: &str) -> bool {
+    if std::env::var_os("UPDATE_GOLDEN").is_none() {
+        return false;
+    }
+    let path = format!("{}/../../tests/golden/{name}", env!("CARGO_MANIFEST_DIR"));
+    std::fs::write(&path, text).unwrap();
+    eprintln!("updated {path}");
+    true
+}
+
+/// A fully deterministic profile: fixed ops, phases, and stream stats.
+fn sample_report() -> ProfileReport {
+    let p = Profiler::new();
+    p.record_op(&OpCost::gemm(1000, 4096, 1024, true), 0.50);
+    p.record_op(&OpCost::gemm(1000, 1024, 4096, true), 0.55);
+    p.record_op(&OpCost::sigmoid(4_096_000), 0.02);
+    p.record_op(
+        &OpCost::elementwise(4_096_000, 2, 2).with_label("axpy"),
+        0.01,
+    );
+    p.record_phase("load", 0.10, 0.001);
+    p.record_phase("forward", 0.60, 0.002);
+    p.record_phase("backward", 0.70, 0.003);
+    p.record_phase("update", 0.05, 0.001);
+    p.record_stream(StreamStats {
+        chunks: 20,
+        bytes: 20 * 164_000_000,
+        transfer_secs: 260.0,
+        stall_secs: 13.0,
+    });
+    p.report(Some(2021.76), 1.45)
+}
+
+fn sample_trace() -> Trace {
+    let t = Trace::new(true);
+    t.push(0.0, 13.0, EventKind::Transfer, "chunk 0");
+    t.push(0.0, 13.0, EventKind::Stall, "");
+    t.push(
+        13.0,
+        81.0,
+        EventKind::Compute(OpKind::Gemm),
+        "train chunk 0",
+    );
+    t.push(13.0, 26.0, EventKind::Transfer, "chunk 1");
+    t.push(81.0, 81.5, EventKind::Sync, "barrier");
+    t
+}
+
+#[test]
+fn profile_report_matches_golden() {
+    let text = serde_json::to_string_pretty(&sample_report()).unwrap() + "\n";
+    if maybe_update("profile_report.json", &text) {
+        return;
+    }
+    assert_eq!(
+        text, PROFILE_GOLDEN,
+        "profile JSON schema drifted from tests/golden/profile_report.json; \
+         if intentional, bump the schema string and refresh the golden file"
+    );
+}
+
+#[test]
+fn profile_golden_deserializes_and_roundtrips() {
+    let back: ProfileReport = serde_json::from_str(PROFILE_GOLDEN).unwrap();
+    assert_eq!(back, sample_report());
+    // Schema marker travels with every report.
+    assert_eq!(back.schema, "micdnn-profile-v1");
+    let again = serde_json::to_string_pretty(&back).unwrap() + "\n";
+    assert_eq!(again, PROFILE_GOLDEN);
+}
+
+#[test]
+fn chrome_trace_matches_golden() {
+    let text = chrome_trace_json(&sample_trace());
+    if maybe_update("chrome_trace.json", &text) {
+        return;
+    }
+    assert_eq!(
+        text, TRACE_GOLDEN,
+        "Chrome trace shape drifted from tests/golden/chrome_trace.json"
+    );
+}
+
+#[test]
+fn committed_bench_artifacts_parse_and_carry_schema() {
+    // The repo commits the bench trajectory emitted by `repro --bench-dir`;
+    // they must stay loadable and carry the current schema marker.
+    let root = concat!(env!("CARGO_MANIFEST_DIR"), "/../..");
+    for name in ["BENCH_table1.json", "BENCH_overlap.json"] {
+        let path = format!("{root}/{name}");
+        let text = std::fs::read_to_string(&path)
+            .unwrap_or_else(|e| panic!("missing committed artifact {name}: {e}"));
+        let v: serde_json::Value = serde_json::from_str(&text).unwrap();
+        assert_eq!(
+            v.get_field("schema").and_then(serde_json::Value::as_str),
+            Some("micdnn-bench-v1"),
+            "{name} lost its schema marker"
+        );
+        assert!(v.get_field("data").is_some(), "{name} lost its data field");
+    }
+    let trace = std::fs::read_to_string(format!("{root}/TRACE_overlap.json")).unwrap();
+    let v: serde_json::Value = serde_json::from_str(&trace).unwrap();
+    assert!(v.get_field("traceEvents").is_some());
+}

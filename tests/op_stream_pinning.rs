@@ -40,7 +40,10 @@ fn assert_streams_equal(recorded: &[OpCost], analytic: &[OpCost], what: &str) {
         analytic.len()
     );
     for (i, (r, a)) in recorded.iter().zip(analytic).enumerate() {
-        assert_eq!(r, a, "{what}: op {i} differs\nrecorded: {r:?}\nanalytic: {a:?}");
+        assert_eq!(
+            r, a,
+            "{what}: op {i} differs\nrecorded: {r:?}\nanalytic: {a:?}"
+        );
     }
 }
 
@@ -96,7 +99,14 @@ fn graph_scheduled_cd1_has_same_multiset_of_ops() {
     micdnn::cd_step_graph(&mut rbm, &ctx, x.view(), &mut scratch, 0.1);
     let mut recorded = ctx.stop_recording();
     let mut analytic = rbm_cd1_ops(v, h, b, OptLevel::Improved.backend());
-    let key = |c: &OpCost| (c.flops, c.bytes_read, c.bytes_written, format!("{:?}", c.kind));
+    let key = |c: &OpCost| {
+        (
+            c.flops,
+            c.bytes_read,
+            c.bytes_written,
+            format!("{:?}", c.kind),
+        )
+    };
     recorded.sort_by_key(key);
     analytic.sort_by_key(key);
     assert_eq!(recorded, analytic);

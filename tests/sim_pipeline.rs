@@ -53,7 +53,9 @@ fn phi_beats_cpu_single_core_in_executed_sim() {
     let run = |platform: Platform, lvl: OptLevel| {
         let mut model = AeModel::new(SparseAutoencoder::new(cfg, 5));
         let ctx = ExecCtx::simulated(lvl, platform, 6);
-        train_dataset(&mut model, &ctx, &ds, &tc, 1).unwrap().sim_total_secs
+        train_dataset(&mut model, &ctx, &ds, &tc, 1)
+            .unwrap()
+            .sim_total_secs
     };
     let phi = run(Platform::xeon_phi(), OptLevel::Improved);
     let cpu = run(Platform::cpu_single_core(), OptLevel::Improved);
@@ -151,7 +153,13 @@ fn paper_scale_fig8_point_respects_device_memory() {
         "paper workload would not fit the card: {resident} bytes"
     );
     // And the estimate is finite and positive.
-    let e = estimate(OptLevel::Improved, Platform::xeon_phi(), Link::pcie_gen2(), true, &w);
+    let e = estimate(
+        OptLevel::Improved,
+        Platform::xeon_phi(),
+        Link::pcie_gen2(),
+        true,
+        &w,
+    );
     assert!(e.total_secs.is_finite() && e.total_secs > 0.0);
 }
 
@@ -187,7 +195,9 @@ fn thirty_vs_sixty_cores_scales_executed_runs() {
     let run = |cores: u32| {
         let mut model = AeModel::new(SparseAutoencoder::new(cfg, 16));
         let ctx = ExecCtx::simulated(OptLevel::Improved, Platform::xeon_phi_cores(cores), 17);
-        train_dataset(&mut model, &ctx, &ds, &tc, 1).unwrap().sim_total_secs
+        train_dataset(&mut model, &ctx, &ds, &tc, 1)
+            .unwrap()
+            .sim_total_secs
     };
     let t60 = run(60);
     let t30 = run(30);

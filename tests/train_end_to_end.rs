@@ -140,7 +140,11 @@ fn rbm_graph_and_serial_schedules_train_identically() {
     };
     let a = run(false);
     let b = run(true);
-    assert_eq!(a.w.as_slice(), b.w.as_slice(), "schedules must be bit-identical");
+    assert_eq!(
+        a.w.as_slice(),
+        b.w.as_slice(),
+        "schedules must be bit-identical"
+    );
 }
 
 #[test]
@@ -197,5 +201,9 @@ fn dbn_pretraining_improves_each_rbm() {
 }
 
 fn dist(a: &[f32], b: &[f32]) -> f32 {
-    a.iter().zip(b).map(|(x, y)| (x - y).powi(2)).sum::<f32>().sqrt()
+    a.iter()
+        .zip(b)
+        .map(|(x, y)| (x - y).powi(2))
+        .sum::<f32>()
+        .sqrt()
 }
