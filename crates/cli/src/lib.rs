@@ -19,9 +19,10 @@
 //! is a two-liner.
 
 use micdnn::analytic::{estimate, Algo, Workload};
-use micdnn::train::{train_dataset, AeModel, RbmModel, TrainConfig};
+use micdnn::train::{train_dataset, train_dataset_resume, AeModel, RbmModel, TrainConfig};
 use micdnn::{
-    AeConfig, ExecCtx, FineTuneNet, OptLevel, Rbm, RbmConfig, SparseAutoencoder, StackedAutoencoder,
+    AeConfig, CheckpointModel, CheckpointPolicy, ExecCtx, FineTuneNet, OptLevel, Rbm, RbmConfig,
+    SparseAutoencoder, StackedAutoencoder, TrainProgress,
 };
 use micdnn_data::{read_idx, Dataset, DigitGenerator, PatchGenerator};
 use micdnn_sim::{Link, Platform};
@@ -150,6 +151,7 @@ pub fn run(argv: &[String]) -> Result<String, String> {
     let args = Args::parse(&argv[1..])?;
     let seed: u64 = args.num("seed", 7u64)?;
     match cmd.as_str() {
+        "train" => cmd_train(&args, seed),
         "train-ae" => cmd_train_ae(&args, seed),
         "train-rbm" => cmd_train_rbm(&args, seed),
         "pretrain" => cmd_pretrain(&args, seed),
@@ -169,6 +171,11 @@ pub fn usage() -> String {
      USAGE: micdnn <COMMAND> [--key value ...]\n\
      \n\
      COMMANDS:\n\
+       train      --algo ae|rbm [--hidden N] [--passes N] [--momentum MU]\n\
+                  [--checkpoint-dir DIR] [--checkpoint-every N] [--resume]\n\
+                  [--save FILE] — crash-safe training; --resume continues a\n\
+                  checkpointed run bit-identically (pass the same data flags\n\
+                  and --passes as the TOTAL epochs of the whole run)\n\
        train-ae   --visible N --hidden N [--examples N] [--passes N] [--batch N]\n\
                   [--lr F] [--data digits|patches|FILE.idx] [--save FILE]\n\
                   [--level baseline|openmp|openmp-mkl|improved|sequential]\n\
@@ -181,6 +188,140 @@ pub fn usage() -> String {
        profile    [--algo ae|rbm] [--examples N] [--passes N] [--batch N]\n\
                   [--platform phi|...] [--level ...] [--json FILE] [--trace FILE]\n"
         .to_string()
+}
+
+/// `train`: checkpointed (and resumable) training of one building block.
+///
+/// A fresh run trains `--passes` epochs, writing `checkpoint.mic` into
+/// `--checkpoint-dir` every `--checkpoint-every` batches (atomically). With
+/// `--resume`, the model, optimizer/momentum state, RNG cursor and progress
+/// are restored from that file and training continues — with the same data
+/// flags and seed, the result is bit-identical to a run that never stopped.
+fn cmd_train(args: &Args, seed: u64) -> Result<String, String> {
+    let algo = args.get("algo").unwrap_or("ae").to_string();
+    let examples = args.num("examples", 2000usize)?;
+    let mut ds = load_data(args, examples, seed)?;
+    if algo == "rbm" {
+        ds.binarize(0.5);
+    }
+    let visible = ds.dim();
+    let hidden = args.num("hidden", (visible / 2).max(2))?;
+    let passes = args.num("passes", 10usize)?;
+    let ctx = make_ctx(args, seed)?;
+    let mut tc = train_config(args)?;
+    let ckpt_dir = args.get("checkpoint-dir").map(str::to_string);
+    if let Some(dir) = &ckpt_dir {
+        tc.checkpoint = Some(CheckpointPolicy::new(
+            dir,
+            args.num("checkpoint-every", 50u64)?,
+        ));
+    }
+
+    let resumed_from: Option<TrainProgress>;
+    let report;
+    let saved_kind: String;
+    enum Trained {
+        Ae(AeModel),
+        Rbm(RbmModel),
+    }
+    let trained;
+
+    if args.has("resume") {
+        let dir = ckpt_dir.ok_or("--resume requires --checkpoint-dir")?;
+        let path = std::path::Path::new(&dir).join(micdnn::checkpoint::CHECKPOINT_FILE);
+        let ckpt = micdnn::load_checkpoint_file(&path)
+            .map_err(|e| format!("cannot load checkpoint `{}`: {e}", path.display()))?;
+        ckpt.restore_rng(&ctx);
+        let progress = ckpt.progress;
+        resumed_from = Some(progress);
+        match (algo.as_str(), ckpt.model) {
+            ("ae", CheckpointModel::Ae(mut model)) => {
+                report = train_dataset_resume(&mut model, &ctx, &ds, &tc, passes, &progress)
+                    .map_err(|e| e.to_string())?;
+                trained = Trained::Ae(model);
+            }
+            ("rbm", CheckpointModel::Rbm(mut model)) => {
+                report = train_dataset_resume(&mut model, &ctx, &ds, &tc, passes, &progress)
+                    .map_err(|e| e.to_string())?;
+                trained = Trained::Rbm(model);
+            }
+            (other, _) => {
+                return Err(format!(
+                    "checkpoint `{}` holds a different model type than --algo {other}",
+                    path.display()
+                ))
+            }
+        }
+    } else {
+        resumed_from = None;
+        match algo.as_str() {
+            "ae" => {
+                let cfg = AeConfig::new(visible, hidden);
+                let mut model = AeModel::new(SparseAutoencoder::new(cfg, seed));
+                if let Some(mu) = args.get("momentum") {
+                    let mu: f32 = mu
+                        .parse()
+                        .map_err(|_| "--momentum: bad value".to_string())?;
+                    let opt = micdnn::Optimizer::new(
+                        micdnn::Rule::Momentum { mu },
+                        micdnn::Schedule::Constant(args.num("lr", 0.3f32)?),
+                        &SparseAutoencoder::optimizer_slots(&cfg),
+                    );
+                    model = model.with_optimizer(opt);
+                }
+                report =
+                    train_dataset(&mut model, &ctx, &ds, &tc, passes).map_err(|e| e.to_string())?;
+                trained = Trained::Ae(model);
+            }
+            "rbm" => {
+                let cfg = RbmConfig::new(visible, hidden);
+                let mut model = RbmModel::new(Rbm::new(cfg, seed));
+                if let Some(mu) = args.get("momentum") {
+                    let mu: f32 = mu
+                        .parse()
+                        .map_err(|_| "--momentum: bad value".to_string())?;
+                    model = model.with_momentum(mu);
+                }
+                report =
+                    train_dataset(&mut model, &ctx, &ds, &tc, passes).map_err(|e| e.to_string())?;
+                trained = Trained::Rbm(model);
+            }
+            other => return Err(format!("unknown --algo `{other}` (ae|rbm)")),
+        }
+    }
+
+    let mut out = match &resumed_from {
+        Some(p) => format!(
+            "resumed {algo} from batch {} (epoch {}), trained {} more batches\n",
+            p.batches, p.epoch, report.batches
+        ),
+        None => format!(
+            "trained {algo} {visible} -> {hidden} ({} batches)\n",
+            report.batches
+        ),
+    };
+    out.push_str(&format!(
+        "reconstruction {:.5} -> {:.5}\n",
+        report.initial_recon(),
+        report.final_recon()
+    ));
+    if tc.checkpoint.is_some() {
+        out.push_str("checkpoint written (atomic tmp+rename)\n");
+    }
+    if let Some(path) = args.get("save") {
+        match &trained {
+            Trained::Ae(m) => {
+                micdnn::save_autoencoder_file(&m.ae, path).map_err(|e| e.to_string())?;
+                saved_kind = "autoencoder".to_string();
+            }
+            Trained::Rbm(m) => {
+                micdnn::save_rbm_file(&m.rbm, path).map_err(|e| e.to_string())?;
+                saved_kind = "rbm".to_string();
+            }
+        }
+        out.push_str(&format!("saved {saved_kind} to {path}\n"));
+    }
+    Ok(out)
 }
 
 fn cmd_train_ae(args: &Args, seed: u64) -> Result<String, String> {

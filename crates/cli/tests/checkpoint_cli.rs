@@ -1,0 +1,162 @@
+//! Process-boundary checkpoint/resume tests against the real binary.
+//!
+//! The in-process tests in `tests/checkpoint_resume.rs` prove the state
+//! round-trips through disk; these prove it survives an actual process
+//! exit: `micdnn train` runs N epochs and dies, a *new* process resumes
+//! from the checkpoint directory, and the model file it saves is
+//! byte-for-byte the file an uninterrupted 2N-epoch process writes.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+fn scratch(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("micdnn-cli-ckpt-{}-{name}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+/// Runs `micdnn train` with the shared tiny-workload flags plus `extra`.
+fn train(algo: &str, extra: &[&str]) -> std::process::Output {
+    let mut cmd = Command::new(env!("CARGO_BIN_EXE_micdnn"));
+    cmd.args([
+        "train",
+        "--algo",
+        algo,
+        "--examples",
+        "120",
+        "--side",
+        "8",
+        "--hidden",
+        "10",
+        "--batch",
+        "30",
+        "--chunk",
+        "60",
+    ]);
+    cmd.args(extra);
+    cmd.output().expect("failed to spawn micdnn")
+}
+
+fn assert_ok(out: &std::process::Output) -> String {
+    assert!(
+        out.status.success(),
+        "micdnn failed:\nstdout: {}\nstderr: {}",
+        String::from_utf8_lossy(&out.stdout),
+        String::from_utf8_lossy(&out.stderr)
+    );
+    String::from_utf8_lossy(&out.stdout).into_owned()
+}
+
+fn resume_matches_straight_run(algo: &str, extra: &[&str]) {
+    let dir = scratch(algo);
+    let straight = dir.join("straight.bin");
+    let resumed = dir.join("resumed.bin");
+    let ckpt_dir = dir.join("ckpt");
+    let ckpt_str = ckpt_dir.to_str().unwrap();
+
+    // Reference: one process trains 4 epochs straight.
+    let mut args = vec!["--passes", "4", "--save", straight.to_str().unwrap()];
+    args.extend_from_slice(extra);
+    assert_ok(&train(algo, &args));
+
+    // Leg 1: a process trains 2 epochs, checkpointing, then exits.
+    let mut args = vec![
+        "--passes",
+        "2",
+        "--checkpoint-dir",
+        ckpt_str,
+        "--checkpoint-every",
+        "3",
+    ];
+    args.extend_from_slice(extra);
+    let out = assert_ok(&train(algo, &args));
+    assert!(out.contains("checkpoint written"), "{out}");
+    assert!(ckpt_dir.join("checkpoint.mic").exists());
+
+    // Leg 2: a brand-new process resumes to 4 total epochs.
+    let mut args = vec![
+        "--passes",
+        "4",
+        "--checkpoint-dir",
+        ckpt_str,
+        "--resume",
+        "--save",
+        resumed.to_str().unwrap(),
+    ];
+    args.extend_from_slice(extra);
+    let out = assert_ok(&train(algo, &args));
+    assert!(out.contains("resumed"), "{out}");
+
+    let a = std::fs::read(&straight).unwrap();
+    let b = std::fs::read(&resumed).unwrap();
+    assert_eq!(
+        a, b,
+        "{algo}: resumed model file differs from the uninterrupted run"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn ae_resume_across_processes_is_bit_identical() {
+    resume_matches_straight_run("ae", &[]);
+}
+
+#[test]
+fn ae_momentum_resume_across_processes_is_bit_identical() {
+    resume_matches_straight_run("ae", &["--momentum", "0.8"]);
+}
+
+#[test]
+fn rbm_momentum_resume_across_processes_is_bit_identical() {
+    resume_matches_straight_run("rbm", &["--momentum", "0.6"]);
+}
+
+#[test]
+fn resume_without_checkpoint_dir_is_an_error() {
+    let out = train("ae", &["--passes", "2", "--resume"]);
+    assert!(!out.status.success());
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("--resume requires --checkpoint-dir"), "{err}");
+}
+
+#[test]
+fn resume_with_wrong_algo_is_an_error() {
+    let dir = scratch("wrong-algo");
+    let ckpt_dir = dir.join("ckpt");
+    let ckpt_str = ckpt_dir.to_str().unwrap();
+    assert_ok(&train(
+        "ae",
+        &["--passes", "1", "--checkpoint-dir", ckpt_str],
+    ));
+    let out = train(
+        "rbm",
+        &["--passes", "2", "--checkpoint-dir", ckpt_str, "--resume"],
+    );
+    assert!(!out.status.success());
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("different model type"), "{err}");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn corrupt_checkpoint_reports_cleanly() {
+    let dir = scratch("corrupt");
+    let ckpt_dir = dir.join("ckpt");
+    std::fs::create_dir_all(&ckpt_dir).unwrap();
+    std::fs::write(ckpt_dir.join("checkpoint.mic"), b"garbage bytes").unwrap();
+    let out = train(
+        "ae",
+        &[
+            "--passes",
+            "2",
+            "--checkpoint-dir",
+            ckpt_dir.to_str().unwrap(),
+            "--resume",
+        ],
+    );
+    assert!(!out.status.success(), "corrupt checkpoint accepted");
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("cannot load checkpoint"), "{err}");
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -207,6 +207,20 @@ impl ExecCtx {
         self.sampler.lock().seed()
     }
 
+    /// Snapshot of the sampler as `(seed, cursor)`: the run seed and the
+    /// number of streams issued so far. Persisted by checkpoints.
+    pub fn rng_state(&self) -> (u64, u64) {
+        let s = self.sampler.lock();
+        (s.seed(), s.issued())
+    }
+
+    /// Restores the sampler to a snapshot taken by [`ExecCtx::rng_state`];
+    /// subsequent stochastic ops continue the original stream sequence
+    /// bit-identically.
+    pub fn restore_rng(&self, seed: u64, cursor: u64) {
+        *self.sampler.lock() = SampleStream::resume(seed, cursor);
+    }
+
     /// Starts recording the [`OpCost`] of every op (used by the tests that
     /// pin the analytic op streams to the executed ones).
     pub fn start_recording(&self) {
@@ -646,7 +660,7 @@ mod tests {
                 0.0,
                 &mut c.view_mut(),
             );
-            ctx.bias_sigmoid_rows(&vec![0.1; 24], &mut c.view_mut());
+            ctx.bias_sigmoid_rows(&[0.1; 24], &mut c.view_mut());
             let mut v = vec![0.5f32; 100];
             ctx.sgd_step(0.1, 0.01, &vec![1.0; 100], &mut v);
             (ctx.stop_recording(), ctx.sim_time())

@@ -49,6 +49,7 @@ pub mod analytic;
 pub mod autoencoder;
 pub mod batch_opt;
 pub mod cd_graph;
+pub mod checkpoint;
 pub mod exec;
 pub mod finetune;
 pub mod gradcheck;
@@ -66,6 +67,10 @@ pub use analytic::{estimate, Algo, Estimate, Workload};
 pub use autoencoder::{AeConfig, AeCost, AeScratch, SparseAutoencoder};
 pub use batch_opt::{conjugate_gradient, lbfgs, AeObjective, BatchOptOptions, Objective};
 pub use cd_graph::cd_step_graph;
+pub use checkpoint::{
+    load_checkpoint, load_checkpoint_file, save_checkpoint, save_checkpoint_file, Checkpoint,
+    CheckpointModel, CheckpointPolicy, TrainProgress,
+};
 pub use exec::{ExecCtx, OptLevel, PhaseGuard};
 pub use finetune::{FineTuneNet, SoftmaxLayer};
 pub use gradcheck::{check_autoencoder, GradCheckResult};
@@ -75,12 +80,14 @@ pub use metrics::{
     activation_stats, feature_ascii, feature_grid, reconstruction_stats, write_pgm,
     ActivationStats, ReconstructionStats,
 };
-pub use model_io::{load_autoencoder_file, load_rbm_file, save_autoencoder_file, save_rbm_file};
+pub use model_io::{
+    atomic_write, load_autoencoder_file, load_rbm_file, save_autoencoder_file, save_rbm_file,
+};
 pub use optim::{Optimizer, Rule, Schedule};
 pub use profile::{OpReport, PhaseReport, ProfileReport, Profiler, StreamReport};
 pub use rbm::{Rbm, RbmConfig, RbmScratch};
 pub use stacked::{DeepBeliefNet, LayerReport, StackedAutoencoder};
 pub use train::{
-    train_dataset, train_stream, AeModel, RbmModel, TrainConfig, TrainError, TrainReport,
-    UnsupervisedModel,
+    train_dataset, train_dataset_resume, train_stream, AeModel, RbmModel, TrainConfig, TrainError,
+    TrainReport, UnsupervisedModel,
 };

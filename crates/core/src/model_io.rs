@@ -11,64 +11,126 @@ use crate::rbm::{Rbm, RbmConfig};
 use micdnn_tensor::Mat;
 use std::fs::File;
 use std::io::{self, BufReader, BufWriter, Read, Write};
-use std::path::Path;
+use std::path::{Path, PathBuf};
 
-const MAGIC: &[u8; 8] = b"MICDNN01";
+pub(crate) const MAGIC: &[u8; 8] = b"MICDNN01";
 
-const TAG_AE: u8 = 1;
-const TAG_RBM: u8 = 2;
+pub(crate) const TAG_AE: u8 = 1;
+pub(crate) const TAG_RBM: u8 = 2;
+pub(crate) const TAG_CKPT: u8 = 3;
 
-fn bad(msg: impl Into<String>) -> io::Error {
+/// Upper bound on any single header-derived dimension. Well above the
+/// paper's largest layer (16384) but small enough that a corrupt header
+/// cannot drive a pathological allocation on its own.
+pub(crate) const MAX_DIM: usize = 1 << 24;
+
+/// Upper bound on total elements in one tensor (1 GiB of f32). Dimensions
+/// are validated against this *before* any buffer is allocated.
+pub(crate) const MAX_ELEMS: usize = 1 << 28;
+
+/// Floats moved per bulk I/O call; tensors stream through a byte buffer of
+/// this granularity instead of one syscall-visible write per `f32`.
+const IO_CHUNK_FLOATS: usize = 16 * 1024;
+
+pub(crate) fn bad(msg: impl Into<String>) -> io::Error {
     io::Error::new(io::ErrorKind::InvalidData, msg.into())
 }
 
-fn write_u64(w: &mut impl Write, v: u64) -> io::Result<()> {
+/// Validates a header-derived dimension before it is used to size anything.
+pub(crate) fn checked_dim(v: u64, what: &str) -> io::Result<usize> {
+    if v == 0 || v > MAX_DIM as u64 {
+        return Err(bad(format!("{what} {v} out of range (1..={MAX_DIM})")));
+    }
+    Ok(v as usize)
+}
+
+/// Validates a tensor element count derived from already-checked dims.
+pub(crate) fn checked_elems(rows: usize, cols: usize) -> io::Result<usize> {
+    match rows.checked_mul(cols) {
+        Some(n) if n <= MAX_ELEMS => Ok(n),
+        _ => Err(bad(format!(
+            "tensor {rows}x{cols} exceeds the {MAX_ELEMS}-element cap"
+        ))),
+    }
+}
+
+pub(crate) fn write_u64(w: &mut impl Write, v: u64) -> io::Result<()> {
     w.write_all(&v.to_le_bytes())
 }
 
-fn read_u64(r: &mut impl Read) -> io::Result<u64> {
+pub(crate) fn read_u64(r: &mut impl Read) -> io::Result<u64> {
     let mut buf = [0u8; 8];
     r.read_exact(&mut buf)?;
     Ok(u64::from_le_bytes(buf))
 }
 
-fn write_f32(w: &mut impl Write, v: f32) -> io::Result<()> {
+pub(crate) fn write_f32(w: &mut impl Write, v: f32) -> io::Result<()> {
     w.write_all(&v.to_le_bytes())
 }
 
-fn read_f32(r: &mut impl Read) -> io::Result<f32> {
+pub(crate) fn read_f32(r: &mut impl Read) -> io::Result<f32> {
     let mut buf = [0u8; 4];
     r.read_exact(&mut buf)?;
     Ok(f32::from_le_bytes(buf))
 }
 
-fn write_slice(w: &mut impl Write, s: &[f32]) -> io::Result<()> {
+pub(crate) fn write_f64(w: &mut impl Write, v: f64) -> io::Result<()> {
+    w.write_all(&v.to_le_bytes())
+}
+
+pub(crate) fn read_f64(r: &mut impl Read) -> io::Result<f64> {
+    let mut buf = [0u8; 8];
+    r.read_exact(&mut buf)?;
+    Ok(f64::from_le_bytes(buf))
+}
+
+pub(crate) fn write_slice(w: &mut impl Write, s: &[f32]) -> io::Result<()> {
     write_u64(w, s.len() as u64)?;
-    for &v in s {
-        write_f32(w, v)?;
+    // Bulk little-endian: pack a chunk of floats into one byte buffer and
+    // issue a single write_all per chunk. The wire bytes are identical to
+    // the per-element encoding (pinned by the golden-file tests).
+    let mut buf = Vec::with_capacity(4 * IO_CHUNK_FLOATS.min(s.len().max(1)));
+    for chunk in s.chunks(IO_CHUNK_FLOATS) {
+        buf.clear();
+        for &v in chunk {
+            buf.extend_from_slice(&v.to_le_bytes());
+        }
+        w.write_all(&buf)?;
     }
     Ok(())
 }
 
-fn read_vec(r: &mut impl Read, expect: usize) -> io::Result<Vec<f32>> {
-    let len = read_u64(r)? as usize;
-    if len != expect {
+pub(crate) fn read_vec(r: &mut impl Read, expect: usize) -> io::Result<Vec<f32>> {
+    // Validate the on-disk length against the caller's expectation *before*
+    // allocating: a corrupt length field must never size a buffer.
+    let len = read_u64(r)?;
+    if len != expect as u64 {
         return Err(bad(format!("tensor length {len}, expected {expect}")));
     }
-    let mut out = vec![0.0f32; len];
-    for v in out.iter_mut() {
-        *v = read_f32(r)?;
+    let mut out = Vec::with_capacity(expect);
+    let mut buf = vec![0u8; 4 * IO_CHUNK_FLOATS.min(expect.max(1))];
+    let mut remaining = expect;
+    while remaining > 0 {
+        let n = remaining.min(IO_CHUNK_FLOATS);
+        let bytes = &mut buf[..4 * n];
+        r.read_exact(bytes)?;
+        out.extend(
+            bytes
+                .chunks_exact(4)
+                .map(|b| f32::from_le_bytes([b[0], b[1], b[2], b[3]])),
+        );
+        remaining -= n;
     }
     Ok(out)
 }
 
-fn write_mat(w: &mut impl Write, m: &Mat) -> io::Result<()> {
+pub(crate) fn write_mat(w: &mut impl Write, m: &Mat) -> io::Result<()> {
     write_u64(w, m.rows() as u64)?;
     write_u64(w, m.cols() as u64)?;
     write_slice(w, m.as_slice())
 }
 
-fn read_mat(r: &mut impl Read, rows: usize, cols: usize) -> io::Result<Mat> {
+pub(crate) fn read_mat(r: &mut impl Read, rows: usize, cols: usize) -> io::Result<Mat> {
     let got_rows = read_u64(r)? as usize;
     let got_cols = read_u64(r)? as usize;
     if (got_rows, got_cols) != (rows, cols) {
@@ -76,16 +138,18 @@ fn read_mat(r: &mut impl Read, rows: usize, cols: usize) -> io::Result<Mat> {
             "matrix shape {got_rows}x{got_cols}, expected {rows}x{cols}"
         )));
     }
-    let data = read_vec(r, rows * cols)?;
+    let data = read_vec(r, checked_elems(rows, cols)?)?;
     Mat::from_vec(rows, cols, data).map_err(|e| bad(e.to_string()))
 }
 
-fn write_header(w: &mut impl Write, tag: u8) -> io::Result<()> {
+pub(crate) fn write_header(w: &mut impl Write, tag: u8) -> io::Result<()> {
     w.write_all(MAGIC)?;
     w.write_all(&[tag])
 }
 
-fn read_header(r: &mut impl Read, want_tag: u8) -> io::Result<()> {
+/// Reads the container magic and returns the type tag, for callers that
+/// dispatch on it (the checkpoint loader embeds either model type).
+pub(crate) fn read_any_header(r: &mut impl Read) -> io::Result<u8> {
     let mut magic = [0u8; 8];
     r.read_exact(&mut magic)?;
     if &magic != MAGIC {
@@ -93,13 +157,43 @@ fn read_header(r: &mut impl Read, want_tag: u8) -> io::Result<()> {
     }
     let mut tag = [0u8; 1];
     r.read_exact(&mut tag)?;
-    if tag[0] != want_tag {
+    Ok(tag[0])
+}
+
+pub(crate) fn read_header(r: &mut impl Read, want_tag: u8) -> io::Result<()> {
+    let tag = read_any_header(r)?;
+    if tag != want_tag {
         return Err(bad(format!(
-            "model type tag {} does not match expected {want_tag}",
-            tag[0]
+            "model type tag {tag} does not match expected {want_tag}"
         )));
     }
     Ok(())
+}
+
+/// Writes a file atomically: the payload goes to `<path>.tmp`, is flushed
+/// and fsynced, and only then renamed over `path`. A crash, full disk, or
+/// failing writer mid-save leaves any previous file at `path` untouched.
+pub fn atomic_write(
+    path: impl AsRef<Path>,
+    f: impl FnOnce(&mut dyn Write) -> io::Result<()>,
+) -> io::Result<()> {
+    let path = path.as_ref();
+    let mut tmp_name = path.as_os_str().to_owned();
+    tmp_name.push(".tmp");
+    let tmp = PathBuf::from(tmp_name);
+    let written = (|| {
+        let mut w = BufWriter::new(File::create(&tmp)?);
+        f(&mut w)?;
+        w.flush()?;
+        w.get_ref().sync_all()
+    })();
+    match written.and_then(|()| std::fs::rename(&tmp, path)) {
+        Ok(()) => Ok(()),
+        Err(e) => {
+            let _ = std::fs::remove_file(&tmp);
+            Err(e)
+        }
+    }
 }
 
 /// Serializes a sparse autoencoder.
@@ -120,11 +214,15 @@ pub fn save_autoencoder(ae: &SparseAutoencoder, w: &mut impl Write) -> io::Resul
 /// Deserializes a sparse autoencoder.
 pub fn load_autoencoder(r: &mut impl Read) -> io::Result<SparseAutoencoder> {
     read_header(r, TAG_AE)?;
-    let n_visible = read_u64(r)? as usize;
-    let n_hidden = read_u64(r)? as usize;
-    if n_visible == 0 || n_hidden == 0 {
-        return Err(bad("degenerate layer sizes"));
-    }
+    read_autoencoder_body(r)
+}
+
+/// Reads an autoencoder record after the container header has already been
+/// consumed (the checkpoint loader dispatches on the embedded tag itself).
+pub(crate) fn read_autoencoder_body(r: &mut impl Read) -> io::Result<SparseAutoencoder> {
+    let n_visible = checked_dim(read_u64(r)?, "n_visible")?;
+    let n_hidden = checked_dim(read_u64(r)?, "n_hidden")?;
+    checked_elems(n_hidden, n_visible)?;
     let cfg = AeConfig {
         n_visible,
         n_hidden,
@@ -155,13 +253,19 @@ pub fn save_rbm(rbm: &Rbm, w: &mut impl Write) -> io::Result<()> {
 /// Deserializes an RBM.
 pub fn load_rbm(r: &mut impl Read) -> io::Result<Rbm> {
     read_header(r, TAG_RBM)?;
-    let n_visible = read_u64(r)? as usize;
-    let n_hidden = read_u64(r)? as usize;
-    let cd_steps = read_u64(r)? as usize;
-    if n_visible == 0 || n_hidden == 0 || cd_steps == 0 {
-        return Err(bad("degenerate RBM configuration"));
+    read_rbm_body(r)
+}
+
+/// Reads an RBM record after the container header has been consumed.
+pub(crate) fn read_rbm_body(r: &mut impl Read) -> io::Result<Rbm> {
+    let n_visible = checked_dim(read_u64(r)?, "n_visible")?;
+    let n_hidden = checked_dim(read_u64(r)?, "n_hidden")?;
+    let cd_steps = read_u64(r)?;
+    if cd_steps == 0 || cd_steps > 1 << 16 {
+        return Err(bad(format!("cd_steps {cd_steps} out of range")));
     }
-    let cfg = RbmConfig::new(n_visible, n_hidden).with_cd_steps(cd_steps);
+    checked_elems(n_hidden, n_visible)?;
+    let cfg = RbmConfig::new(n_visible, n_hidden).with_cd_steps(cd_steps as usize);
     let mut rbm = Rbm::new(cfg, 0);
     rbm.w = read_mat(r, n_hidden, n_visible)?;
     rbm.b_vis = read_vec(r, n_visible)?;
@@ -169,9 +273,9 @@ pub fn load_rbm(r: &mut impl Read) -> io::Result<Rbm> {
     Ok(rbm)
 }
 
-/// Saves a sparse autoencoder to a file.
+/// Saves a sparse autoencoder to a file (atomic tmp+rename).
 pub fn save_autoencoder_file(ae: &SparseAutoencoder, path: impl AsRef<Path>) -> io::Result<()> {
-    save_autoencoder(ae, &mut BufWriter::new(File::create(path)?))
+    atomic_write(path, |mut w| save_autoencoder(ae, &mut w))
 }
 
 /// Loads a sparse autoencoder from a file.
@@ -179,9 +283,9 @@ pub fn load_autoencoder_file(path: impl AsRef<Path>) -> io::Result<SparseAutoenc
     load_autoencoder(&mut BufReader::new(File::open(path)?))
 }
 
-/// Saves an RBM to a file.
+/// Saves an RBM to a file (atomic tmp+rename).
 pub fn save_rbm_file(rbm: &Rbm, path: impl AsRef<Path>) -> io::Result<()> {
-    save_rbm(rbm, &mut BufWriter::new(File::create(path)?))
+    atomic_write(path, |mut w| save_rbm(rbm, &mut w))
 }
 
 /// Loads an RBM from a file.

@@ -114,9 +114,33 @@ impl Optimizer {
         Optimizer::new(Rule::Sgd, Schedule::Constant(lr), &vec![0; slots])
     }
 
+    /// Rebuilds an optimizer from persisted state (checkpoint resume).
+    ///
+    /// `state` must hold one buffer per slot, exactly as returned by
+    /// [`Optimizer::state_slots`] at save time.
+    pub fn restore(rule: Rule, schedule: Schedule, step_count: u64, state: Vec<Vec<f32>>) -> Self {
+        Optimizer {
+            rule,
+            schedule,
+            step_count,
+            state,
+        }
+    }
+
     /// The update rule in use.
     pub fn rule(&self) -> Rule {
         self.rule
+    }
+
+    /// The learning-rate schedule in use.
+    pub fn schedule(&self) -> Schedule {
+        self.schedule
+    }
+
+    /// Per-slot auxiliary state (momentum velocities / AdaGrad accumulators;
+    /// empty buffers for plain SGD). Exposed for checkpointing.
+    pub fn state_slots(&self) -> &[Vec<f32>] {
+        &self.state
     }
 
     /// Updates applied so far (drives the schedule).

@@ -12,7 +12,7 @@
 use crate::autoencoder::{AeConfig, SparseAutoencoder};
 use crate::exec::ExecCtx;
 use crate::rbm::{Rbm, RbmConfig};
-use crate::train::{train_dataset, AeModel, RbmModel, TrainConfig, TrainError, TrainReport};
+use crate::train::{train_dataset_at, AeModel, RbmModel, TrainConfig, TrainError, TrainReport};
 use micdnn_data::Dataset;
 use micdnn_tensor::{Mat, MatView};
 
@@ -81,7 +81,9 @@ impl StackedAutoencoder {
             let _layer_span = ctx.phase(&format!("pretrain layer {i}"));
             let shape = (layer.config().n_visible, layer.config().n_hidden);
             let mut model = AeModel::new(layer.clone());
-            let report = train_dataset(&mut model, ctx, &current, cfg, passes)?;
+            // Checkpoints written inside this layer's run carry the layer
+            // index, so a resumed stacked run knows where it stood.
+            let report = train_dataset_at(&mut model, ctx, &current, cfg, passes, 0, i as u64)?;
             *layer = model.into_inner();
             // Encode the dataset through the freshly trained layer to form
             // the next layer's training set.
@@ -154,7 +156,7 @@ impl DeepBeliefNet {
             let _layer_span = ctx.phase(&format!("pretrain layer {i}"));
             let shape = (rbm.config().n_visible, rbm.config().n_hidden);
             let mut model = RbmModel::new(rbm.clone());
-            let report = train_dataset(&mut model, ctx, &current, cfg, passes)?;
+            let report = train_dataset_at(&mut model, ctx, &current, cfg, passes, 0, i as u64)?;
             *rbm = model.into_inner();
             current = Dataset::new(rbm.encode(ctx, current.matrix().view()));
             reports.push(LayerReport { shape, report });

@@ -17,10 +17,12 @@
 
 use crate::autoencoder::{AeScratch, SparseAutoencoder};
 use crate::cd_graph::cd_step_graph;
+use crate::checkpoint::{save_checkpoint_file, CheckpointPolicy, TrainProgress};
 use crate::exec::ExecCtx;
 use crate::rbm::{Rbm, RbmScratch};
 use micdnn_sim::{ChunkSource, ChunkStream, DeviceMemory, Link, OutOfDeviceMemory, StreamStats};
 use micdnn_tensor::MatView;
+use std::io::{self, Write};
 
 /// Anything trainable by the chunked mini-batch loop.
 pub trait UnsupervisedModel {
@@ -33,6 +35,15 @@ pub trait UnsupervisedModel {
     fn train_batch(&mut self, ctx: &ExecCtx, x: MatView<'_>, lr: f32) -> f64;
     /// Device bytes the parameters (and persistent temporaries) occupy.
     fn resident_bytes(&self, max_batch: usize) -> u64;
+    /// Serializes the model *and* its optimizer/momentum state for
+    /// checkpointing. Models without a persistence format return
+    /// `Unsupported`, which disables periodic checkpointing for them.
+    fn save_state(&self, _w: &mut dyn Write) -> io::Result<()> {
+        Err(io::Error::new(
+            io::ErrorKind::Unsupported,
+            "model does not support checkpointing",
+        ))
+    }
 }
 
 /// A sparse autoencoder bundled with its reusable scratch.
@@ -66,6 +77,11 @@ impl AeModel {
     /// Consumes the wrapper, returning the trained autoencoder.
     pub fn into_inner(self) -> SparseAutoencoder {
         self.ae
+    }
+
+    /// The attached optimizer, if any (exposed for checkpointing).
+    pub fn optimizer(&self) -> Option<&crate::optim::Optimizer> {
+        self.optimizer.as_ref()
     }
 }
 
@@ -104,6 +120,10 @@ impl UnsupervisedModel for AeModel {
         let temps = 2 * (max_batch * cfg.n_hidden + max_batch * cfg.n_visible) as u64 * f;
         cfg.param_bytes() * 2 + temps
     }
+
+    fn save_state(&self, w: &mut dyn Write) -> io::Result<()> {
+        crate::checkpoint::write_ae_state(self, w)
+    }
 }
 
 /// Velocity state for momentum-accelerated CD updates.
@@ -114,6 +134,12 @@ struct CdMomentum {
     vb: Vec<f32>,
     vc: Vec<f32>,
 }
+
+/// Borrowed momentum state `(mu, vw, vb, vc)` as exposed for checkpointing.
+pub type MomentumParts<'a> = (f32, &'a [f32], &'a [f32], &'a [f32]);
+
+/// Owned momentum state `(mu, vw, vb, vc)` as restored from a checkpoint.
+pub(crate) type OwnedMomentumParts = (f32, Vec<f32>, Vec<f32>, Vec<f32>);
 
 /// An RBM bundled with its scratch; optionally scheduled via the Fig. 6
 /// dependency graph.
@@ -166,6 +192,30 @@ impl RbmModel {
     /// Consumes the wrapper, returning the trained RBM.
     pub fn into_inner(self) -> Rbm {
         self.rbm
+    }
+
+    /// Whether CD steps run through the Fig. 6 dependency graph.
+    pub fn uses_graph(&self) -> bool {
+        self.use_graph
+    }
+
+    /// Momentum state as `(mu, vw, vb, vc)`, if momentum is enabled.
+    pub fn momentum_parts(&self) -> Option<MomentumParts<'_>> {
+        self.momentum
+            .as_ref()
+            .map(|m| (m.mu, m.vw.as_slice(), m.vb.as_slice(), m.vc.as_slice()))
+    }
+
+    /// Restores flags/momentum from validated checkpoint data. Unlike the
+    /// builder methods this must not panic: the checkpoint loader has
+    /// already range-checked everything and reports `InvalidData` itself.
+    pub(crate) fn restore_extras(
+        &mut self,
+        use_graph: bool,
+        momentum: Option<OwnedMomentumParts>,
+    ) {
+        self.use_graph = use_graph;
+        self.momentum = momentum.map(|(mu, vw, vb, vc)| CdMomentum { mu, vw, vb, vc });
     }
 }
 
@@ -221,10 +271,14 @@ impl UnsupervisedModel for RbmModel {
         let temps = (3 * max_batch * cfg.n_hidden + max_batch * cfg.n_visible) as u64 * f;
         cfg.param_bytes() * 3 + temps
     }
+
+    fn save_state(&self, w: &mut dyn Write) -> io::Result<()> {
+        crate::checkpoint::write_rbm_state(self, w)
+    }
 }
 
 /// Configuration of one training run.
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct TrainConfig {
     /// SGD / CD learning rate.
     pub learning_rate: f32,
@@ -241,6 +295,8 @@ pub struct TrainConfig {
     /// Record a reconstruction-error sample every N batches (0 = every
     /// batch).
     pub history_every: usize,
+    /// Periodic crash-safe checkpointing (`None` = off).
+    pub checkpoint: Option<CheckpointPolicy>,
 }
 
 impl Default for TrainConfig {
@@ -253,6 +309,7 @@ impl Default for TrainConfig {
             double_buffered: true,
             link: Link::pcie_gen2(),
             history_every: 0,
+            checkpoint: None,
         }
     }
 }
@@ -271,6 +328,8 @@ pub enum TrainError {
     },
     /// The source produced no data at all.
     EmptyStream,
+    /// A periodic checkpoint could not be written.
+    Checkpoint(io::Error),
 }
 
 impl std::fmt::Display for TrainError {
@@ -284,6 +343,7 @@ impl std::fmt::Display for TrainError {
                 )
             }
             TrainError::EmptyStream => write!(f, "training stream produced no chunks"),
+            TrainError::Checkpoint(e) => write!(f, "checkpoint write failed: {e}"),
         }
     }
 }
@@ -324,12 +384,51 @@ impl TrainReport {
     }
 }
 
+/// Where a training stream picks up after a checkpoint: the first
+/// `skip_batches` batch positions replay without training (the model
+/// already contains their effect), then training continues.
+#[derive(Debug, Clone, Copy, Default)]
+struct ResumePoint {
+    skip_batches: u64,
+    layer: u64,
+    batches_per_epoch: u64,
+}
+
 /// Trains `model` on everything `source` produces (Algorithm 1).
 pub fn train_stream(
     model: &mut impl UnsupervisedModel,
     ctx: &ExecCtx,
     source: impl ChunkSource,
     cfg: &TrainConfig,
+) -> Result<TrainReport, TrainError> {
+    train_stream_inner(model, ctx, source, cfg, ResumePoint::default())
+}
+
+/// Writes the periodic checkpoint for the state after batch `batches`.
+fn write_checkpoint(
+    policy: &CheckpointPolicy,
+    ctx: &ExecCtx,
+    model: &dyn UnsupervisedModel,
+    resume: ResumePoint,
+    batches: u64,
+    examples: u64,
+) -> io::Result<()> {
+    let progress = TrainProgress {
+        layer: resume.layer,
+        epoch: batches.checked_div(resume.batches_per_epoch).unwrap_or(0),
+        batches,
+        examples,
+    };
+    let (rng_seed, rng_cursor) = ctx.rng_state();
+    save_checkpoint_file(policy.file(), model, rng_seed, rng_cursor, &progress)
+}
+
+fn train_stream_inner(
+    model: &mut impl UnsupervisedModel,
+    ctx: &ExecCtx,
+    source: impl ChunkSource,
+    cfg: &TrainConfig,
+    resume: ResumePoint,
 ) -> Result<TrainReport, TrainError> {
     assert!(cfg.batch_size > 0, "batch size must be positive");
     assert!(cfg.buffers >= 1, "need at least one buffer");
@@ -365,6 +464,11 @@ pub fn train_stream(
         stream: StreamStats::default(),
     };
 
+    // `pos`/`done_examples` count batch positions since the very start of
+    // the run (epoch 0), including positions replayed without training on
+    // resume; `report` counts only work done by *this* process.
+    let mut pos: u64 = 0;
+    let mut done_examples: u64 = 0;
     loop {
         let chunk = {
             let _load = ctx.phase("load");
@@ -372,6 +476,13 @@ pub fn train_stream(
         };
         let Some(chunk) = chunk else { break };
         if chunk.cols() != dim {
+            // Loader fault: leave a checkpoint of everything trained so
+            // far (best effort — the run is failing anyway).
+            if let Some(policy) = &cfg.checkpoint {
+                if pos > 0 {
+                    let _ = write_checkpoint(policy, ctx, model, resume, pos, done_examples);
+                }
+            }
             return Err(TrainError::DimensionMismatch {
                 expected: dim,
                 got: chunk.cols(),
@@ -381,18 +492,42 @@ pub fn train_stream(
         let mut lo = 0;
         while lo < rows {
             let hi = (lo + cfg.batch_size).min(rows);
+            if pos < resume.skip_batches {
+                // Already trained before the checkpoint; replay the batch
+                // boundary without touching the model or the RNG.
+                pos += 1;
+                done_examples += (hi - lo) as u64;
+                lo = hi;
+                continue;
+            }
             let err = model.train_batch(ctx, chunk.rows_range(lo, hi), cfg.learning_rate);
             if cfg.history_every == 0 || report.batches.is_multiple_of(cfg.history_every as u64) {
                 report.recon_history.push(err);
             }
             report.batches += 1;
             report.examples += (hi - lo) as u64;
+            pos += 1;
+            done_examples += (hi - lo) as u64;
             lo = hi;
+            if let Some(policy) = &cfg.checkpoint {
+                if policy.every_batches > 0 && pos.is_multiple_of(policy.every_batches) {
+                    write_checkpoint(policy, ctx, model, resume, pos, done_examples)
+                        .map_err(TrainError::Checkpoint)?;
+                }
+            }
         }
     }
 
-    if report.batches == 0 {
+    if pos == 0 {
         return Err(TrainError::EmptyStream);
+    }
+    // Final checkpoint so a finished run (or an N-epoch leg of a longer
+    // one) can always be resumed.
+    if report.batches > 0 {
+        if let Some(policy) = &cfg.checkpoint {
+            write_checkpoint(policy, ctx, model, resume, pos, done_examples)
+                .map_err(TrainError::Checkpoint)?;
+        }
     }
     report.stream = stream.stats();
     report.sim_total_secs = ctx.sim_time();
@@ -410,13 +545,67 @@ pub fn train_dataset(
     cfg: &TrainConfig,
     passes: usize,
 ) -> Result<TrainReport, TrainError> {
+    train_dataset_at(model, ctx, dataset, cfg, passes, 0, 0)
+}
+
+/// [`train_dataset`] continuing from a checkpoint's [`TrainProgress`]:
+/// replays the same deterministic chunk/batch sequence for `passes` total
+/// epochs, skipping the `progress.batches` positions already trained.
+///
+/// The caller is expected to have restored the model from the checkpoint
+/// and the context's sampler via [`ExecCtx::restore_rng`]; the continued
+/// run is then bit-identical to one that never stopped.
+pub fn train_dataset_resume(
+    model: &mut impl UnsupervisedModel,
+    ctx: &ExecCtx,
+    dataset: &micdnn_data::Dataset,
+    cfg: &TrainConfig,
+    passes: usize,
+    progress: &TrainProgress,
+) -> Result<TrainReport, TrainError> {
+    train_dataset_at(
+        model,
+        ctx,
+        dataset,
+        cfg,
+        passes,
+        progress.batches,
+        progress.layer,
+    )
+}
+
+/// Shared body of [`train_dataset`]/[`train_dataset_resume`]; `layer`
+/// labels checkpoints written during stacked pre-training.
+pub(crate) fn train_dataset_at(
+    model: &mut impl UnsupervisedModel,
+    ctx: &ExecCtx,
+    dataset: &micdnn_data::Dataset,
+    cfg: &TrainConfig,
+    passes: usize,
+    skip_batches: u64,
+    layer: u64,
+) -> Result<TrainReport, TrainError> {
     assert!(passes >= 1, "need at least one pass");
     let chunks = dataset.clone().into_chunks(cfg.chunk_rows);
+    let batches_per_epoch: u64 = chunks
+        .iter()
+        .map(|c| c.rows().div_ceil(cfg.batch_size) as u64)
+        .sum();
     let mut all = Vec::with_capacity(chunks.len() * passes);
     for _ in 0..passes {
         all.extend(chunks.iter().cloned());
     }
-    train_stream(model, ctx, micdnn_sim::VecSource::new(all), cfg)
+    train_stream_inner(
+        model,
+        ctx,
+        micdnn_sim::VecSource::new(all),
+        cfg,
+        ResumePoint {
+            skip_batches,
+            layer,
+            batches_per_epoch,
+        },
+    )
 }
 
 #[cfg(test)]

@@ -10,14 +10,16 @@
 use micdnn_tensor::Mat;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use std::io;
 
 /// A 2-D point in skeleton space.
 type P = (f32, f32);
 
 /// Polyline skeletons for the ten digit classes, in a `[0,1]^2` box with y
-/// growing downward. Several digits use more than one stroke.
-fn skeleton(digit: u8) -> Vec<Vec<P>> {
-    match digit {
+/// growing downward. Several digits use more than one stroke. `None` for
+/// anything outside 0–9.
+fn skeleton(digit: u8) -> Option<Vec<Vec<P>>> {
+    let strokes = match digit {
         0 => vec![vec![
             (0.5, 0.08),
             (0.78, 0.2),
@@ -94,8 +96,9 @@ fn skeleton(digit: u8) -> Vec<Vec<P>> {
             (0.72, 0.35),
             (0.66, 0.92),
         ]],
-        _ => panic!("digit out of range: {digit}"),
-    }
+        _ => return None,
+    };
+    Some(strokes)
 }
 
 /// Deterministic generator of digit images.
@@ -131,8 +134,17 @@ impl DigitGenerator {
 
     /// Renders one example of class `digit` (0–9) into a flat row, values
     /// in `[0, 1]`.
-    pub fn render(&mut self, digit: u8) -> Vec<f32> {
-        let strokes = skeleton(digit);
+    ///
+    /// An out-of-range class returns `InvalidData` (like the rest of the
+    /// data crate) *before* any random draws, so the generator state stays
+    /// untouched on the error path.
+    pub fn render(&mut self, digit: u8) -> io::Result<Vec<f32>> {
+        let strokes = skeleton(digit).ok_or_else(|| {
+            io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("digit out of range: {digit}"),
+            )
+        })?;
         let side = self.side;
 
         // Random affine jitter.
@@ -163,7 +175,7 @@ impl DigitGenerator {
             let n: f32 = self.rng.gen_range(-0.03..0.03);
             *v = (*v + n).clamp(0.0, 1.0);
         }
-        img
+        Ok(img)
     }
 
     /// Generates `n` examples cycling through the digit classes, as an
@@ -172,7 +184,9 @@ impl DigitGenerator {
         let dim = self.dim();
         let mut m = Mat::zeros(n, dim);
         for i in 0..n {
-            let row = self.render((i % 10) as u8);
+            let row = self
+                .render((i % 10) as u8)
+                .expect("classes 0-9 always render");
             m.row_mut(i).copy_from_slice(&row);
         }
         m
@@ -220,7 +234,7 @@ mod tests {
     fn renders_in_unit_range() {
         let mut g = DigitGenerator::new(16, 1);
         for d in 0..10 {
-            let img = g.render(d);
+            let img = g.render(d).unwrap();
             assert_eq!(img.len(), 256);
             assert!(img.iter().all(|&v| (0.0..=1.0).contains(&v)));
         }
@@ -230,7 +244,7 @@ mod tests {
     fn digits_have_ink_but_not_everywhere() {
         let mut g = DigitGenerator::new(20, 2);
         for d in 0..10 {
-            let img = g.render(d);
+            let img = g.render(d).unwrap();
             let ink: f32 = img.iter().sum();
             let frac = ink / img.len() as f32;
             assert!(frac > 0.02, "digit {d} nearly blank ({frac})");
@@ -247,7 +261,7 @@ mod tests {
             let mut g = DigitGenerator::new(side, seed);
             let mut acc = vec![0.0f32; side * side];
             for _ in 0..30 {
-                for (a, v) in acc.iter_mut().zip(g.render(digit)) {
+                for (a, v) in acc.iter_mut().zip(g.render(digit).unwrap()) {
                     *a += v / 30.0;
                 }
             }
@@ -268,8 +282,12 @@ mod tests {
     fn deterministic_under_seed() {
         let mut a = DigitGenerator::new(12, 9);
         let mut b = DigitGenerator::new(12, 9);
-        assert_eq!(a.render(7), b.render(7));
-        assert_ne!(a.render(7), b.render(3), "different draws differ");
+        assert_eq!(a.render(7).unwrap(), b.render(7).unwrap());
+        assert_ne!(
+            a.render(7).unwrap(),
+            b.render(3).unwrap(),
+            "different draws differ"
+        );
     }
 
     #[test]
@@ -281,8 +299,18 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "digit out of range")]
     fn digit_class_checked() {
-        DigitGenerator::new(16, 0).render(10);
+        let mut g = DigitGenerator::new(16, 0);
+        for bad in [10u8, 99, 255] {
+            let err = g.render(bad).unwrap_err();
+            assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+            assert!(err.to_string().contains("out of range"));
+        }
+        // The failed calls consumed no randomness: the generator renders
+        // exactly what a fresh one does.
+        assert_eq!(
+            g.render(4).unwrap(),
+            DigitGenerator::new(16, 0).render(4).unwrap()
+        );
     }
 }

@@ -13,8 +13,8 @@ proptest! {
     fn digits_bounded_and_deterministic(side in 8usize..24, seed in any::<u64>(), digit in 0u8..10) {
         let mut a = DigitGenerator::new(side, seed);
         let mut b = DigitGenerator::new(side, seed);
-        let img_a = a.render(digit);
-        let img_b = b.render(digit);
+        let img_a = a.render(digit).unwrap();
+        let img_b = b.render(digit).unwrap();
         prop_assert_eq!(&img_a, &img_b);
         prop_assert_eq!(img_a.len(), side * side);
         let ink: f32 = img_a.iter().sum();

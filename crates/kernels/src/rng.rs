@@ -49,6 +49,15 @@ impl SampleStream {
         SampleStream { seed, next: 0 }
     }
 
+    /// Recreates an allocator at a saved position: the next stream handed
+    /// out is `StreamId(cursor)`, exactly as if `cursor` streams had
+    /// already been issued. This is what lets a checkpointed training run
+    /// resume with bit-identical sampling: persist [`SampleStream::seed`]
+    /// and [`SampleStream::issued`], then resume from them.
+    pub fn resume(seed: u64, cursor: u64) -> Self {
+        SampleStream { seed, next: cursor }
+    }
+
     /// Master seed of the run.
     pub fn seed(&self) -> u64 {
         self.seed
@@ -181,6 +190,17 @@ mod tests {
         assert_eq!(s.next(), StreamId(1));
         assert_eq!(s.issued(), 2);
         assert_eq!(s.seed(), 5);
+    }
+
+    #[test]
+    fn resumed_allocator_continues_the_run() {
+        let mut a = SampleStream::new(5);
+        for _ in 0..7 {
+            a.next();
+        }
+        let mut b = SampleStream::resume(a.seed(), a.issued());
+        assert_eq!(b.next(), a.next(), "resume must continue the sequence");
+        assert_eq!(b.issued(), a.issued());
     }
 
     #[test]

@@ -10,12 +10,27 @@
 //! kernels rely on fixed chunking for bit-reproducibility).
 
 use std::num::NonZeroUsize;
+use std::sync::OnceLock;
 
 /// Number of worker threads a parallel region may fork across.
+///
+/// Honors `RAYON_NUM_THREADS` like real rayon's default pool: a positive
+/// integer pins the pool size (read once, at first use); anything else
+/// falls back to the machine's available parallelism. `RAYON_NUM_THREADS=1`
+/// is how CI exercises the bit-reproducibility claims sequentially.
 pub fn current_num_threads() -> usize {
-    std::thread::available_parallelism()
-        .map(NonZeroUsize::get)
-        .unwrap_or(1)
+    static CONFIGURED: OnceLock<Option<usize>> = OnceLock::new();
+    let configured = *CONFIGURED.get_or_init(|| {
+        std::env::var("RAYON_NUM_THREADS")
+            .ok()
+            .and_then(|s| s.trim().parse::<usize>().ok())
+            .filter(|&n| n > 0)
+    });
+    configured.unwrap_or_else(|| {
+        std::thread::available_parallelism()
+            .map(NonZeroUsize::get)
+            .unwrap_or(1)
+    })
 }
 
 fn run_each<T: Send, F: Fn(T) + Sync>(items: Vec<T>, f: F) {

@@ -69,7 +69,7 @@ fn main() {
         let mut stack = StackedAutoencoder::with_default_config(&sizes[..2], 9);
         let quick = TrainConfig {
             history_every: 1000,
-            ..cfg
+            ..cfg.clone()
         };
         stack
             .pretrain(&ctx, &data, &quick, 3)

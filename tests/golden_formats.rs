@@ -6,9 +6,15 @@
 //! files. A deliberate schema change must update the golden alongside a
 //! version bump; an accidental one fails here first.
 
-use micdnn::{ProfileReport, Profiler};
+use micdnn::model_io::{load_autoencoder, load_rbm, save_autoencoder, save_rbm};
+use micdnn::train::AeModel;
+use micdnn::{
+    load_checkpoint, save_checkpoint, AeConfig, Optimizer, ProfileReport, Profiler, Rbm, RbmConfig,
+    Rule, Schedule, SparseAutoencoder, TrainProgress,
+};
 use micdnn_kernels::{OpCost, OpKind};
 use micdnn_sim::{chrome_trace_json, EventKind, StreamStats, Trace};
+use micdnn_tensor::Mat;
 
 const PROFILE_GOLDEN: &str = include_str!("golden/profile_report.json");
 const TRACE_GOLDEN: &str = include_str!("golden/chrome_trace.json");
@@ -23,6 +29,133 @@ fn maybe_update(name: &str, text: &str) -> bool {
     std::fs::write(&path, text).unwrap();
     eprintln!("updated {path}");
     true
+}
+
+/// Binary variant of [`maybe_update`] for the model-format goldens.
+fn maybe_update_bytes(name: &str, bytes: &[u8]) -> bool {
+    if std::env::var_os("UPDATE_GOLDEN").is_none() {
+        return false;
+    }
+    let path = format!("{}/../../tests/golden/{name}", env!("CARGO_MANIFEST_DIR"));
+    std::fs::write(&path, bytes).unwrap();
+    eprintln!("updated {path}");
+    true
+}
+
+fn read_golden_bytes(name: &str) -> Vec<u8> {
+    let path = format!("{}/../../tests/golden/{name}", env!("CARGO_MANIFEST_DIR"));
+    std::fs::read(&path).unwrap_or_else(|e| {
+        panic!("missing golden file {name} (regenerate with UPDATE_GOLDEN=1): {e}")
+    })
+}
+
+/// An autoencoder with every parameter set to a closed-form value, so the
+/// serialized bytes depend on nothing but the wire format itself.
+fn pinned_ae() -> SparseAutoencoder {
+    let cfg = AeConfig::new(5, 3);
+    let mut ae = SparseAutoencoder::new(cfg, 0);
+    ae.w1 = Mat::from_fn(3, 5, |r, c| (r * 5 + c) as f32 * 0.125 - 0.5);
+    ae.w2 = Mat::from_fn(5, 3, |r, c| (r * 3 + c) as f32 * -0.0625 + 0.25);
+    ae.b1 = (0..3).map(|i| i as f32 * 0.5).collect();
+    ae.b2 = (0..5).map(|i| i as f32 * -0.25).collect();
+    ae
+}
+
+fn pinned_rbm() -> Rbm {
+    let cfg = RbmConfig::new(4, 3).with_cd_steps(2);
+    let mut rbm = Rbm::new(cfg, 0);
+    rbm.w = Mat::from_fn(3, 4, |r, c| (r * 4 + c) as f32 * 0.25 - 1.0);
+    rbm.b_vis = (0..4).map(|i| i as f32 * 0.125).collect();
+    rbm.c_hid = (0..3).map(|i| 1.0 - i as f32 * 0.5).collect();
+    rbm
+}
+
+/// The model container format (`MICDNN01`, little-endian, length-prefixed
+/// tensors) is pinned byte-for-byte: files written by older builds must
+/// keep loading, so any byte-level drift — e.g. from a rewrite of the
+/// tensor I/O path — must fail here rather than silently fork the format.
+#[test]
+fn ae_wire_format_matches_golden() {
+    let mut bytes = Vec::new();
+    save_autoencoder(&pinned_ae(), &mut bytes).unwrap();
+    if maybe_update_bytes("model_ae.bin", &bytes) {
+        return;
+    }
+    assert_eq!(
+        bytes,
+        read_golden_bytes("model_ae.bin"),
+        "AE wire format drifted from tests/golden/model_ae.bin"
+    );
+}
+
+#[test]
+fn rbm_wire_format_matches_golden() {
+    let mut bytes = Vec::new();
+    save_rbm(&pinned_rbm(), &mut bytes).unwrap();
+    if maybe_update_bytes("model_rbm.bin", &bytes) {
+        return;
+    }
+    assert_eq!(
+        bytes,
+        read_golden_bytes("model_rbm.bin"),
+        "RBM wire format drifted from tests/golden/model_rbm.bin"
+    );
+}
+
+#[test]
+fn checkpoint_wire_format_matches_golden() {
+    let cfg = AeConfig::new(5, 3);
+    let slot_lens = SparseAutoencoder::optimizer_slots(&cfg);
+    let state = slot_lens
+        .iter()
+        .enumerate()
+        .map(|(s, &len)| (0..len).map(|i| (s * 100 + i) as f32 * 0.01).collect())
+        .collect();
+    let opt = Optimizer::restore(
+        Rule::Momentum { mu: 0.9 },
+        Schedule::Step {
+            base: 0.2,
+            factor: 0.5,
+            every: 100,
+        },
+        34,
+        state,
+    );
+    let model = AeModel::new(pinned_ae()).with_optimizer(opt);
+    let progress = TrainProgress {
+        layer: 1,
+        epoch: 2,
+        batches: 34,
+        examples: 850,
+    };
+    let mut bytes = Vec::new();
+    save_checkpoint(&mut bytes, &model, 42, 17, &progress).unwrap();
+    if maybe_update_bytes("checkpoint.bin", &bytes) {
+        return;
+    }
+    assert_eq!(
+        bytes,
+        read_golden_bytes("checkpoint.bin"),
+        "checkpoint wire format drifted from tests/golden/checkpoint.bin \
+         (a deliberate layout change must bump CHECKPOINT_VERSION)"
+    );
+}
+
+/// The committed goldens must themselves load — the pin is only useful if
+/// the bytes on disk represent real, readable files.
+#[test]
+fn golden_model_files_load_back() {
+    let ae = load_autoencoder(&mut read_golden_bytes("model_ae.bin").as_slice()).unwrap();
+    assert_eq!(ae.w1.as_slice(), pinned_ae().w1.as_slice());
+    let rbm = load_rbm(&mut read_golden_bytes("model_rbm.bin").as_slice()).unwrap();
+    assert_eq!(rbm.config().cd_steps, 2);
+    assert_eq!(rbm.w.as_slice(), pinned_rbm().w.as_slice());
+    let ckpt = load_checkpoint(&mut read_golden_bytes("checkpoint.bin").as_slice()).unwrap();
+    assert_eq!(ckpt.rng_seed, 42);
+    assert_eq!(ckpt.rng_cursor, 17);
+    assert_eq!(ckpt.progress.batches, 34);
+    let model = ckpt.into_ae().expect("AE checkpoint");
+    assert_eq!(model.optimizer().unwrap().steps(), 34);
 }
 
 /// A fully deterministic profile: fixed ops, phases, and stream stats.
