@@ -185,18 +185,21 @@ fn main() {
         if json {
             println!("{}", serde_json::to_string_pretty(&rows).unwrap());
         } else {
-            println!("== Fig. 6 — dependency-graph scheduling of one CD-1 step ==");
+            println!("== Fig. 6 — dependency-graph scheduling of one training step ==");
             println!(
-                "{:<22}{:>14}{:>14}{:>10}",
-                "network", "serial", "graph", "speedup"
+                "{:<6}{:<22}{:>14}{:>14}{:>10}{:>14}{:>14}",
+                "algo", "network", "serial", "graph", "speedup", "scratch", "planned"
             );
             for r in &rows {
                 println!(
-                    "{:<22}{:>11.2} ms{:>11.2} ms{:>9.2}x",
+                    "{:<6}{:<22}{:>11.2} ms{:>11.2} ms{:>9.2}x{:>13}e{:>13}e",
+                    r.algo,
                     r.network,
                     r.serial_secs * 1e3,
                     r.graph_secs * 1e3,
-                    r.speedup
+                    r.speedup,
+                    r.scratch_elems,
+                    r.planned_peak_elems
                 );
             }
             println!();

@@ -8,10 +8,11 @@
 //! *shapes*: who wins, by what factor, and where the trends bend.
 
 use micdnn::analytic::{estimate, Algo, Estimate, Workload};
-use micdnn::cd_step_graph;
+use micdnn::autoencoder::{AeConfig, AeScratch, SparseAutoencoder};
 use micdnn::exec::{ExecCtx, OptLevel};
 use micdnn::hybrid::{estimate_hybrid, optimal_fraction, HybridConfig};
 use micdnn::rbm::{Rbm, RbmConfig, RbmScratch};
+use micdnn::{ae_step_graph, cd_step_graph};
 use micdnn_kernels::OpKind;
 use micdnn_sim::{
     Affinity, ChunkStream, EventKind, Link, Platform, SimClock, StreamStats, Trace, VecSource,
@@ -510,18 +511,27 @@ pub fn overlap_traced(chunks: usize) -> (StreamStats, Trace) {
 /// Result of the Fig. 6 dependency-graph ablation.
 #[derive(Debug, Clone, Serialize)]
 pub struct GraphAblation {
+    /// Training algorithm ("rbm" or "ae").
+    pub algo: String,
     /// Network size label.
     pub network: String,
-    /// Serial-schedule seconds for one CD-1 step.
+    /// Serial-schedule seconds for one training step.
     pub serial_secs: f64,
     /// Critical-path seconds for the same step.
     pub graph_secs: f64,
     /// serial / graph.
     pub speedup: f64,
+    /// Scratch elements the step's graph declares.
+    pub scratch_elems: usize,
+    /// Scratch elements after liveness-planned register aliasing.
+    pub planned_peak_elems: usize,
 }
 
-/// Executes (really) one CD-1 step per size, serial vs dependency-graph
-/// scheduled, on the simulated Phi.
+/// Executes (really) one training step per size and algorithm, serial vs
+/// dependency-graph scheduled, on the simulated Phi. Both the RBM CD-1
+/// step (the paper's Fig. 6) and the autoencoder step run through the
+/// same executor; the planner columns report the declared-vs-aliased
+/// scratch footprint of each step's workspace plan.
 pub fn graph_ablation() -> Vec<GraphAblation> {
     let mut out = Vec::new();
     for &(v, h, b) in &[
@@ -529,18 +539,39 @@ pub fn graph_ablation() -> Vec<GraphAblation> {
         (512, 1024, 200),
         (1024, 2048, 200),
     ] {
-        let cfg = RbmConfig::new(v, h);
-        let mut rbm = Rbm::new(cfg, 1);
-        let ctx = ExecCtx::simulated(OptLevel::Improved, Platform::xeon_phi(), 2);
-        let mut scratch = RbmScratch::new(&cfg, b);
         let x = Mat::from_fn(b, v, |r, c| ((r * v + c) % 2) as f32);
-        let (_, run) = cd_step_graph(&mut rbm, &ctx, x.view(), &mut scratch, 0.1);
-        out.push(GraphAblation {
-            network: format!("{v}x{h} batch {b}"),
-            serial_secs: run.serial_time,
-            graph_secs: run.critical_path,
-            speedup: run.speedup(),
-        });
+        {
+            let cfg = RbmConfig::new(v, h);
+            let mut rbm = Rbm::new(cfg, 1);
+            let ctx = ExecCtx::simulated(OptLevel::Improved, Platform::xeon_phi(), 2);
+            let mut scratch = RbmScratch::new(&cfg, b);
+            let (_, run) = cd_step_graph(&mut rbm, &ctx, x.view(), &mut scratch, 0.1);
+            out.push(GraphAblation {
+                algo: "rbm".to_string(),
+                network: format!("{v}x{h} batch {b}"),
+                serial_secs: run.serial_time,
+                graph_secs: run.critical_path,
+                speedup: run.speedup(),
+                scratch_elems: run.scratch_elems,
+                planned_peak_elems: run.planned_peak_elems,
+            });
+        }
+        {
+            let cfg = AeConfig::new(v, h);
+            let mut ae = SparseAutoencoder::new(cfg, 1);
+            let ctx = ExecCtx::simulated(OptLevel::Improved, Platform::xeon_phi(), 2);
+            let mut scratch = AeScratch::new(&cfg, b);
+            let (_, run) = ae_step_graph(&mut ae, &ctx, x.view(), &mut scratch, 0.1, None);
+            out.push(GraphAblation {
+                algo: "ae".to_string(),
+                network: format!("{v}x{h} batch {b}"),
+                serial_secs: run.serial_time,
+                graph_secs: run.critical_path,
+                speedup: run.speedup(),
+                scratch_elems: run.scratch_elems,
+                planned_peak_elems: run.planned_peak_elems,
+            });
+        }
     }
     out
 }
@@ -813,9 +844,23 @@ mod tests {
 
     #[test]
     fn graph_ablation_shows_gain() {
-        for row in graph_ablation() {
-            assert!(row.speedup > 1.0, "{}: no gain", row.network);
+        let rows = graph_ablation();
+        assert!(rows.iter().any(|r| r.algo == "ae"));
+        assert!(rows.iter().any(|r| r.algo == "rbm"));
+        for row in &rows {
+            assert!(row.speedup > 1.0, "{} {}: no gain", row.algo, row.network);
             assert!(row.graph_secs < row.serial_secs);
+            assert!(row.planned_peak_elems <= row.scratch_elems);
+            // CD-1 aliases the hidden-sample buffer into the negative-phase
+            // hidden probabilities; the AE step has no dead overlap.
+            match row.algo.as_str() {
+                "rbm" => assert!(
+                    row.planned_peak_elems < row.scratch_elems,
+                    "{}: planner found no aliasing",
+                    row.network
+                ),
+                _ => assert_eq!(row.planned_peak_elems, row.scratch_elems),
+            }
         }
     }
 

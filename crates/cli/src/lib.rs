@@ -176,6 +176,9 @@ pub fn usage() -> String {
                   [--save FILE] — crash-safe training; --resume continues a\n\
                   checkpointed run bit-identically (pass the same data flags\n\
                   and --passes as the TOTAL epochs of the whole run)\n\
+       (all training commands accept --graph-schedule: run each step\n\
+        through the dataflow executor — bit-identical, critical-path\n\
+        priced in simulation, concurrent small kernels natively)\n\
        train-ae   --visible N --hidden N [--examples N] [--passes N] [--batch N]\n\
                   [--lr F] [--data digits|patches|FILE.idx] [--save FILE]\n\
                   [--level baseline|openmp|openmp-mkl|improved|sequential]\n\
@@ -236,6 +239,9 @@ fn cmd_train(args: &Args, seed: u64) -> Result<String, String> {
         resumed_from = Some(progress);
         match (algo.as_str(), ckpt.model) {
             ("ae", CheckpointModel::Ae(mut model)) => {
+                if args.has("graph-schedule") {
+                    model = model.with_graph_schedule();
+                }
                 report = train_dataset_resume(&mut model, &ctx, &ds, &tc, passes, &progress)
                     .map_err(|e| e.to_string())?;
                 trained = Trained::Ae(model);
@@ -269,6 +275,9 @@ fn cmd_train(args: &Args, seed: u64) -> Result<String, String> {
                     );
                     model = model.with_optimizer(opt);
                 }
+                if args.has("graph-schedule") {
+                    model = model.with_graph_schedule();
+                }
                 report =
                     train_dataset(&mut model, &ctx, &ds, &tc, passes).map_err(|e| e.to_string())?;
                 trained = Trained::Ae(model);
@@ -281,6 +290,9 @@ fn cmd_train(args: &Args, seed: u64) -> Result<String, String> {
                         .parse()
                         .map_err(|_| "--momentum: bad value".to_string())?;
                     model = model.with_momentum(mu);
+                }
+                if args.has("graph-schedule") {
+                    model = model.with_graph_schedule();
                 }
                 report =
                     train_dataset(&mut model, &ctx, &ds, &tc, passes).map_err(|e| e.to_string())?;
@@ -350,6 +362,9 @@ fn cmd_train_ae(args: &Args, seed: u64) -> Result<String, String> {
         );
         model = model.with_optimizer(opt);
     }
+    if args.has("graph-schedule") {
+        model = model.with_graph_schedule();
+    }
     let ctx = make_ctx(args, seed)?;
     let tc = train_config(args)?;
     let report = train_dataset(&mut model, &ctx, &ds, &tc, passes).map_err(|e| e.to_string())?;
@@ -404,12 +419,18 @@ fn cmd_profile(args: &Args, seed: u64) -> Result<String, String> {
         "ae" => {
             let cfg = AeConfig::new(visible, hidden);
             let mut model = AeModel::new(SparseAutoencoder::new(cfg, seed));
+            if args.has("graph-schedule") {
+                model = model.with_graph_schedule();
+            }
             train_dataset(&mut model, &ctx, &ds, &tc, passes)
         }
         "rbm" => {
             ds.binarize(0.5);
             let cfg = RbmConfig::new(visible, hidden);
             let mut model = RbmModel::new(Rbm::new(cfg, seed));
+            if args.has("graph-schedule") {
+                model = model.with_graph_schedule();
+            }
             train_dataset(&mut model, &ctx, &ds, &tc, passes)
         }
         other => return Err(format!("unknown --algo `{other}` (ae|rbm)")),
@@ -476,6 +497,9 @@ fn cmd_train_rbm(args: &Args, seed: u64) -> Result<String, String> {
         );
     } else {
         let mut model = RbmModel::new(Rbm::new(cfg, seed));
+        if args.has("graph-schedule") {
+            model = model.with_graph_schedule();
+        }
         let r = train_dataset(&mut model, &ctx, &ds, &tc, passes).map_err(|e| e.to_string())?;
         report = (r.initial_recon(), r.final_recon(), r.batches as usize);
         rbm = model.into_inner();
@@ -527,6 +551,9 @@ fn cmd_pretrain(args: &Args, seed: u64) -> Result<String, String> {
     let ctx = make_ctx(args, seed)?;
     let tc = train_config(args)?;
     let mut stack = StackedAutoencoder::with_default_config(&sizes, seed);
+    if args.has("graph-schedule") {
+        stack = stack.with_graph_schedule();
+    }
     let reports = stack
         .pretrain(&ctx, &ds, &tc, passes)
         .map_err(|e| e.to_string())?;
@@ -566,10 +593,16 @@ fn cmd_classify(args: &Args, seed: u64) -> Result<String, String> {
     let tc = train_config(args)?;
 
     let mut stack = StackedAutoencoder::with_default_config(&sizes, seed);
+    if args.has("graph-schedule") {
+        stack = stack.with_graph_schedule();
+    }
     stack
         .pretrain(&ctx, &ds, &tc, passes)
         .map_err(|e| e.to_string())?;
     let mut net = FineTuneNet::from_stack(&stack, classes, seed ^ 0xF1);
+    if args.has("graph-schedule") {
+        net = net.with_graph_schedule();
+    }
     let history = net.fit(
         &ctx,
         ds.matrix().view(),
@@ -914,6 +947,21 @@ mod tests {
         .unwrap();
         assert!(out.contains("profiled rbm 64 -> 12"), "{out}");
         assert!(out.contains("update"), "{out}");
+    }
+
+    #[test]
+    fn graph_schedule_flag_is_bit_identical() {
+        for algo in ["train-ae", "train-rbm"] {
+            let base = sv(&[
+                algo, "--examples", "100", "--side", "8", "--hidden", "16", "--passes", "3",
+                "--batch", "25", "--chunk", "50",
+            ]);
+            let serial = run(&base).unwrap();
+            let mut graphed_args = base.clone();
+            graphed_args.push("--graph-schedule".to_string());
+            let graphed = run(&graphed_args).unwrap();
+            assert_eq!(serial, graphed, "{algo} diverged under --graph-schedule");
+        }
     }
 
     #[test]

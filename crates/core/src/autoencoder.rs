@@ -88,16 +88,16 @@ impl AeCost {
 #[derive(Debug)]
 pub struct AeScratch {
     max_batch: usize,
-    a2: Mat,
-    a3: Mat,
-    delta3: Mat,
-    delta2: Mat,
-    rho_hat: Vec<f32>,
-    s_term: Vec<f32>,
-    gw1: Mat,
-    gw2: Mat,
-    gb1: Vec<f32>,
-    gb2: Vec<f32>,
+    pub(crate) a2: Mat,
+    pub(crate) a3: Mat,
+    pub(crate) delta3: Mat,
+    pub(crate) delta2: Mat,
+    pub(crate) rho_hat: Vec<f32>,
+    pub(crate) s_term: Vec<f32>,
+    pub(crate) gw1: Mat,
+    pub(crate) gw2: Mat,
+    pub(crate) gb1: Vec<f32>,
+    pub(crate) gb2: Vec<f32>,
 }
 
 impl AeScratch {
@@ -210,101 +210,38 @@ impl SparseAutoencoder {
     /// Forward + back-propagation; fills the gradient buffers in `scratch`
     /// and returns the batch cost.
     ///
+    /// The step is the AE dependency graph run in declaration order — the
+    /// exact serial op sequence of the classic hand-rolled loop, sharing
+    /// one builder with [`crate::ae_step_graph`].
+    ///
     /// Weight decay is *not* folded into `gw1`/`gw2`; it is applied
     /// multiplicatively by [`SparseAutoencoder::apply_gradients`], which is
     /// mathematically the same SGD step.
     pub fn cost_and_grad(&self, ctx: &ExecCtx, x: MatView<'_>, scratch: &mut AeScratch) -> AeCost {
         let b = x.rows();
         assert!(b > 0, "empty batch");
-        {
-            let _forward = ctx.phase("forward");
-            self.forward(ctx, x, scratch);
-        }
-        let _backward = ctx.phase("backward");
-        let inv_b = 1.0 / b as f32;
-
-        // Costs.
-        let recon = ctx.frob_dist_sq(scratch.a3.rows_range(0, b), x) / (2.0 * b as f64);
-        let lambda = self.cfg.weight_decay as f64;
-        let weight_penalty = 0.5
-            * lambda
-            * (vecops::sum_sq(ctx.backend().par(), self.w1.as_slice())
-                + vecops::sum_sq(ctx.backend().par(), self.w2.as_slice()));
-
-        // Sparsity statistics over the batch.
-        ctx.colmean(scratch.a2.rows_range(0, b), &mut scratch.rho_hat);
-        let kl = if self.cfg.sparsity_weight > 0.0 {
-            // kl_sparsity returns the raw KL sum; the objective's penalty
-            // term is beta times it (paper eq. 5).
-            self.cfg.sparsity_weight as f64
-                * kl_sparsity(
-                    self.cfg.sparsity_target,
-                    self.cfg.sparsity_weight,
-                    &scratch.rho_hat,
-                    &mut scratch.s_term,
-                )
-        } else {
-            scratch.s_term.fill(0.0);
-            0.0
-        };
-
-        // delta3 = (a3 - x) ⊙ a3 ⊙ (1 - a3)
-        {
-            let (a3_slice, d3) = (
-                scratch.a3.rows_range(0, b),
-                &mut scratch.delta3.rows_range_mut(0, b),
-            );
-            ctx.delta_output(a3_slice.as_slice(), x.as_slice(), d3.as_mut_slice());
-        }
-
-        // gw2 = 1/b delta3^T a2 ; gb2 = 1/b colsum(delta3)
-        ctx.gemm(
-            inv_b,
-            scratch.delta3.rows_range(0, b),
-            true,
-            scratch.a2.rows_range(0, b),
-            false,
-            0.0,
-            &mut scratch.gw2.view_mut(),
+        assert!(b <= scratch.max_batch, "batch exceeds scratch capacity");
+        assert_eq!(
+            x.cols(),
+            self.cfg.n_visible,
+            "input dimensionality mismatch"
         );
-        ctx.colmean(scratch.delta3.rows_range(0, b), &mut scratch.gb2);
-
-        // delta2 = (delta3 W2 + s) ⊙ a2 ⊙ (1 - a2)
-        {
-            let mut d2 = scratch.delta2.rows_range_mut(0, b);
-            ctx.gemm(
-                1.0,
-                scratch.delta3.rows_range(0, b),
-                false,
-                self.w2.view(),
-                false,
-                0.0,
-                &mut d2,
-            );
-        }
-        {
-            let (a2, delta2, s_term) = (&scratch.a2, &mut scratch.delta2, &scratch.s_term);
-            let mut d2 = delta2.rows_range_mut(0, b);
-            ctx.bias_deriv_rows(s_term, a2.rows_range(0, b), &mut d2);
-        }
-
-        // gw1 = 1/b delta2^T x ; gb1 = 1/b colsum(delta2)
-        ctx.gemm(
-            inv_b,
-            scratch.delta2.rows_range(0, b),
-            true,
+        use crate::ae_graph::{build_ae_graph, AeParams, AeState, AeUpdate};
+        let mut g = build_ae_graph(self.cfg.n_visible, self.cfg.n_hidden, b, AeUpdate::None);
+        let mut state = AeState {
+            params: AeParams::Shared(self),
+            scratch,
             x,
-            false,
-            0.0,
-            &mut scratch.gw1.view_mut(),
-        );
-        ctx.colmean(scratch.delta2.rows_range(0, b), &mut scratch.gb1);
-
-        AeCost {
-            reconstruction: recon,
-            weight_penalty,
-            sparsity_penalty: kl,
-        }
+            opt: None,
+            lr: 0.0,
+            cost: AeCost {
+                reconstruction: 0.0,
+                weight_penalty: 0.0,
+                sparsity_penalty: 0.0,
+            },
+        };
+        g.run_serial(ctx, &mut state);
+        state.cost
     }
 
     /// Applies the gradients in `scratch` with learning rate `lr`
@@ -356,6 +293,10 @@ impl SparseAutoencoder {
     }
 
     /// One SGD step on a batch; returns the cost before the update.
+    ///
+    /// Runs the full AE graph (forward, backward, update) in declaration
+    /// order — identical ops to `cost_and_grad` followed by
+    /// `apply_gradients`.
     pub fn train_batch(
         &mut self,
         ctx: &ExecCtx,
@@ -363,9 +304,30 @@ impl SparseAutoencoder {
         scratch: &mut AeScratch,
         lr: f32,
     ) -> AeCost {
-        let cost = self.cost_and_grad(ctx, x, scratch);
-        self.apply_gradients(ctx, scratch, lr);
-        cost
+        let b = x.rows();
+        assert!(b > 0, "empty batch");
+        assert!(b <= scratch.max_batch, "batch exceeds scratch capacity");
+        assert_eq!(
+            x.cols(),
+            self.cfg.n_visible,
+            "input dimensionality mismatch"
+        );
+        use crate::ae_graph::{build_ae_graph, AeParams, AeState, AeUpdate};
+        let mut g = build_ae_graph(self.cfg.n_visible, self.cfg.n_hidden, b, AeUpdate::Sgd);
+        let mut state = AeState {
+            params: AeParams::Mut(self),
+            scratch,
+            x,
+            opt: None,
+            lr,
+            cost: AeCost {
+                reconstruction: 0.0,
+                weight_penalty: 0.0,
+                sparsity_penalty: 0.0,
+            },
+        };
+        g.run_serial(ctx, &mut state);
+        state.cost
     }
 
     /// One *denoising* SGD step (Vincent et al.'s variant — one of the

@@ -1,41 +1,296 @@
-//! The paper's Fig. 6: one CD-1 update as an explicit dependency graph.
+//! The paper's Fig. 6: one CD-k update built as a declared-buffer
+//! dependency graph.
 //!
-//! Node layout (names follow the figure; `V1` is the clamped data):
+//! Node layout for CD-1 (names follow the figure; `V1` is the clamped
+//! data, per-op nodes are finer than the figure's boxes):
 //!
 //! ```text
-//! H1 = sample(p(h|V1))          (root)
-//! POS = H1'V1 statistics        (needs H1)
-//! V2 = p(v|H1)                  (needs H1)        — concurrent with POS
-//! VISNEG + recon error          (needs V2)
-//! H2 = p(h|V2)                  (needs V2)        — concurrent with VISNEG
-//! NEG = H2'V2 statistics        (needs H2)
-//! Vw, Vb, Vc parameter updates  (each needs only its statistics)
+//! H1   = p(h|V1)                 (root)
+//! S1   = sample(H1)              (needs H1; stochastic)
+//! V2   = p(v|S1)                 (needs S1)
+//! RE   = recon error             (needs V2)
+//! H2   = p(h|V2)                 (needs V2)       — concurrent with RE
+//! POS  = H1'V1 statistics        (needs H1)       — concurrent with V2…
+//! NEG  = H2'V2 statistics        (needs H2)
+//! VPOS/VNEG/HPOS/HNEG bias stats (mutually independent)
+//! Vw, Vb, Vc parameter updates   (each needs only its statistics)
 //! ```
 //!
-//! Executing this graph instead of the serial order advances the simulated
-//! clock by the critical path; the [`crate::graph::GraphRun`] it returns
-//! quantifies how much the paper's "compute Vb, H2 and C in parallel"
-//! optimization actually buys.
+//! CD-k repeats the `sample → V2 → H2` block `k` times. The same builder
+//! backs both execution styles: [`Rbm::cd_step`] runs it with
+//! [`TaskGraph::run_serial`] (declaration order *is* the original serial
+//! op order, so results, sampling streams, recorded op streams and
+//! profiling spans are unchanged), while [`cd_step_graph`] runs it with
+//! [`TaskGraph::execute`], advancing the simulated clock by the critical
+//! path — quantifying what the paper's "compute Vb, H2 and C in parallel"
+//! optimization buys.
+//!
+//! The declared buffers also feed the workspace planner: for CD-1 the
+//! hidden *samples* (`S1`'s output) are dead before the reconstruction
+//! hiddens (`H2`'s output) are born, so [`TaskGraph::plan`] aliases the
+//! two `b x h` buffers into one arena register.
 
 use crate::exec::ExecCtx;
-use crate::graph::{GraphRun, TaskGraph};
+use crate::graph::{BufClass, GraphRun, NodeSpec, TaskGraph};
 use crate::rbm::{Rbm, RbmScratch};
 use micdnn_tensor::MatView;
 
-struct CdState<'a> {
-    rbm: &'a mut Rbm,
-    scratch: &'a mut RbmScratch,
-    v0: MatView<'a>,
-    lr: f32,
-    recon_err: f64,
+/// Mutable state one CD graph run threads through its nodes.
+pub(crate) struct CdState<'a> {
+    pub(crate) rbm: &'a mut Rbm,
+    pub(crate) scratch: &'a mut RbmScratch,
+    pub(crate) v0: MatView<'a>,
+    pub(crate) lr: f32,
+    pub(crate) recon_err: f64,
 }
 
-/// One CD-1 update scheduled as the Fig. 6 dependency graph.
+/// Builds the CD-k step over `b` examples as a [`TaskGraph`] whose
+/// declaration order is exactly the serial op order of the classic
+/// `cd_step` loop. Storage is bound to the fields of [`RbmScratch`]; the
+/// declarations describe their sizes and lifetimes to the planner.
+pub(crate) fn build_cd_graph<'a>(
+    n_visible: usize,
+    n_hidden: usize,
+    b: usize,
+    cd_steps: usize,
+) -> TaskGraph<'static, CdState<'a>> {
+    assert!(cd_steps >= 1, "CD needs at least one step");
+    let mut g: TaskGraph<'static, CdState<'a>> = TaskGraph::new();
+
+    // Model parameters and the clamped batch: analysis-only externals.
+    let v0 = g.declare("v0", b * n_visible, BufClass::External);
+    let w = g.declare("w", n_hidden * n_visible, BufClass::External);
+    let b_vis = g.declare("b_vis", n_visible, BufClass::External);
+    let c_hid = g.declare("c_hid", n_hidden, BufClass::External);
+
+    // Per-batch temporaries (the figure's H1/V2/H2); scratch class makes
+    // them aliasing candidates.
+    let h0_prob = g.declare("h0_prob", b * n_hidden, BufClass::Scratch);
+    let h0_sample = g.declare("h0_sample", b * n_hidden, BufClass::Scratch);
+    let v1_prob = g.declare("v1_prob", b * n_visible, BufClass::Scratch);
+    let h1_prob = g.declare("h1_prob", b * n_hidden, BufClass::Scratch);
+
+    // Statistics are read after the run (momentum folds them into velocity
+    // buffers), so they keep dedicated storage.
+    let pos_stats = g.declare("pos_stats", n_hidden * n_visible, BufClass::Pinned);
+    let neg_stats = g.declare("neg_stats", n_hidden * n_visible, BufClass::Pinned);
+    let vis_pos = g.declare("vis_pos", n_visible, BufClass::Pinned);
+    let vis_neg = g.declare("vis_neg", n_visible, BufClass::Pinned);
+    let hid_pos = g.declare("hid_pos", n_hidden, BufClass::Pinned);
+    let hid_neg = g.declare("hid_neg", n_hidden, BufClass::Pinned);
+
+    // H1: hidden probabilities from the data.
+    g.node(
+        NodeSpec::new("H1")
+            .reads(&[v0, w, c_hid])
+            .writes(&[h0_prob])
+            .phase("forward"),
+        move |ctx, s: &mut CdState<'_>| {
+            let v = s.v0;
+            s.rbm.prop_up(ctx, v, &mut s.scratch.h0_prob);
+        },
+    );
+    // S1: sample the data-phase hiddens (consumes a sampling stream, so it
+    // must stay in declaration order).
+    g.node(
+        NodeSpec::new("S1")
+            .reads(&[h0_prob])
+            .writes(&[h0_sample])
+            .stochastic()
+            .phase("forward"),
+        move |ctx, s: &mut CdState<'_>| {
+            let (hp, hs) = (&s.scratch.h0_prob, &mut s.scratch.h0_sample);
+            let probs = hp.rows_range(0, b);
+            let mut sample = hs.rows_range_mut(0, b);
+            ctx.bernoulli(probs.as_slice(), sample.as_mut_slice());
+        },
+    );
+
+    // Gibbs chain: V2 <- p(v | samples); H2 <- p(h | V2); CD-k resamples
+    // the hiddens between sweeps.
+    for step in 0..cd_steps {
+        if step > 0 {
+            g.node(
+                NodeSpec::new("Sk")
+                    .reads(&[h1_prob])
+                    .writes(&[h0_sample])
+                    .stochastic()
+                    .phase("backward"),
+                move |ctx, s: &mut CdState<'_>| {
+                    let (h1, hs) = (&s.scratch.h1_prob, &mut s.scratch.h0_sample);
+                    let probs = h1.rows_range(0, b);
+                    let mut sample = hs.rows_range_mut(0, b);
+                    ctx.bernoulli(probs.as_slice(), sample.as_mut_slice());
+                },
+            );
+        }
+        g.node(
+            NodeSpec::new("V2")
+                .reads(&[h0_sample, w, b_vis])
+                .writes(&[v1_prob])
+                .phase("backward"),
+            move |ctx, s: &mut CdState<'_>| {
+                let (rbm, scr) = (&*s.rbm, &mut *s.scratch);
+                rbm.prop_down(ctx, scr.h0_sample.rows_range(0, b), &mut scr.v1_prob);
+            },
+        );
+        if step == 0 {
+            // Reconstruction error; writes a state scalar the buffer
+            // analysis cannot see, hence exclusive.
+            g.node(
+                NodeSpec::new("RE")
+                    .reads(&[v1_prob, v0])
+                    .exclusive()
+                    .phase("backward"),
+                move |ctx, s: &mut CdState<'_>| {
+                    let (scr, v) = (&*s.scratch, s.v0);
+                    s.recon_err =
+                        ctx.frob_dist_sq(scr.v1_prob.rows_range(0, b), v) / b as f64;
+                },
+            );
+        }
+        g.node(
+            NodeSpec::new("H2")
+                .reads(&[v1_prob, w, c_hid])
+                .writes(&[h1_prob])
+                .phase("backward"),
+            move |ctx, s: &mut CdState<'_>| {
+                let (rbm, scr) = (&*s.rbm, &mut *s.scratch);
+                rbm.prop_up(ctx, scr.v1_prob.rows_range(0, b), &mut scr.h1_prob);
+            },
+        );
+    }
+
+    // Statistics: pos = H0'V0, neg = H1'V1 (probabilities — Hinton §3),
+    // plus the four bias column means.
+    let inv_b = 1.0 / b as f32;
+    g.node(
+        NodeSpec::new("POS")
+            .reads(&[h0_prob, v0])
+            .writes(&[pos_stats])
+            .phase("backward"),
+        move |ctx, s: &mut CdState<'_>| {
+            let scr = &mut *s.scratch;
+            ctx.gemm(
+                inv_b,
+                scr.h0_prob.rows_range(0, b),
+                true,
+                s.v0,
+                false,
+                0.0,
+                &mut scr.pos_stats.view_mut(),
+            );
+        },
+    );
+    g.node(
+        NodeSpec::new("NEG")
+            .reads(&[h1_prob, v1_prob])
+            .writes(&[neg_stats])
+            .phase("backward"),
+        move |ctx, s: &mut CdState<'_>| {
+            let scr = &mut *s.scratch;
+            let (h1p, v1p, neg) = (&scr.h1_prob, &scr.v1_prob, &mut scr.neg_stats);
+            ctx.gemm(
+                inv_b,
+                h1p.rows_range(0, b),
+                true,
+                v1p.rows_range(0, b),
+                false,
+                0.0,
+                &mut neg.view_mut(),
+            );
+        },
+    );
+    g.node(
+        NodeSpec::new("VPOS")
+            .reads(&[v0])
+            .writes(&[vis_pos])
+            .phase("backward"),
+        move |ctx, s: &mut CdState<'_>| {
+            let v = s.v0;
+            ctx.colmean(v, &mut s.scratch.vis_pos);
+        },
+    );
+    g.node(
+        NodeSpec::new("VNEG")
+            .reads(&[v1_prob])
+            .writes(&[vis_neg])
+            .phase("backward"),
+        move |ctx, s: &mut CdState<'_>| {
+            let scr = &mut *s.scratch;
+            let (v1, out) = (&scr.v1_prob, &mut scr.vis_neg);
+            ctx.colmean(v1.rows_range(0, b), out);
+        },
+    );
+    g.node(
+        NodeSpec::new("HPOS")
+            .reads(&[h0_prob])
+            .writes(&[hid_pos])
+            .phase("backward"),
+        move |ctx, s: &mut CdState<'_>| {
+            let scr = &mut *s.scratch;
+            let (hp, out) = (&scr.h0_prob, &mut scr.hid_pos);
+            ctx.colmean(hp.rows_range(0, b), out);
+        },
+    );
+    g.node(
+        NodeSpec::new("HNEG")
+            .reads(&[h1_prob])
+            .writes(&[hid_neg])
+            .phase("backward"),
+        move |ctx, s: &mut CdState<'_>| {
+            let scr = &mut *s.scratch;
+            let (h1p, out) = (&scr.h1_prob, &mut scr.hid_neg);
+            ctx.colmean(h1p.rows_range(0, b), out);
+        },
+    );
+
+    // Updates (paper eqs. 11–13): the figure's last rank, mutually
+    // independent.
+    g.node(
+        NodeSpec::new("Vw")
+            .reads(&[pos_stats, neg_stats, w])
+            .writes(&[w])
+            .phase("update"),
+        move |ctx, s: &mut CdState<'_>| {
+            let (rbm, scr) = (&mut *s.rbm, &*s.scratch);
+            ctx.cd_update(
+                s.lr,
+                scr.pos_stats.as_slice(),
+                scr.neg_stats.as_slice(),
+                rbm.w.as_mut_slice(),
+            );
+        },
+    );
+    g.node(
+        NodeSpec::new("Vb")
+            .reads(&[vis_pos, vis_neg, b_vis])
+            .writes(&[b_vis])
+            .phase("update"),
+        move |ctx, s: &mut CdState<'_>| {
+            let (rbm, scr) = (&mut *s.rbm, &*s.scratch);
+            ctx.cd_update(s.lr, &scr.vis_pos, &scr.vis_neg, &mut rbm.b_vis);
+        },
+    );
+    g.node(
+        NodeSpec::new("Vc")
+            .reads(&[hid_pos, hid_neg, c_hid])
+            .writes(&[c_hid])
+            .phase("update"),
+        move |ctx, s: &mut CdState<'_>| {
+            let (rbm, scr) = (&mut *s.rbm, &*s.scratch);
+            ctx.cd_update(s.lr, &scr.hid_pos, &scr.hid_neg, &mut rbm.c_hid);
+        },
+    );
+
+    g
+}
+
+/// One CD-k update scheduled as the Fig. 6 dependency graph.
 ///
-/// Functionally identical to [`Rbm::cd_step`] with `cd_steps = 1`
-/// (bit-identical given the same sampler state); only the simulated time
-/// accounting differs. Returns the reconstruction error and the graph
-/// schedule.
+/// Bit-identical to [`Rbm::cd_step`] given the same sampler state — both
+/// run the same graph, this one under the critical-path schedule. Returns
+/// the reconstruction error and the schedule.
 pub fn cd_step_graph(
     rbm: &mut Rbm,
     ctx: &ExecCtx,
@@ -45,98 +300,9 @@ pub fn cd_step_graph(
 ) -> (f64, GraphRun) {
     let b = v0.rows();
     assert!(b > 0, "empty batch");
-    assert_eq!(
-        rbm.config().cd_steps,
-        1,
-        "the Fig. 6 graph describes CD-1; use Rbm::cd_step for CD-k"
-    );
-
-    let mut g: TaskGraph<'_, CdState<'_>> = TaskGraph::new();
-
-    // H1: hidden probabilities + sample from the data.
-    let h1 = g.add("H1", &[], move |ctx, s: &mut CdState<'_>| {
-        let v0 = s.v0;
-        s.rbm.prop_up(ctx, v0, &mut s.scratch.h0_prob);
-        let (hp, hs) = (&s.scratch.h0_prob, &mut s.scratch.h0_sample);
-        let probs = hp.rows_range(0, b);
-        let mut sample = hs.rows_range_mut(0, b);
-        ctx.bernoulli(probs.as_slice(), sample.as_mut_slice());
-    });
-
-    // POS: positive statistics (weights + both bias sides of the data).
-    let pos = g.add("POS", &[h1], move |ctx, s: &mut CdState<'_>| {
-        let inv_b = 1.0 / b as f32;
-        ctx.gemm(
-            inv_b,
-            s.scratch.h0_prob.rows_range(0, b),
-            true,
-            s.v0,
-            false,
-            0.0,
-            &mut s.scratch.pos_stats.view_mut(),
-        );
-        ctx.colmean(s.v0, &mut s.scratch.vis_pos);
-        let (hp, out) = (&s.scratch.h0_prob, &mut s.scratch.hid_pos);
-        ctx.colmean(hp.rows_range(0, b), out);
-    });
-
-    // V2: reconstruction.
-    let v2 = g.add("V2", &[h1], move |ctx, s: &mut CdState<'_>| {
-        let (rbm, scr) = (&*s.rbm, &mut *s.scratch);
-        rbm.prop_down(ctx, scr.h0_sample.rows_range(0, b), &mut scr.v1_prob);
-    });
-
-    // VISNEG: negative visible statistics + reconstruction error.
-    let visneg = g.add("VISNEG", &[v2], move |ctx, s: &mut CdState<'_>| {
-        let (scr, v0) = (&mut *s.scratch, s.v0);
-        s.recon_err = ctx.frob_dist_sq(scr.v1_prob.rows_range(0, b), v0) / b as f64;
-        let (v1, out) = (&scr.v1_prob, &mut scr.vis_neg);
-        ctx.colmean(v1.rows_range(0, b), out);
-    });
-
-    // H2: hidden probabilities of the reconstruction.
-    let h2 = g.add("H2", &[v2], move |ctx, s: &mut CdState<'_>| {
-        let (rbm, scr) = (&*s.rbm, &mut *s.scratch);
-        rbm.prop_up(ctx, scr.v1_prob.rows_range(0, b), &mut scr.h1_prob);
-    });
-
-    // NEG: negative weight + hidden statistics.
-    let neg = g.add("NEG", &[h2], move |ctx, s: &mut CdState<'_>| {
-        let inv_b = 1.0 / b as f32;
-        let scr = &mut *s.scratch;
-        let (h1p, v1p, neg_stats) = (&scr.h1_prob, &scr.v1_prob, &mut scr.neg_stats);
-        ctx.gemm(
-            inv_b,
-            h1p.rows_range(0, b),
-            true,
-            v1p.rows_range(0, b),
-            false,
-            0.0,
-            &mut neg_stats.view_mut(),
-        );
-        let (h1p, out) = (&scr.h1_prob, &mut scr.hid_neg);
-        ctx.colmean(h1p.rows_range(0, b), out);
-    });
-
-    // The three independent parameter updates of the figure's last rank.
-    g.add("Vw", &[pos, neg], move |ctx, s: &mut CdState<'_>| {
-        let (rbm, scr) = (&mut *s.rbm, &*s.scratch);
-        ctx.cd_update(
-            s.lr,
-            scr.pos_stats.as_slice(),
-            scr.neg_stats.as_slice(),
-            rbm.w.as_mut_slice(),
-        );
-    });
-    g.add("Vb", &[pos, visneg], move |ctx, s: &mut CdState<'_>| {
-        let (rbm, scr) = (&mut *s.rbm, &*s.scratch);
-        ctx.cd_update(s.lr, &scr.vis_pos, &scr.vis_neg, &mut rbm.b_vis);
-    });
-    g.add("Vc", &[pos, neg], move |ctx, s: &mut CdState<'_>| {
-        let (rbm, scr) = (&mut *s.rbm, &*s.scratch);
-        ctx.cd_update(s.lr, &scr.hid_pos, &scr.hid_neg, &mut rbm.c_hid);
-    });
-
+    assert!(b <= scratch.capacity(), "batch exceeds scratch capacity");
+    let cfg = *rbm.config();
+    let mut g = build_cd_graph(cfg.n_visible, cfg.n_hidden, b, cfg.cd_steps);
     let mut state = CdState {
         rbm,
         scratch,
@@ -200,6 +366,31 @@ mod tests {
     }
 
     #[test]
+    fn cdk_graph_matches_serial_step_bitwise() {
+        let cfg = RbmConfig::new(12, 7).with_cd_steps(3);
+        let v = batch(16, 12, 21);
+
+        let mut rbm_serial = Rbm::new(cfg, 22);
+        let ctx_serial = ExecCtx::native(OptLevel::Improved, 23);
+        let mut s_serial = RbmScratch::new(&cfg, 16);
+
+        let mut rbm_graph = Rbm::new(cfg, 22);
+        let ctx_graph = ExecCtx::native(OptLevel::Improved, 23);
+        let mut s_graph = RbmScratch::new(&cfg, 16);
+
+        for _ in 0..5 {
+            let e1 = rbm_serial.cd_step(&ctx_serial, v.view(), &mut s_serial, 0.1);
+            let (e2, _) = cd_step_graph(&mut rbm_graph, &ctx_graph, v.view(), &mut s_graph, 0.1);
+            assert_eq!(e1, e2, "reconstruction errors diverged");
+        }
+        assert_eq!(rbm_serial.w.as_slice(), rbm_graph.w.as_slice());
+        assert_eq!(rbm_serial.b_vis, rbm_graph.b_vis);
+        assert_eq!(rbm_serial.c_hid, rbm_graph.c_hid);
+        // Same sampler cursor after either path: stream order preserved.
+        assert_eq!(ctx_serial.rng_state(), ctx_graph.rng_state());
+    }
+
+    #[test]
     fn critical_path_beats_serial_schedule() {
         let cfg = RbmConfig::new(256, 512);
         let mut rbm = Rbm::new(cfg, 4);
@@ -241,13 +432,24 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "CD-1")]
-    fn cdk_rejected() {
-        let cfg = RbmConfig::new(8, 4).with_cd_steps(2);
-        let mut rbm = Rbm::new(cfg, 0);
-        let ctx = ExecCtx::native(OptLevel::Improved, 0);
-        let mut scratch = RbmScratch::new(&cfg, 4);
-        let v = batch(4, 8, 0);
-        cd_step_graph(&mut rbm, &ctx, v.view(), &mut scratch, 0.1);
+    fn planner_aliases_hidden_samples_with_recon_hiddens() {
+        // The paper's Table 1 network: 1024 visibles, 4096 hiddens. For
+        // CD-1 the hidden samples die at V2, before the reconstruction
+        // hiddens are born at H2, so one `b x h` buffer is saved.
+        let (v, h, b) = (1024, 4096, 100);
+        let g = build_cd_graph(v, h, b, 1);
+        let plan = g.plan();
+        assert_eq!(
+            plan.peak_elems() + b * h,
+            plan.total_declared_elems(),
+            "planner should fold h0_sample into h1_prob's register"
+        );
+        assert!(plan.peak_elems() < plan.total_declared_elems());
+
+        // CD-k resamples from h1_prob while h0_sample is live, so the
+        // alias is illegal there — the planner must keep them apart.
+        let g2 = build_cd_graph(v, h, b, 2);
+        let plan2 = g2.plan();
+        assert_eq!(plan2.peak_elems(), plan2.total_declared_elems());
     }
 }

@@ -291,9 +291,6 @@ fn read_rbm_state(r: &mut impl Read) -> io::Result<RbmModel> {
         1 => true,
         t => return Err(bad(format!("bad graph flag {t}"))),
     };
-    if use_graph && cfg.cd_steps != 1 {
-        return Err(bad("graph schedule recorded with cd_steps != 1"));
-    }
     let momentum = match flags[1] {
         0 => None,
         1 => {

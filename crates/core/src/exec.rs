@@ -235,6 +235,13 @@ impl ExecCtx {
         std::mem::take(&mut *self.recorder.lock())
     }
 
+    /// `true` while an op-stream recording is active. The graph executor
+    /// checks this and serializes its concurrency waves during recording so
+    /// the recorded op order is the declaration order.
+    pub fn is_recording(&self) -> bool {
+        self.recording.load(Ordering::Acquire)
+    }
+
     /// Runs `f` with op prices diverted into an accumulator instead of the
     /// clock, returning the accumulated simulated seconds.
     ///

@@ -12,9 +12,10 @@
 //! so fine-tuning participates in the simulated-coprocessor accounting.
 
 use crate::exec::ExecCtx;
+use crate::graph::{BufClass, NodeSpec, TaskGraph, Workspace};
 use crate::stacked::StackedAutoencoder;
 use micdnn_kernels::OpCost;
-use micdnn_tensor::{GlorotSigmoid, Initializer, Mat, MatView};
+use micdnn_tensor::{GlorotSigmoid, Initializer, Mat, MatView, MatViewMut};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -50,16 +51,22 @@ impl SoftmaxLayer {
 
     /// Class probabilities for a batch (`b x in_dim` -> `b x classes`).
     pub fn forward(&self, ctx: &ExecCtx, x: MatView<'_>) -> Mat {
+        let mut logits = Mat::zeros(x.rows(), self.n_classes());
+        self.forward_into(ctx, x, &mut logits.view_mut());
+        logits
+    }
+
+    /// [`Self::forward`] into a caller-provided `b x classes` buffer (the
+    /// training graph writes into its planned workspace instead of
+    /// allocating).
+    pub fn forward_into(&self, ctx: &ExecCtx, x: MatView<'_>, out: &mut MatViewMut<'_>) {
         let b = x.rows();
         let c = self.n_classes();
-        let mut logits = Mat::zeros(b, c);
-        {
-            let mut v = logits.view_mut();
-            ctx.gemm(1.0, x, false, self.w.view(), true, 0.0, &mut v);
-        }
+        assert_eq!(out.shape(), (b, c), "softmax output buffer shape");
+        ctx.gemm(1.0, x, false, self.w.view(), true, 0.0, out);
         // Row-wise stable softmax (charged as a transcendental sweep).
         for r in 0..b {
-            let row = logits.row_mut(r);
+            let row = out.row_mut(r);
             let mut max = f32::NEG_INFINITY;
             for (v, &bias) in row.iter_mut().zip(&self.b) {
                 *v += bias;
@@ -76,12 +83,20 @@ impl SoftmaxLayer {
             }
         }
         ctx.charge_cost(OpCost::sigmoid(b * c));
-        logits
     }
 }
 
+/// Reusable training-step arena: one liveness-planned [`Workspace`]
+/// serving every batch up to `max_batch` rows, so `train_batch` performs
+/// no per-batch heap allocation after the first call.
+#[derive(Debug)]
+struct FtScratch {
+    max_batch: usize,
+    ws: Workspace,
+}
+
 /// A pre-trained encoder stack plus a softmax head, trainable end-to-end.
-#[derive(Debug, Clone)]
+#[derive(Debug)]
 pub struct FineTuneNet {
     /// Encoder layers as `(weights h x v, biases h)` pairs, input-first.
     layers: Vec<(Mat, Vec<f32>)>,
@@ -89,6 +104,21 @@ pub struct FineTuneNet {
     pub softmax: SoftmaxLayer,
     /// L2 weight decay applied to all weights during fine-tuning.
     pub weight_decay: f32,
+    use_graph: bool,
+    scratch: Option<FtScratch>,
+}
+
+impl Clone for FineTuneNet {
+    fn clone(&self) -> Self {
+        // The workspace is a cache, not state — the clone re-plans lazily.
+        FineTuneNet {
+            layers: self.layers.clone(),
+            softmax: self.softmax.clone(),
+            weight_decay: self.weight_decay,
+            use_graph: self.use_graph,
+            scratch: None,
+        }
+    }
 }
 
 impl FineTuneNet {
@@ -106,6 +136,8 @@ impl FineTuneNet {
             layers,
             softmax: SoftmaxLayer::new(code_dim, n_classes, seed),
             weight_decay: 1e-4,
+            use_graph: false,
+            scratch: None,
         }
     }
 
@@ -122,12 +154,29 @@ impl FineTuneNet {
             layers,
             softmax: SoftmaxLayer::new(*sizes.last().unwrap(), n_classes, seed ^ 0x5A5A),
             weight_decay: 1e-4,
+            use_graph: false,
+            scratch: None,
         }
+    }
+
+    /// Schedules each training step through the dataflow executor instead
+    /// of declaration order (bit-identical either way; see
+    /// [`crate::TaskGraph::execute`]).
+    pub fn with_graph_schedule(mut self) -> Self {
+        self.use_graph = true;
+        self
     }
 
     /// Number of encoder layers.
     pub fn depth(&self) -> usize {
         self.layers.len()
+    }
+
+    /// Elements currently held by the cached step workspace (0 before the
+    /// first `train_batch`). Exposed so tests can pin the no-per-batch-
+    /// allocation property.
+    pub fn workspace_elems(&self) -> usize {
+        self.scratch.as_ref().map_or(0, |s| s.ws.allocated_elems())
     }
 
     /// Forward pass returning every layer's activations (input excluded):
@@ -184,11 +233,17 @@ impl FineTuneNet {
     /// Mean cross-entropy of the batch under the current parameters.
     pub fn cross_entropy(&self, ctx: &ExecCtx, x: MatView<'_>, labels: &[usize]) -> f64 {
         let probs = self.predict_proba(ctx, x);
-        mean_nll(&probs, labels)
+        mean_nll(probs.view(), labels)
     }
 
     /// One fine-tuning SGD step on a labeled batch; returns the batch's
     /// mean cross-entropy before the update.
+    ///
+    /// The step is expressed as a [`TaskGraph`] over a liveness-planned
+    /// [`Workspace`] arena cached on the net: forward activations, deltas
+    /// and gradients all live in planned registers, so steady-state
+    /// batches allocate nothing. Serial declaration order reproduces the
+    /// historical hand-rolled step kernel for kernel.
     pub fn train_batch(&mut self, ctx: &ExecCtx, x: MatView<'_>, labels: &[usize], lr: f32) -> f64 {
         let b = x.rows();
         assert!(b > 0, "empty batch");
@@ -197,87 +252,38 @@ impl FineTuneNet {
         for &l in labels {
             assert!(l < c, "label {l} out of range for {c} classes");
         }
+        assert_eq!(x.cols(), self.layers[0].0.cols(), "input dimensionality");
 
-        let (acts, probs) = self.forward_all(ctx, x);
-        let loss = mean_nll(&probs, labels);
-
-        // Softmax delta: (p - onehot) / b.
-        let mut delta = probs;
-        let inv_b = 1.0 / b as f32;
-        for (r, &label) in labels.iter().enumerate() {
-            let row = delta.row_mut(r);
-            row[label] -= 1.0;
-            for v in row.iter_mut() {
-                *v *= inv_b;
+        let in_dim = self.layers[0].0.cols();
+        let widths: Vec<usize> = self.layers.iter().map(|(w, _)| w.rows()).collect();
+        let needs_new = self.scratch.as_ref().is_none_or(|s| s.max_batch < b);
+        if needs_new {
+            let plan = build_step_graph(in_dim, &widths, c, b).plan();
+            self.scratch = Some(FtScratch {
+                max_batch: b,
+                ws: Workspace::new(&plan),
+            });
+        }
+        let mut scratch = self.scratch.take().expect("just ensured");
+        let use_graph = self.use_graph;
+        let loss = {
+            let mut graph = build_step_graph(in_dim, &widths, c, scratch.max_batch);
+            let mut state = FtState {
+                net: self,
+                ws: &mut scratch.ws,
+                x,
+                labels,
+                lr,
+                loss: 0.0,
+            };
+            if use_graph {
+                graph.execute(ctx, &mut state);
+            } else {
+                graph.run_serial(ctx, &mut state);
             }
-        }
-        ctx.charge_cost(OpCost::elementwise(b * c, 1, 2));
-
-        // Head gradients.
-        let top_act = acts.last().expect("non-empty");
-        let mut gw = Mat::zeros(c, self.softmax.in_dim());
-        ctx.gemm(
-            1.0,
-            delta.view(),
-            true,
-            top_act.view(),
-            false,
-            0.0,
-            &mut gw.view_mut(),
-        );
-        let mut gb = vec![0.0f32; c];
-        ctx.colsum(delta.view(), &mut gb);
-
-        // Backprop into the stack: delta_l = (delta_{l+1} W_{l+1}) ⊙ σ'.
-        let mut deltas: Vec<Mat> = Vec::with_capacity(self.layers.len());
-        let mut upstream = delta;
-        let mut upstream_w: &Mat = &self.softmax.w;
-        for l in (0..self.layers.len()).rev() {
-            let mut d = Mat::zeros(b, self.layers[l].0.rows());
-            {
-                let mut v = d.view_mut();
-                ctx.gemm(
-                    1.0,
-                    upstream.view(),
-                    false,
-                    upstream_w.view(),
-                    false,
-                    0.0,
-                    &mut v,
-                );
-            }
-            ctx.backend()
-                .sigmoid_backprop(acts[l].as_slice(), d.as_mut_slice());
-            ctx.charge_cost(ctx.backend().sigmoid_backprop_cost(d.len()));
-            deltas.push(d);
-            upstream = deltas.last().expect("just pushed").clone();
-            upstream_w = &self.layers[l].0;
-        }
-        deltas.reverse();
-
-        // Layer gradients + updates.
-        let lambda = self.weight_decay;
-        for l in 0..self.layers.len() {
-            let input: MatView<'_> = if l == 0 { x } else { acts[l - 1].view() };
-            let (w, bias) = &mut self.layers[l];
-            let mut gwl = Mat::zeros(w.rows(), w.cols());
-            ctx.gemm(
-                1.0,
-                deltas[l].view(),
-                true,
-                input,
-                false,
-                0.0,
-                &mut gwl.view_mut(),
-            );
-            let mut gbl = vec![0.0f32; bias.len()];
-            ctx.colsum(deltas[l].view(), &mut gbl);
-            ctx.sgd_step(lr, lambda, gwl.as_slice(), w.as_mut_slice());
-            ctx.sgd_step(lr, 0.0, &gbl, bias);
-        }
-        ctx.sgd_step(lr, lambda, gw.as_slice(), self.softmax.w.as_mut_slice());
-        ctx.sgd_step(lr, 0.0, &gb, &mut self.softmax.b);
-
+            state.loss
+        };
+        self.scratch = Some(scratch);
         loss
     }
 
@@ -311,7 +317,267 @@ impl FineTuneNet {
     }
 }
 
-fn mean_nll(probs: &Mat, labels: &[usize]) -> f64 {
+/// Everything a fine-tuning step node touches: the net's parameters, the
+/// planned arena, the batch, and the scalar loss output.
+struct FtState<'a> {
+    net: &'a mut FineTuneNet,
+    ws: &'a mut Workspace,
+    x: MatView<'a>,
+    labels: &'a [usize],
+    lr: f32,
+    loss: f64,
+}
+
+/// Builds the fine-tuning step dataflow for a `widths`-shaped encoder
+/// stack and `n_classes` head: forward chain, softmax + cross-entropy
+/// delta, full backprop, gradients and SGD updates — node for node the
+/// same kernel sequence as the historical hand-rolled step. Buffers are
+/// declared against `cap` rows so one planned workspace serves every
+/// batch up to that size (nodes slice to the live batch at run time).
+fn build_step_graph<'a>(
+    in_dim: usize,
+    widths: &[usize],
+    n_classes: usize,
+    cap: usize,
+) -> TaskGraph<'static, FtState<'a>> {
+    let n_layers = widths.len();
+    let code_dim = *widths.last().expect("non-empty net");
+    let mut g: TaskGraph<'static, FtState<'a>> = TaskGraph::new();
+
+    // Parameters and the input are External: no arena storage, but their
+    // read/write sets order the updates after every forward/backward use.
+    let xb = g.declare("x", cap * in_dim, BufClass::External);
+    let wsm = g.declare("softmax.w", n_classes * code_dim, BufClass::External);
+    let bsm = g.declare("softmax.b", n_classes, BufClass::External);
+    let (mut wl, mut bl, mut al, mut dl) = (Vec::new(), Vec::new(), Vec::new(), Vec::new());
+    let mut prev = in_dim;
+    for &h in widths {
+        wl.push(g.declare("layer.w", h * prev, BufClass::External));
+        bl.push(g.declare("layer.b", h, BufClass::External));
+        // Activations stay live from the forward pass until the last
+        // layer-gradient reads them, so they are pinned, not aliased.
+        al.push(g.declare("act", cap * h, BufClass::Pinned));
+        dl.push(g.declare("delta", cap * h, BufClass::Scratch));
+        prev = h;
+    }
+    let dsoft = g.declare("dsoft", cap * n_classes, BufClass::Scratch);
+    let gwsm = g.declare("softmax.gw", n_classes * code_dim, BufClass::Scratch);
+    let gbsm = g.declare("softmax.gb", n_classes, BufClass::Scratch);
+    let (mut gwl, mut gbl) = (Vec::new(), Vec::new());
+    prev = in_dim;
+    for &h in widths {
+        gwl.push(g.declare("layer.gw", h * prev, BufClass::Scratch));
+        gbl.push(g.declare("layer.gb", h, BufClass::Scratch));
+        prev = h;
+    }
+
+    // Forward chain: a_l = sigmoid(input W_l^T + b_l).
+    for l in 0..n_layers {
+        let a_prev = if l == 0 { None } else { Some(al[l - 1]) };
+        let a_cur = al[l];
+        let reads = [a_prev.unwrap_or(xb), wl[l], bl[l]];
+        g.node(
+            NodeSpec::new("forward").reads(&reads).writes(&[a_cur]),
+            move |ctx, st: &mut FtState<'a>| {
+                let b = st.x.rows();
+                let (w, bias) = &st.net.layers[l];
+                let h = w.rows();
+                match a_prev {
+                    None => {
+                        let out = &mut st.ws.buf_mut(a_cur)[..b * h];
+                        let mut v = MatViewMut::new(out, b, h);
+                        ctx.gemm(1.0, st.x, false, w.view(), true, 0.0, &mut v);
+                        ctx.bias_sigmoid_rows(bias, &mut v);
+                    }
+                    Some(p) => {
+                        let pw = w.cols();
+                        let [inp, out] = st.ws.bufs_mut([p, a_cur]);
+                        let iv = MatView::new(&inp[..b * pw], b, pw);
+                        let mut v = MatViewMut::new(&mut out[..b * h], b, h);
+                        ctx.gemm(1.0, iv, false, w.view(), true, 0.0, &mut v);
+                        ctx.bias_sigmoid_rows(bias, &mut v);
+                    }
+                }
+            },
+        );
+    }
+
+    let a_top = al[n_layers - 1];
+    g.node(
+        NodeSpec::new("softmax")
+            .reads(&[a_top, wsm, bsm])
+            .writes(&[dsoft]),
+        move |ctx, st: &mut FtState<'a>| {
+            let b = st.x.rows();
+            let (c, code) = (st.net.softmax.n_classes(), st.net.softmax.in_dim());
+            let [a, p] = st.ws.bufs_mut([a_top, dsoft]);
+            let av = MatView::new(&a[..b * code], b, code);
+            let mut pv = MatViewMut::new(&mut p[..b * c], b, c);
+            st.net.softmax.forward_into(ctx, av, &mut pv);
+        },
+    );
+
+    // Loss + in-place softmax delta (p - onehot) / b. Writes the state's
+    // loss scalar, so it must stay exclusive.
+    g.node(
+        NodeSpec::new("xent-delta")
+            .reads(&[dsoft])
+            .writes(&[dsoft])
+            .exclusive(),
+        move |ctx, st: &mut FtState<'a>| {
+            let b = st.x.rows();
+            let c = st.net.softmax.n_classes();
+            let p = &mut st.ws.buf_mut(dsoft)[..b * c];
+            st.loss = mean_nll(MatView::new(p, b, c), st.labels);
+            let inv_b = 1.0 / b as f32;
+            for (r, &label) in st.labels.iter().enumerate() {
+                let row = &mut p[r * c..(r + 1) * c];
+                row[label] -= 1.0;
+                for v in row.iter_mut() {
+                    *v *= inv_b;
+                }
+            }
+            ctx.charge_cost(OpCost::elementwise(b * c, 1, 2));
+        },
+    );
+
+    // Head gradients.
+    g.node(
+        NodeSpec::new("softmax-gw")
+            .reads(&[dsoft, a_top])
+            .writes(&[gwsm]),
+        move |ctx, st: &mut FtState<'a>| {
+            let b = st.x.rows();
+            let (c, code) = (st.net.softmax.n_classes(), st.net.softmax.in_dim());
+            let [d, a, gw] = st.ws.bufs_mut([dsoft, a_top, gwsm]);
+            let dv = MatView::new(&d[..b * c], b, c);
+            let av = MatView::new(&a[..b * code], b, code);
+            let mut gv = MatViewMut::new(gw, c, code);
+            ctx.gemm(1.0, dv, true, av, false, 0.0, &mut gv);
+        },
+    );
+    g.node(
+        NodeSpec::new("softmax-gb").reads(&[dsoft]).writes(&[gbsm]),
+        move |ctx, st: &mut FtState<'a>| {
+            let b = st.x.rows();
+            let c = st.net.softmax.n_classes();
+            let [d, gb] = st.ws.bufs_mut([dsoft, gbsm]);
+            ctx.colsum(MatView::new(&d[..b * c], b, c), gb);
+        },
+    );
+
+    // Backprop into the stack: delta_l = (delta_{l+1} W_{l+1}) ⊙ σ'.
+    for l in (0..n_layers).rev() {
+        let last = l + 1 == n_layers;
+        let up = if last { dsoft } else { dl[l + 1] };
+        let up_w = if last { wsm } else { wl[l + 1] };
+        let (a_cur, d_cur) = (al[l], dl[l]);
+        g.node(
+            NodeSpec::new("backprop")
+                .reads(&[up, up_w, a_cur])
+                .writes(&[d_cur]),
+            move |ctx, st: &mut FtState<'a>| {
+                let b = st.x.rows();
+                let h = st.net.layers[l].0.rows();
+                let w_next = if last {
+                    &st.net.softmax.w
+                } else {
+                    &st.net.layers[l + 1].0
+                };
+                let uw = w_next.rows();
+                let [u, a, d] = st.ws.bufs_mut([up, a_cur, d_cur]);
+                let uv = MatView::new(&u[..b * uw], b, uw);
+                let mut dv = MatViewMut::new(&mut d[..b * h], b, h);
+                ctx.gemm(1.0, uv, false, w_next.view(), false, 0.0, &mut dv);
+                ctx.backend()
+                    .sigmoid_backprop(&a[..b * h], dv.as_mut_slice());
+                ctx.charge_cost(ctx.backend().sigmoid_backprop_cost(b * h));
+            },
+        );
+    }
+
+    // Layer gradients + SGD updates, then the head's.
+    for l in 0..n_layers {
+        let inp = if l == 0 { None } else { Some(al[l - 1]) };
+        let (d_cur, gw_cur, gb_cur, w_cur, b_cur) = (dl[l], gwl[l], gbl[l], wl[l], bl[l]);
+        g.node(
+            NodeSpec::new("layer-gw")
+                .reads(&[d_cur, inp.unwrap_or(xb)])
+                .writes(&[gw_cur]),
+            move |ctx, st: &mut FtState<'a>| {
+                let b = st.x.rows();
+                let (h, v) = (st.net.layers[l].0.rows(), st.net.layers[l].0.cols());
+                match inp {
+                    None => {
+                        let [d, gw] = st.ws.bufs_mut([d_cur, gw_cur]);
+                        let dv = MatView::new(&d[..b * h], b, h);
+                        let mut gv = MatViewMut::new(gw, h, v);
+                        ctx.gemm(1.0, dv, true, st.x, false, 0.0, &mut gv);
+                    }
+                    Some(p) => {
+                        let [d, a, gw] = st.ws.bufs_mut([d_cur, p, gw_cur]);
+                        let dv = MatView::new(&d[..b * h], b, h);
+                        let av = MatView::new(&a[..b * v], b, v);
+                        let mut gv = MatViewMut::new(gw, h, v);
+                        ctx.gemm(1.0, dv, true, av, false, 0.0, &mut gv);
+                    }
+                }
+            },
+        );
+        g.node(
+            NodeSpec::new("layer-gb").reads(&[d_cur]).writes(&[gb_cur]),
+            move |ctx, st: &mut FtState<'a>| {
+                let b = st.x.rows();
+                let h = st.net.layers[l].0.rows();
+                let [d, gb] = st.ws.bufs_mut([d_cur, gb_cur]);
+                ctx.colsum(MatView::new(&d[..b * h], b, h), gb);
+            },
+        );
+        g.node(
+            NodeSpec::new("layer-w-sgd")
+                .reads(&[gw_cur])
+                .writes(&[w_cur]),
+            move |ctx, st: &mut FtState<'a>| {
+                let lambda = st.net.weight_decay;
+                ctx.sgd_step(
+                    st.lr,
+                    lambda,
+                    st.ws.buf(gw_cur),
+                    st.net.layers[l].0.as_mut_slice(),
+                );
+            },
+        );
+        g.node(
+            NodeSpec::new("layer-b-sgd")
+                .reads(&[gb_cur])
+                .writes(&[b_cur]),
+            move |ctx, st: &mut FtState<'a>| {
+                ctx.sgd_step(st.lr, 0.0, st.ws.buf(gb_cur), &mut st.net.layers[l].1);
+            },
+        );
+    }
+    g.node(
+        NodeSpec::new("softmax-w-sgd").reads(&[gwsm]).writes(&[wsm]),
+        move |ctx, st: &mut FtState<'a>| {
+            let lambda = st.net.weight_decay;
+            ctx.sgd_step(
+                st.lr,
+                lambda,
+                st.ws.buf(gwsm),
+                st.net.softmax.w.as_mut_slice(),
+            );
+        },
+    );
+    g.node(
+        NodeSpec::new("softmax-b-sgd").reads(&[gbsm]).writes(&[bsm]),
+        move |ctx, st: &mut FtState<'a>| {
+            ctx.sgd_step(st.lr, 0.0, st.ws.buf(gbsm), &mut st.net.softmax.b);
+        },
+    );
+    g
+}
+
+fn mean_nll(probs: MatView<'_>, labels: &[usize]) -> f64 {
     let mut nll = 0.0f64;
     for (r, &label) in labels.iter().enumerate() {
         nll -= (probs.get(r, label).max(1e-12) as f64).ln();
@@ -460,5 +726,45 @@ mod tests {
         let mut net = FineTuneNet::random(&[4, 3], 3, 9);
         let x = Mat::zeros(2, 4);
         net.train_batch(&ctx, x.view(), &[0, 5], 0.1);
+    }
+
+    #[test]
+    fn graph_scheduled_step_matches_serial_bitwise() {
+        let (ds, labels) = digits(60, 12, 12);
+        let ctx = ctx();
+        let mut serial = FineTuneNet::random(&[144, 24, 12], 10, 13);
+        let mut graphed = serial.clone().with_graph_schedule();
+        for _ in 0..4 {
+            let ls = serial.fit(&ctx, ds.matrix().view(), &labels, 20, 0.4, 1);
+            let lg = graphed.fit(&ctx, ds.matrix().view(), &labels, 20, 0.4, 1);
+            assert_eq!(ls, lg);
+        }
+        for (s, g) in serial.layers.iter().zip(&graphed.layers) {
+            assert_eq!(s.0.as_slice(), g.0.as_slice());
+            assert_eq!(s.1, g.1);
+        }
+        assert_eq!(serial.softmax.w.as_slice(), graphed.softmax.w.as_slice());
+        assert_eq!(serial.softmax.b, graphed.softmax.b);
+    }
+
+    #[test]
+    fn workspace_is_planned_once_and_reused_across_batches() {
+        let (ds, labels) = digits(80, 12, 14);
+        let ctx = ctx();
+        let mut net = FineTuneNet::random(&[144, 32], 10, 15);
+        assert_eq!(net.workspace_elems(), 0);
+        net.train_batch(&ctx, ds.matrix().view().rows_range(0, 40), &labels[..40], 0.3);
+        let after_first = net.workspace_elems();
+        assert!(after_first > 0);
+        // Same-size and smaller batches reuse the arena untouched.
+        net.train_batch(&ctx, ds.matrix().view().rows_range(40, 80), &labels[40..], 0.3);
+        net.train_batch(&ctx, ds.matrix().view().rows_range(0, 10), &labels[..10], 0.3);
+        assert_eq!(net.workspace_elems(), after_first);
+        // A larger batch forces one re-plan, after which it sticks again.
+        net.train_batch(&ctx, ds.matrix().view(), &labels, 0.3);
+        let after_grow = net.workspace_elems();
+        assert!(after_grow > after_first);
+        net.train_batch(&ctx, ds.matrix().view(), &labels, 0.3);
+        assert_eq!(net.workspace_elems(), after_grow);
     }
 }

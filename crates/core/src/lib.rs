@@ -45,6 +45,7 @@
 //! assert!(report.final_recon() < report.initial_recon());
 //! ```
 
+pub mod ae_graph;
 pub mod analytic;
 pub mod autoencoder;
 pub mod batch_opt;
@@ -63,6 +64,7 @@ pub mod rbm;
 pub mod stacked;
 pub mod train;
 
+pub use ae_graph::ae_step_graph;
 pub use analytic::{estimate, Algo, Estimate, Workload};
 pub use autoencoder::{AeConfig, AeCost, AeScratch, SparseAutoencoder};
 pub use batch_opt::{conjugate_gradient, lbfgs, AeObjective, BatchOptOptions, Objective};
@@ -74,7 +76,7 @@ pub use checkpoint::{
 pub use exec::{ExecCtx, OptLevel, PhaseGuard};
 pub use finetune::{FineTuneNet, SoftmaxLayer};
 pub use gradcheck::{check_autoencoder, GradCheckResult};
-pub use graph::{GraphRun, TaskGraph};
+pub use graph::{BufClass, BufId, GraphRun, NodeSpec, TaskGraph, Workspace, WorkspacePlan};
 pub use hybrid::{estimate_hybrid, optimal_fraction, HybridAeTrainer, HybridConfig};
 pub use metrics::{
     activation_stats, feature_ascii, feature_grid, reconstruction_stats, write_pgm,

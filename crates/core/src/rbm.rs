@@ -181,6 +181,11 @@ impl Rbm {
 
     /// One CD-k update on a batch `v0` (`b x n_visible`, values in [0,1]).
     ///
+    /// The step is the Fig. 6 dependency graph run in declaration order —
+    /// the exact serial op sequence (positive phase, Gibbs chain,
+    /// statistics, updates) of the classic hand-rolled loop, sharing one
+    /// builder with [`crate::cd_step_graph`].
+    ///
     /// Returns the mean per-example squared reconstruction error
     /// `1/b ‖v1 - v0‖²` measured on the first reconstruction.
     pub fn cd_step(
@@ -193,88 +198,18 @@ impl Rbm {
         let b = v0.rows();
         assert!(b > 0, "empty batch");
         assert!(b <= scratch.max_batch, "batch exceeds scratch capacity");
-
-        // Positive phase: H0 ~ p(h | v0).
-        {
-            let _forward = ctx.phase("forward");
-            self.prop_up(ctx, v0, &mut scratch.h0_prob);
-            let probs = scratch.h0_prob.rows_range(0, b);
-            let mut sample = scratch.h0_sample.rows_range_mut(0, b);
-            ctx.bernoulli(probs.as_slice(), sample.as_mut_slice());
-        }
-        let backward = ctx.phase("backward");
-
-        // Gibbs chain: V1 <- p(v | H0); H1 <- p(h | V1); extra steps for
-        // CD-k resample the hiddens.
-        let mut recon_err = 0.0;
-        for step in 0..self.cfg.cd_steps {
-            if step > 0 {
-                // Resample hiddens from the last reconstruction phase.
-                let (h1, hs) = (&scratch.h1_prob, &mut scratch.h0_sample);
-                let probs = h1.rows_range(0, b);
-                let mut sample = hs.rows_range_mut(0, b);
-                ctx.bernoulli(probs.as_slice(), sample.as_mut_slice());
-            }
-            self.prop_down(
-                ctx,
-                scratch.h0_sample.rows_range(0, b),
-                &mut scratch.v1_prob,
-            );
-            if step == 0 {
-                recon_err = ctx.frob_dist_sq(scratch.v1_prob.rows_range(0, b), v0) / b as f64;
-            }
-            self.prop_up(ctx, scratch.v1_prob.rows_range(0, b), &mut scratch.h1_prob);
-        }
-
-        // Statistics: pos = H0'V0 (sampled hiddens x data), neg = H1'V1
-        // (probabilities on both sides — Hinton §3).
-        let inv_b = 1.0 / b as f32;
-        ctx.gemm(
-            inv_b,
-            scratch.h0_prob.rows_range(0, b),
-            true,
+        let cfg = self.cfg;
+        let mut g =
+            crate::cd_graph::build_cd_graph(cfg.n_visible, cfg.n_hidden, b, cfg.cd_steps);
+        let mut state = crate::cd_graph::CdState {
+            rbm: self,
+            scratch,
             v0,
-            false,
-            0.0,
-            &mut scratch.pos_stats.view_mut(),
-        );
-        ctx.gemm(
-            inv_b,
-            scratch.h1_prob.rows_range(0, b),
-            true,
-            scratch.v1_prob.rows_range(0, b),
-            false,
-            0.0,
-            &mut scratch.neg_stats.view_mut(),
-        );
-        ctx.colmean(v0, &mut scratch.vis_pos);
-        ctx.colmean(scratch.v1_prob.rows_range(0, b), &mut scratch.vis_neg);
-        ctx.colmean(scratch.h0_prob.rows_range(0, b), &mut scratch.hid_pos);
-        ctx.colmean(scratch.h1_prob.rows_range(0, b), &mut scratch.hid_neg);
-
-        drop(backward);
-        // Updates (paper eqs. 11–13): w += eta (pos - neg), etc.
-        let _update = ctx.phase("update");
-        ctx.cd_update(
-            learning_rate,
-            scratch.pos_stats.as_slice(),
-            scratch.neg_stats.as_slice(),
-            self.w.as_mut_slice(),
-        );
-        ctx.cd_update(
-            learning_rate,
-            &scratch.vis_pos,
-            &scratch.vis_neg,
-            &mut self.b_vis,
-        );
-        ctx.cd_update(
-            learning_rate,
-            &scratch.hid_pos,
-            &scratch.hid_neg,
-            &mut self.c_hid,
-        );
-
-        recon_err
+            lr: learning_rate,
+            recon_err: 0.0,
+        };
+        g.run_serial(ctx, &mut state);
+        state.recon_err
     }
 
     /// One Persistent Contrastive Divergence update (Tieleman's PCD; also

@@ -30,6 +30,7 @@ pub struct LayerReport {
 pub struct StackedAutoencoder {
     layers: Vec<SparseAutoencoder>,
     sizes: Vec<usize>,
+    use_graph: bool,
 }
 
 impl StackedAutoencoder {
@@ -45,12 +46,21 @@ impl StackedAutoencoder {
         StackedAutoencoder {
             layers,
             sizes: sizes.to_vec(),
+            use_graph: false,
         }
     }
 
     /// Standard configuration stack.
     pub fn with_default_config(sizes: &[usize], seed: u64) -> Self {
         Self::new(sizes, AeConfig::new, seed)
+    }
+
+    /// Schedules every layer's training steps through the dataflow
+    /// executor (see [`crate::train::AeModel::with_graph_schedule`]).
+    /// Bit-identical to the serial schedule.
+    pub fn with_graph_schedule(mut self) -> Self {
+        self.use_graph = true;
+        self
     }
 
     /// Layer widths, including the input layer.
@@ -81,6 +91,9 @@ impl StackedAutoencoder {
             let _layer_span = ctx.phase(&format!("pretrain layer {i}"));
             let shape = (layer.config().n_visible, layer.config().n_hidden);
             let mut model = AeModel::new(layer.clone());
+            if self.use_graph {
+                model = model.with_graph_schedule();
+            }
             // Checkpoints written inside this layer's run carry the layer
             // index, so a resumed stacked run knows where it stood.
             let report = train_dataset_at(&mut model, ctx, &current, cfg, passes, 0, i as u64)?;
@@ -114,6 +127,7 @@ impl StackedAutoencoder {
 pub struct DeepBeliefNet {
     layers: Vec<Rbm>,
     sizes: Vec<usize>,
+    use_graph: bool,
 }
 
 impl DeepBeliefNet {
@@ -128,7 +142,16 @@ impl DeepBeliefNet {
         DeepBeliefNet {
             layers,
             sizes: sizes.to_vec(),
+            use_graph: false,
         }
+    }
+
+    /// Schedules every layer's CD steps through the Fig. 6 dependency
+    /// graph (see [`crate::train::RbmModel::with_graph_schedule`]).
+    /// Bit-identical to the serial schedule.
+    pub fn with_graph_schedule(mut self) -> Self {
+        self.use_graph = true;
+        self
     }
 
     /// Layer widths, including the input layer.
@@ -156,6 +179,9 @@ impl DeepBeliefNet {
             let _layer_span = ctx.phase(&format!("pretrain layer {i}"));
             let shape = (rbm.config().n_visible, rbm.config().n_hidden);
             let mut model = RbmModel::new(rbm.clone());
+            if self.use_graph {
+                model = model.with_graph_schedule();
+            }
             let report = train_dataset_at(&mut model, ctx, &current, cfg, passes, 0, i as u64)?;
             *rbm = model.into_inner();
             current = Dataset::new(rbm.encode(ctx, current.matrix().view()));
@@ -260,5 +286,49 @@ mod tests {
     #[should_panic(expected = "at least two layer sizes")]
     fn degenerate_stack_rejected() {
         StackedAutoencoder::with_default_config(&[10], 0);
+    }
+
+    #[test]
+    fn graph_scheduled_stack_matches_serial_bitwise() {
+        let data = toy_dataset(100, 16, 13);
+        let run = |graph: bool| {
+            let mut stack = StackedAutoencoder::with_default_config(&[16, 8, 4], 21);
+            if graph {
+                stack = stack.with_graph_schedule();
+            }
+            let ctx = ExecCtx::native(OptLevel::Improved, 22);
+            stack.pretrain(&ctx, &data, &quick_cfg(), 3).unwrap();
+            stack
+        };
+        let serial = run(false);
+        let graphed = run(true);
+        for (s, g) in serial.layers().iter().zip(graphed.layers()) {
+            assert_eq!(s.w1.as_slice(), g.w1.as_slice());
+            assert_eq!(s.w2.as_slice(), g.w2.as_slice());
+            assert_eq!(s.b1, g.b1);
+            assert_eq!(s.b2, g.b2);
+        }
+    }
+
+    #[test]
+    fn graph_scheduled_dbn_matches_serial_bitwise() {
+        let mut data = toy_dataset(100, 16, 14);
+        data.binarize(0.5);
+        let run = |graph: bool| {
+            let mut dbn = DeepBeliefNet::new(&[16, 10, 6], 23);
+            if graph {
+                dbn = dbn.with_graph_schedule();
+            }
+            let ctx = ExecCtx::native(OptLevel::Improved, 24);
+            dbn.pretrain(&ctx, &data, &quick_cfg(), 3).unwrap();
+            dbn
+        };
+        let serial = run(false);
+        let graphed = run(true);
+        for (s, g) in serial.layers().iter().zip(graphed.layers()) {
+            assert_eq!(s.w.as_slice(), g.w.as_slice());
+            assert_eq!(s.b_vis, g.b_vis);
+            assert_eq!(s.c_hid, g.c_hid);
+        }
     }
 }

@@ -46,12 +46,14 @@ pub trait UnsupervisedModel {
     }
 }
 
-/// A sparse autoencoder bundled with its reusable scratch.
+/// A sparse autoencoder bundled with its reusable scratch; optionally
+/// scheduled via the dataflow executor.
 #[derive(Debug)]
 pub struct AeModel {
     /// The underlying autoencoder.
     pub ae: SparseAutoencoder,
     scratch: Option<AeScratch>,
+    use_graph: bool,
     optimizer: Option<crate::optim::Optimizer>,
 }
 
@@ -62,8 +64,24 @@ impl AeModel {
         AeModel {
             ae,
             scratch: None,
+            use_graph: false,
             optimizer: None,
         }
+    }
+
+    /// Schedules each training step through the dataflow executor
+    /// ([`crate::ae_step_graph`]): simulated contexts price the step by its
+    /// critical path, native contexts run independent sub-saturating nodes
+    /// concurrently. Bit-identical to the serial path, so the flag is a
+    /// scheduling preference and is not persisted in checkpoints.
+    pub fn with_graph_schedule(mut self) -> Self {
+        self.use_graph = true;
+        self
+    }
+
+    /// Whether steps run through the dataflow executor.
+    pub fn uses_graph(&self) -> bool {
+        self.use_graph
     }
 
     /// Uses an [`crate::Optimizer`] (momentum, schedules, AdaGrad) instead
@@ -102,6 +120,17 @@ impl UnsupervisedModel for AeModel {
 
     fn train_batch(&mut self, ctx: &ExecCtx, x: MatView<'_>, lr: f32) -> f64 {
         let scratch = self.scratch.as_mut().expect("prepare() not called");
+        if self.use_graph {
+            let (cost, _) = crate::ae_graph::ae_step_graph(
+                &mut self.ae,
+                ctx,
+                x,
+                scratch,
+                lr,
+                self.optimizer.as_mut(),
+            );
+            return cost.reconstruction;
+        }
         match &mut self.optimizer {
             Some(opt) => {
                 let cost = self.ae.cost_and_grad(ctx, x, scratch);
@@ -164,13 +193,9 @@ impl RbmModel {
         }
     }
 
-    /// Schedules each CD-1 step through the Fig. 6 dependency graph.
+    /// Schedules each CD step (any `cd_steps`) through the Fig. 6
+    /// dependency graph.
     pub fn with_graph_schedule(mut self) -> Self {
-        assert_eq!(
-            self.rbm.config().cd_steps,
-            1,
-            "graph schedule requires CD-1"
-        );
         self.use_graph = true;
         self
     }
@@ -763,6 +788,69 @@ mod tests {
         let serial = run(false);
         let graphed = run(true);
         assert_eq!(serial.w.as_slice(), graphed.w.as_slice());
+    }
+
+    #[test]
+    fn graph_scheduled_rbm_with_momentum_matches_serial_at_cdk() {
+        let cfg = RbmConfig::new(12, 8).with_cd_steps(2);
+        let mut ds = toy_dataset(100, 12, 9);
+        ds.binarize(0.5);
+        let tc = TrainConfig {
+            batch_size: 25,
+            chunk_rows: 50,
+            ..TrainConfig::default()
+        };
+        let run = |graph: bool| {
+            let mut model = RbmModel::new(Rbm::new(cfg, 4)).with_momentum(0.6);
+            if graph {
+                model = model.with_graph_schedule();
+            }
+            let ctx = ExecCtx::native(OptLevel::Improved, 4);
+            train_dataset(&mut model, &ctx, &ds, &tc, 3).unwrap();
+            model.into_inner()
+        };
+        let serial = run(false);
+        let graphed = run(true);
+        assert_eq!(serial.w.as_slice(), graphed.w.as_slice());
+        assert_eq!(serial.b_vis, graphed.b_vis);
+        assert_eq!(serial.c_hid, graphed.c_hid);
+    }
+
+    #[test]
+    fn graph_scheduled_ae_matches_serial_bitwise() {
+        use crate::optim::{Optimizer, Rule, Schedule};
+        let cfg = AeConfig::new(18, 9);
+        let ds = toy_dataset(120, 18, 11);
+        let tc = TrainConfig {
+            batch_size: 30,
+            chunk_rows: 60,
+            ..TrainConfig::default()
+        };
+        for with_opt in [false, true] {
+            let run = |graph: bool| {
+                let mut model = AeModel::new(SparseAutoencoder::new(cfg, 5));
+                if with_opt {
+                    let slots = SparseAutoencoder::optimizer_slots(&cfg);
+                    model = model.with_optimizer(Optimizer::new(
+                        Rule::Momentum { mu: 0.9 },
+                        Schedule::Constant(0.05),
+                        &slots,
+                    ));
+                }
+                if graph {
+                    model = model.with_graph_schedule();
+                }
+                let ctx = ExecCtx::native(OptLevel::Improved, 4);
+                train_dataset(&mut model, &ctx, &ds, &tc, 3).unwrap();
+                model.into_inner()
+            };
+            let serial = run(false);
+            let graphed = run(true);
+            assert_eq!(serial.w1.as_slice(), graphed.w1.as_slice());
+            assert_eq!(serial.w2.as_slice(), graphed.w2.as_slice());
+            assert_eq!(serial.b1, graphed.b1);
+            assert_eq!(serial.b2, graphed.b2);
+        }
     }
 
     #[test]

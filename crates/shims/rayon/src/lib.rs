@@ -200,6 +200,32 @@ impl<T: Send> IntoParallelRefMutIterator<T> for [T] {
     }
 }
 
+/// Runs a small batch of one-shot tasks, one scoped thread per task.
+///
+/// This is the node-level counterpart of `par_chunks`: the dependency-graph
+/// executor hands it one *wave* of independent graph nodes whose kernels are
+/// individually too small to saturate the pool, so running the nodes
+/// side by side is the only way to use the cores. Tasks are few and coarse;
+/// the first runs on the calling thread. Falls back to sequential execution
+/// when the pool is pinned to one thread.
+pub fn run_tasks<'s>(tasks: Vec<Box<dyn FnOnce() + Send + 's>>) {
+    if tasks.len() <= 1 || current_num_threads() <= 1 {
+        for t in tasks {
+            t();
+        }
+        return;
+    }
+    std::thread::scope(|s| {
+        let mut it = tasks.into_iter();
+        let mine = it.next().expect("checked non-empty above");
+        let handles: Vec<_> = it.map(|t| s.spawn(t)).collect();
+        mine();
+        for h in handles {
+            h.join().expect("task worker panicked");
+        }
+    });
+}
+
 /// Runs two closures, potentially in parallel, returning both results.
 pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
 where
@@ -264,6 +290,25 @@ mod tests {
         let mut v = vec![0usize; 10];
         v.par_iter_mut().enumerate().for_each(|(i, x)| *x = i * i);
         assert_eq!(v[3], 9);
+    }
+
+    #[test]
+    fn run_tasks_runs_every_task_exactly_once() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let hits: Vec<AtomicUsize> = (0..7).map(|_| AtomicUsize::new(0)).collect();
+        let tasks: Vec<Box<dyn FnOnce() + Send + '_>> = hits
+            .iter()
+            .map(|h| {
+                Box::new(move || {
+                    h.fetch_add(1, Ordering::SeqCst);
+                }) as Box<dyn FnOnce() + Send + '_>
+            })
+            .collect();
+        super::run_tasks(tasks);
+        for h in &hits {
+            assert_eq!(h.load(Ordering::SeqCst), 1);
+        }
+        super::run_tasks(Vec::new());
     }
 
     #[test]

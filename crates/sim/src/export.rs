@@ -17,11 +17,18 @@ use serde::Value;
 /// Process id used for every emitted slice.
 const PID: i64 = 1;
 
-/// Track of an event: the training threads or the loading thread.
-fn tid(kind: EventKind) -> i64 {
-    match kind {
+/// First track reserved for dependency-graph node lanes; tracks 0 and 1
+/// belong to the serial compute and PCIe loader threads.
+const NODE_TID_BASE: i64 = 2;
+
+/// Track of an event: the training threads, the loading thread, or — for
+/// graph nodes, which may overlap in time — one "graph lane" track per
+/// concurrently scheduled node.
+fn tid(e: &Event) -> i64 {
+    match e.kind {
         EventKind::Compute(_) | EventKind::Sync => 0,
         EventKind::Transfer | EventKind::Stall => 1,
+        EventKind::Node => NODE_TID_BASE + e.lane as i64,
     }
 }
 
@@ -32,6 +39,7 @@ fn category(kind: EventKind) -> &'static str {
         EventKind::Transfer => "transfer",
         EventKind::Stall => "stall",
         EventKind::Sync => "sync",
+        EventKind::Node => "node",
     }
 }
 
@@ -67,7 +75,7 @@ fn slice(e: &Event) -> Value {
         ("ts".to_string(), Value::F64(ts_us)),
         ("dur".to_string(), Value::F64(dur_us)),
         ("pid".to_string(), Value::I64(PID)),
-        ("tid".to_string(), Value::I64(tid(e.kind))),
+        ("tid".to_string(), Value::I64(tid(e))),
     ])
 }
 
@@ -168,6 +176,24 @@ mod tests {
         assert!(events
             .iter()
             .any(|e| e.get_field("name").and_then(Value::as_str) == Some("stall")));
+    }
+
+    #[test]
+    fn graph_nodes_fan_out_over_lane_tracks() {
+        let t = Trace::new(true);
+        t.push_lane(0.0, 1.0, EventKind::Node, "H1", 0);
+        t.push_lane(0.5, 1.5, EventKind::Node, "POS", 1);
+        let v = chrome_trace_value(&t.events());
+        let events = v
+            .get_field("traceEvents")
+            .and_then(Value::as_array)
+            .unwrap();
+        let tids: Vec<i64> = events
+            .iter()
+            .filter(|e| e.get_field("cat").and_then(Value::as_str) == Some("node"))
+            .map(|e| e.get_field("tid").and_then(Value::as_i64).unwrap())
+            .collect();
+        assert_eq!(tids, vec![NODE_TID_BASE, NODE_TID_BASE + 1]);
     }
 
     #[test]

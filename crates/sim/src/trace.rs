@@ -19,6 +19,10 @@ pub enum EventKind {
     Stall,
     /// Synchronization / barrier accounting.
     Sync,
+    /// One node of a dependency-graph schedule (paper Fig. 6). Node events
+    /// may overlap in time; the event's `lane` separates concurrent nodes
+    /// onto distinct tracks in the Chrome-trace export.
+    Node,
 }
 
 /// One span on the simulated timeline.
@@ -32,6 +36,9 @@ pub struct Event {
     pub kind: EventKind,
     /// Free-form label (op name, chunk index, ...).
     pub label: String,
+    /// Display lane for events that overlap in time (concurrent graph
+    /// nodes); serial events stay on lane 0.
+    pub lane: usize,
 }
 
 impl Event {
@@ -73,6 +80,19 @@ impl Trace {
 
     /// Records an event (no-op when disabled). `end >= start` is enforced.
     pub fn push(&self, start: f64, end: f64, kind: EventKind, label: impl Into<String>) {
+        self.push_lane(start, end, kind, label, 0);
+    }
+
+    /// Records an event on an explicit display lane — used by the graph
+    /// executor so concurrent nodes land on separate tracks.
+    pub fn push_lane(
+        &self,
+        start: f64,
+        end: f64,
+        kind: EventKind,
+        label: impl Into<String>,
+        lane: usize,
+    ) {
         if !self.enabled {
             return;
         }
@@ -82,6 +102,7 @@ impl Trace {
             end,
             kind,
             label: label.into(),
+            lane,
         });
     }
 
@@ -165,5 +186,16 @@ mod tests {
     #[should_panic(expected = "ends before it starts")]
     fn backwards_event_rejected() {
         Trace::new(true).push(2.0, 1.0, EventKind::Stall, "bad");
+    }
+
+    #[test]
+    fn lanes_default_to_zero_and_round_trip() {
+        let t = Trace::new(true);
+        t.push(0.0, 1.0, EventKind::Sync, "serial");
+        t.push_lane(0.0, 1.0, EventKind::Node, "H1", 2);
+        let evs = t.events();
+        assert_eq!(evs[0].lane, 0);
+        assert_eq!(evs[1].lane, 2);
+        assert_eq!(evs[1].kind, EventKind::Node);
     }
 }

@@ -1,0 +1,98 @@
+//! Bit-identity pinning for the dataflow executor: routing a training run
+//! through the task graph (`with_graph_schedule`) must leave *no trace* in
+//! the numerics — weights, optimizer/momentum state, and the shared RNG
+//! cursor all match the plain serial path byte for byte, at whatever
+//! thread count `RAYON_NUM_THREADS` provides.
+
+use micdnn::optim::{Optimizer, Rule, Schedule};
+use micdnn::train::{train_dataset, AeModel, RbmModel, TrainConfig, UnsupervisedModel};
+use micdnn::{AeConfig, ExecCtx, OptLevel, Rbm, RbmConfig, SparseAutoencoder};
+use micdnn_data::{Dataset, DigitGenerator};
+
+fn digit_data(n: usize, side: usize, seed: u64) -> Dataset {
+    let mut gen = DigitGenerator::new(side, seed);
+    let mut ds = Dataset::new(gen.matrix(n));
+    ds.normalize();
+    ds
+}
+
+/// Runs one AE training job and returns the full serialized state
+/// (weights + optimizer slots via `save_state`) and the RNG cursor.
+fn ae_run(graph: bool, ds: &Dataset, tc: &TrainConfig) -> (Vec<u8>, (u64, u64)) {
+    let cfg = AeConfig::new(64, 25);
+    let slots = SparseAutoencoder::optimizer_slots(&cfg);
+    let mut model = AeModel::new(SparseAutoencoder::new(cfg, 11)).with_optimizer(Optimizer::new(
+        Rule::Momentum { mu: 0.9 },
+        Schedule::Constant(0.1),
+        &slots,
+    ));
+    if graph {
+        model = model.with_graph_schedule();
+    }
+    let ctx = ExecCtx::native(OptLevel::Improved, 11);
+    train_dataset(&mut model, &ctx, ds, tc, 4).unwrap();
+    let mut bytes = Vec::new();
+    model.save_state(&mut bytes).unwrap();
+    (bytes, ctx.rng_state())
+}
+
+#[test]
+fn graph_scheduled_ae_run_is_bit_identical_to_serial() {
+    let ds = digit_data(200, 8, 21);
+    let tc = TrainConfig {
+        learning_rate: 0.1,
+        batch_size: 25,
+        chunk_rows: 100,
+        ..TrainConfig::default()
+    };
+    let (serial_bytes, serial_rng) = ae_run(false, &ds, &tc);
+    let (graph_bytes, graph_rng) = ae_run(true, &ds, &tc);
+    // The AE checkpoint format does not record the scheduling preference,
+    // so the *entire* state record must agree byte for byte.
+    assert_eq!(
+        serial_bytes, graph_bytes,
+        "graph-scheduled AE diverged from the serial path"
+    );
+    assert_eq!(serial_rng, graph_rng, "AE RNG cursor diverged");
+}
+
+/// Runs one RBM training job (CD-2 + momentum: the full generalized graph)
+/// and returns weights, momentum state and the RNG cursor.
+#[allow(clippy::type_complexity)]
+fn rbm_run(
+    graph: bool,
+    ds: &Dataset,
+    tc: &TrainConfig,
+) -> (Vec<f32>, Vec<f32>, Vec<f32>, Vec<f32>, (u64, u64)) {
+    let cfg = RbmConfig::new(64, 25).with_cd_steps(2);
+    let mut model = RbmModel::new(Rbm::new(cfg, 13)).with_momentum(0.5);
+    if graph {
+        model = model.with_graph_schedule();
+    }
+    let ctx = ExecCtx::native(OptLevel::Improved, 13);
+    train_dataset(&mut model, &ctx, ds, tc, 4).unwrap();
+    let (_, vw, vb, vc) = model.momentum_parts().expect("momentum attached");
+    let (vw, vb, vc) = (vw.to_vec(), vb.to_vec(), vc.to_vec());
+    let rng = ctx.rng_state();
+    let rbm = model.into_inner();
+    (rbm.w.as_slice().to_vec(), vw, vb, vc, rng)
+}
+
+#[test]
+fn graph_scheduled_rbm_run_is_bit_identical_to_serial() {
+    let mut ds = digit_data(200, 8, 22);
+    ds.binarize(0.5);
+    let tc = TrainConfig {
+        learning_rate: 0.05,
+        batch_size: 25,
+        chunk_rows: 100,
+        ..TrainConfig::default()
+    };
+    let (sw, svw, svb, svc, srng) = rbm_run(false, &ds, &tc);
+    let (gw, gvw, gvb, gvc, grng) = rbm_run(true, &ds, &tc);
+    assert_eq!(sw, gw, "graph-scheduled RBM weights diverged");
+    assert_eq!(svw, gvw, "momentum velocity (weights) diverged");
+    assert_eq!(svb, gvb, "momentum velocity (visible bias) diverged");
+    assert_eq!(svc, gvc, "momentum velocity (hidden bias) diverged");
+    assert_eq!(srng, grng, "RBM RNG cursor diverged");
+}

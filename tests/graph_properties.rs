@@ -1,0 +1,234 @@
+//! Property-based tests (proptest) for the dataflow execution layer:
+//! random DAGs through the graph builder, the liveness planner and both
+//! executors.
+//!
+//! Three invariants from the execution-layer design:
+//!
+//! 1. the native schedule never runs a node before its dependencies, at
+//!    any `RAYON_NUM_THREADS` (the wave executor is order-safe);
+//! 2. the simulated clock advance equals the brute-force longest path
+//!    through the priced DAG;
+//! 3. the workspace planner never assigns two *interfering* buffers (ones
+//!    whose accessor sets are not strictly DAG-ordered) to one register.
+
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+
+use micdnn::exec::{ExecCtx, OptLevel};
+use micdnn::{BufClass, BufId, NodeSpec, TaskGraph};
+use micdnn_kernels::OpCost;
+use micdnn_sim::Platform;
+use proptest::prelude::*;
+use rand::{Rng, SeedableRng};
+
+/// One randomly generated dataflow graph: node `i` writes its own buffer
+/// and reads the buffers of `deps[i]` (all `< i`), so every dependency is
+/// a RAW edge the builder must infer from the declared footprints.
+struct RandomDag {
+    /// Chosen read-dependencies per node (sorted, deduplicated).
+    deps: Vec<Vec<usize>>,
+    /// Declared element count of each node's output buffer.
+    elems: Vec<usize>,
+    /// Buffer class of each node's output buffer.
+    classes: Vec<BufClass>,
+}
+
+impl RandomDag {
+    fn generate(n: usize, seed: u64) -> Self {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let mut deps = Vec::with_capacity(n);
+        let mut elems = Vec::with_capacity(n);
+        let mut classes = Vec::with_capacity(n);
+        for i in 0..n {
+            // Read a random subset of the last few producers: recency keeps
+            // chains realistic and lets early buffers die (alias fodder).
+            let lo = i.saturating_sub(6);
+            let mut d: Vec<usize> = (lo..i).filter(|_| rng.gen_bool(0.35)).collect();
+            d.dedup();
+            deps.push(d);
+            // Small buffers stay sub-saturating so native waves can form.
+            elems.push(rng.gen_range(32..2048));
+            classes.push(if rng.gen_bool(0.2) {
+                BufClass::Pinned
+            } else {
+                BufClass::Scratch
+            });
+        }
+        RandomDag {
+            deps,
+            elems,
+            classes,
+        }
+    }
+
+    /// Builds the `TaskGraph`, wiring each node's task through `make_task`.
+    fn build<'g, S: 'g>(
+        &self,
+        mut make_task: impl FnMut(usize) -> Box<dyn FnMut(&ExecCtx, &mut S) + Send + 'g>,
+    ) -> (TaskGraph<'g, S>, Vec<BufId>) {
+        let mut g: TaskGraph<'g, S> = TaskGraph::new();
+        let mut bufs = Vec::with_capacity(self.deps.len());
+        for i in 0..self.deps.len() {
+            bufs.push(g.declare("buf", self.elems[i], self.classes[i]));
+        }
+        for (i, deps) in self.deps.iter().enumerate() {
+            let reads: Vec<BufId> = deps.iter().map(|&d| bufs[d]).collect();
+            g.node(
+                NodeSpec::new("node").reads(&reads).writes(&[bufs[i]]),
+                make_task(i),
+            );
+        }
+        (g, bufs)
+    }
+
+    /// Strict-precedence matrix over the *chosen* edges: `reach[u][v]` iff
+    /// a dependency path leads from `u` to `v` (so `u` must run first).
+    fn reachability(&self) -> Vec<Vec<bool>> {
+        let n = self.deps.len();
+        let mut reach = vec![vec![false; n]; n];
+        for v in 0..n {
+            for &u in &self.deps[v] {
+                reach[u][v] = true;
+                for row in reach.iter_mut() {
+                    if row[u] {
+                        row[v] = true;
+                    }
+                }
+            }
+        }
+        reach
+    }
+}
+
+/// Shared observation state for the native-order test. Nodes only touch
+/// per-node atomic slots, honouring the executor's disjoint-footprint
+/// contract for concurrent waves.
+struct OrderLog {
+    done: Vec<AtomicBool>,
+    violations: AtomicUsize,
+}
+
+/// Exhaustive longest-path search (no memoisation — genuinely brute force;
+/// `n` is kept small enough that the exponential blowup stays cheap).
+fn brute_force_longest(deps: &TaskGraph<'_, ()>, durations: &[f64], node: usize) -> f64 {
+    let best_dep = deps
+        .deps(node)
+        .iter()
+        .map(|&d| brute_force_longest(deps, durations, d))
+        .fold(0.0f64, f64::max);
+    durations[node] + best_dep
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// The builder infers exactly the RAW edges implied by the declared
+    /// read/write sets, and the native executor (waves included) never
+    /// starts a node before all of its dependencies finished — whatever
+    /// thread count the environment provides.
+    #[test]
+    fn native_schedule_respects_dependencies(n in 1usize..24, seed in any::<u64>()) {
+        let dag = RandomDag::generate(n, seed);
+        let (mut g, _bufs) = dag.build::<OrderLog>(|i| {
+            let deps = dag.deps[i].clone();
+            Box::new(move |_ctx, log: &mut OrderLog| {
+                for &d in &deps {
+                    if !log.done[d].load(Ordering::SeqCst) {
+                        log.violations.fetch_add(1, Ordering::SeqCst);
+                    }
+                }
+                log.done[i].store(true, Ordering::SeqCst);
+            })
+        });
+
+        // The builder's inferred dependency lists match the chosen edges.
+        for (i, want) in dag.deps.iter().enumerate() {
+            let mut got: Vec<usize> = g.deps(i).to_vec();
+            got.sort_unstable();
+            prop_assert_eq!(&got, want, "node {} dependency mismatch", i);
+        }
+
+        let ctx = ExecCtx::native(OptLevel::Improved, 0);
+        let mut log = OrderLog {
+            done: (0..n).map(|_| AtomicBool::new(false)).collect(),
+            violations: AtomicUsize::new(0),
+        };
+        g.execute(&ctx, &mut log);
+        prop_assert_eq!(log.violations.load(Ordering::SeqCst), 0,
+            "executor ran a node before one of its dependencies");
+        prop_assert!(log.done.iter().all(|d| d.load(Ordering::SeqCst)),
+            "executor skipped a node");
+    }
+
+    /// On a simulated context the clock advances by exactly the critical
+    /// path: the brute-force longest path through the per-node prices.
+    #[test]
+    fn simulated_critical_path_is_longest_path(n in 1usize..12, seed in any::<u64>()) {
+        let dag = RandomDag::generate(n, seed);
+        let (mut g, _bufs) = dag.build::<()>(|i| {
+            let elems = dag.elems[i];
+            // Vary arithmetic intensity so durations differ across nodes.
+            let flops = 1 + (i as u32 % 7);
+            Box::new(move |ctx: &ExecCtx, _| {
+                ctx.charge_cost(OpCost::elementwise(elems, 2, flops));
+            })
+        });
+        let ctx = ExecCtx::simulated(OptLevel::Improved, Platform::xeon_phi(), 0);
+        let t0 = ctx.sim_time();
+        let run = g.execute(&ctx, &mut ());
+
+        prop_assert!(run.durations.iter().all(|&d| d > 0.0), "unpriced node");
+        let brute = (0..n)
+            .map(|i| brute_force_longest(&g, &run.durations, i))
+            .fold(0.0f64, f64::max);
+        let tol = 1e-9 * brute.max(1.0);
+        prop_assert!((run.critical_path - brute).abs() <= tol,
+            "critical path {} != brute-force longest path {}", run.critical_path, brute);
+        prop_assert!((ctx.sim_time() - t0 - brute).abs() <= tol,
+            "simulated clock advanced by {} instead of the critical path {}",
+            ctx.sim_time() - t0, brute);
+        let serial: f64 = run.durations.iter().sum();
+        prop_assert!(run.critical_path <= serial + tol,
+            "critical path cannot exceed the serial sum");
+    }
+
+    /// The planner only lets two buffers share a register when every
+    /// accessor of one strictly precedes every accessor of the other —
+    /// i.e. it never aliases two live buffers. Pinned buffers never share.
+    #[test]
+    fn planner_never_aliases_live_buffers(n in 1usize..24, seed in any::<u64>()) {
+        let dag = RandomDag::generate(n, seed);
+        let (g, bufs) = dag.build::<()>(|_| Box::new(|_, _| {}));
+        let plan = g.plan();
+        prop_assert!(plan.peak_elems() <= plan.total_declared_elems());
+
+        // accessors[b]: the producer plus every reader of buffer b.
+        let mut accessors: Vec<Vec<usize>> = (0..n).map(|i| vec![i]).collect();
+        for (i, deps) in dag.deps.iter().enumerate() {
+            for &d in deps {
+                accessors[d].push(i);
+            }
+        }
+        let reach = dag.reachability();
+        let strictly_ordered = |a: usize, b: usize| {
+            accessors[a].iter().all(|&u| accessors[b].iter().all(|&v| reach[u][v]))
+        };
+
+        for a in 0..n {
+            for b in (a + 1)..n {
+                let (Some(ra), Some(rb)) = (plan.register_of(bufs[a]), plan.register_of(bufs[b]))
+                else { continue };
+                if ra != rb {
+                    continue;
+                }
+                prop_assert!(
+                    dag.classes[a] == BufClass::Scratch && dag.classes[b] == BufClass::Scratch,
+                    "planner shared a register with a pinned buffer ({} / {})", a, b
+                );
+                prop_assert!(
+                    strictly_ordered(a, b) || strictly_ordered(b, a),
+                    "buffers {} and {} share register {} but are simultaneously live", a, b, ra
+                );
+            }
+        }
+    }
+}
