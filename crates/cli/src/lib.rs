@@ -105,10 +105,14 @@ fn parse_platform(args: &Args) -> Result<Option<Platform>, String> {
 
 fn make_ctx(args: &Args, seed: u64) -> Result<ExecCtx, String> {
     let level = parse_level(args)?;
-    Ok(match parse_platform(args)? {
+    let mut ctx = match parse_platform(args)? {
         Some(p) => ExecCtx::simulated(level, p, seed),
         None => ExecCtx::native(level, seed),
-    })
+    };
+    if args.has("verify") {
+        ctx = ctx.with_verify();
+    }
+    Ok(ctx)
 }
 
 fn load_data(args: &Args, examples: usize, seed: u64) -> Result<Dataset, String> {
@@ -178,7 +182,10 @@ pub fn usage() -> String {
                   and --passes as the TOTAL epochs of the whole run)\n\
        (all training commands accept --graph-schedule: run each step\n\
         through the dataflow executor — bit-identical, critical-path\n\
-        priced in simulation, concurrent small kernels natively)\n\
+        priced in simulation, concurrent small kernels natively — and\n\
+        --verify: statically check every task graph for races, illegal\n\
+        register aliasing, uninitialized reads and determinism hazards\n\
+        before executing it, even in release builds)\n\
        train-ae   --visible N --hidden N [--examples N] [--passes N] [--batch N]\n\
                   [--lr F] [--data digits|patches|FILE.idx] [--save FILE]\n\
                   [--level baseline|openmp|openmp-mkl|improved|sequential]\n\
@@ -412,6 +419,9 @@ fn cmd_profile(args: &Args, seed: u64) -> Result<String, String> {
     .with_profiler(profiler.clone());
     if args.has("trace") {
         ctx = ctx.with_trace();
+    }
+    if args.has("verify") {
+        ctx = ctx.with_verify();
     }
 
     let tc = train_config(args)?;
@@ -953,14 +963,55 @@ mod tests {
     fn graph_schedule_flag_is_bit_identical() {
         for algo in ["train-ae", "train-rbm"] {
             let base = sv(&[
-                algo, "--examples", "100", "--side", "8", "--hidden", "16", "--passes", "3",
-                "--batch", "25", "--chunk", "50",
+                algo,
+                "--examples",
+                "100",
+                "--side",
+                "8",
+                "--hidden",
+                "16",
+                "--passes",
+                "3",
+                "--batch",
+                "25",
+                "--chunk",
+                "50",
             ]);
             let serial = run(&base).unwrap();
             let mut graphed_args = base.clone();
             graphed_args.push("--graph-schedule".to_string());
             let graphed = run(&graphed_args).unwrap();
             assert_eq!(serial, graphed, "{algo} diverged under --graph-schedule");
+        }
+    }
+
+    #[test]
+    fn verify_flag_checks_graphs_and_changes_nothing() {
+        // --verify statically checks every task graph before execution; on
+        // the shipped (clean) graphs it must pass and leave the training
+        // output bit-identical.
+        for algo in ["train-ae", "train-rbm"] {
+            let base = sv(&[
+                algo,
+                "--examples",
+                "80",
+                "--side",
+                "8",
+                "--hidden",
+                "12",
+                "--passes",
+                "2",
+                "--batch",
+                "20",
+                "--chunk",
+                "40",
+                "--graph-schedule",
+            ]);
+            let plain = run(&base).unwrap();
+            let mut verified_args = base.clone();
+            verified_args.push("--verify".to_string());
+            let verified = run(&verified_args).unwrap();
+            assert_eq!(plain, verified, "{algo} diverged under --verify");
         }
     }
 

@@ -65,7 +65,7 @@ impl AeParams<'_> {
 }
 
 /// Mutable state one AE graph run threads through its nodes.
-pub(crate) struct AeState<'a> {
+pub struct AeState<'a> {
     pub(crate) params: AeParams<'a>,
     pub(crate) scratch: &'a mut AeScratch,
     pub(crate) x: MatView<'a>,
@@ -77,7 +77,7 @@ pub(crate) struct AeState<'a> {
 /// How (and whether) the graph updates the parameters after the backward
 /// pass.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub(crate) enum AeUpdate {
+pub enum AeUpdate {
     /// Gradients only ([`SparseAutoencoder::cost_and_grad`]).
     None,
     /// Plain SGD with the state's learning rate.
@@ -92,7 +92,11 @@ pub(crate) enum AeUpdate {
 /// `cost_and_grad` (+ `apply_gradients`) pair. Storage is bound to the
 /// fields of [`AeScratch`]; the declarations describe sizes and lifetimes
 /// to the planner and executor.
-pub(crate) fn build_ae_graph<'a>(
+///
+/// Public so integration tests can run every shipped graph shape through
+/// [`TaskGraph::verify`]; training entry points use it via
+/// [`ae_step_graph`] and friends.
+pub fn build_ae_graph<'a>(
     n_visible: usize,
     n_hidden: usize,
     b: usize,
@@ -222,7 +226,10 @@ pub(crate) fn build_ae_graph<'a>(
             .phase("backward"),
         move |ctx, s: &mut AeState<'_>| {
             let scr = &mut *s.scratch;
-            let (a3s, d3) = (scr.a3.rows_range(0, b), &mut scr.delta3.rows_range_mut(0, b));
+            let (a3s, d3) = (
+                scr.a3.rows_range(0, b),
+                &mut scr.delta3.rows_range_mut(0, b),
+            );
             ctx.delta_output(a3s.as_slice(), s.x.as_slice(), d3.as_mut_slice());
         },
     );
@@ -385,7 +392,13 @@ pub(crate) fn build_ae_graph<'a>(
                     let ae = s.params.get_mut();
                     let lambda = ae.config().weight_decay;
                     let opt = s.opt.as_deref_mut().expect("optimizer-mode graph");
-                    opt.step_slot(ctx, 0, lambda, s.scratch.gw1.as_slice(), ae.w1.as_mut_slice());
+                    opt.step_slot(
+                        ctx,
+                        0,
+                        lambda,
+                        s.scratch.gw1.as_slice(),
+                        ae.w1.as_mut_slice(),
+                    );
                 },
             );
             g.node(
@@ -398,7 +411,13 @@ pub(crate) fn build_ae_graph<'a>(
                     let ae = s.params.get_mut();
                     let lambda = ae.config().weight_decay;
                     let opt = s.opt.as_deref_mut().expect("optimizer-mode graph");
-                    opt.step_slot(ctx, 1, lambda, s.scratch.gw2.as_slice(), ae.w2.as_mut_slice());
+                    opt.step_slot(
+                        ctx,
+                        1,
+                        lambda,
+                        s.scratch.gw2.as_slice(),
+                        ae.w2.as_mut_slice(),
+                    );
                 },
             );
             g.node(
@@ -503,7 +522,8 @@ mod tests {
 
         for _ in 0..5 {
             let c1 = ae_serial.train_batch(&ctx_serial, x.view(), &mut s_serial, 0.3);
-            let (c2, _) = ae_step_graph(&mut ae_graph, &ctx_graph, x.view(), &mut s_graph, 0.3, None);
+            let (c2, _) =
+                ae_step_graph(&mut ae_graph, &ctx_graph, x.view(), &mut s_graph, 0.3, None);
             assert_eq!(c1, c2, "costs diverged");
         }
         assert_eq!(ae_serial.w1.as_slice(), ae_graph.w1.as_slice());
@@ -518,13 +538,7 @@ mod tests {
         let cfg = AeConfig::new(10, 6);
         let x = tiny_batch(8, 10, 4);
         let slots = SparseAutoencoder::optimizer_slots(&cfg);
-        let mk_opt = || {
-            Optimizer::new(
-                Rule::Momentum { mu: 0.9 },
-                Schedule::Constant(0.2),
-                &slots,
-            )
-        };
+        let mk_opt = || Optimizer::new(Rule::Momentum { mu: 0.9 }, Schedule::Constant(0.2), &slots);
 
         let mut ae_serial = SparseAutoencoder::new(cfg, 5);
         let ctx_serial = ExecCtx::native(OptLevel::Improved, 6);

@@ -36,7 +36,7 @@ use crate::rbm::{Rbm, RbmScratch};
 use micdnn_tensor::MatView;
 
 /// Mutable state one CD graph run threads through its nodes.
-pub(crate) struct CdState<'a> {
+pub struct CdState<'a> {
     pub(crate) rbm: &'a mut Rbm,
     pub(crate) scratch: &'a mut RbmScratch,
     pub(crate) v0: MatView<'a>,
@@ -48,7 +48,11 @@ pub(crate) struct CdState<'a> {
 /// declaration order is exactly the serial op order of the classic
 /// `cd_step` loop. Storage is bound to the fields of [`RbmScratch`]; the
 /// declarations describe their sizes and lifetimes to the planner.
-pub(crate) fn build_cd_graph<'a>(
+///
+/// Public so integration tests can run every shipped graph shape through
+/// [`TaskGraph::verify`]; training entry points use it via
+/// [`cd_step_graph`] and [`Rbm::cd_step`].
+pub fn build_cd_graph<'a>(
     n_visible: usize,
     n_hidden: usize,
     b: usize,
@@ -144,8 +148,7 @@ pub(crate) fn build_cd_graph<'a>(
                     .phase("backward"),
                 move |ctx, s: &mut CdState<'_>| {
                     let (scr, v) = (&*s.scratch, s.v0);
-                    s.recon_err =
-                        ctx.frob_dist_sq(scr.v1_prob.rows_range(0, b), v) / b as f64;
+                    s.recon_err = ctx.frob_dist_sq(scr.v1_prob.rows_range(0, b), v) / b as f64;
                 },
             );
         }

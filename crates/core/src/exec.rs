@@ -92,6 +92,9 @@ pub struct ExecCtx {
     /// When > 0, op prices accumulate here instead of the clock
     /// (dependency-graph execution, see [`ExecCtx::run_deferred`]).
     deferred: Mutex<Option<f64>>,
+    /// Force graph verification even in release builds (CLI `--verify`);
+    /// debug builds always verify.
+    verify: bool,
 }
 
 impl ExecCtx {
@@ -107,6 +110,7 @@ impl ExecCtx {
             recorder: Mutex::new(Vec::new()),
             profiler: None,
             deferred: Mutex::new(None),
+            verify: false,
         }
     }
 
@@ -122,6 +126,7 @@ impl ExecCtx {
             recorder: Mutex::new(Vec::new()),
             profiler: None,
             deferred: Mutex::new(None),
+            verify: false,
         }
     }
 
@@ -143,6 +148,19 @@ impl ExecCtx {
     /// The attached profiler, if any.
     pub fn profiler(&self) -> Option<&Profiler> {
         self.profiler.as_ref()
+    }
+
+    /// Forces [`crate::verify`] graph verification before every graph
+    /// execution, even in release builds (debug builds always verify).
+    /// Errors in the report panic; warnings never do.
+    pub fn with_verify(mut self) -> Self {
+        self.verify = true;
+        self
+    }
+
+    /// Whether release-mode graph verification was requested.
+    pub fn verify_enabled(&self) -> bool {
+        self.verify
     }
 
     /// Builds the profiler's report with this context's platform peak and

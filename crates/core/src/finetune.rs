@@ -319,7 +319,7 @@ impl FineTuneNet {
 
 /// Everything a fine-tuning step node touches: the net's parameters, the
 /// planned arena, the batch, and the scalar loss output.
-struct FtState<'a> {
+pub struct FtState<'a> {
     net: &'a mut FineTuneNet,
     ws: &'a mut Workspace,
     x: MatView<'a>,
@@ -334,7 +334,10 @@ struct FtState<'a> {
 /// same kernel sequence as the historical hand-rolled step. Buffers are
 /// declared against `cap` rows so one planned workspace serves every
 /// batch up to that size (nodes slice to the live batch at run time).
-fn build_step_graph<'a>(
+///
+/// Public so integration tests can run the fine-tuning step shape through
+/// [`TaskGraph::verify`]; training uses it via [`FineTuneNet::train`].
+pub fn build_step_graph<'a>(
     in_dim: usize,
     widths: &[usize],
     n_classes: usize,
@@ -753,12 +756,27 @@ mod tests {
         let ctx = ctx();
         let mut net = FineTuneNet::random(&[144, 32], 10, 15);
         assert_eq!(net.workspace_elems(), 0);
-        net.train_batch(&ctx, ds.matrix().view().rows_range(0, 40), &labels[..40], 0.3);
+        net.train_batch(
+            &ctx,
+            ds.matrix().view().rows_range(0, 40),
+            &labels[..40],
+            0.3,
+        );
         let after_first = net.workspace_elems();
         assert!(after_first > 0);
         // Same-size and smaller batches reuse the arena untouched.
-        net.train_batch(&ctx, ds.matrix().view().rows_range(40, 80), &labels[40..], 0.3);
-        net.train_batch(&ctx, ds.matrix().view().rows_range(0, 10), &labels[..10], 0.3);
+        net.train_batch(
+            &ctx,
+            ds.matrix().view().rows_range(40, 80),
+            &labels[40..],
+            0.3,
+        );
+        net.train_batch(
+            &ctx,
+            ds.matrix().view().rows_range(0, 10),
+            &labels[..10],
+            0.3,
+        );
         assert_eq!(net.workspace_elems(), after_first);
         // A larger batch forces one re-plan, after which it sticks again.
         net.train_batch(&ctx, ds.matrix().view(), &labels, 0.3);

@@ -33,6 +33,14 @@
 //! Concurrency never touches stochastic nodes (sampling-stream order is
 //! part of the reproducibility contract) and is disabled while the op
 //! recorder is on, so recorded streams stay in declaration order.
+//!
+//! Before either executor touches a graph, the static verifier in
+//! [`crate::verify`] checks the declared footprints, the inferred edges and
+//! the workspace plan against each other (races, use-before-init, unsafe
+//! aliases, determinism hazards). It runs on every execution in debug
+//! builds and behind [`ExecCtx::verify_enabled`] in release builds; the
+//! `race-check` cargo feature additionally arms a dynamic per-register
+//! sanitizer around the native concurrency waves.
 
 use crate::exec::{ExecCtx, PhaseGuard};
 use micdnn_sim::EventKind;
@@ -60,10 +68,10 @@ pub enum BufClass {
 
 /// One declared buffer.
 #[derive(Debug, Clone)]
-struct BufDecl {
-    name: &'static str,
-    elems: usize,
-    class: BufClass,
+pub(crate) struct BufDecl {
+    pub(crate) name: &'static str,
+    pub(crate) elems: usize,
+    pub(crate) class: BufClass,
 }
 
 /// Declarative description of a graph node, consumed by
@@ -130,18 +138,30 @@ impl NodeSpec {
 
 /// A DAG of named tasks over declared buffers.
 pub struct TaskGraph<'g, S> {
-    names: Vec<&'static str>,
-    deps: Vec<Vec<NodeId>>,
+    pub(crate) names: Vec<&'static str>,
+    pub(crate) deps: Vec<Vec<NodeId>>,
     #[allow(clippy::type_complexity)]
     tasks: Vec<Box<dyn FnMut(&ExecCtx, &mut S) + Send + 'g>>,
-    reads: Vec<Vec<BufId>>,
-    writes: Vec<Vec<BufId>>,
+    pub(crate) reads: Vec<Vec<BufId>>,
+    pub(crate) writes: Vec<Vec<BufId>>,
     /// Node may join a concurrency wave (declared footprint, not
     /// stochastic, not exclusive, not opaque). Kernel size is checked at
-    /// execution time against the backend.
-    wave_ok: Vec<bool>,
+    /// execution time against the backend. The verifier cross-checks this
+    /// stored bit against the three flags below.
+    pub(crate) wave_ok: Vec<bool>,
+    /// Node draws from the context's sampling streams.
+    pub(crate) stochastic: Vec<bool>,
+    /// Node mutates shared non-buffer state (scalars in `S`).
+    pub(crate) exclusive: Vec<bool>,
+    /// Node was added via [`TaskGraph::add`] with no declared footprint.
+    pub(crate) opaque: Vec<bool>,
     phases: Vec<Option<&'static str>>,
-    bufs: Vec<BufDecl>,
+    pub(crate) bufs: Vec<BufDecl>,
+    /// Test-only escape hatch: suppress automatic verification so seeded
+    /// mutations can reach the executor (exercised by the race sanitizer).
+    skip_verify: bool,
+    /// Memoized "already verified clean" bit; mutation hooks clear it.
+    verified: bool,
 }
 
 impl<'g, S> Default for TaskGraph<'g, S> {
@@ -160,8 +180,13 @@ impl<'g, S> TaskGraph<'g, S> {
             reads: Vec::new(),
             writes: Vec::new(),
             wave_ok: Vec::new(),
+            stochastic: Vec::new(),
+            exclusive: Vec::new(),
+            opaque: Vec::new(),
             phases: Vec::new(),
             bufs: Vec::new(),
+            skip_verify: false,
+            verified: false,
         }
     }
 
@@ -204,7 +229,11 @@ impl<'g, S> TaskGraph<'g, S> {
         self.reads.push(spec.reads);
         self.writes.push(spec.writes);
         self.wave_ok.push(!spec.stochastic && !spec.exclusive);
+        self.stochastic.push(spec.stochastic);
+        self.exclusive.push(spec.exclusive);
+        self.opaque.push(false);
         self.phases.push(spec.phase);
+        self.verified = false;
         id
     }
 
@@ -230,7 +259,11 @@ impl<'g, S> TaskGraph<'g, S> {
         self.reads.push(Vec::new());
         self.writes.push(Vec::new());
         self.wave_ok.push(false);
+        self.stochastic.push(false);
+        self.exclusive.push(false);
+        self.opaque.push(true);
         self.phases.push(None);
+        self.verified = false;
         id
     }
 
@@ -281,7 +314,7 @@ impl<'g, S> TaskGraph<'g, S> {
 
     /// Strict-ancestor bitsets: `anc[i]` has bit `j` set iff `j` precedes
     /// `i` along dependency edges.
-    fn ancestors(&self) -> Vec<Vec<u64>> {
+    pub(crate) fn ancestors(&self) -> Vec<Vec<u64>> {
         let n = self.len();
         let words = n.div_ceil(64);
         let mut anc: Vec<Vec<u64>> = Vec::with_capacity(n);
@@ -308,8 +341,7 @@ impl<'g, S> TaskGraph<'g, S> {
     /// registers; [`BufClass::External`] buffers get none.
     pub fn plan(&self) -> WorkspacePlan {
         let anc = self.ancestors();
-        let precedes =
-            |a: NodeId, b: NodeId| -> bool { anc[b][a / 64] & (1 << (a % 64)) != 0 };
+        let precedes = |a: NodeId, b: NodeId| -> bool { anc[b][a / 64] & (1 << (a % 64)) != 0 };
         // Accessor list per buffer, in node order.
         let mut acc: Vec<Vec<NodeId>> = vec![Vec::new(); self.bufs.len()];
         for id in 0..self.len() {
@@ -319,12 +351,10 @@ impl<'g, S> TaskGraph<'g, S> {
                 }
             }
         }
-        let all_before = |xs: &[NodeId], ys: &[NodeId]| {
-            xs.iter().all(|&i| ys.iter().all(|&j| precedes(i, j)))
-        };
-        let interferes = |a: usize, b: usize| {
-            !(all_before(&acc[a], &acc[b]) || all_before(&acc[b], &acc[a]))
-        };
+        let all_before =
+            |xs: &[NodeId], ys: &[NodeId]| xs.iter().all(|&i| ys.iter().all(|&j| precedes(i, j)));
+        let interferes =
+            |a: usize, b: usize| !(all_before(&acc[a], &acc[b]) || all_before(&acc[b], &acc[a]));
 
         let mut assignment: Vec<Option<usize>> = vec![None; self.bufs.len()];
         let mut register_elems: Vec<usize> = Vec::new();
@@ -343,9 +373,8 @@ impl<'g, S> TaskGraph<'g, S> {
                 occupants.push(vec![b]);
                 continue;
             }
-            let reuse = (0..register_elems.len()).find(|&r| {
-                shareable[r] && occupants[r].iter().all(|&o| !interferes(b, o))
-            });
+            let reuse = (0..register_elems.len())
+                .find(|&r| shareable[r] && occupants[r].iter().all(|&o| !interferes(b, o)));
             match reuse {
                 Some(r) => {
                     assignment[b] = Some(r);
@@ -373,6 +402,10 @@ impl<'g, S> TaskGraph<'g, S> {
     /// graph was derived from: same ops, same order, same sampling streams,
     /// and one profiling span per maximal run of equal phase tags.
     pub fn run_serial(&mut self, ctx: &ExecCtx, state: &mut S) {
+        if self.should_verify(ctx) {
+            let plan = self.plan();
+            self.verify_or_panic(&plan);
+        }
         let mut current: Option<&'static str> = None;
         let mut guard: Option<PhaseGuard<'_>> = None;
         for id in 0..self.len() {
@@ -405,6 +438,9 @@ impl<'g, S> TaskGraph<'g, S> {
     {
         let n = self.len();
         let plan = self.plan();
+        if self.should_verify(ctx) {
+            self.verify_or_panic(&plan);
+        }
         let mut durations = vec![0.0f64; n];
         let mut completion = vec![0.0f64; n];
 
@@ -420,7 +456,7 @@ impl<'g, S> TaskGraph<'g, S> {
                 completion[id] = dep_done + dur;
             }
         } else {
-            self.run_native_waves(ctx, state);
+            self.run_native_waves(ctx, state, &plan);
         }
 
         let critical_path = completion.iter().copied().fold(0.0, f64::max);
@@ -456,7 +492,7 @@ impl<'g, S> TaskGraph<'g, S> {
     }
 
     /// Native execution with node-level concurrency waves.
-    fn run_native_waves(&mut self, ctx: &ExecCtx, state: &mut S)
+    fn run_native_waves(&mut self, ctx: &ExecCtx, state: &mut S, plan: &WorkspacePlan)
     where
         S: Send,
     {
@@ -465,6 +501,10 @@ impl<'g, S> TaskGraph<'g, S> {
         let eligible: Vec<bool> = (0..n)
             .map(|i| self.wave_ok[i] && ctx.backend().is_subsaturating(self.footprint(i)))
             .collect();
+        #[cfg(feature = "race-check")]
+        let tracker = crate::verify::RaceTracker::new(self, plan);
+        #[cfg(not(feature = "race-check"))]
+        let _ = plan;
         let TaskGraph { deps, tasks, .. } = self;
         let mut id = 0;
         while id < n {
@@ -482,9 +522,16 @@ impl<'g, S> TaskGraph<'g, S> {
                     let ptr = StatePtr(state as *mut S);
                     let wave: Vec<Box<dyn FnOnce() + Send + '_>> = tasks[start..end]
                         .iter_mut()
-                        .map(|task| {
+                        .enumerate()
+                        .map(|(off, task)| {
                             let p = ptr;
+                            #[cfg(feature = "race-check")]
+                            let tracker = &tracker;
                             Box::new(move || {
+                                #[cfg(feature = "race-check")]
+                                let _claim = tracker.enter(start + off);
+                                #[cfg(not(feature = "race-check"))]
+                                let _ = off;
                                 // SAFETY: wave members carry declared,
                                 // pairwise-disjoint read/write footprints
                                 // (any conflict would have induced an
@@ -492,6 +539,10 @@ impl<'g, S> TaskGraph<'g, S> {
                                 // node tasks only touch their declared
                                 // buffers — so these aliased `&mut S`
                                 // handles never access overlapping memory.
+                                // The static verifier re-proves the
+                                // disjointness claim per graph; the
+                                // `race-check` tracker enforces it at run
+                                // time.
                                 let s = unsafe { &mut *p.as_raw() };
                                 task(ctx, s);
                             }) as Box<dyn FnOnce() + Send + '_>
@@ -502,9 +553,55 @@ impl<'g, S> TaskGraph<'g, S> {
                     continue;
                 }
             }
-            (tasks[id])(ctx, state);
+            {
+                #[cfg(feature = "race-check")]
+                let _claim = tracker.enter(id);
+                (tasks[id])(ctx, state);
+            }
             id += 1;
         }
+    }
+
+    /// Whether this execution should run the static verifier first: always
+    /// in debug builds, on request ([`ExecCtx::with_verify`]) in release —
+    /// unless the graph already verified clean or a test opted out.
+    fn should_verify(&self, ctx: &ExecCtx) -> bool {
+        !self.skip_verify && !self.verified && (cfg!(debug_assertions) || ctx.verify_enabled())
+    }
+
+    /// Runs the static verifier against `plan`, panicking with the full
+    /// report on any error. Warnings never panic.
+    fn verify_or_panic(&mut self, plan: &WorkspacePlan) {
+        let report = self.verify_with_plan(plan);
+        assert!(
+            report.errors.is_empty(),
+            "task-graph verification failed:\n{report}"
+        );
+        self.verified = true;
+    }
+
+    /// Removes the inferred edge `dep -> node`, if present. Test-only:
+    /// simulates a dependency-inference bug for the verifier suite.
+    #[doc(hidden)]
+    pub fn testonly_drop_dep(&mut self, node: NodeId, dep: NodeId) {
+        self.deps[node].retain(|&d| d != dep);
+        self.verified = false;
+    }
+
+    /// Marks a node wave-eligible regardless of its flags. Test-only:
+    /// simulates a builder bug that lets a side-effecting node into waves.
+    #[doc(hidden)]
+    pub fn testonly_force_wave_ok(&mut self, node: NodeId) {
+        self.wave_ok[node] = true;
+        self.verified = false;
+    }
+
+    /// Disables automatic verification on execution. Test-only: lets the
+    /// `race-check` sanitizer tests run graphs the static pass would
+    /// reject.
+    #[doc(hidden)]
+    pub fn testonly_skip_verify(&mut self) {
+        self.skip_verify = true;
     }
 }
 
@@ -526,9 +623,15 @@ impl<S> Clone for StatePtr<S> {
     }
 }
 impl<S> Copy for StatePtr<S> {}
-// SAFETY: the pointer is only dereferenced inside a scoped wave whose tasks
-// access pairwise-disjoint declared buffers.
+// SAFETY: the wrapped pointer originates from an exclusive `&mut S` held by
+// `run_native_waves` for the whole wave, is only dereferenced inside one
+// scoped-thread wave (so it never outlives the borrow), and wave members
+// access pairwise-disjoint declared buffers of `S` — invariants re-proven
+// per graph by `crate::verify` and policed at run time by the `race-check`
+// tracker.
 unsafe impl<S: Send> Send for StatePtr<S> {}
+// SAFETY: same invariants as the `Send` impl above; `Sync` is needed because
+// scoped closures capture the wrapper by reference before moving it.
 unsafe impl<S: Send> Sync for StatePtr<S> {}
 
 /// Arena plan produced by [`TaskGraph::plan`]: which register each declared
@@ -536,9 +639,9 @@ unsafe impl<S: Send> Sync for StatePtr<S> {}
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct WorkspacePlan {
     /// Register index per buffer (`None` for [`BufClass::External`]).
-    assignment: Vec<Option<usize>>,
+    pub(crate) assignment: Vec<Option<usize>>,
     /// Size of each register in elements (max over its occupants).
-    register_elems: Vec<usize>,
+    pub(crate) register_elems: Vec<usize>,
     /// Declared size of each buffer.
     buf_elems: Vec<usize>,
     /// Sum of all arena-managed (non-external) buffer sizes.
@@ -565,6 +668,15 @@ impl WorkspacePlan {
     /// Number of registers in the plan.
     pub fn num_registers(&self) -> usize {
         self.register_elems.len()
+    }
+
+    /// Forces `b` into `a`'s register. Test-only: simulates a planner bug
+    /// (aliasing two live buffers) for the verifier suite.
+    #[doc(hidden)]
+    pub fn testonly_force_alias(&mut self, a: BufId, b: BufId) {
+        let ra = self.assignment[a.0].expect("buffer `a` must have a register");
+        self.assignment[b.0] = Some(ra);
+        self.register_elems[ra] = self.register_elems[ra].max(self.buf_elems[b.0]);
     }
 }
 
@@ -792,10 +904,7 @@ mod tests {
         // nothing after it except `late`, which reads b.
         let first = g.node(NodeSpec::new("first").writes(&[a, pin]), |_, _| {});
         let mid = g.node(NodeSpec::new("mid").reads(&[a]).writes(&[b]), |_, _| {});
-        let late = g.node(
-            NodeSpec::new("late").reads(&[b]).writes(&[c]),
-            |_, _| {},
-        );
+        let late = g.node(NodeSpec::new("late").reads(&[b]).writes(&[c]), |_, _| {});
         assert_eq!(g.deps(mid), &[first]);
         assert_eq!(g.deps(late), &[mid]);
         let plan = g.plan();

@@ -63,6 +63,7 @@ pub mod profile;
 pub mod rbm;
 pub mod stacked;
 pub mod train;
+pub mod verify;
 
 pub use ae_graph::ae_step_graph;
 pub use analytic::{estimate, Algo, Estimate, Workload};
@@ -93,3 +94,4 @@ pub use train::{
     train_dataset, train_dataset_resume, train_stream, AeModel, RbmModel, TrainConfig, TrainError,
     TrainReport, UnsupervisedModel,
 };
+pub use verify::{DiagKind, Diagnostic, Severity, VerifyReport};

@@ -184,7 +184,10 @@ impl Rbm {
     /// The step is the Fig. 6 dependency graph run in declaration order —
     /// the exact serial op sequence (positive phase, Gibbs chain,
     /// statistics, updates) of the classic hand-rolled loop, sharing one
-    /// builder with [`crate::cd_step_graph`].
+    /// builder with [`crate::cd_step_graph`]. Debug builds (and release
+    /// contexts with [`ExecCtx::with_verify`]) statically verify the graph
+    /// first ([`crate::verify`]): races, register aliasing, use-before-init
+    /// and sampling-order hazards all refuse to run.
     ///
     /// Returns the mean per-example squared reconstruction error
     /// `1/b ‖v1 - v0‖²` measured on the first reconstruction.
@@ -199,8 +202,7 @@ impl Rbm {
         assert!(b > 0, "empty batch");
         assert!(b <= scratch.max_batch, "batch exceeds scratch capacity");
         let cfg = self.cfg;
-        let mut g =
-            crate::cd_graph::build_cd_graph(cfg.n_visible, cfg.n_hidden, b, cfg.cd_steps);
+        let mut g = crate::cd_graph::build_cd_graph(cfg.n_visible, cfg.n_hidden, b, cfg.cd_steps);
         let mut state = crate::cd_graph::CdState {
             rbm: self,
             scratch,

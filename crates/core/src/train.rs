@@ -73,7 +73,9 @@ impl AeModel {
     /// ([`crate::ae_step_graph`]): simulated contexts price the step by its
     /// critical path, native contexts run independent sub-saturating nodes
     /// concurrently. Bit-identical to the serial path, so the flag is a
-    /// scheduling preference and is not persisted in checkpoints.
+    /// scheduling preference and is not persisted in checkpoints. Each
+    /// step graph is statically verified before execution in debug builds
+    /// (or with [`ExecCtx::with_verify`]) — see [`crate::verify`].
     pub fn with_graph_schedule(mut self) -> Self {
         self.use_graph = true;
         self
@@ -234,11 +236,7 @@ impl RbmModel {
     /// Restores flags/momentum from validated checkpoint data. Unlike the
     /// builder methods this must not panic: the checkpoint loader has
     /// already range-checked everything and reports `InvalidData` itself.
-    pub(crate) fn restore_extras(
-        &mut self,
-        use_graph: bool,
-        momentum: Option<OwnedMomentumParts>,
-    ) {
+    pub(crate) fn restore_extras(&mut self, use_graph: bool, momentum: Option<OwnedMomentumParts>) {
         self.use_graph = use_graph;
         self.momentum = momentum.map(|(mu, vw, vb, vc)| CdMomentum { mu, vw, vb, vc });
     }

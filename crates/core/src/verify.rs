@@ -1,0 +1,859 @@
+//! Static safety verifier for the dataflow graph IR, plus the opt-in
+//! dynamic race sanitizer (`race-check` feature) for the native executor.
+//!
+//! PR 3's executor rests on two analyses composing correctly: dependency
+//! inference is done on *logical* buffers ([`TaskGraph::node`] derives
+//! RAW/WAW/WAR edges from declared footprints) while workspace aliasing is
+//! done on *physical* registers ([`TaskGraph::plan`] folds dead scratch
+//! buffers into shared arena storage). The native path then shares one
+//! `&mut S` across scoped threads through an `unsafe` pointer on the
+//! strength of those analyses. Nothing in the executor itself re-checks
+//! them — this module does.
+//!
+//! [`TaskGraph::verify`] recomputes full transitive reachability from the
+//! *inferred edges* and checks it against the *declared footprints* and the
+//! *workspace plan* — three independently produced artifacts that must
+//! agree. It reports:
+//!
+//! * **errors** (schedules exist that compute garbage or diverge):
+//!   unordered conflicting access to a logical buffer ([`DiagKind::Race`]);
+//!   two buffers sharing a physical register while simultaneously live
+//!   ([`DiagKind::UnsafeAlias`]); a read no topological order can have
+//!   initialized ([`DiagKind::UseBeforeInit`]); stochastic nodes whose
+//!   relative order — and therefore the sampling-stream assignment — is not
+//!   fixed by the DAG ([`DiagKind::UnorderedStochastic`]); side-effecting
+//!   (`exclusive`/`stochastic`) nodes that touch a common buffer without a
+//!   fixed order ([`DiagKind::UnorderedSideEffects`]); and side-effecting
+//!   or opaque nodes marked eligible for concurrency waves
+//!   ([`DiagKind::SideEffectInWave`]).
+//! * **warnings** (suspicious but schedule-safe): scratch writes nothing
+//!   ever reads ([`DiagKind::DeadWrite`]), buffers declared but never
+//!   touched ([`DiagKind::UnusedBuffer`]), and opaque [`TaskGraph::add`]
+//!   nodes whose footprints the verifier cannot see
+//!   ([`DiagKind::OpaqueNode`]).
+//!
+//! Executors call the verifier automatically: always in debug builds
+//! (`cargo test` keeps `debug-assertions` on, so every shipped graph is
+//! re-verified by the whole test suite) and behind
+//! [`crate::ExecCtx::with_verify`] (CLI `--verify`) in release builds.
+//! Errors panic with the full report; warnings never do.
+
+use crate::graph::{BufClass, BufId, NodeId, TaskGraph, WorkspacePlan};
+use std::fmt;
+
+/// How bad a [`Diagnostic`] is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Severity {
+    /// The executor may compute garbage or diverge between schedules.
+    Error,
+    /// Schedule-safe, but the graph declares something it does not mean.
+    Warning,
+}
+
+/// What a [`Diagnostic`] is about.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DiagKind {
+    /// Two DAG-concurrent nodes conflict (read/write or write/write) on
+    /// one logical buffer: a missing inferred edge.
+    Race,
+    /// Two buffers share a physical register but their accessor sets are
+    /// not strictly DAG-ordered: a planner bug would corrupt live data.
+    UnsafeAlias,
+    /// A node reads a non-external buffer that no strictly-preceding node
+    /// writes — some topological order reads uninitialized storage.
+    UseBeforeInit,
+    /// A scratch buffer is written but no later node reads the value and
+    /// it is not an output (`Pinned`/`External` are outputs by class).
+    DeadWrite,
+    /// Two stochastic nodes have no dependency path between them, so the
+    /// sampling-stream assignment depends on the schedule.
+    UnorderedStochastic,
+    /// Two side-effecting (`exclusive`/`stochastic`) nodes touch a common
+    /// buffer without a fixed relative order.
+    UnorderedSideEffects,
+    /// A stochastic, exclusive or opaque node is marked eligible for
+    /// native concurrency waves.
+    SideEffectInWave,
+    /// A buffer is declared but never read or written.
+    UnusedBuffer,
+    /// An opaque node (explicit-dependency [`TaskGraph::add`]) declares no
+    /// footprint; the verifier cannot prove anything about its accesses.
+    OpaqueNode,
+}
+
+impl DiagKind {
+    /// Stable machine-readable code for the kind.
+    pub fn code(self) -> &'static str {
+        match self {
+            DiagKind::Race => "race",
+            DiagKind::UnsafeAlias => "unsafe-alias",
+            DiagKind::UseBeforeInit => "use-before-init",
+            DiagKind::DeadWrite => "dead-write",
+            DiagKind::UnorderedStochastic => "unordered-stochastic",
+            DiagKind::UnorderedSideEffects => "unordered-side-effects",
+            DiagKind::SideEffectInWave => "side-effect-in-wave",
+            DiagKind::UnusedBuffer => "unused-buffer",
+            DiagKind::OpaqueNode => "opaque-node",
+        }
+    }
+
+    /// The severity this kind always reports at.
+    pub fn severity(self) -> Severity {
+        match self {
+            DiagKind::Race
+            | DiagKind::UnsafeAlias
+            | DiagKind::UseBeforeInit
+            | DiagKind::UnorderedStochastic
+            | DiagKind::UnorderedSideEffects
+            | DiagKind::SideEffectInWave => Severity::Error,
+            DiagKind::DeadWrite | DiagKind::UnusedBuffer | DiagKind::OpaqueNode => {
+                Severity::Warning
+            }
+        }
+    }
+}
+
+/// One verifier finding, locating the offending nodes and buffer.
+#[derive(Debug, Clone)]
+pub struct Diagnostic {
+    /// What went wrong.
+    pub kind: DiagKind,
+    /// The nodes involved, as `(id, label)` pairs.
+    pub nodes: Vec<(NodeId, &'static str)>,
+    /// The buffer involved, if the finding is about one.
+    pub buffer: Option<&'static str>,
+    /// Human-readable one-line description.
+    pub message: String,
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let tag = match self.kind.severity() {
+            Severity::Error => "error",
+            Severity::Warning => "warning",
+        };
+        write!(f, "{tag}[{}]: {}", self.kind.code(), self.message)
+    }
+}
+
+/// Structured result of [`TaskGraph::verify`].
+#[derive(Debug, Clone, Default)]
+pub struct VerifyReport {
+    /// Findings that make some legal schedule incorrect.
+    pub errors: Vec<Diagnostic>,
+    /// Schedule-safe but suspicious findings.
+    pub warnings: Vec<Diagnostic>,
+    /// Number of nodes checked.
+    pub nodes: usize,
+    /// Number of declared buffers checked.
+    pub buffers: usize,
+    /// Number of physical registers in the checked plan.
+    pub registers: usize,
+    /// Register-sharing buffer pairs whose accessor sets the verifier
+    /// proved strictly ordered (the aliases that are *race-free*, not just
+    /// space-saving).
+    pub verified_alias_pairs: Vec<(&'static str, &'static str)>,
+}
+
+impl VerifyReport {
+    /// `true` when there are neither errors nor warnings.
+    pub fn is_clean(&self) -> bool {
+        self.errors.is_empty() && self.warnings.is_empty()
+    }
+
+    /// Number of findings (errors + warnings) of one kind.
+    pub fn count(&self, kind: DiagKind) -> usize {
+        self.errors
+            .iter()
+            .chain(self.warnings.iter())
+            .filter(|d| d.kind == kind)
+            .count()
+    }
+
+    /// `true` when at least one finding of `kind` was reported.
+    pub fn has(&self, kind: DiagKind) -> bool {
+        self.count(kind) > 0
+    }
+
+    fn push(&mut self, diag: Diagnostic) {
+        match diag.kind.severity() {
+            Severity::Error => self.errors.push(diag),
+            Severity::Warning => self.warnings.push(diag),
+        }
+    }
+}
+
+impl fmt::Display for VerifyReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "verify: {} nodes, {} buffers, {} registers — {} error(s), {} warning(s)",
+            self.nodes,
+            self.buffers,
+            self.registers,
+            self.errors.len(),
+            self.warnings.len()
+        )?;
+        for d in self.errors.iter().chain(self.warnings.iter()) {
+            writeln!(f, "  {d}")?;
+        }
+        Ok(())
+    }
+}
+
+/// `(node, label)` pair for diagnostics.
+fn tag<S>(g: &TaskGraph<'_, S>, id: NodeId) -> (NodeId, &'static str) {
+    (id, g.names[id])
+}
+
+impl<S> TaskGraph<'_, S> {
+    /// Runs the static analysis against a freshly computed workspace plan.
+    pub fn verify(&self) -> VerifyReport {
+        self.verify_with_plan(&self.plan())
+    }
+
+    /// Runs the static analysis against a caller-supplied plan (the one
+    /// the executor will actually bind storage with).
+    pub fn verify_with_plan(&self, plan: &WorkspacePlan) -> VerifyReport {
+        let n = self.len();
+        let nb = self.bufs.len();
+        let mut report = VerifyReport {
+            nodes: n,
+            buffers: nb,
+            registers: plan.num_registers(),
+            ..VerifyReport::default()
+        };
+
+        // Reachability is recomputed from the *inferred edges* here, then
+        // compared against the *declared footprints*; a builder bug that
+        // drops an edge makes the two disagree and surfaces as a finding.
+        let anc = self.ancestors();
+        let precedes = |a: NodeId, b: NodeId| -> bool { anc[b][a / 64] & (1 << (a % 64)) != 0 };
+        let ordered = |a: NodeId, b: NodeId| precedes(a, b) || precedes(b, a);
+
+        // Deduplicated reader/writer lists per buffer (a node appears in
+        // both when it reads and writes the same buffer, e.g. in-place
+        // updates).
+        let mut readers: Vec<Vec<NodeId>> = vec![Vec::new(); nb];
+        let mut writers: Vec<Vec<NodeId>> = vec![Vec::new(); nb];
+        for id in 0..n {
+            for &BufId(b) in &self.reads[id] {
+                if !readers[b].contains(&id) {
+                    readers[b].push(id);
+                }
+            }
+            for &BufId(b) in &self.writes[id] {
+                if !writers[b].contains(&id) {
+                    writers[b].push(id);
+                }
+            }
+        }
+
+        // (1) Races on logical buffers: any unordered pair with at least
+        // one write. Writer status wins when a node both reads and writes.
+        for b in 0..nb {
+            let mut touch: Vec<(NodeId, bool)> = writers[b].iter().map(|&w| (w, true)).collect();
+            touch.extend(
+                readers[b]
+                    .iter()
+                    .filter(|r| !writers[b].contains(r))
+                    .map(|&r| (r, false)),
+            );
+            for i in 0..touch.len() {
+                for j in (i + 1)..touch.len() {
+                    let ((u, uw), (v, vw)) = (touch[i], touch[j]);
+                    if (uw || vw) && !ordered(u, v) {
+                        let mode = match (uw, vw) {
+                            (true, true) => "write/write",
+                            (true, false) => "write/read",
+                            (false, true) => "read/write",
+                            (false, false) => unreachable!("at least one write"),
+                        };
+                        report.push(Diagnostic {
+                            kind: DiagKind::Race,
+                            nodes: vec![tag(self, u), tag(self, v)],
+                            buffer: Some(self.bufs[b].name),
+                            message: format!(
+                                "nodes `{}` (#{u}) and `{}` (#{v}) access buffer `{}` \
+                                 ({mode}) with no dependency path between them",
+                                self.names[u], self.names[v], self.bufs[b].name
+                            ),
+                        });
+                    }
+                }
+            }
+        }
+
+        // (2) Use-before-init: every read of a non-external buffer needs a
+        // writer that strictly precedes it under *all* topological orders.
+        for id in 0..n {
+            for &BufId(b) in &self.reads[id] {
+                if self.bufs[b].class == BufClass::External {
+                    continue;
+                }
+                let initialized = writers[b].iter().any(|&w| w != id && precedes(w, id));
+                if !initialized {
+                    let why = if writers[b].iter().all(|&w| w == id) {
+                        "no node writes it".to_string()
+                    } else {
+                        "no writer is ordered before the read".to_string()
+                    };
+                    report.push(Diagnostic {
+                        kind: DiagKind::UseBeforeInit,
+                        nodes: vec![tag(self, id)],
+                        buffer: Some(self.bufs[b].name),
+                        message: format!(
+                            "node `{}` (#{id}) reads buffer `{}` but {why}",
+                            self.names[id], self.bufs[b].name
+                        ),
+                    });
+                }
+            }
+        }
+
+        // (3) Dead writes: scratch values nothing ever consumes. Pinned
+        // and external buffers are outputs by class, so only Scratch
+        // qualifies.
+        for b in 0..nb {
+            if self.bufs[b].class != BufClass::Scratch {
+                continue;
+            }
+            for &w in &writers[b] {
+                let consumed = readers[b].iter().any(|&r| r != w && precedes(w, r));
+                if !consumed {
+                    report.push(Diagnostic {
+                        kind: DiagKind::DeadWrite,
+                        nodes: vec![tag(self, w)],
+                        buffer: Some(self.bufs[b].name),
+                        message: format!(
+                            "node `{}` (#{w}) writes scratch buffer `{}` but no later \
+                             node reads it",
+                            self.names[w], self.bufs[b].name
+                        ),
+                    });
+                }
+            }
+        }
+
+        // Unused declarations (any class): probably a builder refactoring
+        // leftover; for Pinned it also wastes a dedicated register.
+        for (b, decl) in self.bufs.iter().enumerate() {
+            if readers[b].is_empty() && writers[b].is_empty() {
+                report.push(Diagnostic {
+                    kind: DiagKind::UnusedBuffer,
+                    nodes: Vec::new(),
+                    buffer: Some(decl.name),
+                    message: format!(
+                        "buffer `{}` ({:?}, {} elems) is declared but never accessed",
+                        decl.name, decl.class, decl.elems
+                    ),
+                });
+            }
+        }
+
+        // (4a) Stochastic nodes must be totally ordered among themselves:
+        // each consumes the next sampling stream, so an unordered pair
+        // makes the stream assignment — and therefore the results —
+        // schedule-dependent even though neither node touches the other's
+        // buffers.
+        let stochastic: Vec<NodeId> = (0..n).filter(|&i| self.stochastic[i]).collect();
+        for (i, &u) in stochastic.iter().enumerate() {
+            for &v in &stochastic[i + 1..] {
+                if !ordered(u, v) {
+                    report.push(Diagnostic {
+                        kind: DiagKind::UnorderedStochastic,
+                        nodes: vec![tag(self, u), tag(self, v)],
+                        buffer: None,
+                        message: format!(
+                            "stochastic nodes `{}` (#{u}) and `{}` (#{v}) have no \
+                             dependency path, so the sampling-stream order depends on \
+                             the schedule",
+                            self.names[u], self.names[v]
+                        ),
+                    });
+                }
+            }
+        }
+
+        // (4b) Side-effecting nodes (exclusive or stochastic) sharing any
+        // buffer must have a fixed relative order: their hidden state
+        // updates compose with the shared data in declaration order only.
+        // (Pairs with a write conflict already carry an inferred edge;
+        // this catches read-read sharing, which infers none.)
+        let side: Vec<NodeId> = (0..n)
+            .filter(|&i| self.stochastic[i] || self.exclusive[i])
+            .collect();
+        let touched: Vec<Vec<usize>> = (0..n)
+            .map(|i| {
+                let mut t: Vec<usize> = self.reads[i]
+                    .iter()
+                    .chain(self.writes[i].iter())
+                    .map(|&BufId(b)| b)
+                    .collect();
+                t.sort_unstable();
+                t.dedup();
+                t
+            })
+            .collect();
+        for (i, &u) in side.iter().enumerate() {
+            for &v in &side[i + 1..] {
+                if self.stochastic[u] && self.stochastic[v] {
+                    continue; // already fully covered by (4a)
+                }
+                let shared = touched[u].iter().find(|b| touched[v].contains(b));
+                if let Some(&b) = shared {
+                    if !ordered(u, v) {
+                        report.push(Diagnostic {
+                            kind: DiagKind::UnorderedSideEffects,
+                            nodes: vec![tag(self, u), tag(self, v)],
+                            buffer: Some(self.bufs[b].name),
+                            message: format!(
+                                "side-effecting nodes `{}` (#{u}) and `{}` (#{v}) share \
+                                 buffer `{}` but have no dependency path between them",
+                                self.names[u], self.names[v], self.bufs[b].name
+                            ),
+                        });
+                    }
+                }
+            }
+        }
+
+        // (4c) Consistency of the stored wave bit: side-effecting and
+        // opaque nodes must never be wave-eligible.
+        for i in 0..n {
+            if self.wave_ok[i] && (self.stochastic[i] || self.exclusive[i] || self.opaque[i]) {
+                let why = if self.stochastic[i] {
+                    "stochastic"
+                } else if self.exclusive[i] {
+                    "exclusive"
+                } else {
+                    "opaque"
+                };
+                report.push(Diagnostic {
+                    kind: DiagKind::SideEffectInWave,
+                    nodes: vec![tag(self, i)],
+                    buffer: None,
+                    message: format!(
+                        "{why} node `{}` (#{i}) is marked eligible for concurrency waves",
+                        self.names[i]
+                    ),
+                });
+            }
+        }
+
+        // Opaque nodes: nothing above applies — say so once per node.
+        for i in 0..n {
+            if self.opaque[i] {
+                report.push(Diagnostic {
+                    kind: DiagKind::OpaqueNode,
+                    nodes: vec![tag(self, i)],
+                    buffer: None,
+                    message: format!(
+                        "opaque node `{}` (#{i}) declares no footprint; its accesses \
+                         cannot be verified",
+                        self.names[i]
+                    ),
+                });
+            }
+        }
+
+        // (5) Physical aliasing: re-derive the planner's own soundness
+        // criterion per register-sharing pair. Every accessor of one buffer
+        // must strictly precede every accessor of the other — the condition
+        // under which no legal schedule has both live at once.
+        let accessors = |b: usize| -> Vec<NodeId> {
+            let mut a = writers[b].clone();
+            for &r in &readers[b] {
+                if !a.contains(&r) {
+                    a.push(r);
+                }
+            }
+            a
+        };
+        let all_before =
+            |xs: &[NodeId], ys: &[NodeId]| xs.iter().all(|&u| ys.iter().all(|&v| precedes(u, v)));
+        for r in 0..plan.num_registers() {
+            let occupants: Vec<usize> =
+                (0..nb).filter(|&b| plan.assignment[b] == Some(r)).collect();
+            for i in 0..occupants.len() {
+                for j in (i + 1)..occupants.len() {
+                    let (a, b) = (occupants[i], occupants[j]);
+                    let (aa, ab) = (accessors(a), accessors(b));
+                    if all_before(&aa, &ab) || all_before(&ab, &aa) {
+                        report
+                            .verified_alias_pairs
+                            .push((self.bufs[a].name, self.bufs[b].name));
+                    } else {
+                        report.push(Diagnostic {
+                            kind: DiagKind::UnsafeAlias,
+                            nodes: Vec::new(),
+                            buffer: Some(self.bufs[a].name),
+                            message: format!(
+                                "buffers `{}` and `{}` share register {r} but their \
+                                 accessor sets are not strictly ordered — both can be \
+                                 live at once",
+                                self.bufs[a].name, self.bufs[b].name
+                            ),
+                        });
+                    }
+                }
+            }
+        }
+
+        report
+    }
+}
+
+/// Dynamic race sanitizer for the native concurrent path (`race-check`
+/// feature): one atomic claim word per physical register (plus one per
+/// external buffer), acquired around every node execution inside
+/// `run_native_waves`. A word holds either one writer (node id + 1, upper
+/// half) or a count of readers (lower half); any overlap the static
+/// verifier's model would forbid — write/write or read/write on one
+/// register — trips a panic with a readable diagnostic naming both
+/// parties. The panic unwinds through the rayon shim's scoped threads with
+/// its payload intact.
+#[cfg(feature = "race-check")]
+pub(crate) struct RaceTracker {
+    slots: Vec<std::sync::atomic::AtomicU64>,
+    slot_names: Vec<String>,
+    node_names: Vec<&'static str>,
+    /// Per node: slots read (excluding ones it also writes).
+    reads: Vec<Vec<usize>>,
+    /// Per node: slots written.
+    writes: Vec<Vec<usize>>,
+}
+
+#[cfg(feature = "race-check")]
+impl RaceTracker {
+    /// Builds the tracker from the graph's footprints and the plan's
+    /// buffer-to-register assignment (externals get virtual slots).
+    pub(crate) fn new<S>(g: &TaskGraph<'_, S>, plan: &WorkspacePlan) -> Self {
+        use std::sync::atomic::AtomicU64;
+        let nb = g.bufs.len();
+        let nr = plan.num_registers();
+        // Slot per register, then one per external buffer.
+        let mut slot_of: Vec<usize> = vec![usize::MAX; nb];
+        let mut slot_names: Vec<String> = (0..nr).map(|r| format!("register {r}")).collect();
+        for b in 0..nb {
+            match plan.assignment[b] {
+                Some(r) => {
+                    slot_of[b] = r;
+                    slot_names[r].push_str(&format!(" `{}`", g.bufs[b].name));
+                }
+                None => {
+                    slot_of[b] = slot_names.len();
+                    slot_names.push(format!("external buffer `{}`", g.bufs[b].name));
+                }
+            }
+        }
+        let n = g.len();
+        let mut reads: Vec<Vec<usize>> = Vec::with_capacity(n);
+        let mut writes: Vec<Vec<usize>> = Vec::with_capacity(n);
+        for i in 0..n {
+            let mut w: Vec<usize> = g.writes[i].iter().map(|&BufId(b)| slot_of[b]).collect();
+            w.sort_unstable();
+            w.dedup();
+            let mut r: Vec<usize> = g.reads[i]
+                .iter()
+                .map(|&BufId(b)| slot_of[b])
+                .filter(|s| !w.contains(s))
+                .collect();
+            r.sort_unstable();
+            r.dedup();
+            reads.push(r);
+            writes.push(w);
+        }
+        RaceTracker {
+            slots: (0..slot_names.len()).map(|_| AtomicU64::new(0)).collect(),
+            slot_names,
+            node_names: g.names.clone(),
+            reads,
+            writes,
+        }
+    }
+
+    /// Claims the node's registers, panicking on any overlap; the claims
+    /// release when the returned guard drops.
+    pub(crate) fn enter(&self, node: NodeId) -> RaceClaim<'_> {
+        use std::sync::atomic::Ordering;
+        for &s in &self.writes[node] {
+            let claim = ((node as u64) + 1) << 32;
+            if let Err(cur) =
+                self.slots[s].compare_exchange(0, claim, Ordering::AcqRel, Ordering::Acquire)
+            {
+                self.conflict(node, s, cur, "write");
+            }
+        }
+        for &s in &self.reads[node] {
+            let res = self.slots[s].fetch_update(Ordering::AcqRel, Ordering::Acquire, |cur| {
+                if cur >> 32 != 0 {
+                    None
+                } else {
+                    Some(cur + 1)
+                }
+            });
+            if let Err(cur) = res {
+                self.conflict(node, s, cur, "read");
+            }
+        }
+        RaceClaim {
+            tracker: self,
+            node,
+        }
+    }
+
+    fn conflict(&self, node: NodeId, slot: usize, cur: u64, mode: &str) -> ! {
+        let holder = if cur >> 32 != 0 {
+            let owner = (cur >> 32) as usize - 1;
+            format!(
+                "node `{}` (#{owner}) holds a write claim",
+                self.node_names[owner]
+            )
+        } else {
+            format!("{} read claim(s) are outstanding", cur & 0xFFFF_FFFF)
+        };
+        panic!(
+            "race-check: node `{}` (#{node}) began a concurrent {mode} of {} while {holder}",
+            self.node_names[node], self.slot_names[slot]
+        );
+    }
+}
+
+/// RAII claim over one node's registers; releases on drop (including
+/// during unwinding, so a panicking node does not wedge the tracker).
+#[cfg(feature = "race-check")]
+pub(crate) struct RaceClaim<'t> {
+    tracker: &'t RaceTracker,
+    node: NodeId,
+}
+
+#[cfg(feature = "race-check")]
+impl Drop for RaceClaim<'_> {
+    fn drop(&mut self) {
+        use std::sync::atomic::Ordering;
+        for &s in &self.tracker.writes[self.node] {
+            self.tracker.slots[s].store(0, Ordering::Release);
+        }
+        for &s in &self.tracker.reads[self.node] {
+            self.tracker.slots[s].fetch_sub(1, Ordering::AcqRel);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::NodeSpec;
+
+    /// produce -> consume over one scratch buffer, plus an output sink so
+    /// nothing is a dead write.
+    fn chain() -> TaskGraph<'static, ()> {
+        let mut g: TaskGraph<'static, ()> = TaskGraph::new();
+        let x = g.declare("x", 32, BufClass::Scratch);
+        let out = g.declare("out", 32, BufClass::Pinned);
+        g.node(NodeSpec::new("produce").writes(&[x]), |_, _| {});
+        g.node(
+            NodeSpec::new("consume").reads(&[x]).writes(&[out]),
+            |_, _| {},
+        );
+        g
+    }
+
+    #[test]
+    fn clean_chain_verifies_clean() {
+        let report = chain().verify();
+        assert!(report.is_clean(), "{report}");
+        assert_eq!(report.nodes, 2);
+        assert_eq!(report.buffers, 2);
+    }
+
+    #[test]
+    fn dropped_edge_is_a_race() {
+        let mut g = chain();
+        g.testonly_drop_dep(1, 0);
+        let report = g.verify();
+        assert!(report.has(DiagKind::Race), "{report}");
+        // The missing edge also leaves the read uninitialized in some
+        // topological order.
+        assert!(report.has(DiagKind::UseBeforeInit), "{report}");
+        let race = &report.errors[0];
+        assert_eq!(race.buffer, Some("x"));
+        assert!(race.message.contains("produce") && race.message.contains("consume"));
+    }
+
+    #[test]
+    fn missing_writer_is_use_before_init() {
+        let mut g: TaskGraph<'static, ()> = TaskGraph::new();
+        let x = g.declare("x", 16, BufClass::Scratch);
+        let out = g.declare("out", 16, BufClass::Pinned);
+        // The init node was "skipped": nothing writes x.
+        g.node(
+            NodeSpec::new("consume").reads(&[x]).writes(&[out]),
+            |_, _| {},
+        );
+        let report = g.verify();
+        assert!(report.has(DiagKind::UseBeforeInit), "{report}");
+        assert!(report.errors[0].message.contains("no node writes it"));
+    }
+
+    #[test]
+    fn unread_scratch_write_is_dead() {
+        let mut g: TaskGraph<'static, ()> = TaskGraph::new();
+        let x = g.declare("x", 16, BufClass::Scratch);
+        g.node(NodeSpec::new("produce").writes(&[x]), |_, _| {});
+        let report = g.verify();
+        assert!(report.errors.is_empty(), "{report}");
+        assert!(report.has(DiagKind::DeadWrite), "{report}");
+    }
+
+    #[test]
+    fn pinned_outputs_are_not_dead_writes() {
+        let mut g: TaskGraph<'static, ()> = TaskGraph::new();
+        let x = g.declare("x", 16, BufClass::Pinned);
+        g.node(NodeSpec::new("produce").writes(&[x]), |_, _| {});
+        let report = g.verify();
+        assert!(report.is_clean(), "{report}");
+    }
+
+    #[test]
+    fn undeclared_unused_buffer_warns() {
+        let mut g: TaskGraph<'static, ()> = TaskGraph::new();
+        let _unused = g.declare("leftover", 64, BufClass::Pinned);
+        let x = g.declare("x", 16, BufClass::Pinned);
+        g.node(NodeSpec::new("produce").writes(&[x]), |_, _| {});
+        let report = g.verify();
+        assert!(report.has(DiagKind::UnusedBuffer), "{report}");
+        assert!(report.errors.is_empty());
+    }
+
+    #[test]
+    fn unordered_stochastic_pair_is_an_error() {
+        let mut g: TaskGraph<'static, ()> = TaskGraph::new();
+        let a = g.declare("a", 16, BufClass::Pinned);
+        let b = g.declare("b", 16, BufClass::Pinned);
+        g.node(
+            NodeSpec::new("sampleA").writes(&[a]).stochastic(),
+            |_, _| {},
+        );
+        g.node(
+            NodeSpec::new("sampleB").writes(&[b]).stochastic(),
+            |_, _| {},
+        );
+        let report = g.verify();
+        assert!(report.has(DiagKind::UnorderedStochastic), "{report}");
+    }
+
+    #[test]
+    fn ordered_stochastic_chain_is_fine() {
+        let mut g: TaskGraph<'static, ()> = TaskGraph::new();
+        let a = g.declare("a", 16, BufClass::Pinned);
+        let b = g.declare("b", 16, BufClass::Pinned);
+        g.node(
+            NodeSpec::new("sampleA").writes(&[a]).stochastic(),
+            |_, _| {},
+        );
+        g.node(
+            NodeSpec::new("sampleB")
+                .reads(&[a])
+                .writes(&[b])
+                .stochastic(),
+            |_, _| {},
+        );
+        let report = g.verify();
+        assert!(report.is_clean(), "{report}");
+    }
+
+    #[test]
+    fn exclusive_read_read_sharing_without_order_is_an_error() {
+        let mut g: TaskGraph<'static, ()> = TaskGraph::new();
+        let src = g.declare("src", 16, BufClass::External);
+        // Two exclusive nodes both read `src`, no path between them.
+        g.node(NodeSpec::new("statA").reads(&[src]).exclusive(), |_, _| {});
+        g.node(NodeSpec::new("statB").reads(&[src]).exclusive(), |_, _| {});
+        let report = g.verify();
+        assert!(report.has(DiagKind::UnorderedSideEffects), "{report}");
+    }
+
+    #[test]
+    fn disjoint_exclusive_nodes_are_fine() {
+        let mut g: TaskGraph<'static, ()> = TaskGraph::new();
+        let a = g.declare("a", 16, BufClass::External);
+        let b = g.declare("b", 16, BufClass::External);
+        g.node(NodeSpec::new("statA").reads(&[a]).exclusive(), |_, _| {});
+        g.node(NodeSpec::new("statB").reads(&[b]).exclusive(), |_, _| {});
+        let report = g.verify();
+        assert!(report.is_clean(), "{report}");
+    }
+
+    #[test]
+    fn forced_wave_bit_on_stochastic_node_is_caught() {
+        let mut g: TaskGraph<'static, ()> = TaskGraph::new();
+        let a = g.declare("a", 16, BufClass::Pinned);
+        let s = g.node(NodeSpec::new("sample").writes(&[a]).stochastic(), |_, _| {});
+        g.testonly_force_wave_ok(s);
+        let report = g.verify();
+        assert!(report.has(DiagKind::SideEffectInWave), "{report}");
+    }
+
+    #[test]
+    fn forced_alias_of_live_buffers_is_unsafe() {
+        let mut g: TaskGraph<'static, ()> = TaskGraph::new();
+        let a = g.declare("a", 32, BufClass::Scratch);
+        let b = g.declare("b", 32, BufClass::Scratch);
+        let out = g.declare("out", 32, BufClass::Pinned);
+        g.node(NodeSpec::new("mkA").writes(&[a]), |_, _| {});
+        g.node(NodeSpec::new("mkB").writes(&[b]), |_, _| {});
+        g.node(
+            NodeSpec::new("sum").reads(&[a, b]).writes(&[out]),
+            |_, _| {},
+        );
+        let mut plan = g.plan();
+        assert_ne!(plan.register_of(a), plan.register_of(b), "live pair");
+        plan.testonly_force_alias(a, b);
+        let report = g.verify_with_plan(&plan);
+        assert!(report.has(DiagKind::UnsafeAlias), "{report}");
+        // The honest plan verifies clean.
+        let clean = g.verify();
+        assert!(clean.errors.is_empty(), "{clean}");
+    }
+
+    #[test]
+    fn legal_alias_is_reported_as_verified() {
+        // a dies before c is born (the planner-alias unit-test shape).
+        let mut g: TaskGraph<'static, ()> = TaskGraph::new();
+        let a = g.declare("a", 100, BufClass::Scratch);
+        let t = g.declare("t", 4, BufClass::Pinned);
+        let c = g.declare("c", 40, BufClass::Scratch);
+        let out = g.declare("out", 4, BufClass::Pinned);
+        g.node(NodeSpec::new("first").writes(&[a]), |_, _| {});
+        g.node(NodeSpec::new("mid").reads(&[a]).writes(&[t]), |_, _| {});
+        g.node(NodeSpec::new("late").reads(&[t]).writes(&[c]), |_, _| {});
+        g.node(NodeSpec::new("sink").reads(&[c]).writes(&[out]), |_, _| {});
+        let plan = g.plan();
+        assert_eq!(plan.register_of(a), plan.register_of(c));
+        let report = g.verify_with_plan(&plan);
+        assert!(report.is_clean(), "{report}");
+        assert_eq!(report.verified_alias_pairs, vec![("a", "c")]);
+    }
+
+    #[test]
+    fn opaque_nodes_warn_only() {
+        let mut g: TaskGraph<'static, ()> = TaskGraph::new();
+        let a = g.add("first", &[], |_, _| {});
+        g.add("second", &[a], |_, _| {});
+        let report = g.verify();
+        assert!(report.errors.is_empty(), "{report}");
+        assert_eq!(report.count(DiagKind::OpaqueNode), 2);
+    }
+
+    #[test]
+    fn report_renders_counts_and_lines() {
+        let mut g = chain();
+        g.testonly_drop_dep(1, 0);
+        let text = g.verify().to_string();
+        assert!(text.contains("error(s)"), "{text}");
+        assert!(text.contains("error[race]"), "{text}");
+        assert!(text.contains("`x`"), "{text}");
+    }
+}

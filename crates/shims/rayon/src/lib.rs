@@ -87,7 +87,12 @@ fn run_map<T: Send, R: Send, F: Fn(T) -> R + Sync>(items: Vec<T>, f: F) -> Vec<R
             .map(|b| s.spawn(move || b.into_iter().map(f).collect::<Vec<R>>()))
             .collect();
         for h in handles {
-            out.push(h.join().expect("parallel map worker panicked"));
+            match h.join() {
+                Ok(v) => out.push(v),
+                // Re-raise with the worker's own payload so panic messages
+                // (e.g. race-check diagnostics) survive to the caller.
+                Err(p) => std::panic::resume_unwind(p),
+            }
         }
     });
     out.into_iter().flatten().collect()
@@ -221,7 +226,11 @@ pub fn run_tasks<'s>(tasks: Vec<Box<dyn FnOnce() + Send + 's>>) {
         let handles: Vec<_> = it.map(|t| s.spawn(t)).collect();
         mine();
         for h in handles {
-            h.join().expect("task worker panicked");
+            // Re-raise with the worker's own payload so panic messages
+            // (e.g. race-check diagnostics) survive to the caller.
+            if let Err(p) = h.join() {
+                std::panic::resume_unwind(p);
+            }
         }
     });
 }
@@ -237,7 +246,13 @@ where
     std::thread::scope(|s| {
         let hb = s.spawn(b);
         let ra = a();
-        (ra, hb.join().expect("join worker panicked"))
+        let rb = match hb.join() {
+            Ok(v) => v,
+            // Re-raise with the worker's own payload so panic messages
+            // survive to the caller.
+            Err(p) => std::panic::resume_unwind(p),
+        };
+        (ra, rb)
     })
 }
 
@@ -316,5 +331,26 @@ mod tests {
         let (a, b) = super::join(|| 1 + 1, || "x".to_string());
         assert_eq!(a, 2);
         assert_eq!(b, "x");
+    }
+
+    #[test]
+    fn run_tasks_preserves_panic_payloads() {
+        // A worker's panic message must reach the caller verbatim — the
+        // graph executor's race sanitizer relies on its diagnostic string
+        // surviving the scoped-thread join.
+        let tasks: Vec<Box<dyn FnOnce() + Send + 'static>> = vec![
+            Box::new(|| {}),
+            Box::new(|| panic!("diagnostic payload 4721")),
+            Box::new(|| {}),
+        ];
+        let err = std::panic::catch_unwind(|| super::run_tasks(tasks))
+            .expect_err("worker panic must propagate");
+        let msg = err
+            .downcast_ref::<&str>()
+            .copied()
+            .map(str::to_owned)
+            .or_else(|| err.downcast_ref::<String>().cloned())
+            .expect("payload should be a string");
+        assert!(msg.contains("diagnostic payload 4721"), "lost payload: {msg}");
     }
 }

@@ -1,0 +1,362 @@
+//! Workspace lint pass: `cargo run -p xtask -- lint`.
+//!
+//! Three rules guard the executor's safety story (see DESIGN.md §4.2):
+//!
+//! * **safety-comment** — every `unsafe` block or impl anywhere under
+//!   `crates/` must be preceded (within a few lines) by a `// SAFETY:`
+//!   comment stating the invariant it relies on;
+//! * **no-panic-in-hot-path** — no `unwrap()` / `expect()` / `panic!` in
+//!   the kernel hot paths (`crates/kernels`, `crates/tensor`); kernels are
+//!   called per batch and must fail through `Result` at the boundaries,
+//!   not abort mid-training;
+//! * **no-unchecked-indexing** — no `get_unchecked` / `get_unchecked_mut`
+//!   in `crates/kernels`; slice bounds checks are the last line of defense
+//!   under the graph executor's aliased registers.
+//!
+//! Sanctioned exceptions live in `crates/xtask/lint-allow.txt` as
+//! `path-suffix|rule|line-substring` triples; entries are content-keyed so
+//! they do not rot with line numbers, and *unused* entries fail the lint
+//! so the allowlist stays honest.
+//!
+//! Scanning is line-based: string-literal and `//`-comment contents are
+//! stripped before token matching (single-line literals only — multi-line
+//! strings containing rule tokens should be reworded), and everything from
+//! a `#[cfg(test)]` line to the end of the file is skipped, matching this
+//! workspace's convention of one trailing test module per file. The
+//! `crates/xtask` tree itself and `target/` are not scanned.
+
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+const USAGE: &str = "usage: cargo run -p xtask -- lint";
+
+/// Lookback window (in lines) within which a `// SAFETY:` comment must
+/// appear before an `unsafe` token — generous enough for a multi-line
+/// invariant argument between the `SAFETY:` opener and the `unsafe` site.
+const SAFETY_LOOKBACK: usize = 14;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("lint") if args.len() == 1 => lint(),
+        _ => {
+            eprintln!("{USAGE}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn workspace_root() -> PathBuf {
+    // crates/xtask/ -> crates/ -> workspace root.
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .and_then(Path::parent)
+        .expect("xtask lives two levels under the workspace root")
+        .to_path_buf()
+}
+
+#[derive(Debug)]
+struct Violation {
+    file: String,
+    line: usize,
+    rule: &'static str,
+    text: String,
+}
+
+/// One sanctioned exception: `path-suffix|rule|line-substring`.
+struct AllowEntry {
+    path_suffix: String,
+    rule: String,
+    substring: String,
+    used: std::cell::Cell<bool>,
+}
+
+fn lint() -> ExitCode {
+    let root = workspace_root();
+    let allow = load_allowlist(&root);
+    let mut files = Vec::new();
+    collect_rs_files(&root.join("crates"), &root, &mut files);
+    files.sort();
+
+    let mut violations = Vec::new();
+    let mut scanned = 0usize;
+    for rel in &files {
+        let path = root.join(rel);
+        let Ok(text) = std::fs::read_to_string(&path) else {
+            violations.push(Violation {
+                file: rel.clone(),
+                line: 0,
+                rule: "io",
+                text: "cannot read file".into(),
+            });
+            continue;
+        };
+        scanned += 1;
+        lint_file(rel, &text, &allow, &mut violations);
+    }
+    for entry in &allow {
+        if !entry.used.get() {
+            violations.push(Violation {
+                file: "crates/xtask/lint-allow.txt".into(),
+                line: 0,
+                rule: "stale-allowlist-entry",
+                text: format!(
+                    "{}|{}|{} matches nothing",
+                    entry.path_suffix, entry.rule, entry.substring
+                ),
+            });
+        }
+    }
+
+    if violations.is_empty() {
+        println!(
+            "lint clean: {scanned} files, rules: safety-comment, \
+             no-panic-in-hot-path, no-unchecked-indexing ({} allowlisted)",
+            allow.len()
+        );
+        ExitCode::SUCCESS
+    } else {
+        for v in &violations {
+            println!("{} {}:{}: {}", v.rule, v.file, v.line, v.text.trim());
+        }
+        println!("lint: {} violation(s)", violations.len());
+        ExitCode::FAILURE
+    }
+}
+
+fn load_allowlist(root: &Path) -> Vec<AllowEntry> {
+    let path = root.join("crates/xtask/lint-allow.txt");
+    let Ok(text) = std::fs::read_to_string(&path) else {
+        return Vec::new();
+    };
+    text.lines()
+        .map(str::trim)
+        .filter(|l| !l.is_empty() && !l.starts_with('#'))
+        .filter_map(|l| {
+            let mut parts = l.splitn(3, '|');
+            Some(AllowEntry {
+                path_suffix: parts.next()?.trim().to_string(),
+                rule: parts.next()?.trim().to_string(),
+                substring: parts.next()?.trim().to_string(),
+                used: std::cell::Cell::new(false),
+            })
+        })
+        .collect()
+}
+
+fn collect_rs_files(dir: &Path, root: &Path, out: &mut Vec<String>) {
+    let Ok(entries) = std::fs::read_dir(dir) else {
+        return;
+    };
+    for entry in entries.flatten() {
+        let path = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if path.is_dir() {
+            // The lint tool's own source mentions every rule token in
+            // strings and docs; scanning it would only test the scanner.
+            if name == "target" || path.ends_with("crates/xtask") {
+                continue;
+            }
+            collect_rs_files(&path, root, out);
+        } else if name.ends_with(".rs") {
+            let rel = path
+                .strip_prefix(root)
+                .unwrap_or(&path)
+                .to_string_lossy()
+                .replace('\\', "/");
+            out.push(rel);
+        }
+    }
+}
+
+fn lint_file(rel: &str, text: &str, allow: &[AllowEntry], out: &mut Vec<Violation>) {
+    let hot_path = rel.starts_with("crates/kernels/src/") || rel.starts_with("crates/tensor/src/");
+    let kernels = rel.starts_with("crates/kernels/src/");
+    let lines: Vec<&str> = text.lines().collect();
+
+    let mut report = |lineno: usize, rule: &'static str, raw: &str| {
+        let waived = allow.iter().any(|e| {
+            let hit = rel.ends_with(&e.path_suffix) && e.rule == rule && raw.contains(&e.substring);
+            if hit {
+                e.used.set(true);
+            }
+            hit
+        });
+        if !waived {
+            out.push(Violation {
+                file: rel.to_string(),
+                line: lineno,
+                rule,
+                text: raw.to_string(),
+            });
+        }
+    };
+
+    for (idx, &raw) in lines.iter().enumerate() {
+        // Test modules sit at the end of each file in this workspace; stop
+        // linting at the first test-only region.
+        if raw.trim() == "#[cfg(test)]" {
+            break;
+        }
+        let code = code_only(raw);
+        let lineno = idx + 1;
+
+        if has_token(&code, "unsafe") {
+            let lo = idx.saturating_sub(SAFETY_LOOKBACK);
+            let documented = lines[lo..=idx].iter().any(|l| l.contains("SAFETY:"));
+            if !documented {
+                report(lineno, "safety-comment", raw);
+            }
+        }
+        if hot_path
+            && (has_call(&code, "unwrap", '(')
+                || has_call(&code, "expect", '(')
+                || has_call(&code, "panic", '!'))
+        {
+            report(lineno, "no-panic-in-hot-path", raw);
+        }
+        if kernels && (has_token(&code, "get_unchecked") || has_token(&code, "get_unchecked_mut")) {
+            report(lineno, "no-unchecked-indexing", raw);
+        }
+    }
+}
+
+/// Strips `//` comments and the contents of single-line string literals,
+/// so rule tokens inside either never count as code.
+fn code_only(line: &str) -> String {
+    let mut out = String::with_capacity(line.len());
+    let mut chars = line.chars().peekable();
+    let mut in_str = false;
+    while let Some(c) = chars.next() {
+        if in_str {
+            match c {
+                '\\' => {
+                    chars.next();
+                }
+                '"' => in_str = false,
+                _ => {}
+            }
+            continue;
+        }
+        match c {
+            '"' => in_str = true,
+            '/' if chars.peek() == Some(&'/') => break,
+            _ => out.push(c),
+        }
+    }
+    out
+}
+
+fn is_ident_char(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_'
+}
+
+/// `true` when `tok` appears as a whole word in `code`.
+fn has_token(code: &str, tok: &str) -> bool {
+    let bytes = code.as_bytes();
+    let mut from = 0;
+    while let Some(pos) = code[from..].find(tok) {
+        let i = from + pos;
+        let j = i + tok.len();
+        let before = i == 0 || !is_ident_char(bytes[i - 1]);
+        let after = j >= bytes.len() || !is_ident_char(bytes[j]);
+        if before && after {
+            return true;
+        }
+        from = i + 1;
+    }
+    false
+}
+
+/// `true` when `name` appears as a whole word immediately followed
+/// (ignoring spaces) by `next` — e.g. `unwrap` + `(` or `panic` + `!`.
+fn has_call(code: &str, name: &str, next: char) -> bool {
+    let bytes = code.as_bytes();
+    let mut from = 0;
+    while let Some(pos) = code[from..].find(name) {
+        let i = from + pos;
+        let j = i + name.len();
+        let before = i == 0 || !is_ident_char(bytes[i - 1]);
+        if before {
+            let rest = code[j..].trim_start();
+            if rest.starts_with(next) {
+                return true;
+            }
+        }
+        from = i + 1;
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn strings_and_comments_are_stripped() {
+        assert_eq!(code_only(r#"let x = "unsafe"; // unsafe"#), "let x = ; ");
+        assert_eq!(code_only("unsafe { x }"), "unsafe { x }");
+        // A quote char-literal opens "string mode" and swallows the rest of
+        // the line — conservative (can only under-report, never false-flag).
+        assert_eq!(code_only(r#"s.push('"'); nope"#), "s.push('");
+    }
+
+    #[test]
+    fn tokens_respect_identifier_boundaries() {
+        assert!(has_token("unsafe impl Send for X {}", "unsafe"));
+        assert!(!has_token("fn is_unsafe_alias() {}", "unsafe"));
+        assert!(!has_token("let unsafety = 1;", "unsafe"));
+    }
+
+    #[test]
+    fn calls_need_their_follow_character() {
+        assert!(has_call("x.unwrap()", "unwrap", '('));
+        assert!(has_call("x.unwrap ()", "unwrap", '('));
+        assert!(!has_call("let unwrap_count = 1;", "unwrap", '('));
+        assert!(has_call("panic!(\"boom\")", "panic", '!'));
+        assert!(!has_call("self.panicked", "panic", '!'));
+    }
+
+    #[test]
+    fn lint_rules_fire_on_synthetic_sources() {
+        let mut out = Vec::new();
+        let src = "fn f(x: &[f32]) {\n    let v = unsafe { x.get_unchecked(0) };\n}\n";
+        lint_file("crates/kernels/src/fake.rs", src, &[], &mut out);
+        let rules: Vec<&str> = out.iter().map(|v| v.rule).collect();
+        assert!(rules.contains(&"safety-comment"), "{rules:?}");
+        assert!(rules.contains(&"no-unchecked-indexing"), "{rules:?}");
+
+        out.clear();
+        let src = "// SAFETY: x is valid for one element.\nlet v = unsafe { *p };\n";
+        lint_file("crates/core/src/fake.rs", src, &[], &mut out);
+        assert!(out.is_empty(), "{out:?}");
+
+        out.clear();
+        let src =
+            "fn g() { q.expect(\"boom\"); }\n#[cfg(test)]\nmod t { fn h() { q.unwrap(); } }\n";
+        lint_file("crates/tensor/src/fake.rs", src, &[], &mut out);
+        assert_eq!(out.len(), 1, "{out:?}");
+        assert_eq!(out[0].rule, "no-panic-in-hot-path");
+        assert_eq!(out[0].line, 1);
+    }
+
+    #[test]
+    fn allowlist_waives_by_content_and_tracks_use() {
+        let entry = AllowEntry {
+            path_suffix: "tensor/src/fake.rs".into(),
+            rule: "no-panic-in-hot-path".into(),
+            substring: "boom".into(),
+            used: std::cell::Cell::new(false),
+        };
+        let mut out = Vec::new();
+        lint_file(
+            "crates/tensor/src/fake.rs",
+            "fn g() { q.expect(\"boom\"); }\n",
+            std::slice::from_ref(&entry),
+            &mut out,
+        );
+        assert!(out.is_empty(), "{out:?}");
+        assert!(entry.used.get());
+    }
+}

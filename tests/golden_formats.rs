@@ -236,7 +236,11 @@ fn committed_bench_artifacts_parse_and_carry_schema() {
     // The repo commits the bench trajectory emitted by `repro --bench-dir`;
     // they must stay loadable and carry the current schema marker.
     let root = concat!(env!("CARGO_MANIFEST_DIR"), "/../..");
-    for name in ["BENCH_table1.json", "BENCH_overlap.json", "BENCH_graph.json"] {
+    for name in [
+        "BENCH_table1.json",
+        "BENCH_overlap.json",
+        "BENCH_graph.json",
+    ] {
         let path = format!("{root}/{name}");
         let text = std::fs::read_to_string(&path)
             .unwrap_or_else(|e| panic!("missing committed artifact {name}: {e}"));

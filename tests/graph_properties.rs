@@ -191,6 +191,45 @@ proptest! {
             "critical path cannot exceed the serial sum");
     }
 
+    /// The static verifier agrees with this suite's own brute-force model:
+    /// builder-made graphs carry no errors, and every register-sharing pair
+    /// it blesses is strictly ordered under the chosen-edge reachability.
+    #[test]
+    fn verifier_matches_brute_force_orderings(n in 1usize..24, seed in any::<u64>()) {
+        let dag = RandomDag::generate(n, seed);
+        let (g, bufs) = dag.build::<()>(|_| Box::new(|_, _| {}));
+        let report = g.verify();
+        prop_assert!(report.errors.is_empty(), "{}", report);
+
+        let mut accessors: Vec<Vec<usize>> = (0..n).map(|i| vec![i]).collect();
+        for (i, deps) in dag.deps.iter().enumerate() {
+            for &d in deps {
+                accessors[d].push(i);
+            }
+        }
+        let reach = dag.reachability();
+        let plan = g.plan();
+        // Every register-sharing pair must have been blessed by the
+        // verifier, and the ordering it proved must match this suite's own
+        // brute-force reachability.
+        let mut shared_pairs = 0usize;
+        for a in 0..n {
+            for b in (a + 1)..n {
+                let (Some(ra), Some(rb)) = (plan.register_of(bufs[a]), plan.register_of(bufs[b]))
+                else { continue };
+                if ra != rb {
+                    continue;
+                }
+                shared_pairs += 1;
+                let fwd = accessors[a].iter().all(|&u| accessors[b].iter().all(|&v| reach[u][v]));
+                let bwd = accessors[b].iter().all(|&u| accessors[a].iter().all(|&v| reach[u][v]));
+                prop_assert!(fwd || bwd, "verifier accepted an unordered alias {}/{}", a, b);
+            }
+        }
+        prop_assert_eq!(report.verified_alias_pairs.len(), shared_pairs,
+            "every register-sharing pair must be individually verified");
+    }
+
     /// The planner only lets two buffers share a register when every
     /// accessor of one strictly precedes every accessor of the other —
     /// i.e. it never aliases two live buffers. Pinned buffers never share.

@@ -1,0 +1,437 @@
+//! The graph verifier (`micdnn::verify`) under attack and in production:
+//!
+//! 1. **Seeded mutations** — deliberately drop an inferred edge, alias a
+//!    live buffer, or skip an init node, and assert the verifier reports
+//!    each with the right [`DiagKind`] (and that the executor refuses to
+//!    run the broken graph in debug builds);
+//! 2. **Random DAGs** (proptest) — every builder-made graph verifies with
+//!    zero errors, and dropping a random edge is caught exactly when the
+//!    endpoints genuinely lose their ordering;
+//! 3. **Shipped graphs** — every AE / CD-k / fine-tune step shape used by
+//!    training and `BENCH_graph.json` pins "0 errors, 0 warnings", and the
+//!    CD-1 `h0_sample`→`h1_prob` alias is *proved race-free*, not just
+//!    space-saving;
+//! 4. **`race-check` sanitizer** (feature-gated) — an intentionally
+//!    injected concurrent write trips the per-register claim tracker with
+//!    a readable diagnostic, and clean graphs run quietly under it.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+use micdnn::ae_graph::{build_ae_graph, AeUpdate};
+use micdnn::cd_graph::build_cd_graph;
+use micdnn::exec::{ExecCtx, OptLevel};
+use micdnn::finetune::build_step_graph;
+use micdnn::{BufClass, DiagKind, NodeSpec, TaskGraph};
+use proptest::prelude::*;
+use rand::{Rng, SeedableRng};
+
+/// The (n_visible, n_hidden, batch) shapes exported to `BENCH_graph.json`,
+/// plus the paper's headline 1024×4096 layer.
+const BENCH_SIZES: &[(usize, usize, usize)] = &[
+    (256, 512, 100),
+    (512, 1024, 200),
+    (1024, 2048, 200),
+    (1024, 4096, 100),
+];
+
+// ---------------------------------------------------------------------------
+// 1. Seeded mutations: each corruption maps to its diagnostic kind.
+// ---------------------------------------------------------------------------
+
+/// produce → transform → consume over scratch buffers with a pinned output.
+fn three_stage() -> TaskGraph<'static, ()> {
+    let mut g: TaskGraph<'static, ()> = TaskGraph::new();
+    let a = g.declare("a", 64, BufClass::Scratch);
+    let b = g.declare("b", 64, BufClass::Scratch);
+    let out = g.declare("out", 64, BufClass::Pinned);
+    g.node(NodeSpec::new("produce").writes(&[a]), |_, _| {});
+    g.node(
+        NodeSpec::new("transform").reads(&[a]).writes(&[b]),
+        |_, _| {},
+    );
+    g.node(
+        NodeSpec::new("consume").reads(&[b]).writes(&[out]),
+        |_, _| {},
+    );
+    g
+}
+
+#[test]
+fn dropped_inferred_edge_reports_race() {
+    let mut g = three_stage();
+    assert!(g.verify().is_clean());
+    g.testonly_drop_dep(1, 0); // transform no longer waits for produce
+    let report = g.verify();
+    assert!(report.has(DiagKind::Race), "{report}");
+    let race = report
+        .errors
+        .iter()
+        .find(|d| d.kind == DiagKind::Race)
+        .expect("race diagnostic");
+    assert_eq!(race.buffer, Some("a"));
+    let labels: Vec<&str> = race.nodes.iter().map(|&(_, l)| l).collect();
+    assert_eq!(labels, ["produce", "transform"]);
+}
+
+#[test]
+fn skipped_init_node_reports_use_before_init() {
+    // The same pipeline with its init node "forgotten" entirely.
+    let mut g: TaskGraph<'static, ()> = TaskGraph::new();
+    let a = g.declare("a", 64, BufClass::Scratch);
+    let out = g.declare("out", 64, BufClass::Pinned);
+    g.node(
+        NodeSpec::new("transform").reads(&[a]).writes(&[out]),
+        |_, _| {},
+    );
+    let report = g.verify();
+    assert!(report.has(DiagKind::UseBeforeInit), "{report}");
+    assert_eq!(report.errors[0].buffer, Some("a"));
+}
+
+#[test]
+fn aliasing_a_live_buffer_reports_unsafe_alias() {
+    let mut g: TaskGraph<'static, ()> = TaskGraph::new();
+    let a = g.declare("a", 64, BufClass::Scratch);
+    let b = g.declare("b", 64, BufClass::Scratch);
+    let out = g.declare("out", 64, BufClass::Pinned);
+    g.node(NodeSpec::new("mkA").writes(&[a]), |_, _| {});
+    g.node(NodeSpec::new("mkB").writes(&[b]), |_, _| {});
+    g.node(
+        NodeSpec::new("sum").reads(&[a, b]).writes(&[out]),
+        |_, _| {},
+    );
+    // The honest plan keeps the simultaneously-live pair apart…
+    let mut plan = g.plan();
+    assert_ne!(plan.register_of(a), plan.register_of(b));
+    assert!(g.verify_with_plan(&plan).errors.is_empty());
+    // …so corrupt it, mapping both onto one register.
+    plan.testonly_force_alias(a, b);
+    let report = g.verify_with_plan(&plan);
+    assert!(report.has(DiagKind::UnsafeAlias), "{report}");
+}
+
+#[test]
+fn debug_executor_refuses_a_corrupted_graph() {
+    // `cargo test` keeps debug-assertions on, so `execute` verifies every
+    // graph before running it and must panic with the full report.
+    let mut g = three_stage();
+    g.testonly_drop_dep(1, 0);
+    let ctx = ExecCtx::native(OptLevel::Improved, 0);
+    let err = catch_unwind(AssertUnwindSafe(|| {
+        g.execute(&ctx, &mut ());
+    }))
+    .expect_err("executor must reject the corrupted graph");
+    let msg = err
+        .downcast_ref::<String>()
+        .cloned()
+        .expect("panic payload should be the report");
+    assert!(msg.contains("verification failed"), "{msg}");
+    assert!(msg.contains("error[race]"), "{msg}");
+}
+
+#[test]
+fn unordered_stochastic_nodes_report_determinism_hazard() {
+    let mut g: TaskGraph<'static, ()> = TaskGraph::new();
+    let a = g.declare("a", 64, BufClass::Pinned);
+    let b = g.declare("b", 64, BufClass::Pinned);
+    g.node(
+        NodeSpec::new("sampleA").writes(&[a]).stochastic(),
+        |_, _| {},
+    );
+    g.node(
+        NodeSpec::new("sampleB").writes(&[b]).stochastic(),
+        |_, _| {},
+    );
+    let report = g.verify();
+    assert!(report.has(DiagKind::UnorderedStochastic), "{report}");
+}
+
+#[test]
+fn forcing_a_side_effect_into_a_wave_is_caught() {
+    let mut g: TaskGraph<'static, ()> = TaskGraph::new();
+    let a = g.declare("a", 64, BufClass::Pinned);
+    let s = g.node(NodeSpec::new("sample").writes(&[a]).stochastic(), |_, _| {});
+    g.testonly_force_wave_ok(s);
+    let report = g.verify();
+    assert!(report.has(DiagKind::SideEffectInWave), "{report}");
+}
+
+// ---------------------------------------------------------------------------
+// 2. Random DAGs: soundness both ways.
+// ---------------------------------------------------------------------------
+
+/// Random RAW-only DAG in the `graph_properties` style: node `i` writes its
+/// own buffer and reads the buffers of `deps[i]` (all `< i`), so the
+/// builder's inferred edges equal the chosen edges exactly.
+struct RandomDag {
+    deps: Vec<Vec<usize>>,
+    elems: Vec<usize>,
+    classes: Vec<BufClass>,
+}
+
+impl RandomDag {
+    fn generate(n: usize, seed: u64) -> Self {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let mut deps = Vec::with_capacity(n);
+        let mut elems = Vec::with_capacity(n);
+        let mut classes = Vec::with_capacity(n);
+        for i in 0..n {
+            let lo = i.saturating_sub(6);
+            deps.push((lo..i).filter(|_| rng.gen_bool(0.35)).collect::<Vec<_>>());
+            elems.push(rng.gen_range(32..2048));
+            classes.push(if rng.gen_bool(0.2) {
+                BufClass::Pinned
+            } else {
+                BufClass::Scratch
+            });
+        }
+        RandomDag {
+            deps,
+            elems,
+            classes,
+        }
+    }
+
+    fn build(&self) -> TaskGraph<'static, ()> {
+        let mut g: TaskGraph<'static, ()> = TaskGraph::new();
+        let bufs: Vec<_> = (0..self.deps.len())
+            .map(|i| g.declare("buf", self.elems[i], self.classes[i]))
+            .collect();
+        for (i, deps) in self.deps.iter().enumerate() {
+            let reads: Vec<_> = deps.iter().map(|&d| bufs[d]).collect();
+            g.node(
+                NodeSpec::new("node").reads(&reads).writes(&[bufs[i]]),
+                |_, _| {},
+            );
+        }
+        g
+    }
+}
+
+/// Transitive closure over an explicit dependency-list forest:
+/// `reach[u][v]` iff a path leads from `u` to `v`.
+fn reachability(deps: &[Vec<usize>]) -> Vec<Vec<bool>> {
+    let n = deps.len();
+    let mut reach = vec![vec![false; n]; n];
+    for v in 0..n {
+        for &u in &deps[v] {
+            reach[u][v] = true;
+            for row in reach.iter_mut() {
+                if row[u] {
+                    row[v] = true;
+                }
+            }
+        }
+    }
+    reach
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// No false positives: whatever DAG the builder infers from declared
+    /// footprints, the verifier finds zero errors (warnings — e.g. dead
+    /// terminal scratch writes — are allowed).
+    #[test]
+    fn builder_graphs_always_verify_error_free(n in 1usize..24, seed in any::<u64>()) {
+        let report = RandomDag::generate(n, seed).build().verify();
+        prop_assert!(report.errors.is_empty(), "{}", report);
+    }
+
+    /// No false negatives (and still no false positives): dropping one
+    /// inferred edge yields an error exactly when the endpoints genuinely
+    /// lose their ordering — if another dependency path still orders them,
+    /// the graph must stay error-free.
+    #[test]
+    fn dropping_an_edge_is_caught_iff_order_is_lost(
+        n in 2usize..24,
+        seed in any::<u64>(),
+        pick in any::<u64>(),
+    ) {
+        let dag = RandomDag::generate(n, seed);
+        let edges: Vec<(usize, usize)> = dag
+            .deps
+            .iter()
+            .enumerate()
+            .flat_map(|(i, ds)| ds.iter().map(move |&d| (i, d)))
+            .collect();
+        prop_assume!(!edges.is_empty());
+        let (node, dep) = edges[(pick as usize) % edges.len()];
+
+        let mut g = dag.build();
+        g.testonly_drop_dep(node, dep);
+        let report = g.verify();
+
+        let mut cut = dag.deps.clone();
+        cut[node].retain(|&d| d != dep);
+        let still_ordered = reachability(&cut)[dep][node];
+        if still_ordered {
+            prop_assert!(report.errors.is_empty(),
+                "transitively ordered pair misreported:\n{}", report);
+        } else {
+            prop_assert!(report.has(DiagKind::Race),
+                "lost ordering of {} -> {} went undetected:\n{}", dep, node, report);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// 3. Shipped graphs: every training shape pins "0 errors, 0 warnings".
+// ---------------------------------------------------------------------------
+
+#[test]
+fn shipped_ae_graphs_verify_clean_at_all_bench_sizes() {
+    for &(nv, nh, b) in BENCH_SIZES {
+        for update in [AeUpdate::None, AeUpdate::Sgd, AeUpdate::Opt] {
+            let g = build_ae_graph(nv, nh, b, update);
+            let report = g.verify();
+            assert!(
+                report.is_clean(),
+                "AE {nv}x{nh} b={b} {update:?} must verify 0/0:\n{report}"
+            );
+        }
+    }
+}
+
+#[test]
+fn shipped_cd_graphs_verify_clean_at_all_bench_sizes() {
+    for &(nv, nh, b) in BENCH_SIZES {
+        for k in [1, 2, 3] {
+            let g = build_cd_graph(nv, nh, b, k);
+            let report = g.verify();
+            assert!(
+                report.is_clean(),
+                "CD-{k} {nv}x{nh} b={b} must verify 0/0:\n{report}"
+            );
+        }
+    }
+}
+
+#[test]
+fn shipped_finetune_graphs_verify_clean() {
+    for (in_dim, widths, classes, cap) in [
+        (144, vec![64], 10, 64),
+        (784, vec![512, 256], 10, 200),
+        (256, vec![128, 64, 32], 4, 100),
+    ] {
+        let g = build_step_graph(in_dim, &widths, classes, cap);
+        let report = g.verify();
+        assert!(
+            report.is_clean(),
+            "fine-tune {in_dim}->{widths:?}->{classes} must verify 0/0:\n{report}"
+        );
+    }
+}
+
+#[test]
+fn cd1_sample_alias_is_proved_race_free() {
+    // PR 3's planner folds `h0_sample` and `h1_prob` into one register at
+    // CD-1 (the sample dies before the last hidden probabilities are
+    // born). The verifier must *prove* that — the pair shows up in
+    // `verified_alias_pairs`, meaning every accessor of one strictly
+    // precedes every accessor of the other — not merely observe the saving.
+    let g = build_cd_graph(1024, 4096, 100, 1);
+    let plan = g.plan();
+    let report = g.verify_with_plan(&plan);
+    assert!(report.is_clean(), "{report}");
+    let proved = report.verified_alias_pairs.iter().any(|&(a, b)| {
+        (a == "h0_sample" && b == "h1_prob") || (a == "h1_prob" && b == "h0_sample")
+    });
+    assert!(
+        proved,
+        "h0_sample/h1_prob alias missing from verified pairs: {:?}",
+        report.verified_alias_pairs
+    );
+    assert!(plan.peak_elems() < plan.total_declared_elems());
+}
+
+// ---------------------------------------------------------------------------
+// 4. The dynamic sanitizer (`--features race-check`).
+// ---------------------------------------------------------------------------
+
+/// A clean, well-ordered graph runs quietly under the claim tracker: the
+/// sanitizer must never fire on schedules the static verifier accepts.
+#[cfg(feature = "race-check")]
+#[test]
+fn race_check_is_quiet_on_a_clean_concurrent_graph() {
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Arc;
+
+    let hits = Arc::new(AtomicUsize::new(0));
+    let mut g: TaskGraph<'static, ()> = TaskGraph::new();
+    // A diamond: two independent mid nodes form a wave.
+    let src = g.declare("src", 64, BufClass::Scratch);
+    let l = g.declare("l", 64, BufClass::Scratch);
+    let r = g.declare("r", 64, BufClass::Scratch);
+    let out = g.declare("out", 64, BufClass::Pinned);
+    for (name, reads, writes) in [
+        ("seed", vec![], vec![src]),
+        ("left", vec![src], vec![l]),
+        ("right", vec![src], vec![r]),
+        ("join", vec![l, r], vec![out]),
+    ] {
+        let hits = Arc::clone(&hits);
+        g.node(
+            NodeSpec::new(name).reads(&reads).writes(&writes),
+            move |_, _| {
+                hits.fetch_add(1, Ordering::SeqCst);
+            },
+        );
+    }
+    let ctx = ExecCtx::native(OptLevel::Improved, 0);
+    g.execute(&ctx, &mut ());
+    assert_eq!(hits.load(Ordering::SeqCst), 4);
+}
+
+/// An injected concurrent write — a dropped WAW edge smuggled past the
+/// static verifier — must trip the tracker with a readable diagnostic.
+/// The node bodies only sleep (they never touch workspace memory), so the
+/// injected schedule overlap is observable without real UB.
+#[cfg(feature = "race-check")]
+#[test]
+fn race_check_catches_injected_concurrent_write() {
+    use std::time::Duration;
+
+    if rayon::current_num_threads() <= 1 {
+        // Waves are disabled on a single-thread pool; nothing can overlap.
+        return;
+    }
+
+    // The overlap window is timing-based (both nodes hold their claims for
+    // `HOLD`), so allow a couple of attempts before declaring failure.
+    const HOLD: Duration = Duration::from_millis(300);
+    for attempt in 0..3 {
+        let mut g: TaskGraph<'static, ()> = TaskGraph::new();
+        let x = g.declare("x", 64, BufClass::Scratch);
+        let y = g.declare("y", 64, BufClass::Pinned);
+        g.node(NodeSpec::new("writerA").writes(&[x]), |_, _| {
+            std::thread::sleep(HOLD);
+        });
+        g.node(NodeSpec::new("writerB").writes(&[x]), |_, _| {
+            std::thread::sleep(HOLD);
+        });
+        g.node(NodeSpec::new("sink").reads(&[x]).writes(&[y]), |_, _| {});
+        g.testonly_drop_dep(1, 0); // un-order the two writers
+        g.testonly_skip_verify(); // smuggle the race past the static pass
+
+        let ctx = ExecCtx::native(OptLevel::Improved, 0);
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            g.execute(&ctx, &mut ());
+        }));
+        let Err(err) = result else {
+            continue; // the writers happened not to overlap; retry
+        };
+        let msg = err
+            .downcast_ref::<String>()
+            .cloned()
+            .or_else(|| err.downcast_ref::<&str>().map(|s| s.to_string()))
+            .expect("panic payload should be a string");
+        assert!(msg.contains("race-check"), "unexpected panic: {msg}");
+        assert!(
+            msg.contains("writer"),
+            "diagnostic should name a node: {msg}"
+        );
+        return;
+    }
+    panic!("injected concurrent write was never detected in 3 attempts");
+}
