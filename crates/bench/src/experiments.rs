@@ -445,11 +445,12 @@ pub fn overlap_experiment(chunks: usize) -> OverlapResult {
             Trace::new(false),
             2,
             double_buffered,
-        );
+        )
+        .expect("spawn loader thread");
         // The paper's measured per-chunk training time.
         const TRAIN_PER_CHUNK: f64 = 68.0;
         let mut transfer_per_chunk = 0.0;
-        while let Some(_chunk) = stream.next() {
+        while let Some(_chunk) = stream.next().expect("fault-free stream") {
             clock.advance(TRAIN_PER_CHUNK);
             transfer_per_chunk = stream.stats().transfer_secs / stream.stats().chunks as f64;
         }
@@ -491,10 +492,11 @@ pub fn overlap_traced(chunks: usize) -> (StreamStats, Trace) {
         trace.clone(),
         2,
         true,
-    );
+    )
+    .expect("spawn loader thread");
     const TRAIN_PER_CHUNK: f64 = 68.0;
     let mut i = 0u64;
-    while let Some(_chunk) = stream.next() {
+    while let Some(_chunk) = stream.next().expect("fault-free stream") {
         let t0 = clock.now();
         clock.advance(TRAIN_PER_CHUNK);
         trace.push(

@@ -21,8 +21,9 @@
 use micdnn::analytic::{estimate, Algo, Workload};
 use micdnn::train::{train_dataset, train_dataset_resume, AeModel, RbmModel, TrainConfig};
 use micdnn::{
-    AeConfig, CheckpointModel, CheckpointPolicy, ExecCtx, FineTuneNet, OptLevel, Rbm, RbmConfig,
-    SparseAutoencoder, StackedAutoencoder, TrainProgress,
+    train_dataset_supervised, AeConfig, CheckpointModel, CheckpointPolicy, ExecCtx, FineTuneNet,
+    IncidentLog, OptLevel, Rbm, RbmConfig, SparseAutoencoder, StackedAutoencoder, SupervisorPolicy,
+    TrainProgress,
 };
 use micdnn_data::{read_idx, Dataset, DigitGenerator, PatchGenerator};
 use micdnn_sim::{Link, Platform};
@@ -180,6 +181,16 @@ pub fn usage() -> String {
                   [--save FILE] — crash-safe training; --resume continues a\n\
                   checkpointed run bit-identically (pass the same data flags\n\
                   and --passes as the TOTAL epochs of the whole run)\n\
+                  [--supervise] [--snapshot-every N] [--lr-backoff F]\n\
+                  [--incidents FILE.json] — self-healing training: roll back\n\
+                  to the last good snapshot on divergence, restart on stream\n\
+                  or checkpoint failures, degrade the executor to serial on\n\
+                  race-check trips; the structured incident log is exported\n\
+                  as JSON (micdnn-incidents-v1)\n\
+                  [--inject site:count[@from],...] — arm deterministic fault\n\
+                  injection (builds with the `failpoints` feature only);\n\
+                  sites: loader.read loader.panic loader.crc kernel.nan\n\
+                  ckpt.write\n\
        (all training commands accept --graph-schedule: run each step\n\
         through the dataflow executor — bit-identical, critical-path\n\
         priced in simulation, concurrent small kernels natively — and\n\
@@ -207,6 +218,14 @@ pub fn usage() -> String {
 /// `--resume`, the model, optimizer/momentum state, RNG cursor and progress
 /// are restored from that file and training continues — with the same data
 /// flags and seed, the result is bit-identical to a run that never stopped.
+///
+/// With `--supervise` (or `--incidents`), the run goes through the
+/// self-healing supervisor: divergence rolls the model and RNG back to the
+/// last good in-memory snapshot (`--snapshot-every`, learning rate scaled
+/// by `--lr-backoff`), stream/checkpoint failures restart the leg, and the
+/// structured incident log can be exported with `--incidents FILE.json`.
+/// `--inject site:count[@from],...` arms the deterministic failpoints in
+/// builds carrying the `failpoints` feature.
 fn cmd_train(args: &Args, seed: u64) -> Result<String, String> {
     let algo = args.get("algo").unwrap_or("ae").to_string();
     let examples = args.num("examples", 2000usize)?;
@@ -217,8 +236,28 @@ fn cmd_train(args: &Args, seed: u64) -> Result<String, String> {
     let visible = ds.dim();
     let hidden = args.num("hidden", (visible / 2).max(2))?;
     let passes = args.num("passes", 10usize)?;
-    let ctx = make_ctx(args, seed)?;
+    if let Some(list) = args.get("inject") {
+        micdnn::faults::configure_list(list).map_err(|e| format!("--inject: {e}"))?;
+    }
+    // `--incidents` implies supervision (the log only exists under the
+    // supervisor); `--supervise` applies to fresh runs only — a resumed
+    // run already restores its own state from the checkpoint.
+    let supervised = args.has("supervise") || args.get("incidents").is_some();
+    if supervised && args.has("resume") {
+        return Err("--supervise applies to fresh runs only (drop it with --resume)".to_string());
+    }
+    let mut ctx = make_ctx(args, seed)?;
+    if supervised {
+        ctx = ctx.with_graceful_degradation();
+    }
     let mut tc = train_config(args)?;
+    if supervised {
+        tc.supervisor = Some(SupervisorPolicy {
+            snapshot_every: args.num("snapshot-every", 25u64)?,
+            lr_backoff: args.num("lr-backoff", 0.5f32)?,
+            ..SupervisorPolicy::default()
+        });
+    }
     let ckpt_dir = args.get("checkpoint-dir").map(str::to_string);
     if let Some(dir) = &ckpt_dir {
         tc.checkpoint = Some(CheckpointPolicy::new(
@@ -235,6 +274,7 @@ fn cmd_train(args: &Args, seed: u64) -> Result<String, String> {
         Rbm(RbmModel),
     }
     let trained;
+    let mut incident_log: Option<IncidentLog> = None;
 
     if args.has("resume") {
         let dir = ckpt_dir.ok_or("--resume requires --checkpoint-dir")?;
@@ -285,8 +325,15 @@ fn cmd_train(args: &Args, seed: u64) -> Result<String, String> {
                 if args.has("graph-schedule") {
                     model = model.with_graph_schedule();
                 }
-                report =
-                    train_dataset(&mut model, &ctx, &ds, &tc, passes).map_err(|e| e.to_string())?;
+                if supervised {
+                    let (r, log) = train_dataset_supervised(&mut model, &ctx, &ds, &tc, passes)
+                        .map_err(|e| e.to_string())?;
+                    report = r;
+                    incident_log = Some(log);
+                } else {
+                    report = train_dataset(&mut model, &ctx, &ds, &tc, passes)
+                        .map_err(|e| e.to_string())?;
+                }
                 trained = Trained::Ae(model);
             }
             "rbm" => {
@@ -301,8 +348,15 @@ fn cmd_train(args: &Args, seed: u64) -> Result<String, String> {
                 if args.has("graph-schedule") {
                     model = model.with_graph_schedule();
                 }
-                report =
-                    train_dataset(&mut model, &ctx, &ds, &tc, passes).map_err(|e| e.to_string())?;
+                if supervised {
+                    let (r, log) = train_dataset_supervised(&mut model, &ctx, &ds, &tc, passes)
+                        .map_err(|e| e.to_string())?;
+                    report = r;
+                    incident_log = Some(log);
+                } else {
+                    report = train_dataset(&mut model, &ctx, &ds, &tc, passes)
+                        .map_err(|e| e.to_string())?;
+                }
                 trained = Trained::Rbm(model);
             }
             other => return Err(format!("unknown --algo `{other}` (ae|rbm)")),
@@ -326,6 +380,17 @@ fn cmd_train(args: &Args, seed: u64) -> Result<String, String> {
     ));
     if tc.checkpoint.is_some() {
         out.push_str("checkpoint written (atomic tmp+rename)\n");
+    }
+    if let Some(log) = &incident_log {
+        out.push_str(&format!(
+            "supervisor: {} incident(s) recorded\n",
+            log.incidents.len()
+        ));
+        if let Some(path) = args.get("incidents") {
+            let text = serde_json::to_string_pretty(log).map_err(|e| e.to_string())?;
+            std::fs::write(path, text + "\n").map_err(|e| format!("cannot write `{path}`: {e}"))?;
+            out.push_str(&format!("wrote incident log to {path}\n"));
+        }
     }
     if let Some(path) = args.get("save") {
         match &trained {
@@ -1013,6 +1078,89 @@ mod tests {
             let verified = run(&verified_args).unwrap();
             assert_eq!(plain, verified, "{algo} diverged under --verify");
         }
+    }
+
+    #[test]
+    fn supervised_fault_free_run_matches_plain_train() {
+        // With no faults armed the supervisor is pure bookkeeping: the
+        // training lines must match the unsupervised run bit-for-bit and
+        // the incident log must be empty.
+        let base = sv(&[
+            "train",
+            "--examples",
+            "100",
+            "--side",
+            "8",
+            "--hidden",
+            "12",
+            "--passes",
+            "2",
+            "--batch",
+            "25",
+            "--chunk",
+            "50",
+        ]);
+        let plain = run(&base).unwrap();
+        let mut argv = base.clone();
+        argv.push("--supervise".to_string());
+        let supervised = run(&argv).unwrap();
+        assert!(
+            supervised.contains("supervisor: 0 incident(s) recorded"),
+            "{supervised}"
+        );
+        assert_eq!(
+            plain,
+            supervised.replace("supervisor: 0 incident(s) recorded\n", ""),
+            "supervision changed the training output"
+        );
+    }
+
+    #[test]
+    fn incidents_export_writes_schema_json() {
+        let path =
+            std::env::temp_dir().join(format!("micdnn-incidents-{}.json", std::process::id()));
+        let out = run(&sv(&[
+            "train",
+            "--examples",
+            "80",
+            "--side",
+            "8",
+            "--hidden",
+            "10",
+            "--passes",
+            "1",
+            "--batch",
+            "20",
+            "--chunk",
+            "40",
+            "--incidents",
+            path.to_str().unwrap(),
+        ]))
+        .unwrap();
+        assert!(out.contains("wrote incident log to"), "{out}");
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert!(text.contains("micdnn-incidents-v1"), "{text}");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn supervise_with_resume_is_rejected() {
+        let err = run(&sv(&[
+            "train",
+            "--resume",
+            "--supervise",
+            "--checkpoint-dir",
+            "/nonexistent",
+        ]))
+        .unwrap_err();
+        assert!(err.contains("fresh runs only"), "{err}");
+    }
+
+    #[cfg(not(feature = "failpoints"))]
+    #[test]
+    fn inject_without_failpoints_feature_reports_clear_error() {
+        let err = run(&sv(&["train", "--inject", "loader.read:1"])).unwrap_err();
+        assert!(err.contains("failpoints"), "{err}");
     }
 
     #[test]

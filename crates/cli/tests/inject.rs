@@ -1,0 +1,86 @@
+//! `--inject` end to end (requires `--features failpoints`): the CLI arms
+//! the failpoint registry, the supervisor recovers, and the incident log
+//! lands on disk.
+//!
+//! The registry is process-global, so the tests in this binary serialize
+//! on [`LOCK`]; this file deliberately holds every failpoints-armed CLI
+//! test so no unrelated test shares the process.
+
+use micdnn_cli::run;
+use std::sync::Mutex;
+
+static LOCK: Mutex<()> = Mutex::new(());
+
+fn sv(parts: &[&str]) -> Vec<String> {
+    parts.iter().map(|s| s.to_string()).collect()
+}
+
+fn base_args() -> Vec<String> {
+    sv(&[
+        "train",
+        "--examples",
+        "120",
+        "--side",
+        "8",
+        "--hidden",
+        "12",
+        "--passes",
+        "2",
+        "--batch",
+        "20",
+        "--chunk",
+        "40",
+    ])
+}
+
+#[test]
+fn injected_faults_recover_and_export_incidents() {
+    let _g = LOCK.lock().unwrap();
+    micdnn::faults::clear_all();
+    let clean = run(&base_args()).unwrap();
+
+    let path = std::env::temp_dir().join(format!("micdnn-inject-{}.json", std::process::id()));
+    let mut argv = base_args();
+    argv.extend(sv(&[
+        "--supervise",
+        "--lr-backoff",
+        "1.0",
+        "--snapshot-every",
+        "5",
+        "--inject",
+        "loader.read:1,kernel.nan:1@1",
+        "--incidents",
+        path.to_str().unwrap(),
+    ]));
+    let out = run(&argv).unwrap();
+    micdnn::faults::clear_all();
+
+    // The reconstruction line must match the fault-free run exactly —
+    // retry plus rollback at lr-backoff 1.0 is bit-identical.
+    let recon = |s: &str| {
+        s.lines()
+            .find(|l| l.starts_with("reconstruction"))
+            .map(str::to_string)
+            .expect("reconstruction line")
+    };
+    assert_eq!(
+        recon(&clean),
+        recon(&out),
+        "clean:\n{clean}\nfaulted:\n{out}"
+    );
+
+    let text = std::fs::read_to_string(&path).unwrap();
+    std::fs::remove_file(&path).ok();
+    assert!(text.contains("micdnn-incidents-v1"), "{text}");
+    assert!(text.contains("loader-retry"), "{text}");
+    assert!(text.contains("rollback"), "{text}");
+}
+
+#[test]
+fn bad_inject_spec_is_rejected_up_front() {
+    let _g = LOCK.lock().unwrap();
+    micdnn::faults::clear_all();
+    let err = run(&sv(&["train", "--inject", "loader.read=1"])).unwrap_err();
+    micdnn::faults::clear_all();
+    assert!(err.contains("--inject"), "{err}");
+}

@@ -339,6 +339,9 @@ pub fn save_checkpoint_file(
     rng_cursor: u64,
     progress: &TrainProgress,
 ) -> io::Result<()> {
+    if crate::faults::fire("ckpt.write") {
+        return Err(io::Error::other("failpoint ckpt.write"));
+    }
     let path = path.as_ref();
     if let Some(parent) = path.parent() {
         if !parent.as_os_str().is_empty() {

@@ -95,6 +95,15 @@ pub struct ExecCtx {
     /// Force graph verification even in release builds (CLI `--verify`);
     /// debug builds always verify.
     verify: bool,
+    /// Graceful degradation opt-in: a verifier error demotes graph
+    /// execution to the serial schedule instead of panicking.
+    degrade: bool,
+    /// Latched once a demotion happened; graph executors consult this and
+    /// run serially for the remainder of the run.
+    degraded: AtomicBool,
+    /// Structured `(kind, detail)` notes recorded at demotion time, drained
+    /// by the training supervisor into its incident log.
+    incident_notes: Mutex<Vec<(String, String)>>,
 }
 
 impl ExecCtx {
@@ -111,6 +120,9 @@ impl ExecCtx {
             profiler: None,
             deferred: Mutex::new(None),
             verify: false,
+            degrade: false,
+            degraded: AtomicBool::new(false),
+            incident_notes: Mutex::new(Vec::new()),
         }
     }
 
@@ -127,6 +139,9 @@ impl ExecCtx {
             profiler: None,
             deferred: Mutex::new(None),
             verify: false,
+            degrade: false,
+            degraded: AtomicBool::new(false),
+            incident_notes: Mutex::new(Vec::new()),
         }
     }
 
@@ -161,6 +176,44 @@ impl ExecCtx {
     /// Whether release-mode graph verification was requested.
     pub fn verify_enabled(&self) -> bool {
         self.verify
+    }
+
+    /// Opts in to graceful degradation: a graph that fails verification
+    /// (or denies its opaque nodes) demotes the executor to the serial
+    /// schedule for the rest of the run — recorded as an incident note —
+    /// instead of panicking. Debug builds still panic so bugs surface in
+    /// tests; the training supervisor can also force the demotion after
+    /// catching a sanitizer trip.
+    pub fn with_graceful_degradation(mut self) -> Self {
+        self.degrade = true;
+        self
+    }
+
+    /// Whether verifier errors demote instead of panicking.
+    pub fn degradation_enabled(&self) -> bool {
+        self.degrade
+    }
+
+    /// `true` once graph execution has been demoted to the serial schedule.
+    pub fn is_degraded(&self) -> bool {
+        self.degraded.load(Ordering::Acquire)
+    }
+
+    /// Latches the serial-only demotion and records an incident note.
+    /// Used by the graph executor on verify failure (when
+    /// [`ExecCtx::with_graceful_degradation`] is set) and by the training
+    /// supervisor after catching a `race-check` sanitizer panic.
+    pub fn force_degrade(&self, kind: &str, detail: &str) {
+        self.degraded.store(true, Ordering::Release);
+        self.incident_notes
+            .lock()
+            .push((kind.to_string(), detail.to_string()));
+    }
+
+    /// Drains the `(kind, detail)` notes recorded by
+    /// [`ExecCtx::force_degrade`].
+    pub fn take_incident_notes(&self) -> Vec<(String, String)> {
+        std::mem::take(&mut *self.incident_notes.lock())
     }
 
     /// Builds the profiler's report with this context's platform peak and
@@ -216,7 +269,18 @@ impl ExecCtx {
     }
 
     /// Reserves a fresh sampling stream (one per stochastic op).
+    ///
+    /// Panics when called from inside a graph-node body whose [`crate::NodeSpec`]
+    /// lacks the `.stochastic()` flag: stream order is part of the
+    /// bit-reproducibility contract, and an undeclared draw would be
+    /// invisible to the static verifier's ordering checks.
     pub fn next_stream(&self) -> StreamId {
+        if let Some(name) = crate::graph::undeclared_stochastic_node() {
+            panic!(
+                "undeclared-stochastic: node `{name}` draws from the sampling \
+                 stream but its NodeSpec lacks .stochastic()"
+            );
+        }
         self.sampler.lock().next()
     }
 

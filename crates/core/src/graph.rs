@@ -44,9 +44,48 @@
 
 use crate::exec::{ExecCtx, PhaseGuard};
 use micdnn_sim::EventKind;
+use std::cell::Cell;
 
 /// Identifier of a node within a [`TaskGraph`].
 pub type NodeId = usize;
+
+thread_local! {
+    /// The graph node executing on this thread, as `(name, may_sample)`.
+    /// `may_sample` is true for nodes declared `.stochastic()` and for
+    /// opaque nodes (which declare nothing the lint could check).
+    static CURRENT_NODE: Cell<Option<(&'static str, bool)>> = const { Cell::new(None) };
+}
+
+/// The name of the currently-executing graph node if it draws from the
+/// sampling stream without a declared `.stochastic()` flag; `None` outside
+/// node bodies and inside properly-declared ones. Consulted by
+/// [`ExecCtx::next_stream`].
+pub(crate) fn undeclared_stochastic_node() -> Option<&'static str> {
+    CURRENT_NODE.with(|c| match c.get() {
+        Some((name, false)) => Some(name),
+        _ => None,
+    })
+}
+
+/// RAII marker scoping [`CURRENT_NODE`] to one task invocation
+/// (nest-safe: restores the previous value on drop).
+struct NodeGuard {
+    prev: Option<(&'static str, bool)>,
+}
+
+impl NodeGuard {
+    fn enter(name: &'static str, may_sample: bool) -> Self {
+        NodeGuard {
+            prev: CURRENT_NODE.with(|c| c.replace(Some((name, may_sample)))),
+        }
+    }
+}
+
+impl Drop for NodeGuard {
+    fn drop(&mut self) {
+        CURRENT_NODE.with(|c| c.set(self.prev));
+    }
+}
 
 /// Identifier of a declared buffer within a [`TaskGraph`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -162,6 +201,10 @@ pub struct TaskGraph<'g, S> {
     skip_verify: bool,
     /// Memoized "already verified clean" bit; mutation hooks clear it.
     verified: bool,
+    /// Opt-in acceptance of opaque ([`TaskGraph::add`]) nodes. Shipped
+    /// graphs must declare footprints: executors treat opaque nodes as a
+    /// verification failure unless this flag is set (test/bench graphs).
+    allow_opaque: bool,
 }
 
 impl<'g, S> Default for TaskGraph<'g, S> {
@@ -187,7 +230,18 @@ impl<'g, S> TaskGraph<'g, S> {
             bufs: Vec::new(),
             skip_verify: false,
             verified: false,
+            allow_opaque: false,
         }
+    }
+
+    /// Accepts opaque ([`TaskGraph::add`]) nodes at execution time. Opaque
+    /// nodes are deny-by-default for shipped graphs because the verifier
+    /// cannot see their footprints; graphs that intentionally use the
+    /// explicit-dependency API (tests, benches, structural experiments)
+    /// must opt in.
+    pub fn allow_opaque(&mut self) {
+        self.allow_opaque = true;
+        self.verified = false;
     }
 
     /// Declares a buffer of `elems` f32 elements; returns its id.
@@ -404,7 +458,7 @@ impl<'g, S> TaskGraph<'g, S> {
     pub fn run_serial(&mut self, ctx: &ExecCtx, state: &mut S) {
         if self.should_verify(ctx) {
             let plan = self.plan();
-            self.verify_or_panic(&plan);
+            self.verify_or_demote(ctx, &plan);
         }
         let mut current: Option<&'static str> = None;
         let mut guard: Option<PhaseGuard<'_>> = None;
@@ -414,6 +468,7 @@ impl<'g, S> TaskGraph<'g, S> {
                 current = self.phases[id];
                 guard = current.map(|p| ctx.phase(p));
             }
+            let _node = NodeGuard::enter(self.names[id], self.stochastic[id] || self.opaque[id]);
             (self.tasks[id])(ctx, state);
         }
     }
@@ -436,18 +491,37 @@ impl<'g, S> TaskGraph<'g, S> {
     where
         S: Send,
     {
-        let n = self.len();
         let plan = self.plan();
         if self.should_verify(ctx) {
-            self.verify_or_panic(&plan);
+            self.verify_or_demote(ctx, &plan);
         }
+        if ctx.is_degraded() {
+            // Demoted (verifier error or sanitizer trip under graceful
+            // degradation): declaration order is always a valid schedule,
+            // so fall back to it for the remainder of the run.
+            self.run_serial(ctx, state);
+            return GraphRun {
+                durations: Vec::new(),
+                completion: Vec::new(),
+                critical_path: 0.0,
+                serial_time: 0.0,
+                scratch_elems: plan.total_declared_elems(),
+                planned_peak_elems: plan.peak_elems(),
+            };
+        }
+        let n = self.len();
         let mut durations = vec![0.0f64; n];
         let mut completion = vec![0.0f64; n];
 
         if ctx.cost_model().is_some() {
             for id in 0..n {
+                let name = self.names[id];
+                let may_sample = self.stochastic[id] || self.opaque[id];
                 let task = &mut self.tasks[id];
-                let ((), dur) = ctx.run_deferred(|ctx| task(ctx, state));
+                let ((), dur) = ctx.run_deferred(|ctx| {
+                    let _node = NodeGuard::enter(name, may_sample);
+                    task(ctx, state)
+                });
                 durations[id] = dur;
                 let dep_done = self.deps[id]
                     .iter()
@@ -497,7 +571,8 @@ impl<'g, S> TaskGraph<'g, S> {
         S: Send,
     {
         let n = self.len();
-        let concurrent = !ctx.is_recording() && rayon::current_num_threads() > 1;
+        let concurrent =
+            !ctx.is_recording() && !ctx.is_degraded() && rayon::current_num_threads() > 1;
         let eligible: Vec<bool> = (0..n)
             .map(|i| self.wave_ok[i] && ctx.backend().is_subsaturating(self.footprint(i)))
             .collect();
@@ -505,7 +580,15 @@ impl<'g, S> TaskGraph<'g, S> {
         let tracker = crate::verify::RaceTracker::new(self, plan);
         #[cfg(not(feature = "race-check"))]
         let _ = plan;
-        let TaskGraph { deps, tasks, .. } = self;
+        let TaskGraph {
+            deps,
+            tasks,
+            names,
+            stochastic,
+            opaque,
+            ..
+        } = self;
+        let (names, stochastic, opaque) = (&*names, &*stochastic, &*opaque);
         let mut id = 0;
         while id < n {
             if concurrent && eligible[id] {
@@ -530,8 +613,10 @@ impl<'g, S> TaskGraph<'g, S> {
                             Box::new(move || {
                                 #[cfg(feature = "race-check")]
                                 let _claim = tracker.enter(start + off);
-                                #[cfg(not(feature = "race-check"))]
-                                let _ = off;
+                                let _node = NodeGuard::enter(
+                                    names[start + off],
+                                    stochastic[start + off] || opaque[start + off],
+                                );
                                 // SAFETY: wave members carry declared,
                                 // pairwise-disjoint read/write footprints
                                 // (any conflict would have induced an
@@ -556,6 +641,7 @@ impl<'g, S> TaskGraph<'g, S> {
             {
                 #[cfg(feature = "race-check")]
                 let _claim = tracker.enter(id);
+                let _node = NodeGuard::enter(names[id], stochastic[id] || opaque[id]);
                 (tasks[id])(ctx, state);
             }
             id += 1;
@@ -564,20 +650,48 @@ impl<'g, S> TaskGraph<'g, S> {
 
     /// Whether this execution should run the static verifier first: always
     /// in debug builds, on request ([`ExecCtx::with_verify`]) in release —
-    /// unless the graph already verified clean or a test opted out.
+    /// unless the graph already verified clean, the context is already
+    /// demoted to the serial schedule, or a test opted out.
     fn should_verify(&self, ctx: &ExecCtx) -> bool {
-        !self.skip_verify && !self.verified && (cfg!(debug_assertions) || ctx.verify_enabled())
+        !self.skip_verify
+            && !self.verified
+            && !ctx.is_degraded()
+            && (cfg!(debug_assertions) || ctx.verify_enabled())
     }
 
-    /// Runs the static verifier against `plan`, panicking with the full
-    /// report on any error. Warnings never panic.
-    fn verify_or_panic(&mut self, plan: &WorkspacePlan) {
+    /// Runs the static verifier against `plan`. A clean report (no errors,
+    /// and no opaque nodes unless [`TaskGraph::allow_opaque`] was called)
+    /// memoizes the verified bit. A dirty one panics with the full report —
+    /// or, under [`ExecCtx::with_graceful_degradation`], demotes the
+    /// context to the serial schedule and records an incident note instead.
+    /// Warnings other than denied opaque nodes never fail.
+    fn verify_or_demote(&mut self, ctx: &ExecCtx, plan: &WorkspacePlan) {
         let report = self.verify_with_plan(plan);
-        assert!(
-            report.errors.is_empty(),
-            "task-graph verification failed:\n{report}"
-        );
-        self.verified = true;
+        let opaque_denied = !self.allow_opaque && report.has(crate::verify::DiagKind::OpaqueNode);
+        if report.errors.is_empty() && !opaque_denied {
+            self.verified = true;
+            return;
+        }
+        if ctx.degradation_enabled() {
+            let what = if report.errors.is_empty() {
+                "opaque node(s) in a shipped graph".to_string()
+            } else {
+                format!("{} verification error(s)", report.errors.len())
+            };
+            ctx.force_degrade(
+                "degraded",
+                &format!("graph verification failed ({what}); demoted to the serial schedule"),
+            );
+            return;
+        }
+        if report.errors.is_empty() {
+            panic!(
+                "task-graph verification failed: opaque node(s) in a shipped graph \
+                 (declare footprints via TaskGraph::node, or call allow_opaque() on \
+                 test graphs):\n{report}"
+            );
+        }
+        panic!("task-graph verification failed:\n{report}");
     }
 
     /// Removes the inferred edge `dep -> node`, if present. Test-only:
@@ -792,9 +906,16 @@ mod tests {
     fn linear_chain_charges_serial_time() {
         let ctx = ctx();
         let mut g: TaskGraph<'_, Vec<f32>> = TaskGraph::new();
-        let a = g.add("a", &[], |ctx, s| ctx.scale(2.0, s));
-        let b = g.add("b", &[a], |ctx, s| ctx.scale(0.5, s));
-        let _c = g.add("c", &[b], |ctx, s| ctx.scale(1.5, s));
+        let s = g.declare("s", 100_000, BufClass::External);
+        g.node(NodeSpec::new("a").reads(&[s]).writes(&[s]), |ctx, s| {
+            ctx.scale(2.0, s)
+        });
+        g.node(NodeSpec::new("b").reads(&[s]).writes(&[s]), |ctx, s| {
+            ctx.scale(0.5, s)
+        });
+        g.node(NodeSpec::new("c").reads(&[s]).writes(&[s]), |ctx, s| {
+            ctx.scale(1.5, s)
+        });
         let mut state = vec![1.0f32; 100_000];
         let run = g.execute(&ctx, &mut state);
         assert!((run.critical_path - run.serial_time).abs() < 1e-12);
@@ -807,6 +928,7 @@ mod tests {
     fn diamond_charges_critical_path_not_sum() {
         let ctx = ctx();
         let mut g: TaskGraph<'_, Vec<f32>> = TaskGraph::new();
+        g.allow_opaque();
         let a = g.add("a", &[], |ctx, s| ctx.scale(1.0, s));
         let b1 = g.add("b1", &[a], |ctx, s| ctx.scale(1.0, s));
         let b2 = g.add("b2", &[a], |ctx, s| ctx.scale(1.0, s));
@@ -827,6 +949,7 @@ mod tests {
     fn wide_graph_speedup_approaches_width() {
         let ctx = ctx();
         let mut g: TaskGraph<'_, Vec<f32>> = TaskGraph::new();
+        g.allow_opaque();
         for _ in 0..8 {
             g.add("leaf", &[], |ctx, s| ctx.scale(1.0, s));
         }
@@ -857,11 +980,97 @@ mod tests {
     fn nodes_see_state_mutations_in_topo_order() {
         let ctx = ExecCtx::native(OptLevel::Improved, 0);
         let mut g: TaskGraph<'_, Vec<u32>> = TaskGraph::new();
-        let a = g.add("a", &[], |_, s: &mut Vec<u32>| s.push(1));
-        g.add("b", &[a], |_, s: &mut Vec<u32>| s.push(2));
+        let log_buf = g.declare("log", 2, BufClass::External);
+        g.node(
+            NodeSpec::new("a").writes(&[log_buf]),
+            |_, s: &mut Vec<u32>| s.push(1),
+        );
+        g.node(
+            NodeSpec::new("b").reads(&[log_buf]).writes(&[log_buf]),
+            |_, s: &mut Vec<u32>| s.push(2),
+        );
         let mut log = Vec::new();
         g.execute(&ctx, &mut log);
         assert_eq!(log, vec![1, 2]);
+    }
+
+    #[test]
+    #[should_panic(expected = "opaque node(s) in a shipped graph")]
+    fn executors_deny_opaque_nodes_by_default() {
+        let ctx = ExecCtx::native(OptLevel::Improved, 0);
+        let mut g: TaskGraph<'_, ()> = TaskGraph::new();
+        g.add("opaque", &[], |_, _| {});
+        g.execute(&ctx, &mut ());
+    }
+
+    #[test]
+    fn degradation_demotes_instead_of_panicking() {
+        let ctx = ExecCtx::native(OptLevel::Improved, 0).with_graceful_degradation();
+        let mut g: TaskGraph<'_, Vec<u32>> = TaskGraph::new();
+        let x = g.declare("x", 4, BufClass::Scratch);
+        let out = g.declare("out", 4, BufClass::Pinned);
+        let p = g.node(
+            NodeSpec::new("produce").writes(&[x]),
+            |_, s: &mut Vec<u32>| s.push(1),
+        );
+        let c = g.node(
+            NodeSpec::new("consume").reads(&[x]).writes(&[out]),
+            |_, s: &mut Vec<u32>| s.push(2),
+        );
+        // Simulate a builder bug: the verifier now reports a race, which
+        // would panic without graceful degradation.
+        g.testonly_drop_dep(c, p);
+        let mut log = Vec::new();
+        g.execute(&ctx, &mut log);
+        assert!(ctx.is_degraded(), "verify error must demote");
+        assert_eq!(log, vec![1, 2], "demoted run still executes serially");
+        let notes = ctx.take_incident_notes();
+        assert_eq!(notes.len(), 1);
+        assert_eq!(notes[0].0, "degraded");
+        assert!(notes[0].1.contains("serial"), "{}", notes[0].1);
+        // Degradation latches: later graphs skip verification and run
+        // serially too.
+        let mut g2: TaskGraph<'_, Vec<u32>> = TaskGraph::new();
+        g2.add("opaque", &[], |_, s: &mut Vec<u32>| s.push(3));
+        g2.execute(&ctx, &mut log);
+        assert_eq!(log, vec![1, 2, 3]);
+    }
+
+    #[test]
+    #[should_panic(expected = "undeclared-stochastic")]
+    fn undeclared_sampling_in_a_node_body_is_caught() {
+        let ctx = ExecCtx::native(OptLevel::Improved, 3);
+        let mut g: TaskGraph<'_, Vec<f32>> = TaskGraph::new();
+        let out = g.declare("out", 16, BufClass::External);
+        // Draws from the sampling stream without declaring .stochastic().
+        g.node(
+            NodeSpec::new("sneaky").writes(&[out]),
+            |ctx, s: &mut Vec<f32>| {
+                let probs = vec![0.5f32; 16];
+                ctx.bernoulli(&probs, s);
+            },
+        );
+        let mut state = vec![0.0f32; 16];
+        g.run_serial(&ctx, &mut state);
+    }
+
+    #[test]
+    fn declared_stochastic_nodes_may_sample() {
+        let ctx = ExecCtx::native(OptLevel::Improved, 3);
+        let mut g: TaskGraph<'_, Vec<f32>> = TaskGraph::new();
+        let out = g.declare("out", 16, BufClass::External);
+        g.node(
+            NodeSpec::new("sample").writes(&[out]).stochastic(),
+            |ctx, s: &mut Vec<f32>| {
+                let probs = vec![0.5f32; 16];
+                ctx.bernoulli(&probs, s);
+            },
+        );
+        let mut state = vec![0.0f32; 16];
+        g.run_serial(&ctx, &mut state);
+        // Outside node bodies sampling is always allowed.
+        let mut direct = vec![0.0f32; 16];
+        ctx.bernoulli(&[0.5f32; 16], &mut direct);
     }
 
     #[test]

@@ -52,6 +52,7 @@ pub mod batch_opt;
 pub mod cd_graph;
 pub mod checkpoint;
 pub mod exec;
+pub mod faults;
 pub mod finetune;
 pub mod gradcheck;
 pub mod graph;
@@ -62,6 +63,7 @@ pub mod optim;
 pub mod profile;
 pub mod rbm;
 pub mod stacked;
+pub mod supervise;
 pub mod train;
 pub mod verify;
 
@@ -90,6 +92,9 @@ pub use optim::{Optimizer, Rule, Schedule};
 pub use profile::{OpReport, PhaseReport, ProfileReport, Profiler, StreamReport};
 pub use rbm::{Rbm, RbmConfig, RbmScratch};
 pub use stacked::{DeepBeliefNet, LayerReport, StackedAutoencoder};
+pub use supervise::{
+    train_dataset_supervised, Incident, IncidentLog, Recoverable, SupervisorPolicy,
+};
 pub use train::{
     train_dataset, train_dataset_resume, train_stream, AeModel, RbmModel, TrainConfig, TrainError,
     TrainReport, UnsupervisedModel,

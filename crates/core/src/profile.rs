@@ -324,6 +324,7 @@ mod tests {
             bytes: 4000,
             transfer_secs: 2.0,
             stall_secs: 0.5,
+            ..StreamStats::default()
         });
         p
     }

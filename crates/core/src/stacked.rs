@@ -96,7 +96,8 @@ impl StackedAutoencoder {
             }
             // Checkpoints written inside this layer's run carry the layer
             // index, so a resumed stacked run knows where it stood.
-            let report = train_dataset_at(&mut model, ctx, &current, cfg, passes, 0, i as u64)?;
+            let report =
+                train_dataset_at(&mut model, ctx, &current, cfg, passes, 0, i as u64, None)?;
             *layer = model.into_inner();
             // Encode the dataset through the freshly trained layer to form
             // the next layer's training set.
@@ -182,7 +183,8 @@ impl DeepBeliefNet {
             if self.use_graph {
                 model = model.with_graph_schedule();
             }
-            let report = train_dataset_at(&mut model, ctx, &current, cfg, passes, 0, i as u64)?;
+            let report =
+                train_dataset_at(&mut model, ctx, &current, cfg, passes, 0, i as u64, None)?;
             *rbm = model.into_inner();
             current = Dataset::new(rbm.encode(ctx, current.matrix().view()));
             reports.push(LayerReport { shape, report });

@@ -1,0 +1,594 @@
+//! Self-healing training supervision (DESIGN.md §4.3).
+//!
+//! Long pre-training runs fail in boring ways: a flaky data source, a
+//! chunk that arrives poisoned, a kernel that emits a NaN, a thread that
+//! panics. The supervisor wraps the ordinary training loop with a
+//! recovery ladder so that a run either completes — bit-identically to a
+//! fault-free run when the faults were transient — or fails with a typed
+//! [`TrainError`], never a panic or a hang:
+//!
+//! 1. **Sentinel.** Every batch's reconstruction error is checked; a
+//!    non-finite or exploding value aborts the leg with
+//!    [`TrainError::Diverged`].
+//! 2. **Rollback.** On divergence the model, optimizer state, and RNG
+//!    cursor are restored from the last in-memory snapshot (the same
+//!    serialized form as on-disk checkpoints) and training replays from
+//!    that batch position. The learning rate is backed off by
+//!    [`SupervisorPolicy::lr_backoff`] per rollback (keep it at `1.0` to
+//!    preserve bit-identity with the fault-free run).
+//! 3. **Restart.** Stream failures (exhausted retries, deadlines, loader
+//!    death) and checkpoint write failures restore the snapshot and start
+//!    a fresh leg — with a fresh loader thread — at the same position.
+//! 4. **Degradation.** A panic inside a leg (e.g. a race-check trip or a
+//!    verifier error) demotes the executor to the serial schedule via
+//!    [`ExecCtx::force_degrade`] before the restarted leg runs.
+//!
+//! Every recovery action is recorded as an [`Incident`] in an
+//! [`IncidentLog`], exportable as JSON alongside the profiler report.
+
+use crate::checkpoint::{load_checkpoint, save_checkpoint, CheckpointModel, TrainProgress};
+use crate::exec::ExecCtx;
+use crate::train::{
+    train_dataset_at, AeModel, RbmModel, TrainConfig, TrainError, TrainReport, UnsupervisedModel,
+};
+use parking_lot::Mutex;
+use serde::{Deserialize, Serialize};
+use std::io;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+/// Schema tag written into exported incident logs.
+pub const INCIDENT_SCHEMA: &str = "micdnn-incidents-v1";
+
+/// Recovery budget and sentinel thresholds for a supervised run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SupervisorPolicy {
+    /// Divergence rollbacks before the run is declared unrecoverable.
+    pub max_rollbacks: u32,
+    /// Leg restarts (stream/checkpoint failures, panics) before giving up.
+    pub max_restarts: u32,
+    /// Learning-rate multiplier applied per rollback (`1.0` keeps the
+    /// replay bit-identical to a fault-free run).
+    pub lr_backoff: f32,
+    /// A finite batch error above this trips the divergence sentinel
+    /// (non-finite errors always trip it).
+    pub divergence_threshold: f64,
+    /// Take an in-memory snapshot every N batch positions (0 = only the
+    /// initial snapshot, so rollbacks replay from the start).
+    pub snapshot_every: u64,
+}
+
+impl Default for SupervisorPolicy {
+    fn default() -> Self {
+        SupervisorPolicy {
+            max_rollbacks: 3,
+            max_restarts: 3,
+            lr_backoff: 0.5,
+            divergence_threshold: 1e6,
+            snapshot_every: 25,
+        }
+    }
+}
+
+/// One recorded recovery action. `kind` is one of `loader-retry`,
+/// `rollback`, `lr-backoff`, `restart`, or `degraded`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Incident {
+    /// Incident class (see type docs).
+    pub kind: String,
+    /// Human-readable description.
+    pub detail: String,
+    /// Batch or chunk position the incident is attached to.
+    pub batch: u64,
+    /// Kind-specific magnitude (backoff seconds, divergence error, new
+    /// learning rate); zero when meaningless.
+    pub value: f64,
+}
+
+/// The structured incident record of one supervised run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct IncidentLog {
+    /// Always [`INCIDENT_SCHEMA`].
+    pub schema: String,
+    /// Incidents in the order they occurred.
+    pub incidents: Vec<Incident>,
+}
+
+impl Default for IncidentLog {
+    fn default() -> Self {
+        IncidentLog::new()
+    }
+}
+
+impl IncidentLog {
+    /// An empty log carrying the current schema tag.
+    pub fn new() -> Self {
+        IncidentLog {
+            schema: INCIDENT_SCHEMA.to_string(),
+            incidents: Vec::new(),
+        }
+    }
+
+    /// Appends one incident.
+    pub fn push(&mut self, incident: Incident) {
+        self.incidents.push(incident);
+    }
+
+    /// Number of incidents of the given kind.
+    pub fn count(&self, kind: &str) -> usize {
+        self.incidents.iter().filter(|i| i.kind == kind).count()
+    }
+}
+
+/// An in-memory checkpoint: the serialized run state and the batch
+/// position it represents.
+struct Snapshot {
+    bytes: Vec<u8>,
+    pos: u64,
+}
+
+/// The supervisor's hooks into the training loop: the policy the sentinel
+/// consults, the rolling snapshot, and incident accumulation.
+pub(crate) struct SuperHooks {
+    pub(crate) policy: SupervisorPolicy,
+    snapshot: Mutex<Snapshot>,
+    incidents: Mutex<Vec<Incident>>,
+}
+
+impl SuperHooks {
+    /// Hooks with an initial position-0 snapshot of `model`.
+    fn new(
+        policy: SupervisorPolicy,
+        model: &dyn UnsupervisedModel,
+        ctx: &ExecCtx,
+    ) -> io::Result<Self> {
+        let hooks = SuperHooks {
+            policy,
+            snapshot: Mutex::new(Snapshot {
+                bytes: Vec::new(),
+                pos: 0,
+            }),
+            incidents: Mutex::new(Vec::new()),
+        };
+        hooks.snapshot(model, ctx, 0, 0, 0, 0)?;
+        Ok(hooks)
+    }
+
+    /// Serializes the run state (model + optimizer + RNG + progress) into
+    /// the rolling in-memory snapshot.
+    pub(crate) fn snapshot(
+        &self,
+        model: &dyn UnsupervisedModel,
+        ctx: &ExecCtx,
+        layer: u64,
+        batches_per_epoch: u64,
+        pos: u64,
+        examples: u64,
+    ) -> io::Result<()> {
+        let progress = TrainProgress {
+            layer,
+            epoch: pos.checked_div(batches_per_epoch).unwrap_or(0),
+            batches: pos,
+            examples,
+        };
+        let (rng_seed, rng_cursor) = ctx.rng_state();
+        let mut bytes = Vec::new();
+        save_checkpoint(&mut bytes, model, rng_seed, rng_cursor, &progress)?;
+        *self.snapshot.lock() = Snapshot { bytes, pos };
+        Ok(())
+    }
+
+    /// Batch position of the current snapshot.
+    fn snapshot_pos(&self) -> u64 {
+        self.snapshot.lock().pos
+    }
+
+    /// Records one incident (called from the training loop).
+    pub(crate) fn record(&self, incident: Incident) {
+        self.incidents.lock().push(incident);
+    }
+
+    /// Drains accumulated incidents.
+    fn take_incidents(&self) -> Vec<Incident> {
+        std::mem::take(&mut *self.incidents.lock())
+    }
+}
+
+/// A model the supervisor can roll back from a snapshot.
+pub trait Recoverable: UnsupervisedModel {
+    /// Replaces this model's parameters and training state with the
+    /// checkpointed ones; `InvalidData` on a model-kind mismatch.
+    fn restore_state(&mut self, from: CheckpointModel) -> io::Result<()>;
+}
+
+impl Recoverable for AeModel {
+    fn restore_state(&mut self, from: CheckpointModel) -> io::Result<()> {
+        match from {
+            CheckpointModel::Ae(m) => {
+                self.adopt(m);
+                Ok(())
+            }
+            CheckpointModel::Rbm(_) => Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                "snapshot holds an RBM, model is an autoencoder",
+            )),
+        }
+    }
+}
+
+impl Recoverable for RbmModel {
+    fn restore_state(&mut self, from: CheckpointModel) -> io::Result<()> {
+        match from {
+            CheckpointModel::Rbm(m) => {
+                self.adopt(m);
+                Ok(())
+            }
+            CheckpointModel::Ae(_) => Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                "snapshot holds an autoencoder, model is an RBM",
+            )),
+        }
+    }
+}
+
+/// Restores model + RNG from the supervisor's snapshot.
+fn restore<M: Recoverable>(
+    model: &mut M,
+    ctx: &ExecCtx,
+    hooks: &SuperHooks,
+) -> Result<(), TrainError> {
+    let bytes = hooks.snapshot.lock().bytes.clone();
+    let ckpt = load_checkpoint(&mut bytes.as_slice()).map_err(TrainError::Checkpoint)?;
+    ckpt.restore_rng(ctx);
+    model
+        .restore_state(ckpt.model)
+        .map_err(TrainError::Checkpoint)
+}
+
+/// Best-effort extraction of a panic payload's message.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    payload
+        .downcast_ref::<&'static str>()
+        .map(|s| s.to_string())
+        .or_else(|| payload.downcast_ref::<String>().cloned())
+        .unwrap_or_else(|| "non-string panic payload".to_string())
+}
+
+/// Folds the executor's degradation notes into the incident log.
+fn drain_ctx_notes(ctx: &ExecCtx, log: &mut IncidentLog) {
+    for (kind, detail) in ctx.take_incident_notes() {
+        log.push(Incident {
+            kind,
+            detail,
+            batch: 0,
+            value: 0.0,
+        });
+    }
+}
+
+/// [`crate::train_dataset`] under supervision: retries, rollbacks, and
+/// graceful degradation per `cfg.supervisor` (defaults when `None`).
+///
+/// On success the report covers only the batches the final leg actually
+/// trained (replayed positions are excluded, exactly as on checkpoint
+/// resume). Single-model runs only: snapshots are taken at layer 0.
+pub fn train_dataset_supervised<M: Recoverable>(
+    model: &mut M,
+    ctx: &ExecCtx,
+    dataset: &micdnn_data::Dataset,
+    cfg: &TrainConfig,
+    passes: usize,
+) -> Result<(TrainReport, IncidentLog), TrainError> {
+    let policy = cfg.supervisor.clone().unwrap_or_default();
+    let hooks = SuperHooks::new(policy.clone(), model, ctx).map_err(TrainError::Checkpoint)?;
+    let mut log = IncidentLog::new();
+    let mut lr = cfg.learning_rate;
+    let mut rollbacks: u32 = 0;
+    let mut restarts: u32 = 0;
+    loop {
+        let resume_pos = hooks.snapshot_pos();
+        let leg_cfg = TrainConfig {
+            learning_rate: lr,
+            ..cfg.clone()
+        };
+        let outcome = catch_unwind(AssertUnwindSafe(|| {
+            train_dataset_at(
+                model,
+                ctx,
+                dataset,
+                &leg_cfg,
+                passes,
+                resume_pos,
+                0,
+                Some(&hooks),
+            )
+        }));
+        log.incidents.extend(hooks.take_incidents());
+        drain_ctx_notes(ctx, &mut log);
+        match outcome {
+            Ok(Ok(report)) => return Ok((report, log)),
+            Ok(Err(TrainError::Diverged { batch, err })) => {
+                rollbacks += 1;
+                if rollbacks > policy.max_rollbacks {
+                    return Err(TrainError::Unrecoverable {
+                        attempts: rollbacks + restarts,
+                        last: format!("batch {batch} diverged (error {err})"),
+                    });
+                }
+                restore(model, ctx, &hooks)?;
+                log.push(Incident {
+                    kind: "rollback".to_string(),
+                    detail: format!(
+                        "batch {batch} diverged (error {err}); rolled back to batch {resume_pos}"
+                    ),
+                    batch,
+                    value: err,
+                });
+                let next_lr = lr * policy.lr_backoff;
+                log.push(Incident {
+                    kind: "lr-backoff".to_string(),
+                    detail: format!("learning rate {lr} -> {next_lr}"),
+                    batch,
+                    value: f64::from(next_lr),
+                });
+                lr = next_lr;
+            }
+            Ok(Err(e @ (TrainError::Stream(_) | TrainError::Checkpoint(_)))) => {
+                restarts += 1;
+                if restarts > policy.max_restarts {
+                    return Err(TrainError::Unrecoverable {
+                        attempts: rollbacks + restarts,
+                        last: e.to_string(),
+                    });
+                }
+                restore(model, ctx, &hooks)?;
+                log.push(Incident {
+                    kind: "restart".to_string(),
+                    detail: format!("{e}; restarting from batch {resume_pos}"),
+                    batch: resume_pos,
+                    value: 0.0,
+                });
+            }
+            // DeviceMemory / DimensionMismatch / EmptyStream cannot be
+            // fixed by retrying; Diverged/Unrecoverable are handled above.
+            Ok(Err(e)) => return Err(e),
+            Err(payload) => {
+                restarts += 1;
+                let msg = panic_message(payload.as_ref());
+                if restarts > policy.max_restarts {
+                    return Err(TrainError::Unrecoverable {
+                        attempts: rollbacks + restarts,
+                        last: format!("panic: {msg}"),
+                    });
+                }
+                // A panic mid-leg (race-check trip, verifier error, kernel
+                // assertion) demotes the executor to the serial schedule
+                // for the rest of the run instead of aborting.
+                ctx.force_degrade(
+                    "degraded",
+                    &format!("training leg panicked ({msg}); demoted to the serial schedule"),
+                );
+                drain_ctx_notes(ctx, &mut log);
+                restore(model, ctx, &hooks)?;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::autoencoder::{AeConfig, SparseAutoencoder};
+    use crate::exec::OptLevel;
+    use crate::train::train_dataset;
+    use micdnn_data::Dataset;
+    use micdnn_tensor::{Mat, MatView};
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn toy_dataset(n: usize, dim: usize, seed: u64) -> Dataset {
+        let mut rng = StdRng::seed_from_u64(seed);
+        Dataset::new(Mat::from_fn(n, dim, |_, _| rng.gen_range(0.1..0.9)))
+    }
+
+    fn toy_cfg() -> TrainConfig {
+        TrainConfig {
+            batch_size: 20,
+            chunk_rows: 40,
+            ..TrainConfig::default()
+        }
+    }
+
+    /// Wraps an [`AeModel`], sabotaging chosen `train_batch` calls.
+    struct Saboteur {
+        inner: AeModel,
+        /// Return NaN (without training) on these 0-based call numbers.
+        nan_calls: Vec<u64>,
+        /// Panic on these 0-based call numbers.
+        panic_calls: Vec<u64>,
+        calls: u64,
+    }
+
+    impl Saboteur {
+        fn new(inner: AeModel) -> Self {
+            Saboteur {
+                inner,
+                nan_calls: Vec::new(),
+                panic_calls: Vec::new(),
+                calls: 0,
+            }
+        }
+    }
+
+    impl UnsupervisedModel for Saboteur {
+        fn input_dim(&self) -> usize {
+            self.inner.input_dim()
+        }
+        fn prepare(&mut self, max_batch: usize) {
+            self.inner.prepare(max_batch);
+        }
+        fn train_batch(&mut self, ctx: &ExecCtx, x: MatView<'_>, lr: f32) -> f64 {
+            let call = self.calls;
+            self.calls += 1;
+            if self.nan_calls.contains(&call) {
+                // Neither the model nor the RNG advanced: the replayed
+                // batch trains exactly as a fault-free run would have.
+                return f64::NAN;
+            }
+            if self.panic_calls.contains(&call) {
+                panic!("sabotaged batch {call}");
+            }
+            self.inner.train_batch(ctx, x, lr)
+        }
+        fn resident_bytes(&self, max_batch: usize) -> u64 {
+            self.inner.resident_bytes(max_batch)
+        }
+        fn save_state(&self, w: &mut dyn std::io::Write) -> io::Result<()> {
+            self.inner.save_state(w)
+        }
+    }
+
+    impl Recoverable for Saboteur {
+        fn restore_state(&mut self, from: CheckpointModel) -> io::Result<()> {
+            self.inner.restore_state(from)
+        }
+    }
+
+    fn fresh_ae() -> AeModel {
+        AeModel::new(SparseAutoencoder::new(AeConfig::new(12, 6), 9))
+    }
+
+    #[test]
+    fn fault_free_supervised_run_matches_unsupervised() {
+        let ds = toy_dataset(120, 12, 1);
+        let cfg = toy_cfg();
+        let mut plain = fresh_ae();
+        let ctx = ExecCtx::native(OptLevel::Improved, 4);
+        let plain_report = train_dataset(&mut plain, &ctx, &ds, &cfg, 3).unwrap();
+
+        let mut sup = fresh_ae();
+        let ctx2 = ExecCtx::native(OptLevel::Improved, 4);
+        let (sup_report, log) = train_dataset_supervised(&mut sup, &ctx2, &ds, &cfg, 3).unwrap();
+        assert_eq!(plain.ae.w1.as_slice(), sup.ae.w1.as_slice());
+        assert_eq!(plain_report.batches, sup_report.batches);
+        assert!(log.incidents.is_empty(), "{:?}", log.incidents);
+    }
+
+    #[test]
+    fn divergence_rolls_back_and_completes_bit_identically() {
+        let ds = toy_dataset(120, 12, 2);
+        let cfg = TrainConfig {
+            // lr_backoff 1.0 keeps the replayed leg bit-identical.
+            supervisor: Some(SupervisorPolicy {
+                lr_backoff: 1.0,
+                snapshot_every: 4,
+                ..SupervisorPolicy::default()
+            }),
+            ..toy_cfg()
+        };
+        let mut clean = fresh_ae();
+        let ctx = ExecCtx::native(OptLevel::Improved, 4);
+        train_dataset(&mut clean, &ctx, &ds, &cfg, 3).unwrap();
+
+        let mut sab = Saboteur::new(fresh_ae());
+        sab.nan_calls = vec![7];
+        let ctx2 = ExecCtx::native(OptLevel::Improved, 4);
+        let (_, log) = train_dataset_supervised(&mut sab, &ctx2, &ds, &cfg, 3).unwrap();
+        assert_eq!(clean.ae.w1.as_slice(), sab.inner.ae.w1.as_slice());
+        assert_eq!(clean.ae.b1, sab.inner.ae.b1);
+        assert_eq!(log.count("rollback"), 1, "{:?}", log.incidents);
+        assert_eq!(log.count("lr-backoff"), 1);
+    }
+
+    #[test]
+    fn lr_backoff_is_applied_per_rollback() {
+        let ds = toy_dataset(80, 12, 3);
+        let cfg = TrainConfig {
+            learning_rate: 0.2,
+            supervisor: Some(SupervisorPolicy {
+                lr_backoff: 0.5,
+                snapshot_every: 0,
+                ..SupervisorPolicy::default()
+            }),
+            ..toy_cfg()
+        };
+        let mut sab = Saboteur::new(fresh_ae());
+        sab.nan_calls = vec![2, 9];
+        let ctx = ExecCtx::native(OptLevel::Improved, 4);
+        let (_, log) = train_dataset_supervised(&mut sab, &ctx, &ds, &cfg, 2).unwrap();
+        assert_eq!(log.count("rollback"), 2);
+        let lrs: Vec<f64> = log
+            .incidents
+            .iter()
+            .filter(|i| i.kind == "lr-backoff")
+            .map(|i| i.value)
+            .collect();
+        assert_eq!(lrs.len(), 2);
+        assert!((lrs[0] - 0.1).abs() < 1e-7, "{lrs:?}");
+        assert!((lrs[1] - 0.05).abs() < 1e-7, "{lrs:?}");
+    }
+
+    #[test]
+    fn persistent_divergence_is_unrecoverable() {
+        let ds = toy_dataset(80, 12, 4);
+        let cfg = TrainConfig {
+            supervisor: Some(SupervisorPolicy {
+                max_rollbacks: 2,
+                snapshot_every: 0,
+                ..SupervisorPolicy::default()
+            }),
+            ..toy_cfg()
+        };
+        let mut sab = Saboteur::new(fresh_ae());
+        // Every leg hits a NaN somewhere.
+        sab.nan_calls = (0..10_000).collect();
+        let ctx = ExecCtx::native(OptLevel::Improved, 4);
+        match train_dataset_supervised(&mut sab, &ctx, &ds, &cfg, 1) {
+            Err(TrainError::Unrecoverable { attempts, last }) => {
+                assert_eq!(attempts, 3);
+                assert!(last.contains("diverged"), "{last}");
+            }
+            other => panic!("expected Unrecoverable, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn leg_panic_degrades_and_recovers() {
+        let ds = toy_dataset(80, 12, 5);
+        let cfg = TrainConfig {
+            supervisor: Some(SupervisorPolicy {
+                lr_backoff: 1.0,
+                snapshot_every: 3,
+                ..SupervisorPolicy::default()
+            }),
+            ..toy_cfg()
+        };
+        let mut clean = fresh_ae();
+        let ctx = ExecCtx::native(OptLevel::Improved, 4);
+        train_dataset(&mut clean, &ctx, &ds, &cfg, 2).unwrap();
+
+        let mut sab = Saboteur::new(fresh_ae());
+        sab.panic_calls = vec![5];
+        let ctx2 = ExecCtx::native(OptLevel::Improved, 4);
+        let (_, log) = train_dataset_supervised(&mut sab, &ctx2, &ds, &cfg, 2).unwrap();
+        assert!(ctx2.is_degraded());
+        assert_eq!(log.count("degraded"), 1, "{:?}", log.incidents);
+        // The serial schedule is bit-identical, so the run still matches.
+        assert_eq!(clean.ae.w1.as_slice(), sab.inner.ae.w1.as_slice());
+    }
+
+    #[test]
+    fn incident_log_round_trips_through_json() {
+        let mut log = IncidentLog::new();
+        log.push(Incident {
+            kind: "loader-retry".to_string(),
+            detail: "chunk 3 attempt 0: transient source fault: io hiccup".to_string(),
+            batch: 3,
+            value: 0.001,
+        });
+        let text = serde_json::to_string_pretty(&log).unwrap();
+        let back: IncidentLog = serde_json::from_str(&text).unwrap();
+        assert_eq!(log, back);
+        assert_eq!(back.schema, INCIDENT_SCHEMA);
+        assert_eq!(back.count("loader-retry"), 1);
+    }
+}

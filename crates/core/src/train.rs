@@ -20,9 +20,14 @@ use crate::cd_graph::cd_step_graph;
 use crate::checkpoint::{save_checkpoint_file, CheckpointPolicy, TrainProgress};
 use crate::exec::ExecCtx;
 use crate::rbm::{Rbm, RbmScratch};
-use micdnn_sim::{ChunkSource, ChunkStream, DeviceMemory, Link, OutOfDeviceMemory, StreamStats};
+use crate::supervise::{Incident, SuperHooks, SupervisorPolicy};
+use micdnn_sim::{
+    ChunkSource, ChunkStream, DeviceMemory, Link, OutOfDeviceMemory, RetryPolicy, StreamError,
+    StreamOptions, StreamStats,
+};
 use micdnn_tensor::MatView;
 use std::io::{self, Write};
+use std::time::Duration;
 
 /// Anything trainable by the chunked mini-batch loop.
 pub trait UnsupervisedModel {
@@ -102,6 +107,15 @@ impl AeModel {
     /// The attached optimizer, if any (exposed for checkpointing).
     pub fn optimizer(&self) -> Option<&crate::optim::Optimizer> {
         self.optimizer.as_ref()
+    }
+
+    /// Replaces parameters and optimizer state with `other`'s (the
+    /// supervisor's rollback path), keeping this wrapper's scheduling
+    /// preference. Scratch is dropped; `prepare` re-allocates it.
+    pub(crate) fn adopt(&mut self, other: AeModel) {
+        self.ae = other.ae;
+        self.optimizer = other.optimizer;
+        self.scratch = None;
     }
 }
 
@@ -240,6 +254,15 @@ impl RbmModel {
         self.use_graph = use_graph;
         self.momentum = momentum.map(|(mu, vw, vb, vc)| CdMomentum { mu, vw, vb, vc });
     }
+
+    /// Replaces parameters and momentum state with `other`'s (the
+    /// supervisor's rollback path), keeping this wrapper's scheduling
+    /// preference. Scratch is dropped; `prepare` re-allocates it.
+    pub(crate) fn adopt(&mut self, other: RbmModel) {
+        self.rbm = other.rbm;
+        self.momentum = other.momentum;
+        self.scratch = None;
+    }
 }
 
 impl UnsupervisedModel for RbmModel {
@@ -320,6 +343,12 @@ pub struct TrainConfig {
     pub history_every: usize,
     /// Periodic crash-safe checkpointing (`None` = off).
     pub checkpoint: Option<CheckpointPolicy>,
+    /// Self-healing supervision policy, consulted by
+    /// [`crate::supervise::train_dataset_supervised`] (`None` = defaults).
+    pub supervisor: Option<SupervisorPolicy>,
+    /// Per-chunk delivery deadline; a chunk that fails to arrive in time
+    /// surfaces as [`TrainError::Stream`]. `None` blocks indefinitely.
+    pub chunk_deadline: Option<Duration>,
 }
 
 impl Default for TrainConfig {
@@ -333,6 +362,8 @@ impl Default for TrainConfig {
             link: Link::pcie_gen2(),
             history_every: 0,
             checkpoint: None,
+            supervisor: None,
+            chunk_deadline: None,
         }
     }
 }
@@ -353,6 +384,23 @@ pub enum TrainError {
     EmptyStream,
     /// A periodic checkpoint could not be written.
     Checkpoint(io::Error),
+    /// The loading pipeline failed: spawn error, missed delivery deadline,
+    /// exhausted retries, or the loader thread died.
+    Stream(StreamError),
+    /// The supervisor's sentinel saw a non-finite or exploding batch error.
+    Diverged {
+        /// Batch position (since epoch 0) whose error tripped the sentinel.
+        batch: u64,
+        /// The offending reconstruction error.
+        err: f64,
+    },
+    /// The supervisor exhausted its rollback/restart budget.
+    Unrecoverable {
+        /// Recovery attempts made before giving up.
+        attempts: u32,
+        /// Description of the final failure.
+        last: String,
+    },
 }
 
 impl std::fmt::Display for TrainError {
@@ -367,6 +415,16 @@ impl std::fmt::Display for TrainError {
             }
             TrainError::EmptyStream => write!(f, "training stream produced no chunks"),
             TrainError::Checkpoint(e) => write!(f, "checkpoint write failed: {e}"),
+            TrainError::Stream(e) => write!(f, "training stream failed: {e}"),
+            TrainError::Diverged { batch, err } => {
+                write!(f, "training diverged at batch {batch} (error {err})")
+            }
+            TrainError::Unrecoverable { attempts, last } => {
+                write!(
+                    f,
+                    "training unrecoverable after {attempts} recovery attempt(s): {last}"
+                )
+            }
         }
     }
 }
@@ -376,6 +434,12 @@ impl std::error::Error for TrainError {}
 impl From<OutOfDeviceMemory> for TrainError {
     fn from(e: OutOfDeviceMemory) -> Self {
         TrainError::DeviceMemory(e)
+    }
+}
+
+impl From<StreamError> for TrainError {
+    fn from(e: StreamError) -> Self {
+        TrainError::Stream(e)
     }
 }
 
@@ -424,7 +488,23 @@ pub fn train_stream(
     source: impl ChunkSource,
     cfg: &TrainConfig,
 ) -> Result<TrainReport, TrainError> {
-    train_stream_inner(model, ctx, source, cfg, ResumePoint::default())
+    train_stream_inner(model, ctx, source, cfg, ResumePoint::default(), None)
+}
+
+/// Forwards the loader's retry events to the supervisor's incident log.
+fn drain_stream_events(stream: &ChunkStream, hooks: Option<&SuperHooks>) {
+    let Some(h) = hooks else { return };
+    for e in stream.take_retry_events() {
+        h.record(Incident {
+            kind: "loader-retry".to_string(),
+            detail: format!(
+                "chunk {} attempt {}: {} (backed off {:.6}s)",
+                e.chunk, e.attempt, e.fault, e.backoff_secs
+            ),
+            batch: e.chunk,
+            value: e.backoff_secs,
+        });
+    }
 }
 
 /// Writes the periodic checkpoint for the state after batch `batches`.
@@ -452,6 +532,7 @@ fn train_stream_inner(
     source: impl ChunkSource,
     cfg: &TrainConfig,
     resume: ResumePoint,
+    hooks: Option<&SuperHooks>,
 ) -> Result<TrainReport, TrainError> {
     assert!(cfg.batch_size > 0, "batch size must be positive");
     assert!(cfg.buffers >= 1, "need at least one buffer");
@@ -470,14 +551,27 @@ fn train_stream_inner(
         None => None,
     };
 
-    let mut stream = ChunkStream::spawn(
+    // With the `failpoints` feature, every source passes through the
+    // fault-injection wrapper; unarmed failpoints are no-ops.
+    #[cfg(feature = "failpoints")]
+    let source = crate::faults::FaultInjectSource::new(source);
+    let mut stream = ChunkStream::spawn_opts(
         source,
         cfg.link,
         ctx.clock().clone(),
         ctx.trace().clone(),
-        cfg.buffers,
-        cfg.double_buffered,
-    );
+        StreamOptions {
+            buffers: cfg.buffers,
+            double_buffered: cfg.double_buffered,
+            retry: RetryPolicy {
+                seed: ctx.seed(),
+                ..RetryPolicy::default()
+            },
+            deadline: cfg.chunk_deadline,
+            verify_checksums: true,
+        },
+    )
+    .map_err(|e| TrainError::Stream(StreamError::Spawn(e)))?;
 
     let mut report = TrainReport {
         batches: 0,
@@ -493,9 +587,24 @@ fn train_stream_inner(
     let mut pos: u64 = 0;
     let mut done_examples: u64 = 0;
     loop {
-        let chunk = {
+        let next = {
             let _load = ctx.phase("load");
             stream.next()
+        };
+        let chunk = match next {
+            Ok(chunk) => chunk,
+            Err(e) => {
+                // Stream failure: leave a checkpoint of everything trained
+                // so far (best effort — the run is failing anyway) and
+                // surface the typed error.
+                drain_stream_events(&stream, hooks);
+                if let Some(policy) = &cfg.checkpoint {
+                    if pos > 0 {
+                        let _ = write_checkpoint(policy, ctx, model, resume, pos, done_examples);
+                    }
+                }
+                return Err(TrainError::Stream(e));
+            }
         };
         let Some(chunk) = chunk else { break };
         if chunk.cols() != dim {
@@ -524,6 +633,14 @@ fn train_stream_inner(
                 continue;
             }
             let err = model.train_batch(ctx, chunk.rows_range(lo, hi), cfg.learning_rate);
+            if let Some(h) = hooks {
+                // Divergence sentinel: a non-finite or exploding batch
+                // error aborts the leg so the supervisor can roll back.
+                if !err.is_finite() || err > h.policy.divergence_threshold {
+                    drain_stream_events(&stream, hooks);
+                    return Err(TrainError::Diverged { batch: pos, err });
+                }
+            }
             if cfg.history_every == 0 || report.batches.is_multiple_of(cfg.history_every as u64) {
                 report.recon_history.push(err);
             }
@@ -532,6 +649,22 @@ fn train_stream_inner(
             pos += 1;
             done_examples += (hi - lo) as u64;
             lo = hi;
+            if let Some(h) = hooks {
+                if h.policy.snapshot_every > 0
+                    && pos > resume.skip_batches
+                    && pos.is_multiple_of(h.policy.snapshot_every)
+                {
+                    h.snapshot(
+                        model,
+                        ctx,
+                        resume.layer,
+                        resume.batches_per_epoch,
+                        pos,
+                        done_examples,
+                    )
+                    .map_err(TrainError::Checkpoint)?;
+                }
+            }
             if let Some(policy) = &cfg.checkpoint {
                 if policy.every_batches > 0 && pos.is_multiple_of(policy.every_batches) {
                     write_checkpoint(policy, ctx, model, resume, pos, done_examples)
@@ -552,6 +685,7 @@ fn train_stream_inner(
                 .map_err(TrainError::Checkpoint)?;
         }
     }
+    drain_stream_events(&stream, hooks);
     report.stream = stream.stats();
     report.sim_total_secs = ctx.sim_time();
     if let Some(profiler) = ctx.profiler() {
@@ -568,7 +702,7 @@ pub fn train_dataset(
     cfg: &TrainConfig,
     passes: usize,
 ) -> Result<TrainReport, TrainError> {
-    train_dataset_at(model, ctx, dataset, cfg, passes, 0, 0)
+    train_dataset_at(model, ctx, dataset, cfg, passes, 0, 0, None)
 }
 
 /// [`train_dataset`] continuing from a checkpoint's [`TrainProgress`]:
@@ -594,11 +728,14 @@ pub fn train_dataset_resume(
         passes,
         progress.batches,
         progress.layer,
+        None,
     )
 }
 
 /// Shared body of [`train_dataset`]/[`train_dataset_resume`]; `layer`
-/// labels checkpoints written during stacked pre-training.
+/// labels checkpoints written during stacked pre-training, `hooks` plugs
+/// in the supervisor's sentinel and snapshot machinery.
+#[allow(clippy::too_many_arguments)]
 pub(crate) fn train_dataset_at(
     model: &mut impl UnsupervisedModel,
     ctx: &ExecCtx,
@@ -607,6 +744,7 @@ pub(crate) fn train_dataset_at(
     passes: usize,
     skip_batches: u64,
     layer: u64,
+    hooks: Option<&SuperHooks>,
 ) -> Result<TrainReport, TrainError> {
     assert!(passes >= 1, "need at least one pass");
     let chunks = dataset.clone().into_chunks(cfg.chunk_rows);
@@ -628,6 +766,7 @@ pub(crate) fn train_dataset_at(
             layer,
             batches_per_epoch,
         },
+        hooks,
     )
 }
 

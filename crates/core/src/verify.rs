@@ -535,8 +535,8 @@ impl RaceTracker {
         // Slot per register, then one per external buffer.
         let mut slot_of: Vec<usize> = vec![usize::MAX; nb];
         let mut slot_names: Vec<String> = (0..nr).map(|r| format!("register {r}")).collect();
-        for b in 0..nb {
-            match plan.assignment[b] {
+        for (b, assigned) in plan.assignment.iter().enumerate().take(nb) {
+            match *assigned {
                 Some(r) => {
                     slot_of[b] = r;
                     slot_names[r].push_str(&format!(" `{}`", g.bufs[b].name));

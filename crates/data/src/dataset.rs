@@ -180,19 +180,21 @@ impl<G> micdnn_sim::ChunkSource for GeneratorSource<G>
 where
     G: FnMut(usize) -> Mat + Send + 'static,
 {
-    fn next_chunk(&mut self) -> Option<Mat> {
+    fn next_chunk(&mut self) -> Result<Option<micdnn_sim::Chunk>, micdnn_sim::SourceFault> {
         if self.chunks_remaining == 0 {
-            return None;
+            return Ok(None);
         }
         self.chunks_remaining -= 1;
         let idx = self.chunks_remaining;
         let chunk = (self.generator)(idx);
-        assert_eq!(
-            chunk.rows(),
-            self.rows_per_chunk,
-            "generator produced a chunk of the wrong size"
-        );
-        Some(chunk)
+        if chunk.rows() != self.rows_per_chunk {
+            return Err(micdnn_sim::SourceFault::Fatal(format!(
+                "generator produced chunk {idx} with {} rows, expected {}",
+                chunk.rows(),
+                self.rows_per_chunk
+            )));
+        }
+        Ok(Some(micdnn_sim::Chunk::new(chunk)))
     }
 }
 
@@ -282,10 +284,20 @@ mod tests {
         use micdnn_sim::ChunkSource;
         let mut src = GeneratorSource::new(|_i| Mat::zeros(5, 3), 5, 4);
         let mut n = 0;
-        while let Some(c) = src.next_chunk() {
-            assert_eq!(c.shape(), (5, 3));
+        while let Some(c) = src.next_chunk().unwrap() {
+            assert_eq!(c.data.shape(), (5, 3));
             n += 1;
         }
         assert_eq!(n, 4);
+    }
+
+    #[test]
+    fn generator_source_reports_bad_shapes_as_fatal_faults() {
+        use micdnn_sim::{ChunkSource, SourceFault};
+        let mut src = GeneratorSource::new(|_i| Mat::zeros(3, 3), 5, 2);
+        match src.next_chunk() {
+            Err(SourceFault::Fatal(msg)) => assert!(msg.contains("rows"), "{msg}"),
+            other => panic!("expected a fatal fault, got {other:?}"),
+        }
     }
 }

@@ -17,6 +17,15 @@ pub mod channel {
     #[derive(Debug, PartialEq, Eq)]
     pub struct RecvError;
 
+    /// Error returned by [`Receiver::recv_timeout`].
+    #[derive(Debug, PartialEq, Eq)]
+    pub enum RecvTimeoutError {
+        /// The deadline elapsed with no message.
+        Timeout,
+        /// All senders disconnected with the channel empty.
+        Disconnected,
+    }
+
     /// Sending half of a bounded channel.
     pub struct Sender<T>(mpsc::SyncSender<T>);
 
@@ -45,6 +54,18 @@ pub mod channel {
         /// Non-blocking receive; `None` when empty or disconnected.
         pub fn try_recv(&self) -> Option<T> {
             self.0.try_recv().ok()
+        }
+
+        /// Blocks up to `timeout` for a message; distinguishes an elapsed
+        /// deadline from a disconnected channel.
+        pub fn recv_timeout(
+            &self,
+            timeout: std::time::Duration,
+        ) -> Result<T, RecvTimeoutError> {
+            self.0.recv_timeout(timeout).map_err(|e| match e {
+                mpsc::RecvTimeoutError::Timeout => RecvTimeoutError::Timeout,
+                mpsc::RecvTimeoutError::Disconnected => RecvTimeoutError::Disconnected,
+            })
         }
 
         /// Blocking iterator over remaining messages.
@@ -86,5 +107,22 @@ mod tests {
         let (tx, rx) = channel::bounded(1);
         drop(rx);
         assert!(tx.send(5).is_err());
+    }
+
+    #[test]
+    fn recv_timeout_distinguishes_timeout_from_disconnect() {
+        use std::time::Duration;
+        let (tx, rx) = channel::bounded::<i32>(1);
+        assert_eq!(
+            rx.recv_timeout(Duration::from_millis(10)),
+            Err(channel::RecvTimeoutError::Timeout)
+        );
+        tx.send(7).unwrap();
+        assert_eq!(rx.recv_timeout(Duration::from_millis(10)), Ok(7));
+        drop(tx);
+        assert_eq!(
+            rx.recv_timeout(Duration::from_millis(10)),
+            Err(channel::RecvTimeoutError::Disconnected)
+        );
     }
 }

@@ -44,5 +44,8 @@ pub use device::{DeviceSpec, Platform};
 pub use export::{chrome_trace_json, chrome_trace_value};
 pub use link::Link;
 pub use memory::{DeviceAlloc, DeviceMemory, OutOfDeviceMemory};
-pub use stream::{ChunkSource, ChunkStream, StreamStats, VecSource};
+pub use stream::{
+    Chunk, ChunkSource, ChunkStream, RetryEvent, RetryPolicy, SourceFault, StreamError,
+    StreamOptions, StreamStats, VecSource,
+};
 pub use trace::{Event, EventKind, Trace};

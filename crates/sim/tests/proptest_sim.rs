@@ -81,9 +81,9 @@ proptest! {
             Trace::new(false),
             buffers,
             double_buffered,
-        );
+        ).unwrap();
         let mut i = 0;
-        while let Some(c) = stream.next() {
+        while let Some(c) = stream.next().unwrap() {
             prop_assert_eq!(c.get(0, 0), i as f32, "chunk order broken");
             clock.advance(compute_scale * link.transfer_time(48));
             i += 1;
@@ -122,16 +122,16 @@ proptest! {
             Trace::new(false),
             buffers,
             double_buffered,
-        );
+        ).unwrap();
         let mut seen = 0usize;
-        while let Some(c) = stream.next() {
+        while let Some(c) = stream.next().unwrap() {
             prop_assert_eq!((c.rows(), c.cols()), (rows, cols), "chunk shape changed in flight");
             prop_assert_eq!(c.get(0, 0), seen as f32, "chunks delivered out of order");
             clock.advance(compute_secs);
             seen += 1;
         }
         // Exhausted streams stay exhausted.
-        prop_assert!(stream.next().is_none());
+        prop_assert!(stream.next().unwrap().is_none());
         prop_assert_eq!(seen, n_chunks, "stream dropped or duplicated chunks");
 
         let st = stream.stats();

@@ -53,7 +53,7 @@ fn main() {
             // The paper's measured host pipeline: ~12.6 MB/s effective.
             link: Link::paper_measured(),
             history_every: 5,
-            checkpoint: None,
+            ..TrainConfig::default()
         };
         let report = train_stream(&mut model, &ctx, make_source(), &tc).expect("training failed");
         let st = report.stream;

@@ -1,0 +1,272 @@
+//! Chaos suite: seeded failpoint schedules over supervised AE and RBM
+//! runs (requires `--features failpoints`).
+//!
+//! The property under test is the supervisor's contract: a run under an
+//! injected fault schedule either **completes bit-identically** to the
+//! fault-free run at the same seed (when the faults are transient), or
+//! fails with a **typed** [`TrainError`] — never a panic and never a
+//! hang. Every run is wrapped in a wall-clock watchdog, so a hang fails
+//! the test instead of wedging CI.
+//!
+//! The failpoint registry is process-global, so every test serializes on
+//! [`REGISTRY_LOCK`] and disarms on entry and exit.
+
+use micdnn::supervise::train_dataset_supervised;
+use micdnn::train::{train_dataset, TrainConfig, TrainError};
+use micdnn::{faults, AeConfig, AeModel, ExecCtx, OptLevel, SparseAutoencoder};
+use micdnn::{IncidentLog, Rbm, RbmConfig, RbmModel, SupervisorPolicy};
+use micdnn_data::Dataset;
+use micdnn_tensor::Mat;
+use parking_lot::Mutex;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::time::Duration;
+
+/// Serializes tests that arm the process-global failpoint registry.
+static REGISTRY_LOCK: Mutex<()> = Mutex::new(());
+
+/// Runs `f` on a helper thread and panics if it does not finish in time —
+/// a hung run must fail the suite, not wedge it.
+fn with_watchdog<T: Send + 'static>(name: &str, f: impl FnOnce() -> T + Send + 'static) -> T {
+    let (tx, rx) = std::sync::mpsc::channel();
+    let handle = std::thread::spawn(move || {
+        let _ = tx.send(f());
+    });
+    match rx.recv_timeout(Duration::from_secs(60)) {
+        Ok(v) => {
+            let _ = handle.join();
+            v
+        }
+        Err(_) => panic!("watchdog: {name} did not finish within 60s"),
+    }
+}
+
+fn toy_dataset(n: usize, dim: usize, seed: u64) -> Dataset {
+    let mut rng = StdRng::seed_from_u64(seed);
+    Dataset::new(Mat::from_fn(n, dim, |_, _| rng.gen_range(0.1..0.9)))
+}
+
+/// A config whose supervisor preserves bit-identity across rollbacks
+/// (`lr_backoff` 1.0 — replayed batches recompute exactly).
+fn chaos_cfg() -> TrainConfig {
+    TrainConfig {
+        batch_size: 20,
+        chunk_rows: 40,
+        supervisor: Some(SupervisorPolicy {
+            lr_backoff: 1.0,
+            snapshot_every: 5,
+            ..SupervisorPolicy::default()
+        }),
+        ..TrainConfig::default()
+    }
+}
+
+fn ae_model() -> AeModel {
+    AeModel::new(SparseAutoencoder::new(AeConfig::new(12, 6), 17))
+}
+
+fn rbm_model() -> RbmModel {
+    RbmModel::new(Rbm::new(RbmConfig::new(12, 8), 23)).with_momentum(0.5)
+}
+
+/// Supervised AE run at seed 11; returns final weights and the log.
+fn run_ae() -> (Vec<f32>, IncidentLog) {
+    let ds = toy_dataset(120, 12, 11);
+    let mut model = ae_model();
+    let ctx = ExecCtx::native(OptLevel::Improved, 11);
+    let (_, log) = train_dataset_supervised(&mut model, &ctx, &ds, &chaos_cfg(), 3).unwrap();
+    (model.ae.w1.as_slice().to_vec(), log)
+}
+
+/// Supervised RBM run at seed 13; returns final weights and the log.
+fn run_rbm() -> (Vec<f32>, IncidentLog) {
+    let mut ds = toy_dataset(120, 12, 13);
+    ds.binarize(0.5);
+    let mut model = rbm_model();
+    let ctx = ExecCtx::native(OptLevel::Improved, 13);
+    let (_, log) = train_dataset_supervised(&mut model, &ctx, &ds, &chaos_cfg(), 3).unwrap();
+    (model.rbm.w.as_slice().to_vec(), log)
+}
+
+/// The acceptance schedule: the loader dies twice and one batch arrives
+/// NaN-poisoned, yet the run completes bit-identical to the fault-free
+/// run at the same seed, with the recovery enumerated in the log.
+#[test]
+fn loader_deaths_plus_nan_batch_recover_bit_identically() {
+    let _g = REGISTRY_LOCK.lock();
+    faults::clear_all();
+    let (clean_ae, clean_log) = with_watchdog("ae baseline", run_ae);
+    assert!(clean_log.incidents.is_empty(), "{:?}", clean_log.incidents);
+
+    faults::configure("loader.panic", "2").unwrap();
+    faults::configure("kernel.nan", "1@1").unwrap();
+    let (faulted_ae, log) = with_watchdog("ae faulted", run_ae);
+    faults::clear_all();
+
+    assert_eq!(clean_ae, faulted_ae, "recovered run diverged from baseline");
+    assert!(
+        log.count("loader-retry") >= 2,
+        "expected >=2 loader retries: {:?}",
+        log.incidents
+    );
+    assert_eq!(log.count("rollback"), 1, "{:?}", log.incidents);
+    assert_eq!(log.count("lr-backoff"), 1, "{:?}", log.incidents);
+}
+
+/// The same contract holds for the RBM path, whose CD steps consume the
+/// sampling stream (rollback must restore the RNG cursor too).
+#[test]
+fn rbm_recovers_bit_identically_from_transient_faults() {
+    let _g = REGISTRY_LOCK.lock();
+    faults::clear_all();
+    let (clean, clean_log) = with_watchdog("rbm baseline", run_rbm);
+    assert!(clean_log.incidents.is_empty());
+
+    faults::configure("loader.read", "1").unwrap();
+    faults::configure("kernel.nan", "1@2").unwrap();
+    let (faulted, log) = with_watchdog("rbm faulted", run_rbm);
+    faults::clear_all();
+
+    assert_eq!(clean, faulted, "recovered RBM diverged from baseline");
+    assert!(log.count("loader-retry") >= 1, "{:?}", log.incidents);
+    assert_eq!(log.count("rollback"), 1, "{:?}", log.incidents);
+}
+
+/// Corrupted chunks are caught by the loader's checksum check and
+/// re-requested; the training loop never sees the bad payload.
+#[test]
+fn crc_corruption_is_transparent_to_training() {
+    let _g = REGISTRY_LOCK.lock();
+    faults::clear_all();
+    let (clean, _) = with_watchdog("crc baseline", run_ae);
+
+    faults::configure("loader.crc", "1").unwrap();
+    let (faulted, log) = with_watchdog("crc faulted", run_ae);
+    faults::clear_all();
+
+    assert_eq!(clean, faulted);
+    assert!(log.count("loader-retry") >= 1, "{:?}", log.incidents);
+    assert_eq!(log.count("rollback"), 0, "{:?}", log.incidents);
+}
+
+/// A failed periodic checkpoint write restarts the leg from the snapshot
+/// instead of killing the run.
+#[test]
+fn checkpoint_write_failure_restarts_and_completes() {
+    use micdnn::CheckpointPolicy;
+    let _g = REGISTRY_LOCK.lock();
+    faults::clear_all();
+    let dir = std::env::temp_dir().join(format!("micdnn-chaos-{}", std::process::id()));
+    let ds = toy_dataset(120, 12, 11);
+    let cfg = TrainConfig {
+        checkpoint: Some(CheckpointPolicy::new(&dir, 7)),
+        ..chaos_cfg()
+    };
+
+    faults::configure("ckpt.write", "1").unwrap();
+    let (weights, log) = with_watchdog("ckpt faulted", move || {
+        let mut model = ae_model();
+        let ctx = ExecCtx::native(OptLevel::Improved, 11);
+        let (_, log) = train_dataset_supervised(&mut model, &ctx, &ds, &cfg, 3).unwrap();
+        (model.ae.w1.as_slice().to_vec(), log)
+    });
+    faults::clear_all();
+    let _ = std::fs::remove_dir_all(&dir);
+
+    assert_eq!(log.count("restart"), 1, "{:?}", log.incidents);
+    let (clean, _) = with_watchdog("ckpt baseline", run_ae);
+    assert_eq!(clean, weights, "restarted run diverged from baseline");
+}
+
+/// An unrecoverable schedule (the source faults forever) surfaces a typed
+/// error within the watchdog deadline — no panic, no hang.
+#[test]
+fn unrecoverable_schedule_fails_typed_within_deadline() {
+    let _g = REGISTRY_LOCK.lock();
+    faults::clear_all();
+    faults::configure("loader.read", "1000000").unwrap();
+    let err = with_watchdog("unrecoverable", || {
+        let ds = toy_dataset(120, 12, 11);
+        let cfg = TrainConfig {
+            supervisor: Some(SupervisorPolicy {
+                max_restarts: 2,
+                ..SupervisorPolicy::default()
+            }),
+            ..chaos_cfg()
+        };
+        let mut model = ae_model();
+        let ctx = ExecCtx::native(OptLevel::Improved, 11);
+        train_dataset_supervised(&mut model, &ctx, &ds, &cfg, 3).unwrap_err()
+    });
+    faults::clear_all();
+    match err {
+        TrainError::Unrecoverable { attempts, last } => {
+            assert_eq!(attempts, 3);
+            assert!(
+                last.contains("loader.read") || last.contains("stream"),
+                "{last}"
+            );
+        }
+        other => panic!("expected Unrecoverable, got {other:?}"),
+    }
+}
+
+/// Without supervision, an injected stream failure still surfaces as a
+/// typed error (the plain training loop never panics either).
+#[test]
+fn unsupervised_run_surfaces_typed_stream_errors() {
+    let _g = REGISTRY_LOCK.lock();
+    faults::clear_all();
+    faults::configure("loader.read", "1000000").unwrap();
+    let err = with_watchdog("unsupervised", || {
+        let ds = toy_dataset(120, 12, 11);
+        let mut model = ae_model();
+        let ctx = ExecCtx::native(OptLevel::Improved, 11);
+        train_dataset(&mut model, &ctx, &ds, &chaos_cfg(), 1).unwrap_err()
+    });
+    faults::clear_all();
+    assert!(matches!(err, TrainError::Stream(_)), "{err:?}");
+}
+
+/// Random seeded schedules: every run either completes bit-identical to
+/// the fault-free baseline or fails with a typed error — across AE and
+/// RBM, with mixed fault sites.
+#[test]
+fn random_seeded_schedules_complete_or_fail_typed() {
+    let _g = REGISTRY_LOCK.lock();
+    faults::clear_all();
+    let (clean_ae, _) = with_watchdog("sweep ae baseline", run_ae);
+    let (clean_rbm, _) = with_watchdog("sweep rbm baseline", run_rbm);
+
+    for seed in 0..6u64 {
+        let mut rng = StdRng::seed_from_u64(0xC0FFEE ^ seed);
+        faults::clear_all();
+        // 1–3 armed sites with small counts at random offsets.
+        for _ in 0..rng.gen_range(1..=3) {
+            let site =
+                ["loader.read", "loader.panic", "loader.crc", "kernel.nan"][rng.gen_range(0..4)];
+            let spec = format!("{}@{}", rng.gen_range(1..=2), rng.gen_range(0..6));
+            faults::configure(site, &spec).unwrap();
+        }
+        let use_rbm = seed % 2 == 1;
+        let name = format!("sweep seed {seed}");
+        let outcome = with_watchdog(&name, move || {
+            if use_rbm {
+                std::panic::catch_unwind(run_rbm)
+            } else {
+                std::panic::catch_unwind(run_ae)
+            }
+        });
+        match outcome {
+            Ok((weights, _log)) => {
+                let clean = if use_rbm { &clean_rbm } else { &clean_ae };
+                assert_eq!(
+                    clean, &weights,
+                    "seed {seed}: recovered run diverged from baseline"
+                );
+            }
+            Err(payload) => panic!("seed {seed}: run panicked: {payload:?}"),
+        }
+    }
+    faults::clear_all();
+}

@@ -177,6 +177,7 @@ fn sample_report() -> ProfileReport {
         bytes: 20 * 164_000_000,
         transfer_secs: 260.0,
         stall_secs: 13.0,
+        ..StreamStats::default()
     });
     p.report(Some(2021.76), 1.45)
 }

@@ -164,6 +164,7 @@ proptest! {
         let mut rng = rand::rngs::StdRng::seed_from_u64(edge_seed);
         let ctx = ExecCtx::simulated(OptLevel::Improved, Platform::xeon_phi(), 1);
         let mut g: TaskGraph<'_, Vec<f32>> = TaskGraph::new();
+        g.allow_opaque();
         #[allow(clippy::needless_range_loop)] // i doubles as the node id
         for i in 0..n {
             // Random subset of earlier nodes as dependencies.

@@ -400,7 +400,7 @@ fn race_check_catches_injected_concurrent_write() {
     // The overlap window is timing-based (both nodes hold their claims for
     // `HOLD`), so allow a couple of attempts before declaring failure.
     const HOLD: Duration = Duration::from_millis(300);
-    for attempt in 0..3 {
+    for _attempt in 0..3 {
         let mut g: TaskGraph<'static, ()> = TaskGraph::new();
         let x = g.declare("x", 64, BufClass::Scratch);
         let y = g.declare("y", 64, BufClass::Pinned);
