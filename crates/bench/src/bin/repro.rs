@@ -12,7 +12,7 @@
 //! hide the PCIe transfers.
 //!
 //! Experiments: `fig7a fig7b fig8a fig8b fig9a fig9b fig10 table1 overlap
-//! graph scaling socket threads hybrid all` (default: `all`).
+//! graph scaling socket threads hybrid multidev all` (default: `all`).
 //!
 //! Numbers are simulated seconds on the modeled Xeon Phi 5110P / Xeon E5620
 //! platforms — see DESIGN.md for the substitution rationale and
@@ -91,13 +91,14 @@ fn main() {
                     | "socket"
                     | "threads"
                     | "hybrid"
+                    | "multidev"
             )
         })
         .collect();
     if !unknown.is_empty() {
         eprintln!("unknown experiment(s): {unknown:?}");
         eprintln!(
-            "known: fig7a fig7b fig8a fig8b fig9a fig9b fig10 table1 overlap graph scaling socket threads hybrid all"
+            "known: fig7a fig7b fig8a fig8b fig9a fig9b fig10 table1 overlap graph scaling socket threads hybrid multidev all"
         );
         unknown.clear();
         std::process::exit(2);
@@ -273,6 +274,30 @@ fn main() {
                 "optimal_secs": best_secs
             }),
         );
+    }
+
+    if want("multidev") {
+        let pts = exp::multidev_sweep();
+        if json {
+            println!("{}", serde_json::to_string_pretty(&pts).unwrap());
+        } else {
+            println!("== Multi-device data-parallel Autoencoder (1024x256, batch 1024) ==");
+            println!(
+                "{:<10}{:>14}{:>12}{:>16}",
+                "devices", "seconds", "speedup", "sync fraction"
+            );
+            for p in &pts {
+                println!(
+                    "{:<10}{:>13.3}s{:>11.2}x{:>15.1}%",
+                    p.devices,
+                    p.seconds,
+                    p.speedup,
+                    100.0 * p.sync_fraction
+                );
+            }
+            println!("(same global batch at every N: the trained weights are bit-identical)\n");
+        }
+        emit_bench(&bench_dir, "multidev", serde_json::to_value(&pts));
     }
 
     if want("socket") {

@@ -12,7 +12,8 @@ use micdnn::autoencoder::{AeConfig, AeScratch, SparseAutoencoder};
 use micdnn::exec::{ExecCtx, OptLevel};
 use micdnn::hybrid::{estimate_hybrid, optimal_fraction, HybridConfig};
 use micdnn::rbm::{Rbm, RbmConfig, RbmScratch};
-use micdnn::{ae_step_graph, cd_step_graph};
+use micdnn::train::UnsupervisedModel;
+use micdnn::{ae_step_graph, cd_step_graph, DataParallelAe, MultiDevConfig};
 use micdnn_kernels::OpKind;
 use micdnn_sim::{
     Affinity, ChunkStream, EventKind, Link, Platform, SimClock, StreamStats, Trace, VecSource,
@@ -698,6 +699,63 @@ pub fn hybrid_sweep() -> (Vec<HybridPoint>, f64, f64) {
     (points, best_f, best.total_secs)
 }
 
+/// One point of the multi-device data-parallel sweep.
+#[derive(Debug, Clone, Serialize)]
+pub struct MultiDevPoint {
+    /// Coprocessors sharing each mini-batch.
+    pub devices: usize,
+    /// Simulated seconds for the fixed workload.
+    pub seconds: f64,
+    /// Speedup vs one device.
+    pub speedup: f64,
+    /// Fraction of modeled step time spent in gradient synchronization.
+    pub sync_fraction: f64,
+}
+
+/// Multi-device data-parallel scaling of the sparse autoencoder: the same
+/// global batches run at N in {1, 2, 4} through [`DataParallelAe`] on the
+/// simulated Phi, so every point trains the *bit-identical* model and only
+/// the modeled clock differs. The clock charges the slowest device's shard
+/// plus a ring allreduce of the merged gradients over the PCIe link, so
+/// speedup saturates where sync catches up with the shrinking shards.
+pub fn multidev_sweep() -> Vec<MultiDevPoint> {
+    const VIS: usize = 1024;
+    const HID: usize = 256;
+    const ROWS: usize = 1024;
+    const BATCHES: usize = 2;
+    let run = |devices: usize| -> (f64, f64) {
+        let cfg = MultiDevConfig::new(devices).with_link(Link::pcie_gen2());
+        let mut model =
+            DataParallelAe::new(SparseAutoencoder::new(AeConfig::new(VIS, HID), 7), cfg);
+        let ctx = ExecCtx::simulated(OptLevel::Improved, Platform::xeon_phi(), 11);
+        model.prepare(ROWS);
+        for i in 0..BATCHES {
+            let x = Mat::from_fn(ROWS, VIS, |r, c| {
+                ((r * VIS + c + i * 131) % 17) as f32 / 17.0
+            });
+            model.train_batch(&ctx, x.view(), 0.1);
+        }
+        (ctx.sim_time(), model.sync_fraction())
+    };
+    let (base_secs, base_sync) = run(1);
+    let mut out = vec![MultiDevPoint {
+        devices: 1,
+        seconds: base_secs,
+        speedup: 1.0,
+        sync_fraction: base_sync,
+    }];
+    for devices in [2usize, 4] {
+        let (secs, sync) = run(devices);
+        out.push(MultiDevPoint {
+            devices,
+            seconds: secs,
+            speedup: base_secs / secs,
+            sync_fraction: sync,
+        });
+    }
+    out
+}
+
 /// Full estimate for an arbitrary workload/platform (exposed for the repro
 /// binary's `--custom` mode and the integration tests).
 pub fn custom_estimate(level: OptLevel, platform: Platform, w: &Workload) -> Estimate {
@@ -914,6 +972,29 @@ mod tests {
         assert!(best_secs <= pure_phi + 1e-12);
         assert!(best_secs < pure_host);
         assert!(best_f > 0.5, "optimal split should favor the Phi: {best_f}");
+    }
+
+    #[test]
+    fn multidev_sweep_speeds_up_and_pays_for_sync() {
+        let pts = multidev_sweep();
+        assert_eq!(
+            pts.iter().map(|p| p.devices).collect::<Vec<_>>(),
+            vec![1, 2, 4]
+        );
+        // One device pays no allreduce; every extra device does.
+        assert_eq!(pts[0].sync_fraction, 0.0);
+        for p in &pts[1..] {
+            assert!(p.sync_fraction > 0.0, "N={} free sync", p.devices);
+            assert!(p.sync_fraction < 0.5, "N={} sync-bound", p.devices);
+        }
+        // More devices never slow the modeled step down, and the headline
+        // acceptance bar: >1x at N=4 (sub-linear because of the allreduce).
+        for w in pts.windows(2) {
+            assert!(w[1].seconds < w[0].seconds, "N={} regressed", w[1].devices);
+        }
+        let n4 = pts.last().unwrap();
+        assert!(n4.speedup > 1.0, "N=4 speedup {}", n4.speedup);
+        assert!(n4.speedup <= 4.0 + 1e-9, "superlinear? {}", n4.speedup);
     }
 
     #[test]

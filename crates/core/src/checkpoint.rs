@@ -30,7 +30,7 @@ use crate::exec::ExecCtx;
 use crate::model_io::{
     atomic_write, bad, read_any_header, read_autoencoder_body, read_f32, read_f64, read_header,
     read_rbm_body, read_u64, read_vec, save_autoencoder, save_rbm, write_f32, write_f64,
-    write_header, write_slice, write_u64, TAG_AE, TAG_CKPT, TAG_RBM,
+    write_header, write_slice, write_u64, TAG_AE, TAG_CKPT, TAG_MDP, TAG_RBM,
 };
 use crate::optim::{Optimizer, Rule, Schedule};
 use crate::train::{AeModel, RbmModel, UnsupervisedModel};
@@ -90,6 +90,9 @@ pub enum CheckpointModel {
     Ae(AeModel),
     /// An RBM with its graph flag and optional CD momentum.
     Rbm(RbmModel),
+    /// A multi-device replica set: device geometry, per-device RNG
+    /// cursors, offline flags, and the replicated model.
+    MultiDev(crate::multidev::MultiDevState),
 }
 
 /// A loaded checkpoint: everything needed to continue the run.
@@ -116,7 +119,7 @@ impl Checkpoint {
     pub fn into_ae(self) -> Option<AeModel> {
         match self.model {
             CheckpointModel::Ae(m) => Some(m),
-            CheckpointModel::Rbm(_) => None,
+            _ => None,
         }
     }
 
@@ -124,7 +127,16 @@ impl Checkpoint {
     pub fn into_rbm(self) -> Option<RbmModel> {
         match self.model {
             CheckpointModel::Rbm(m) => Some(m),
-            CheckpointModel::Ae(_) => None,
+            _ => None,
+        }
+    }
+
+    /// The embedded multi-device state, if this is a multi-device
+    /// checkpoint.
+    pub fn into_multidev(self) -> Option<crate::multidev::MultiDevState> {
+        match self.model {
+            CheckpointModel::MultiDev(s) => Some(s),
+            _ => None,
         }
     }
 }
@@ -373,6 +385,7 @@ pub fn load_checkpoint(r: &mut impl Read) -> io::Result<Checkpoint> {
     let model = match read_any_header(r)? {
         TAG_AE => CheckpointModel::Ae(read_ae_state(r)?),
         TAG_RBM => CheckpointModel::Rbm(read_rbm_state(r)?),
+        TAG_MDP => CheckpointModel::MultiDev(crate::multidev::read_multidev_body(r)?),
         t => return Err(bad(format!("checkpoint embeds unknown model tag {t}"))),
     };
     Ok(Checkpoint {

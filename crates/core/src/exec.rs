@@ -210,8 +210,17 @@ impl ExecCtx {
             .push((kind.to_string(), detail.to_string()));
     }
 
+    /// Records an incident note *without* latching the serial-only
+    /// demotion — for recoveries that leave execution healthy (a dropped
+    /// device re-sharded onto the survivors, a retried link transfer).
+    pub fn note_incident(&self, kind: &str, detail: &str) {
+        self.incident_notes
+            .lock()
+            .push((kind.to_string(), detail.to_string()));
+    }
+
     /// Drains the `(kind, detail)` notes recorded by
-    /// [`ExecCtx::force_degrade`].
+    /// [`ExecCtx::force_degrade`] and [`ExecCtx::note_incident`].
     pub fn take_incident_notes(&self) -> Vec<(String, String)> {
         std::mem::take(&mut *self.incident_notes.lock())
     }
@@ -360,6 +369,24 @@ impl ExecCtx {
         self.trace.push(t0, t0 + secs, kind, label);
     }
 
+    /// Charges modeled seconds that did not come from a kernel op — link
+    /// transfers between devices, gradient-sync barriers. On a native
+    /// (unpriced) context this is a no-op, mirroring how op prices vanish
+    /// there; inside [`ExecCtx::run_deferred`] the seconds land in the
+    /// accumulator like any op price.
+    pub fn charge_secs(&self, secs: f64, kind: EventKind, label: &str) {
+        if self.pricing.is_none() {
+            return;
+        }
+        let mut d = self.deferred.lock();
+        if let Some(acc) = d.as_mut() {
+            *acc += secs;
+            return;
+        }
+        drop(d);
+        self.advance_clock(secs, kind, label);
+    }
+
     /// Wall-clock start of the op about to run, taken only when a native
     /// (unpriced) context has a profiler attached — the one case that
     /// needs real timing. Everything else stays free of clock syscalls.
@@ -489,6 +516,23 @@ impl ExecCtx {
         self.charge_timed(cost, t0);
     }
 
+    /// See [`Backend::bernoulli_at`]: samples a *window* of a larger
+    /// logical op on an explicitly reserved stream.
+    ///
+    /// Unlike [`ExecCtx::bernoulli`] this does not draw a fresh stream —
+    /// the caller reserves one with [`ExecCtx::next_stream`] and every
+    /// shard of the op passes the same id plus its global element offset,
+    /// so the drawn bits are independent of how the batch was split
+    /// across devices.
+    pub fn bernoulli_at(&self, stream: StreamId, elem_base: u64, probs: &[f32], out: &mut [f32]) {
+        let seed = self.seed();
+        let t0 = self.op_start();
+        let cost = self
+            .backend
+            .bernoulli_at(seed, stream, elem_base, probs, out);
+        self.charge_timed(cost, t0);
+    }
+
     /// See [`Backend::axpy`].
     pub fn axpy(&self, alpha: f32, x: &[f32], y: &mut [f32]) {
         let t0 = self.op_start();
@@ -500,6 +544,13 @@ impl ExecCtx {
     pub fn scale(&self, alpha: f32, y: &mut [f32]) {
         let t0 = self.op_start();
         let cost = self.backend.scale(alpha, y);
+        self.charge_timed(cost, t0);
+    }
+
+    /// See [`Backend::block_merge`] — fixed-order partial-gradient merge.
+    pub fn block_merge(&self, parts: &[&[f32]], out: &mut [f32]) {
+        let t0 = self.op_start();
+        let cost = self.backend.block_merge(parts, out);
         self.charge_timed(cost, t0);
     }
 

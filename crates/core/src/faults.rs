@@ -18,6 +18,10 @@
 //! | `loader.crc`   | a chunk is delivered corrupted, with its pristine CRC   |
 //! | `kernel.nan`   | one chunk's payload is poisoned with a NaN              |
 //! | `ckpt.write`   | a checkpoint write fails with an I/O error              |
+//! | `device.oom`   | a device in the multi-device set runs out of memory and |
+//! |                | drops offline; its shard re-lands on the survivors      |
+//! | `link.drop`    | a gradient-sync transfer drops and is retried (extra    |
+//! |                | modeled sync time, numerics unchanged)                  |
 //!
 //! All of these are exercised through [`FaultInjectSource`], a wrapper any
 //! [`micdnn_sim::ChunkSource`] passes through when the feature is enabled
@@ -37,6 +41,8 @@ pub const SITES: &[&str] = &[
     "loader.crc",
     "kernel.nan",
     "ckpt.write",
+    "device.oom",
+    "link.drop",
 ];
 
 #[cfg(feature = "failpoints")]

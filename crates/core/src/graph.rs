@@ -123,6 +123,8 @@ pub struct NodeSpec {
     stochastic: bool,
     exclusive: bool,
     phase: Option<&'static str>,
+    device: u32,
+    transfer: bool,
 }
 
 impl NodeSpec {
@@ -135,6 +137,8 @@ impl NodeSpec {
             stochastic: false,
             exclusive: false,
             phase: None,
+            device: 0,
+            transfer: false,
         }
     }
 
@@ -173,6 +177,23 @@ impl NodeSpec {
         self.phase = Some(name);
         self
     }
+
+    /// Places the node on device `d` of a multi-device schedule (device 0
+    /// by default). The verifier requires cross-device dataflow to be
+    /// mediated by an ordered [`NodeSpec::transfer`] node.
+    pub fn device(mut self, d: u32) -> Self {
+        self.device = d;
+        self
+    }
+
+    /// Marks the node as an inter-device transfer: it may legally bridge
+    /// buffers between two devices (it owns the link hop that moves the
+    /// bytes), and the verifier treats it as the ordering point of that
+    /// cross-device edge.
+    pub fn transfer(mut self) -> Self {
+        self.transfer = true;
+        self
+    }
 }
 
 /// A DAG of named tasks over declared buffers.
@@ -194,6 +215,10 @@ pub struct TaskGraph<'g, S> {
     pub(crate) exclusive: Vec<bool>,
     /// Node was added via [`TaskGraph::add`] with no declared footprint.
     pub(crate) opaque: Vec<bool>,
+    /// Device the node is placed on (0 for single-device graphs).
+    pub(crate) device: Vec<u32>,
+    /// Node is an inter-device transfer (owns a cross-device edge).
+    pub(crate) transfer: Vec<bool>,
     phases: Vec<Option<&'static str>>,
     pub(crate) bufs: Vec<BufDecl>,
     /// Test-only escape hatch: suppress automatic verification so seeded
@@ -226,6 +251,8 @@ impl<'g, S> TaskGraph<'g, S> {
             stochastic: Vec::new(),
             exclusive: Vec::new(),
             opaque: Vec::new(),
+            device: Vec::new(),
+            transfer: Vec::new(),
             phases: Vec::new(),
             bufs: Vec::new(),
             skip_verify: false,
@@ -286,6 +313,8 @@ impl<'g, S> TaskGraph<'g, S> {
         self.stochastic.push(spec.stochastic);
         self.exclusive.push(spec.exclusive);
         self.opaque.push(false);
+        self.device.push(spec.device);
+        self.transfer.push(spec.transfer);
         self.phases.push(spec.phase);
         self.verified = false;
         id
@@ -316,6 +345,8 @@ impl<'g, S> TaskGraph<'g, S> {
         self.stochastic.push(false);
         self.exclusive.push(false);
         self.opaque.push(true);
+        self.device.push(0);
+        self.transfer.push(false);
         self.phases.push(None);
         self.verified = false;
         id

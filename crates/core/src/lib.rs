@@ -59,6 +59,7 @@ pub mod graph;
 pub mod hybrid;
 pub mod metrics;
 pub mod model_io;
+pub mod multidev;
 pub mod optim;
 pub mod profile;
 pub mod rbm;
@@ -88,10 +89,14 @@ pub use metrics::{
 pub use model_io::{
     atomic_write, load_autoencoder_file, load_rbm_file, save_autoencoder_file, save_rbm_file,
 };
+pub use multidev::{
+    block_bounds, DataParallelAe, DataParallelRbm, MultiDevConfig, MultiDevModelState,
+    MultiDevState,
+};
 pub use optim::{Optimizer, Rule, Schedule};
 pub use profile::{OpReport, PhaseReport, ProfileReport, Profiler, StreamReport};
 pub use rbm::{Rbm, RbmConfig, RbmScratch};
-pub use stacked::{DeepBeliefNet, LayerReport, StackedAutoencoder};
+pub use stacked::{DeepBeliefNet, LayerReport, PipelineReport, PipelineState, StackedAutoencoder};
 pub use supervise::{
     train_dataset_supervised, Incident, IncidentLog, Recoverable, SupervisorPolicy,
 };

@@ -18,6 +18,7 @@ pub(crate) const MAGIC: &[u8; 8] = b"MICDNN01";
 pub(crate) const TAG_AE: u8 = 1;
 pub(crate) const TAG_RBM: u8 = 2;
 pub(crate) const TAG_CKPT: u8 = 3;
+pub(crate) const TAG_MDP: u8 = 4;
 
 /// Upper bound on any single header-derived dimension. Well above the
 /// paper's largest layer (16384) but small enough that a corrupt header

@@ -1,0 +1,1175 @@
+//! Multi-device data-parallel training with bit-exact gradient merging.
+//!
+//! The paper trains on a single Xeon Phi card; its natural scale-out step
+//! (and the one its successors took) is data parallelism across several
+//! coprocessors: each card holds a full parameter replica, computes
+//! gradients on its shard of the mini-batch, and the shards are merged
+//! through a modeled PCIe sync step ([`micdnn_sim::DeviceSet`]).
+//!
+//! # Canonical microblocks: N-invariant numerics by construction
+//!
+//! Naive sharding (`B/N` rows per device, per-shard mean gradients, then
+//! averaging the shard means) changes floating-point association whenever
+//! `N` changes, so an N-device run drifts from the single-device run. This
+//! module instead fixes the summation *geometry* independently of the
+//! device count:
+//!
+//! 1. The global batch `B` is split into `K` **canonical microblocks** by
+//!    [`block_bounds`] — a pure function of `(B, K)`, never of `N`.
+//! 2. Every per-example op (forward *and* backward) runs per block, so
+//!    each op's operand shapes are the block's, not the shard's.
+//! 3. Per-block partial gradients use `alpha = 1` (column *sums*, not
+//!    means).
+//! 4. The merge left-folds the partials **in canonical block order**
+//!    ([`micdnn_kernels::vecops::block_merge`]: block 0 is copied, blocks
+//!    `1..K` are added in order), then one final `scale(1/B)` recovers the
+//!    batch mean.
+//!
+//! Devices own contiguous *ranges of blocks*; changing `N` (or dropping a
+//! device mid-run) only changes which device computes which block — every
+//! f32 operation, operand shape, and fold order is untouched. The result:
+//! `N`-device training is **bitwise identical** to the same trainer at
+//! `N = 1`, enforced by the proptests in `tests/shard_properties.rs`.
+//!
+//! RBM sampling stays N-invariant the same way: the per-step sampling
+//! streams are allocated once at the master level (`cd_steps` streams per
+//! batch regardless of `N`), and each block samples through
+//! [`ExecCtx::bernoulli_at`] at its global element offset, so the sampled
+//! bits per example are a pure function of `(seed, stream, row, column)`.
+//!
+//! # Timing model
+//!
+//! On a simulated context each device's shard is priced with
+//! [`ExecCtx::run_deferred`]; the master clock advances by the *slowest*
+//! device plus the modeled allreduce ([`DeviceSet::allreduce_time`] —
+//! ring allreduce by default, host parameter-server as fallback).
+//! [`DeviceSet::sync_fraction`] feeds the `BENCH_multidev.json` artifact.
+//!
+//! # Fault injection
+//!
+//! Two failpoints (feature `failpoints`, see [`crate::faults`]): a
+//! `device.oom` drops one device and re-shards its blocks onto the
+//! survivors (bit-identical by construction); a `link.drop` retries the
+//! gradient sync, charging extra modeled time without touching numerics.
+
+use crate::autoencoder::{AeScratch, SparseAutoencoder};
+use crate::checkpoint::CheckpointModel;
+use crate::exec::ExecCtx;
+use crate::faults;
+use crate::model_io::{
+    bad, read_any_header, read_autoencoder_body, read_rbm_body, read_u64, save_autoencoder,
+    save_rbm, write_header, write_u64, TAG_AE, TAG_MDP, TAG_RBM,
+};
+use crate::rbm::{Rbm, RbmScratch};
+use crate::supervise::Recoverable;
+use crate::train::UnsupervisedModel;
+use micdnn_kernels::fused::kl_sparsity;
+use micdnn_sim::{DeviceSet, EventKind, Link, SyncModel};
+use micdnn_tensor::MatView;
+use std::io::{self, Read, Write};
+
+/// Hard cap on the device count a checkpoint may declare (a corrupt header
+/// must not size allocations).
+const MAX_DEVICES: u64 = 4096;
+
+/// Splits `total` rows into `parts` contiguous ranges whose sizes differ
+/// by at most one (the first `total % parts` ranges get the extra row).
+///
+/// Pure in `(total, parts)` — this is the invariant the bit-exactness of
+/// multi-device training rests on: the canonical block geometry of a batch
+/// never depends on how many devices will compute it. Ranges may be empty
+/// when `total < parts`.
+pub fn block_bounds(total: usize, parts: usize) -> Vec<(usize, usize)> {
+    assert!(parts >= 1, "block_bounds needs at least one part");
+    let base = total / parts;
+    let rem = total % parts;
+    let mut out = Vec::with_capacity(parts);
+    let mut lo = 0;
+    for i in 0..parts {
+        let sz = base + usize::from(i < rem);
+        out.push((lo, lo + sz));
+        lo += sz;
+    }
+    debug_assert_eq!(lo, total);
+    out
+}
+
+/// The non-empty canonical microblocks of a `batch`-row mini-batch.
+pub(crate) fn canonical_blocks(batch: usize, k: usize) -> Vec<(usize, usize)> {
+    block_bounds(batch, k.max(1))
+        .into_iter()
+        .filter(|&(lo, hi)| hi > lo)
+        .collect()
+}
+
+/// Configuration of a multi-device data-parallel trainer.
+#[derive(Debug, Clone)]
+pub struct MultiDevConfig {
+    /// Number of coprocessors in the set.
+    pub devices: usize,
+    /// Number of canonical microblocks `K` each global batch is split
+    /// into. Must not change across runs that are compared bit-for-bit
+    /// (it is persisted in checkpoints for exactly that reason).
+    pub canonical_blocks: usize,
+    /// Gradient synchronization strategy.
+    pub sync: SyncModel,
+    /// Per-device PCIe link model.
+    pub link: Link,
+    /// Modeled per-device memory capacity in bytes.
+    pub mem_capacity: u64,
+}
+
+impl MultiDevConfig {
+    /// `devices` coprocessors with the paper's card parameters: 8 canonical
+    /// blocks, ring allreduce, PCIe gen-2 link, 8 GB per card.
+    pub fn new(devices: usize) -> Self {
+        assert!(devices >= 1, "need at least one device");
+        MultiDevConfig {
+            devices,
+            canonical_blocks: 8,
+            sync: SyncModel::RingAllReduce,
+            link: Link::pcie_gen2(),
+            mem_capacity: 8 << 30,
+        }
+    }
+
+    /// Overrides the canonical microblock count `K`.
+    pub fn with_blocks(mut self, k: usize) -> Self {
+        assert!(k >= 1, "need at least one canonical block");
+        self.canonical_blocks = k;
+        self
+    }
+
+    /// Overrides the gradient synchronization strategy.
+    pub fn with_sync(mut self, sync: SyncModel) -> Self {
+        self.sync = sync;
+        self
+    }
+
+    /// Overrides the per-device link model.
+    pub fn with_link(mut self, link: Link) -> Self {
+        self.link = link;
+        self
+    }
+
+    fn device_set(&self) -> DeviceSet {
+        DeviceSet::new(self.devices, self.link, self.mem_capacity, self.sync)
+    }
+}
+
+/// Everything a multi-device checkpoint stores on top of the inner model:
+/// the device geometry, the per-device RNG cursors, and which devices had
+/// already dropped offline.
+#[derive(Debug)]
+pub struct MultiDevState {
+    /// Devices in the set at save time.
+    pub devices: usize,
+    /// Canonical microblock count the run was using.
+    pub canonical_blocks: usize,
+    /// Per-device `(seed, cursor)` sampler positions at save time.
+    pub dev_rng: Vec<(u64, u64)>,
+    /// Which devices were offline at save time.
+    pub offline: Vec<bool>,
+    /// The replicated model.
+    pub inner: MultiDevModelState,
+}
+
+/// The model replica embedded in a multi-device checkpoint.
+#[derive(Debug)]
+pub enum MultiDevModelState {
+    /// Sparse-autoencoder replica.
+    Ae(SparseAutoencoder),
+    /// RBM replica.
+    Rbm(Rbm),
+}
+
+/// Reads a `TAG_MDP` record body (header already consumed).
+pub(crate) fn read_multidev_body(r: &mut impl Read) -> io::Result<MultiDevState> {
+    let n = read_u64(r)?;
+    if n == 0 || n > MAX_DEVICES {
+        return Err(bad(format!(
+            "device count {n} out of range (1..={MAX_DEVICES})"
+        )));
+    }
+    let k = read_u64(r)?;
+    if k == 0 || k > 1 << 20 {
+        return Err(bad(format!("canonical block count {k} out of range")));
+    }
+    let mut dev_rng = Vec::with_capacity(n as usize);
+    let mut offline = Vec::with_capacity(n as usize);
+    for i in 0..n {
+        let seed = read_u64(r)?;
+        let cursor = read_u64(r)?;
+        let mut flag = [0u8; 1];
+        r.read_exact(&mut flag)?;
+        let off = match flag[0] {
+            0 => false,
+            1 => true,
+            t => return Err(bad(format!("bad offline flag {t} for device {i}"))),
+        };
+        dev_rng.push((seed, cursor));
+        offline.push(off);
+    }
+    if offline.iter().all(|&o| o) {
+        return Err(bad("checkpoint declares every device offline"));
+    }
+    let inner = match read_any_header(r)? {
+        TAG_AE => MultiDevModelState::Ae(read_autoencoder_body(r)?),
+        TAG_RBM => MultiDevModelState::Rbm(read_rbm_body(r)?),
+        t => {
+            return Err(bad(format!(
+                "multi-device record embeds unknown model tag {t}"
+            )))
+        }
+    };
+    Ok(MultiDevState {
+        devices: n as usize,
+        canonical_blocks: k as usize,
+        dev_rng,
+        offline,
+        inner,
+    })
+}
+
+/// Writes the shared `TAG_MDP` prefix (geometry + per-device RNG cursors +
+/// offline flags); the caller appends the inner model record.
+fn write_multidev_prefix(
+    w: &mut dyn Write,
+    devset: &DeviceSet,
+    canonical_blocks: usize,
+    dev_rng: &[(u64, u64)],
+) -> io::Result<()> {
+    let mut w = w;
+    write_header(&mut w, TAG_MDP)?;
+    write_u64(&mut w, devset.len() as u64)?;
+    write_u64(&mut w, canonical_blocks as u64)?;
+    for (i, &(seed, cursor)) in dev_rng.iter().enumerate() {
+        write_u64(&mut w, seed)?;
+        write_u64(&mut w, cursor)?;
+        w.write_all(&[u8::from(!devset.is_online(i))])?;
+    }
+    Ok(())
+}
+
+/// `device.oom` failpoint: drops the highest-numbered online device (never
+/// the last one) and notes the incident. Returns whether a device dropped.
+fn maybe_drop_device(devset: &mut DeviceSet, ctx: &ExecCtx) -> bool {
+    if devset.online_count() > 1 && faults::fire("device.oom") {
+        let victim = (0..devset.len())
+            .rev()
+            .find(|&i| devset.is_online(i))
+            .expect("online device exists");
+        devset.mark_offline(victim);
+        ctx.note_incident(
+            "device-oom",
+            &format!(
+                "device {victim} out of memory, dropped offline; its blocks re-land on {} survivor(s)",
+                devset.online_count()
+            ),
+        );
+        true
+    } else {
+        false
+    }
+}
+
+/// Charges the step's modeled time to the master clock and the device set:
+/// the slowest device's compute plus the gradient allreduce (with a
+/// `link.drop` retry when armed). Returns nothing; numerics are untouched.
+fn charge_step(
+    devset: &mut DeviceSet,
+    ctx: &ExecCtx,
+    max_busy: f64,
+    mut sync: f64,
+    payload_bytes: u64,
+) {
+    if faults::fire("link.drop") {
+        sync += devset.allreduce_time(payload_bytes);
+        ctx.note_incident(
+            "link-retry",
+            &format!("gradient sync transfer ({payload_bytes} B) dropped; retried once"),
+        );
+    }
+    ctx.charge_secs(max_busy, EventKind::Node, "multidev-shards");
+    ctx.charge_secs(sync, EventKind::Sync, "multidev-allreduce");
+    devset.record_step(max_busy, sync);
+}
+
+/// The indices of the online devices, in fixed id order.
+fn online_devices(devset: &DeviceSet) -> Vec<usize> {
+    (0..devset.len()).filter(|&i| devset.is_online(i)).collect()
+}
+
+// ---- sparse autoencoder --------------------------------------------------
+
+/// A sparse autoencoder replicated across a [`DeviceSet`], trained
+/// data-parallel with bit-exact canonical-block gradient merging.
+///
+/// Plugs into the chunked trainer through [`UnsupervisedModel`], into the
+/// supervisor through [`Recoverable`], and into checkpoints through the
+/// `TAG_MDP` container record. At `devices = 1` it runs the *same*
+/// algorithm (same blocks, same fold), which is the reference the
+/// equivalence tests pin every other `N` against.
+#[derive(Debug)]
+pub struct DataParallelAe {
+    ae: SparseAutoencoder,
+    cfg: MultiDevConfig,
+    devset: DeviceSet,
+    /// Per-device `(seed, cursor)` sampler positions after the last step
+    /// each device participated in (all online devices advance in
+    /// lockstep; an offline device's cursor freezes where it dropped).
+    dev_rng: Vec<(u64, u64)>,
+    /// One scratch per canonical block.
+    scratch: Vec<AeScratch>,
+    rho_acc: Vec<f32>,
+    s_term: Vec<f32>,
+    gw1_acc: Vec<f32>,
+    gw2_acc: Vec<f32>,
+    gb1_acc: Vec<f32>,
+    gb2_acc: Vec<f32>,
+}
+
+impl DataParallelAe {
+    /// Replicates `ae` across `cfg.devices` modeled coprocessors.
+    pub fn new(ae: SparseAutoencoder, cfg: MultiDevConfig) -> Self {
+        let devset = cfg.device_set();
+        let (h, v) = (ae.config().n_hidden, ae.config().n_visible);
+        DataParallelAe {
+            dev_rng: vec![(0, 0); cfg.devices],
+            devset,
+            ae,
+            rho_acc: vec![0.0; h],
+            s_term: vec![0.0; h],
+            gw1_acc: vec![0.0; h * v],
+            gw2_acc: vec![0.0; v * h],
+            gb1_acc: vec![0.0; h],
+            gb2_acc: vec![0.0; v],
+            scratch: Vec::new(),
+            cfg,
+        }
+    }
+
+    /// The replicated autoencoder.
+    pub fn ae(&self) -> &SparseAutoencoder {
+        &self.ae
+    }
+
+    /// Consumes the wrapper, returning the trained autoencoder.
+    pub fn into_inner(self) -> SparseAutoencoder {
+        self.ae
+    }
+
+    /// The device set (clocks, online flags, compute/sync accounting).
+    pub fn device_set(&self) -> &DeviceSet {
+        &self.devset
+    }
+
+    /// The multi-device configuration.
+    pub fn config(&self) -> &MultiDevConfig {
+        &self.cfg
+    }
+
+    /// Per-device `(seed, cursor)` sampler positions (what checkpoints
+    /// persist).
+    pub fn dev_rng(&self) -> &[(u64, u64)] {
+        &self.dev_rng
+    }
+
+    /// Takes device `i` offline; its blocks re-land on the survivors with
+    /// bit-identical results (the chaos harness and CLI demos use this).
+    pub fn mark_device_offline(&mut self, i: usize) {
+        self.devset.mark_offline(i);
+    }
+
+    /// Fraction of modeled step time spent in gradient synchronization.
+    pub fn sync_fraction(&self) -> f64 {
+        self.devset.sync_fraction()
+    }
+}
+
+impl UnsupervisedModel for DataParallelAe {
+    fn input_dim(&self) -> usize {
+        self.ae.config().n_visible
+    }
+
+    fn prepare(&mut self, max_batch: usize) {
+        let k = self.cfg.canonical_blocks;
+        let cap = max_batch.div_ceil(k).max(1);
+        let need_new =
+            self.scratch.len() != k || self.scratch.first().is_none_or(|s| s.capacity() < cap);
+        if need_new {
+            self.scratch = (0..k)
+                .map(|_| AeScratch::new(self.ae.config(), cap))
+                .collect();
+        }
+    }
+
+    fn train_batch(&mut self, ctx: &ExecCtx, x: MatView<'_>, lr: f32) -> f64 {
+        let b = x.rows();
+        assert!(b > 0, "empty batch");
+        assert!(!self.scratch.is_empty(), "prepare() not called");
+        maybe_drop_device(&mut self.devset, ctx);
+
+        let cfg = *self.ae.config();
+        let blocks = canonical_blocks(b, self.cfg.canonical_blocks);
+        let online = online_devices(&self.devset);
+        let shards = block_bounds(blocks.len(), online.len());
+        let mut busy = vec![0.0f64; self.devset.len()];
+        let mut err = vec![0.0f64; blocks.len()];
+
+        // Phase A (per device, per owned block): forward pass + per-block
+        // hidden-activation column sums for the shared sparsity estimate.
+        {
+            let (ae, scratch) = (&self.ae, &mut self.scratch);
+            for (j, &dev) in online.iter().enumerate() {
+                let (klo, khi) = shards[j];
+                if klo == khi {
+                    continue;
+                }
+                let ((), secs) = ctx.run_deferred(|ctx| {
+                    for k in klo..khi {
+                        let (lo, hi) = blocks[k];
+                        let bk = hi - lo;
+                        let xk = x.rows_range(lo, hi);
+                        let s = &mut scratch[k];
+                        {
+                            let mut a2 = s.a2.rows_range_mut(0, bk);
+                            ctx.gemm(1.0, xk, false, ae.w1.view(), true, 0.0, &mut a2);
+                            ctx.bias_sigmoid_rows(&ae.b1, &mut a2);
+                        }
+                        {
+                            let a2v = s.a2.rows_range(0, bk);
+                            let mut a3 = s.a3.rows_range_mut(0, bk);
+                            ctx.gemm(1.0, a2v, false, ae.w2.view(), true, 0.0, &mut a3);
+                            ctx.bias_sigmoid_rows(&ae.b2, &mut a3);
+                        }
+                        // Per-block column *sum* (not mean): scaled once
+                        // after the canonical-order merge.
+                        ctx.colsum(s.a2.rows_range(0, bk), &mut s.rho_hat);
+                    }
+                });
+                busy[dev] += secs;
+            }
+        }
+
+        // Sync 1: merge the sparsity statistics in canonical block order,
+        // scale to the global batch mean, derive the shared penalty term.
+        let inv_b = 1.0 / b as f32;
+        {
+            let parts: Vec<&[f32]> = self.scratch[..blocks.len()]
+                .iter()
+                .map(|s| s.rho_hat.as_slice())
+                .collect();
+            ctx.block_merge(&parts, &mut self.rho_acc);
+        }
+        ctx.scale(inv_b, &mut self.rho_acc);
+        if cfg.sparsity_weight > 0.0 {
+            kl_sparsity(
+                cfg.sparsity_target,
+                cfg.sparsity_weight,
+                &self.rho_acc,
+                &mut self.s_term,
+            );
+        } else {
+            self.s_term.fill(0.0);
+        }
+
+        // Phase B (per device, per owned block): backward pass into
+        // per-block partial gradients (`alpha = 1` sums throughout).
+        {
+            let (ae, scratch, s_term, err) = (&self.ae, &mut self.scratch, &self.s_term, &mut err);
+            for (j, &dev) in online.iter().enumerate() {
+                let (klo, khi) = shards[j];
+                if klo == khi {
+                    continue;
+                }
+                let ((), secs) = ctx.run_deferred(|ctx| {
+                    for k in klo..khi {
+                        let (lo, hi) = blocks[k];
+                        let bk = hi - lo;
+                        let xk = x.rows_range(lo, hi);
+                        let s = &mut scratch[k];
+                        {
+                            let a3s = s.a3.rows_range(0, bk);
+                            let mut d3 = s.delta3.rows_range_mut(0, bk);
+                            ctx.delta_output(a3s.as_slice(), xk.as_slice(), d3.as_mut_slice());
+                        }
+                        ctx.gemm(
+                            1.0,
+                            s.delta3.rows_range(0, bk),
+                            true,
+                            s.a2.rows_range(0, bk),
+                            false,
+                            0.0,
+                            &mut s.gw2.view_mut(),
+                        );
+                        ctx.colsum(s.delta3.rows_range(0, bk), &mut s.gb2);
+                        {
+                            let mut d2 = s.delta2.rows_range_mut(0, bk);
+                            ctx.gemm(
+                                1.0,
+                                s.delta3.rows_range(0, bk),
+                                false,
+                                ae.w2.view(),
+                                false,
+                                0.0,
+                                &mut d2,
+                            );
+                        }
+                        {
+                            let a2v = s.a2.rows_range(0, bk);
+                            let mut d2 = s.delta2.rows_range_mut(0, bk);
+                            ctx.bias_deriv_rows(s_term, a2v, &mut d2);
+                        }
+                        ctx.gemm(
+                            1.0,
+                            s.delta2.rows_range(0, bk),
+                            true,
+                            xk,
+                            false,
+                            0.0,
+                            &mut s.gw1.view_mut(),
+                        );
+                        ctx.colsum(s.delta2.rows_range(0, bk), &mut s.gb1);
+                        err[k] = ctx.frob_dist_sq(s.a3.rows_range(0, bk), xk);
+                    }
+                });
+                busy[dev] += secs;
+            }
+        }
+
+        // Sync 2: canonical-order gradient merge, one global scale, one
+        // parameter update on the (replicated) master copy.
+        let nb = blocks.len();
+        macro_rules! merge {
+            ($field:ident, $acc:ident) => {{
+                let parts: Vec<&[f32]> = self.scratch[..nb]
+                    .iter()
+                    .map(|s| s.$field.as_slice())
+                    .collect();
+                ctx.block_merge(&parts, &mut self.$acc);
+                ctx.scale(inv_b, &mut self.$acc);
+            }};
+        }
+        merge!(gw1, gw1_acc);
+        merge!(gw2, gw2_acc);
+        merge!(gb1, gb1_acc);
+        merge!(gb2, gb2_acc);
+        ctx.sgd_step(
+            lr,
+            cfg.weight_decay,
+            &self.gw1_acc,
+            self.ae.w1.as_mut_slice(),
+        );
+        ctx.sgd_step(
+            lr,
+            cfg.weight_decay,
+            &self.gw2_acc,
+            self.ae.w2.as_mut_slice(),
+        );
+        ctx.sgd_step(lr, 0.0, &self.gb1_acc, &mut self.ae.b1);
+        ctx.sgd_step(lr, 0.0, &self.gb2_acc, &mut self.ae.b2);
+
+        // Modeled time: slowest device + two allreduces (sparsity stats,
+        // gradients).
+        let max_busy = busy.iter().cloned().fold(0.0, f64::max);
+        let grad_bytes = cfg.param_bytes();
+        let rho_bytes = (cfg.n_hidden * std::mem::size_of::<f32>()) as u64;
+        let sync = self.devset.allreduce_time(rho_bytes) + self.devset.allreduce_time(grad_bytes);
+        charge_step(&mut self.devset, ctx, max_busy, sync, grad_bytes);
+
+        let state = ctx.rng_state();
+        for &dev in &online {
+            self.dev_rng[dev] = state;
+        }
+
+        err.iter().sum::<f64>() / (2.0 * b as f64)
+    }
+
+    fn resident_bytes(&self, max_batch: usize) -> u64 {
+        // Per-device footprint: a full parameter replica + merge
+        // accumulators + that device's share of the block scratch.
+        let cfg = self.ae.config();
+        let f = std::mem::size_of::<f32>() as u64;
+        let shard = max_batch.div_ceil(self.devset.online_count().max(1));
+        let temps = 2 * (shard * cfg.n_hidden + shard * cfg.n_visible) as u64 * f;
+        cfg.param_bytes() * 2 + temps
+    }
+
+    fn save_state(&self, w: &mut dyn Write) -> io::Result<()> {
+        write_multidev_prefix(w, &self.devset, self.cfg.canonical_blocks, &self.dev_rng)?;
+        let mut w = w;
+        save_autoencoder(&self.ae, &mut w)
+    }
+}
+
+impl Recoverable for DataParallelAe {
+    fn restore_state(&mut self, from: CheckpointModel) -> io::Result<()> {
+        let CheckpointModel::MultiDev(state) = from else {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                "snapshot is not a multi-device record",
+            ));
+        };
+        let MultiDevModelState::Ae(ae) = state.inner else {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                "multi-device snapshot holds an RBM, model is an autoencoder",
+            ));
+        };
+        self.cfg.devices = state.devices;
+        self.cfg.canonical_blocks = state.canonical_blocks;
+        self.devset = self.cfg.device_set();
+        for (i, &off) in state.offline.iter().enumerate() {
+            if off {
+                self.devset.mark_offline(i);
+            }
+        }
+        self.dev_rng = state.dev_rng;
+        let (h, v) = (ae.config().n_hidden, ae.config().n_visible);
+        self.rho_acc = vec![0.0; h];
+        self.s_term = vec![0.0; h];
+        self.gw1_acc = vec![0.0; h * v];
+        self.gw2_acc = vec![0.0; v * h];
+        self.gb1_acc = vec![0.0; h];
+        self.gb2_acc = vec![0.0; v];
+        self.scratch.clear();
+        self.ae = ae;
+        Ok(())
+    }
+}
+
+// ---- RBM -----------------------------------------------------------------
+
+/// An RBM replicated across a [`DeviceSet`], trained data-parallel CD-k
+/// with canonical-block statistics merging and N-invariant sampling.
+#[derive(Debug)]
+pub struct DataParallelRbm {
+    rbm: Rbm,
+    cfg: MultiDevConfig,
+    devset: DeviceSet,
+    dev_rng: Vec<(u64, u64)>,
+    scratch: Vec<RbmScratch>,
+    pos_acc: Vec<f32>,
+    neg_acc: Vec<f32>,
+    vis_pos_acc: Vec<f32>,
+    vis_neg_acc: Vec<f32>,
+    hid_pos_acc: Vec<f32>,
+    hid_neg_acc: Vec<f32>,
+}
+
+impl DataParallelRbm {
+    /// Replicates `rbm` across `cfg.devices` modeled coprocessors.
+    pub fn new(rbm: Rbm, cfg: MultiDevConfig) -> Self {
+        let devset = cfg.device_set();
+        let (h, v) = (rbm.config().n_hidden, rbm.config().n_visible);
+        DataParallelRbm {
+            dev_rng: vec![(0, 0); cfg.devices],
+            devset,
+            rbm,
+            pos_acc: vec![0.0; h * v],
+            neg_acc: vec![0.0; h * v],
+            vis_pos_acc: vec![0.0; v],
+            vis_neg_acc: vec![0.0; v],
+            hid_pos_acc: vec![0.0; h],
+            hid_neg_acc: vec![0.0; h],
+            scratch: Vec::new(),
+            cfg,
+        }
+    }
+
+    /// The replicated RBM.
+    pub fn rbm(&self) -> &Rbm {
+        &self.rbm
+    }
+
+    /// Consumes the wrapper, returning the trained RBM.
+    pub fn into_inner(self) -> Rbm {
+        self.rbm
+    }
+
+    /// The device set (clocks, online flags, compute/sync accounting).
+    pub fn device_set(&self) -> &DeviceSet {
+        &self.devset
+    }
+
+    /// The multi-device configuration.
+    pub fn config(&self) -> &MultiDevConfig {
+        &self.cfg
+    }
+
+    /// Per-device `(seed, cursor)` sampler positions.
+    pub fn dev_rng(&self) -> &[(u64, u64)] {
+        &self.dev_rng
+    }
+
+    /// Takes device `i` offline (bit-identical re-shard onto survivors).
+    pub fn mark_device_offline(&mut self, i: usize) {
+        self.devset.mark_offline(i);
+    }
+
+    /// Fraction of modeled step time spent in gradient synchronization.
+    pub fn sync_fraction(&self) -> f64 {
+        self.devset.sync_fraction()
+    }
+}
+
+impl UnsupervisedModel for DataParallelRbm {
+    fn input_dim(&self) -> usize {
+        self.rbm.config().n_visible
+    }
+
+    fn prepare(&mut self, max_batch: usize) {
+        let k = self.cfg.canonical_blocks;
+        let cap = max_batch.div_ceil(k).max(1);
+        let need_new =
+            self.scratch.len() != k || self.scratch.first().is_none_or(|s| s.capacity() < cap);
+        if need_new {
+            self.scratch = (0..k)
+                .map(|_| RbmScratch::new(self.rbm.config(), cap))
+                .collect();
+        }
+    }
+
+    fn train_batch(&mut self, ctx: &ExecCtx, x: MatView<'_>, lr: f32) -> f64 {
+        let b = x.rows();
+        assert!(b > 0, "empty batch");
+        assert!(!self.scratch.is_empty(), "prepare() not called");
+        maybe_drop_device(&mut self.devset, ctx);
+
+        let cfg = *self.rbm.config();
+        let blocks = canonical_blocks(b, self.cfg.canonical_blocks);
+        let online = online_devices(&self.devset);
+        let shards = block_bounds(blocks.len(), online.len());
+        let mut busy = vec![0.0f64; self.devset.len()];
+        let mut err = vec![0.0f64; blocks.len()];
+
+        // One sampling stream per Gibbs step, reserved at the *master*
+        // level before any device touches its shard: the stream count per
+        // batch is a constant `cd_steps`, independent of the device count,
+        // and each block samples at its global element offset.
+        let streams: Vec<_> = (0..cfg.cd_steps).map(|_| ctx.next_stream()).collect();
+
+        {
+            let (rbm, scratch, err) = (&self.rbm, &mut self.scratch, &mut err);
+            for (j, &dev) in online.iter().enumerate() {
+                let (klo, khi) = shards[j];
+                if klo == khi {
+                    continue;
+                }
+                let ((), secs) = ctx.run_deferred(|ctx| {
+                    for k in klo..khi {
+                        let (lo, hi) = blocks[k];
+                        let bk = hi - lo;
+                        let xk = x.rows_range(lo, hi);
+                        let s = &mut scratch[k];
+                        // Positive phase: p(h | v0).
+                        {
+                            let mut h0 = s.h0_prob.rows_range_mut(0, bk);
+                            ctx.gemm(1.0, xk, false, rbm.w.view(), true, 0.0, &mut h0);
+                            ctx.bias_sigmoid_rows(&rbm.c_hid, &mut h0);
+                        }
+                        // Gibbs chain, k sweeps; every hidden sampling op
+                        // addresses the global `(row, unit)` counter space.
+                        let elem_base = (lo * cfg.n_hidden) as u64;
+                        for (step, &stream) in streams.iter().enumerate() {
+                            {
+                                let probs = if step == 0 { &s.h0_prob } else { &s.h1_prob };
+                                let probs = probs.rows_range(0, bk);
+                                let mut sample = s.h0_sample.rows_range_mut(0, bk);
+                                ctx.bernoulli_at(
+                                    stream,
+                                    elem_base,
+                                    probs.as_slice(),
+                                    sample.as_mut_slice(),
+                                );
+                            }
+                            {
+                                let mut v1 = s.v1_prob.rows_range_mut(0, bk);
+                                ctx.gemm(
+                                    1.0,
+                                    s.h0_sample.rows_range(0, bk),
+                                    false,
+                                    rbm.w.view(),
+                                    false,
+                                    0.0,
+                                    &mut v1,
+                                );
+                                ctx.bias_sigmoid_rows(&rbm.b_vis, &mut v1);
+                            }
+                            if step == 0 {
+                                err[k] = ctx.frob_dist_sq(s.v1_prob.rows_range(0, bk), xk);
+                            }
+                            {
+                                let mut h1 = s.h1_prob.rows_range_mut(0, bk);
+                                ctx.gemm(
+                                    1.0,
+                                    s.v1_prob.rows_range(0, bk),
+                                    false,
+                                    rbm.w.view(),
+                                    true,
+                                    0.0,
+                                    &mut h1,
+                                );
+                                ctx.bias_sigmoid_rows(&rbm.c_hid, &mut h1);
+                            }
+                        }
+                        // Per-block CD statistics, `alpha = 1` sums.
+                        ctx.gemm(
+                            1.0,
+                            s.h0_prob.rows_range(0, bk),
+                            true,
+                            xk,
+                            false,
+                            0.0,
+                            &mut s.pos_stats.view_mut(),
+                        );
+                        ctx.gemm(
+                            1.0,
+                            s.h1_prob.rows_range(0, bk),
+                            true,
+                            s.v1_prob.rows_range(0, bk),
+                            false,
+                            0.0,
+                            &mut s.neg_stats.view_mut(),
+                        );
+                        ctx.colsum(xk, &mut s.vis_pos);
+                        ctx.colsum(s.v1_prob.rows_range(0, bk), &mut s.vis_neg);
+                        ctx.colsum(s.h0_prob.rows_range(0, bk), &mut s.hid_pos);
+                        ctx.colsum(s.h1_prob.rows_range(0, bk), &mut s.hid_neg);
+                    }
+                });
+                busy[dev] += secs;
+            }
+        }
+
+        // Sync: canonical-order merge of the six statistic buffers, one
+        // global scale, CD updates on the replicated master copy.
+        let inv_b = 1.0 / b as f32;
+        let nb = blocks.len();
+        macro_rules! merge {
+            ($field:ident, $acc:ident) => {{
+                let parts: Vec<&[f32]> = self.scratch[..nb]
+                    .iter()
+                    .map(|s| s.$field.as_slice())
+                    .collect();
+                ctx.block_merge(&parts, &mut self.$acc);
+                ctx.scale(inv_b, &mut self.$acc);
+            }};
+        }
+        merge!(pos_stats, pos_acc);
+        merge!(neg_stats, neg_acc);
+        merge!(vis_pos, vis_pos_acc);
+        merge!(vis_neg, vis_neg_acc);
+        merge!(hid_pos, hid_pos_acc);
+        merge!(hid_neg, hid_neg_acc);
+        ctx.cd_update(lr, &self.pos_acc, &self.neg_acc, self.rbm.w.as_mut_slice());
+        ctx.cd_update(
+            lr,
+            &self.vis_pos_acc,
+            &self.vis_neg_acc,
+            &mut self.rbm.b_vis,
+        );
+        ctx.cd_update(
+            lr,
+            &self.hid_pos_acc,
+            &self.hid_neg_acc,
+            &mut self.rbm.c_hid,
+        );
+
+        let max_busy = busy.iter().cloned().fold(0.0, f64::max);
+        // Positive + negative statistics travel the link.
+        let payload = cfg.param_bytes() * 2;
+        let sync = self.devset.allreduce_time(payload);
+        charge_step(&mut self.devset, ctx, max_busy, sync, payload);
+
+        let state = ctx.rng_state();
+        for &dev in &online {
+            self.dev_rng[dev] = state;
+        }
+
+        err.iter().sum::<f64>() / b as f64
+    }
+
+    fn resident_bytes(&self, max_batch: usize) -> u64 {
+        let cfg = self.rbm.config();
+        let f = std::mem::size_of::<f32>() as u64;
+        let shard = max_batch.div_ceil(self.devset.online_count().max(1));
+        let temps = (4 * shard * cfg.n_hidden + 2 * shard * cfg.n_visible) as u64 * f;
+        cfg.param_bytes() * 3 + temps
+    }
+
+    fn save_state(&self, w: &mut dyn Write) -> io::Result<()> {
+        write_multidev_prefix(w, &self.devset, self.cfg.canonical_blocks, &self.dev_rng)?;
+        let mut w = w;
+        save_rbm(&self.rbm, &mut w)
+    }
+}
+
+impl Recoverable for DataParallelRbm {
+    fn restore_state(&mut self, from: CheckpointModel) -> io::Result<()> {
+        let CheckpointModel::MultiDev(state) = from else {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                "snapshot is not a multi-device record",
+            ));
+        };
+        let MultiDevModelState::Rbm(rbm) = state.inner else {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                "multi-device snapshot holds an autoencoder, model is an RBM",
+            ));
+        };
+        self.cfg.devices = state.devices;
+        self.cfg.canonical_blocks = state.canonical_blocks;
+        self.devset = self.cfg.device_set();
+        for (i, &off) in state.offline.iter().enumerate() {
+            if off {
+                self.devset.mark_offline(i);
+            }
+        }
+        self.dev_rng = state.dev_rng;
+        let (h, v) = (rbm.config().n_hidden, rbm.config().n_visible);
+        self.pos_acc = vec![0.0; h * v];
+        self.neg_acc = vec![0.0; h * v];
+        self.vis_pos_acc = vec![0.0; v];
+        self.vis_neg_acc = vec![0.0; v];
+        self.hid_pos_acc = vec![0.0; h];
+        self.hid_neg_acc = vec![0.0; h];
+        self.scratch.clear();
+        self.rbm = rbm;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::autoencoder::AeConfig;
+    use crate::exec::OptLevel;
+    use crate::rbm::RbmConfig;
+    use micdnn_tensor::Mat;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn batch(rows: usize, cols: usize, seed: u64) -> Mat {
+        let mut rng = StdRng::seed_from_u64(seed);
+        Mat::from_fn(rows, cols, |_, _| rng.gen_range(0.1..0.9))
+    }
+
+    #[test]
+    fn block_bounds_cover_and_balance() {
+        for total in [0, 1, 7, 8, 9, 100] {
+            for parts in [1, 2, 3, 8] {
+                let bb = block_bounds(total, parts);
+                assert_eq!(bb.len(), parts);
+                assert_eq!(bb[0].0, 0);
+                assert_eq!(bb[parts - 1].1, total);
+                let sizes: Vec<usize> = bb.iter().map(|&(lo, hi)| hi - lo).collect();
+                let (min, max) = (*sizes.iter().min().unwrap(), *sizes.iter().max().unwrap());
+                assert!(max - min <= 1, "{total}/{parts}: sizes {sizes:?}");
+                for w in bb.windows(2) {
+                    assert_eq!(w[0].1, w[1].0, "contiguous");
+                }
+            }
+        }
+    }
+
+    fn train_ae(devices: usize, batches: usize, b: usize) -> (DataParallelAe, Vec<f64>) {
+        let cfg = AeConfig::new(14, 6);
+        let mut model = DataParallelAe::new(
+            SparseAutoencoder::new(cfg, 11),
+            MultiDevConfig::new(devices),
+        );
+        let ctx = ExecCtx::native(OptLevel::Improved, 99);
+        model.prepare(b);
+        let mut errs = Vec::new();
+        for i in 0..batches {
+            let x = batch(b, 14, 1000 + i as u64);
+            errs.push(model.train_batch(&ctx, x.view(), 0.2));
+        }
+        (model, errs)
+    }
+
+    #[test]
+    fn ae_multi_device_is_bitwise_identical_to_single() {
+        let (m1, e1) = train_ae(1, 4, 24);
+        for n in [2, 3, 4] {
+            let (mn, en) = train_ae(n, 4, 24);
+            assert_eq!(m1.ae().w1.as_slice(), mn.ae().w1.as_slice(), "w1 N={n}");
+            assert_eq!(m1.ae().w2.as_slice(), mn.ae().w2.as_slice(), "w2 N={n}");
+            assert_eq!(m1.ae().b1, mn.ae().b1, "b1 N={n}");
+            assert_eq!(m1.ae().b2, mn.ae().b2, "b2 N={n}");
+            assert_eq!(e1, en, "recon history N={n}");
+        }
+    }
+
+    #[test]
+    fn ae_degenerate_more_devices_than_rows() {
+        // 3-row batches over 8 devices: most devices own zero blocks.
+        let (m1, e1) = train_ae(1, 3, 3);
+        let (m8, e8) = train_ae(8, 3, 3);
+        assert_eq!(m1.ae().w1.as_slice(), m8.ae().w1.as_slice());
+        assert_eq!(e1, e8);
+    }
+
+    fn train_rbm(
+        devices: usize,
+        batches: usize,
+        b: usize,
+        cd: usize,
+    ) -> (DataParallelRbm, Vec<f64>) {
+        let cfg = RbmConfig::new(12, 7).with_cd_steps(cd);
+        let mut model = DataParallelRbm::new(Rbm::new(cfg, 5), MultiDevConfig::new(devices));
+        // Same ctx seed for every N: sampling is (seed, stream, elem)-pure.
+        let ctx = ExecCtx::native(OptLevel::Improved, 42);
+        model.prepare(b);
+        let mut errs = Vec::new();
+        for i in 0..batches {
+            let x = batch(b, 12, 2000 + i as u64);
+            errs.push(model.train_batch(&ctx, x.view(), 0.1));
+        }
+        (model, errs)
+    }
+
+    #[test]
+    fn rbm_multi_device_is_bitwise_identical_to_single() {
+        for cd in [1, 2] {
+            let (m1, e1) = train_rbm(1, 3, 20, cd);
+            for n in [2, 4] {
+                let (mn, en) = train_rbm(n, 3, 20, cd);
+                assert_eq!(
+                    m1.rbm().w.as_slice(),
+                    mn.rbm().w.as_slice(),
+                    "w N={n} cd={cd}"
+                );
+                assert_eq!(m1.rbm().b_vis, mn.rbm().b_vis, "b_vis N={n} cd={cd}");
+                assert_eq!(m1.rbm().c_hid, mn.rbm().c_hid, "c_hid N={n} cd={cd}");
+                assert_eq!(e1, en, "recon history N={n} cd={cd}");
+            }
+        }
+    }
+
+    #[test]
+    fn rbm_stream_consumption_is_device_count_invariant() {
+        let ctx1 = ExecCtx::native(OptLevel::Improved, 7);
+        let ctx4 = ExecCtx::native(OptLevel::Improved, 7);
+        let cfg = RbmConfig::new(10, 5).with_cd_steps(3);
+        let mut m1 = DataParallelRbm::new(Rbm::new(cfg, 1), MultiDevConfig::new(1));
+        let mut m4 = DataParallelRbm::new(Rbm::new(cfg, 1), MultiDevConfig::new(4));
+        m1.prepare(16);
+        m4.prepare(16);
+        let x = batch(16, 10, 3);
+        m1.train_batch(&ctx1, x.view(), 0.1);
+        m4.train_batch(&ctx4, x.view(), 0.1);
+        assert_eq!(ctx1.rng_state(), ctx4.rng_state());
+    }
+
+    #[test]
+    fn dropping_a_device_mid_run_keeps_weights_bitwise_identical() {
+        let (m1, _) = train_ae(1, 4, 24);
+
+        let cfg = AeConfig::new(14, 6);
+        let mut m3 = DataParallelAe::new(SparseAutoencoder::new(cfg, 11), MultiDevConfig::new(3));
+        let ctx = ExecCtx::native(OptLevel::Improved, 99);
+        m3.prepare(24);
+        for i in 0..4 {
+            if i == 2 {
+                // Lose a device halfway: blocks re-land on the survivors.
+                m3.mark_device_offline(2);
+            }
+            let x = batch(24, 14, 1000 + i as u64);
+            m3.train_batch(&ctx, x.view(), 0.2);
+        }
+        assert_eq!(m3.device_set().online_count(), 2);
+        assert_eq!(m1.ae().w1.as_slice(), m3.ae().w1.as_slice());
+        assert_eq!(m1.ae().b2, m3.ae().b2);
+    }
+
+    #[test]
+    fn simulated_run_records_compute_and_sync_time() {
+        use micdnn_sim::Platform;
+        let cfg = AeConfig::new(32, 16);
+        let mut model = DataParallelAe::new(SparseAutoencoder::new(cfg, 2), MultiDevConfig::new(4));
+        let ctx = ExecCtx::simulated(OptLevel::Improved, Platform::xeon_phi(), 1);
+        model.prepare(64);
+        let x = batch(64, 32, 9);
+        let before = ctx.sim_time();
+        model.train_batch(&ctx, x.view(), 0.1);
+        assert!(ctx.sim_time() > before, "simulated time must advance");
+        let ds = model.device_set();
+        assert!(ds.compute_secs() > 0.0);
+        assert!(ds.sync_secs() > 0.0, "N=4 must pay an allreduce");
+        assert!(ds.sync_fraction() > 0.0 && ds.sync_fraction() < 1.0);
+    }
+
+    #[test]
+    fn single_device_pays_no_sync_time() {
+        use micdnn_sim::Platform;
+        let cfg = AeConfig::new(16, 8);
+        let mut model = DataParallelAe::new(SparseAutoencoder::new(cfg, 2), MultiDevConfig::new(1));
+        let ctx = ExecCtx::simulated(OptLevel::Improved, Platform::xeon_phi(), 1);
+        model.prepare(32);
+        let x = batch(32, 16, 9);
+        model.train_batch(&ctx, x.view(), 0.1);
+        assert_eq!(model.device_set().sync_secs(), 0.0);
+    }
+
+    #[test]
+    fn checkpoint_round_trips_geometry_cursors_and_weights() {
+        use crate::checkpoint::{load_checkpoint, save_checkpoint, TrainProgress};
+
+        let (mut model, _) = train_ae(3, 2, 24);
+        model.mark_device_offline(1);
+        let want_rng = model.dev_rng().to_vec();
+
+        let mut buf = Vec::new();
+        save_checkpoint(&mut buf, &model, 99, 7, &TrainProgress::default()).unwrap();
+        let ckpt = load_checkpoint(&mut buf.as_slice()).unwrap();
+
+        let cfg = AeConfig::new(14, 6);
+        let mut fresh = DataParallelAe::new(SparseAutoencoder::new(cfg, 0), MultiDevConfig::new(3));
+        fresh.restore_state(ckpt.model).unwrap();
+        assert_eq!(fresh.ae().w1.as_slice(), model.ae().w1.as_slice());
+        assert_eq!(fresh.ae().b1, model.ae().b1);
+        assert_eq!(fresh.dev_rng(), want_rng.as_slice());
+        assert_eq!(fresh.device_set().len(), 3);
+        assert!(!fresh.device_set().is_online(1), "offline flag persists");
+        assert_eq!(fresh.config().canonical_blocks, 8);
+    }
+
+    #[test]
+    fn restore_rejects_model_kind_mismatch() {
+        use crate::checkpoint::{load_checkpoint, save_checkpoint, TrainProgress};
+
+        let (rbm_model, _) = train_rbm(2, 1, 8, 1);
+        let mut buf = Vec::new();
+        save_checkpoint(&mut buf, &rbm_model, 1, 1, &TrainProgress::default()).unwrap();
+        let ckpt = load_checkpoint(&mut buf.as_slice()).unwrap();
+
+        let cfg = AeConfig::new(14, 6);
+        let mut ae_model =
+            DataParallelAe::new(SparseAutoencoder::new(cfg, 0), MultiDevConfig::new(2));
+        let err = ae_model.restore_state(ckpt.model).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn trains_through_the_chunked_dataset_loop() {
+        use crate::train::{train_dataset, TrainConfig};
+
+        let cfg = AeConfig::new(10, 5);
+        let mut model = DataParallelAe::new(SparseAutoencoder::new(cfg, 3), MultiDevConfig::new(2));
+        let ctx = ExecCtx::native(OptLevel::Improved, 8);
+        let data = micdnn_data::Dataset::new(batch(60, 10, 77));
+        let tc = TrainConfig {
+            batch_size: 20,
+            chunk_rows: 30,
+            ..TrainConfig::default()
+        };
+        let report = train_dataset(&mut model, &ctx, &data, &tc, 2).unwrap();
+        // 30-row chunks split into 20 + 10 row batches: 4 per pass.
+        assert_eq!(report.batches, 8);
+        assert!(report.final_recon().is_finite());
+    }
+}

@@ -9,11 +9,13 @@
 //! Table I's workload is exactly this: a 1024-512-256-128 stack, trained
 //! layer by layer.
 
-use crate::autoencoder::{AeConfig, SparseAutoencoder};
+use crate::autoencoder::{AeConfig, AeScratch, SparseAutoencoder};
 use crate::exec::ExecCtx;
+use crate::graph::{BufClass, BufId, NodeSpec, TaskGraph};
 use crate::rbm::{Rbm, RbmConfig};
 use crate::train::{train_dataset_at, AeModel, RbmModel, TrainConfig, TrainError, TrainReport};
 use micdnn_data::Dataset;
+use micdnn_sim::EventKind;
 use micdnn_tensor::{Mat, MatView};
 
 /// Per-layer training result of a stacked pre-training run.
@@ -120,6 +122,261 @@ impl StackedAutoencoder {
     pub fn code_dim(&self) -> usize {
         *self.sizes.last().expect("non-empty stack")
     }
+
+    /// Pipelined greedy pre-training across a multi-device schedule.
+    ///
+    /// Semantics are identical to [`StackedAutoencoder::pretrain`] — each
+    /// layer still trains to completion on the *final* encoding of the
+    /// data through the layers below — but the work is expressed as one
+    /// [`TaskGraph`] of per-chunk nodes placed on one device per layer:
+    /// layer `k` streams its freshly encoded chunks over the link through
+    /// explicit [`NodeSpec::transfer`] nodes (serialized by a per-link
+    /// token), and layer `k+1` starts training on chunk 0 the moment it
+    /// lands, while layer `k` is still encoding and shipping the rest. On
+    /// a simulated context the run's critical path is therefore strictly
+    /// shorter than its serial time; the weights are bit-identical to the
+    /// sequential schedule at any thread count (the executor's
+    /// reproducibility contract — see [`TaskGraph::execute`]).
+    pub fn pretrain_pipelined(
+        &mut self,
+        ctx: &ExecCtx,
+        data: &Dataset,
+        cfg: &TrainConfig,
+        passes: usize,
+    ) -> PipelineReport {
+        assert!(passes > 0, "at least one pass");
+        let m = data.matrix();
+        let (rows, cols) = m.shape();
+        assert!(rows > 0, "empty dataset");
+        assert_eq!(
+            cols, self.sizes[0],
+            "dataset width {cols} does not match input layer {}",
+            self.sizes[0]
+        );
+        let n_layers = self.layers.len();
+        let batch_cap = cfg.batch_size.max(1).min(rows);
+        let chunk_sizes = chunk_rows_of(rows, cfg.chunk_rows.max(1));
+
+        // Layer 0's chunks are copies of the input rows; deeper layers
+        // start as placeholders the transfer nodes overwrite.
+        let src = m.as_slice();
+        let mut lo = 0usize;
+        let first: Vec<Mat> = chunk_sizes
+            .iter()
+            .map(|&r| {
+                let base = lo;
+                lo += r;
+                Mat::from_fn(r, cols, |rr, cc| src[(base + rr) * cols + cc])
+            })
+            .collect();
+        let mut chunks = vec![first];
+        for _ in 1..n_layers {
+            chunks.push(chunk_sizes.iter().map(|_| Mat::zeros(1, 1)).collect());
+        }
+        let staged: Vec<Vec<Mat>> = (0..n_layers)
+            .map(|_| chunk_sizes.iter().map(|_| Mat::zeros(1, 1)).collect())
+            .collect();
+        let scratch = self
+            .layers
+            .iter()
+            .map(|l| AeScratch::new(l.config(), batch_cap))
+            .collect();
+
+        let mut state = PipelineState {
+            layers: std::mem::take(&mut self.layers),
+            scratch,
+            chunks,
+            staged,
+            recon: vec![0.0; n_layers],
+        };
+        let mut g = build_pipeline_graph(&self.sizes, cfg, rows, passes);
+        let run = {
+            let _span = ctx.phase("pretrain pipelined");
+            g.execute(ctx, &mut state)
+        };
+        self.layers = state.layers;
+        PipelineReport {
+            layer_recon: state.recon.iter().map(|&s| s / rows as f64).collect(),
+            critical_path: run.critical_path,
+            serial_time: run.serial_time,
+            nodes: g.len(),
+        }
+    }
+
+    /// The pipelined pre-training graph for a dataset of `rows` examples —
+    /// exactly what [`StackedAutoencoder::pretrain_pipelined`] executes,
+    /// with node bodies bound to a [`PipelineState`]. Exposed so tests can
+    /// statically [`TaskGraph::verify`] the shipped multi-device schedule
+    /// without running it.
+    pub fn pipeline_graph(
+        &self,
+        cfg: &TrainConfig,
+        rows: usize,
+        passes: usize,
+    ) -> TaskGraph<'static, PipelineState> {
+        build_pipeline_graph(&self.sizes, cfg, rows, passes)
+    }
+}
+
+/// Result of [`StackedAutoencoder::pretrain_pipelined`].
+#[derive(Debug, Clone)]
+pub struct PipelineReport {
+    /// Mean per-example reconstruction error of each layer over its final
+    /// pass (the pipelined analogue of [`TrainReport::final_recon`]).
+    pub layer_recon: Vec<f64>,
+    /// Critical-path seconds of the pipelined schedule (zero on native
+    /// contexts, which do not price ops).
+    pub critical_path: f64,
+    /// Seconds a fully serial schedule of the same nodes would have taken.
+    pub serial_time: f64,
+    /// Number of nodes in the executed graph.
+    pub nodes: usize,
+}
+
+/// Mutable state threaded through the pipelined pre-training graph: the
+/// layer parameters, per-layer scratch, and the chunked activations as
+/// they stream from device to device.
+pub struct PipelineState {
+    layers: Vec<SparseAutoencoder>,
+    scratch: Vec<AeScratch>,
+    /// `chunks[i][c]`: chunk `c` of layer `i`'s training set (layer 0 is
+    /// the input data; deeper layers are filled by transfer nodes).
+    chunks: Vec<Vec<Mat>>,
+    /// Encoded chunks staged on the producing device, awaiting transfer.
+    staged: Vec<Vec<Mat>>,
+    /// Per-layer last-pass reconstruction error, summed over examples.
+    recon: Vec<f64>,
+}
+
+/// Row counts of the dataset's chunks, in order — the same split
+/// [`crate::train::train_dataset`] derives from `chunk_rows`.
+fn chunk_rows_of(rows: usize, chunk_rows: usize) -> Vec<usize> {
+    (0..rows)
+        .step_by(chunk_rows)
+        .map(|lo| chunk_rows.min(rows - lo))
+        .collect()
+}
+
+/// Builds the pipelined stacked pre-training DAG. Declaration order is
+/// the sequential greedy schedule (train layer `i` for all passes, then
+/// encode and transfer its chunks, then layer `i+1`), so the executor's
+/// bit-reproducibility contract pins the result to [`StackedAutoencoder::
+/// pretrain`]'s; the declared footprints are what let chunk-grained
+/// cross-layer overlap emerge.
+fn build_pipeline_graph(
+    sizes: &[usize],
+    cfg: &TrainConfig,
+    rows: usize,
+    passes: usize,
+) -> TaskGraph<'static, PipelineState> {
+    assert!(rows > 0 && passes > 0, "empty pipeline");
+    let n_layers = sizes.len() - 1;
+    let batch = cfg.batch_size.max(1);
+    let lr = cfg.learning_rate;
+    let link = cfg.link;
+    let chunk_sizes = chunk_rows_of(rows, cfg.chunk_rows.max(1));
+    let mut g: TaskGraph<'static, PipelineState> = TaskGraph::new();
+
+    // One logical parameter buffer per layer (owned by the model, hence
+    // External); its read/write chain serializes that layer's steps.
+    let params: Vec<BufId> = (0..n_layers)
+        .map(|i| {
+            let elems = 2 * sizes[i] * sizes[i + 1] + sizes[i] + sizes[i + 1];
+            g.declare("params", elems, BufClass::External)
+        })
+        .collect();
+    // Layer 0 reads the caller's dataset (External); deeper layers' chunks
+    // are produced and consumed inside the run (Scratch).
+    let chunk_bufs: Vec<Vec<BufId>> = sizes[..n_layers]
+        .iter()
+        .enumerate()
+        .map(|(i, &dim)| {
+            let class = if i == 0 {
+                BufClass::External
+            } else {
+                BufClass::Scratch
+            };
+            chunk_sizes
+                .iter()
+                .map(|&r| g.declare("chunk", r * dim, class))
+                .collect()
+        })
+        .collect();
+    let enc_bufs: Vec<Vec<BufId>> = (0..n_layers.saturating_sub(1))
+        .map(|i| {
+            chunk_sizes
+                .iter()
+                .map(|&r| g.declare("enc", r * sizes[i + 1], BufClass::Scratch))
+                .collect()
+        })
+        .collect();
+    // One write-only token per inter-device link: every transfer over the
+    // same link writes it, so write-after-write chains them — one hop in
+    // flight at a time. Pinned by class: a dedicated register nothing
+    // aliases, exempt from dead-write analysis (it is pure ordering).
+    let tokens: Vec<BufId> = (0..n_layers.saturating_sub(1))
+        .map(|_| g.declare("link-token", 1, BufClass::Pinned))
+        .collect();
+
+    for i in 0..n_layers {
+        let dev = i as u32;
+        for p in 0..passes {
+            let last_pass = p + 1 == passes;
+            for (c, &crows) in chunk_sizes.iter().enumerate() {
+                let spec = NodeSpec::new("train")
+                    .reads(&[chunk_bufs[i][c], params[i]])
+                    .writes(&[params[i]])
+                    .device(dev)
+                    .phase("pipeline-train");
+                g.node(spec, move |ctx, s: &mut PipelineState| {
+                    let x = s.chunks[i][c].view();
+                    let layer = &mut s.layers[i];
+                    let scratch = &mut s.scratch[i];
+                    let mut lo = 0;
+                    while lo < crows {
+                        let hi = (lo + batch).min(crows);
+                        let cost = layer.train_batch(ctx, x.rows_range(lo, hi), scratch, lr);
+                        if last_pass {
+                            s.recon[i] += cost.reconstruction * (hi - lo) as f64;
+                        }
+                        lo = hi;
+                    }
+                });
+            }
+        }
+        if i + 1 == n_layers {
+            continue;
+        }
+        for c in 0..chunk_sizes.len() {
+            let spec = NodeSpec::new("encode")
+                .reads(&[params[i], chunk_bufs[i][c]])
+                .writes(&[enc_bufs[i][c]])
+                .device(dev)
+                .phase("pipeline-encode");
+            g.node(spec, move |ctx, s: &mut PipelineState| {
+                let enc = s.layers[i].encode(ctx, s.chunks[i][c].view());
+                s.staged[i][c] = enc;
+            });
+            let hop = link;
+            let spec = NodeSpec::new("xfer")
+                .reads(&[enc_bufs[i][c]])
+                .writes(&[chunk_bufs[i + 1][c], tokens[i]])
+                .device(dev + 1)
+                .transfer()
+                .phase("pipeline-xfer");
+            g.node(spec, move |ctx, s: &mut PipelineState| {
+                let staged = std::mem::replace(&mut s.staged[i][c], Mat::zeros(1, 1));
+                let bytes = std::mem::size_of_val(staged.as_slice()) as u64;
+                ctx.charge_secs(
+                    hop.transfer_time(bytes),
+                    EventKind::Transfer,
+                    "pipeline-xfer",
+                );
+                s.chunks[i + 1][c] = staged;
+            });
+        }
+    }
+    g
 }
 
 /// A Deep Belief Network: a stack of RBMs trained layer by layer
@@ -310,6 +567,67 @@ mod tests {
             assert_eq!(s.b1, g.b1);
             assert_eq!(s.b2, g.b2);
         }
+    }
+
+    #[test]
+    fn pipelined_pretrain_matches_sequential_bitwise() {
+        let data = toy_dataset(90, 16, 31);
+        let cfg = TrainConfig {
+            batch_size: 10,
+            chunk_rows: 30,
+            learning_rate: 0.3,
+            ..TrainConfig::default()
+        };
+        let mut serial = StackedAutoencoder::with_default_config(&[16, 8, 4], 33);
+        let ctx = ExecCtx::native(OptLevel::Improved, 34);
+        serial.pretrain(&ctx, &data, &cfg, 3).unwrap();
+
+        let mut piped = StackedAutoencoder::with_default_config(&[16, 8, 4], 33);
+        let ctx2 = ExecCtx::native(OptLevel::Improved, 34);
+        let report = piped.pretrain_pipelined(&ctx2, &data, &cfg, 3);
+
+        for (s, p) in serial.layers().iter().zip(piped.layers()) {
+            assert_eq!(s.w1.as_slice(), p.w1.as_slice());
+            assert_eq!(s.w2.as_slice(), p.w2.as_slice());
+            assert_eq!(s.b1, p.b1);
+            assert_eq!(s.b2, p.b2);
+        }
+        assert_eq!(report.layer_recon.len(), 2);
+        assert!(report.layer_recon.iter().all(|r| r.is_finite() && *r > 0.0));
+        // 2 layers x 3 passes x 3 chunks of training, plus encode+xfer
+        // for every chunk of the one inter-layer edge.
+        assert_eq!(report.nodes, 2 * 3 * 3 + 2 * 3);
+    }
+
+    #[test]
+    fn pipelined_pretrain_overlaps_layers_on_the_simulated_clock() {
+        use micdnn_sim::Platform;
+        let data = toy_dataset(120, 16, 36);
+        let cfg = TrainConfig {
+            batch_size: 10,
+            chunk_rows: 30,
+            learning_rate: 0.3,
+            ..TrainConfig::default()
+        };
+        let mut stack = StackedAutoencoder::with_default_config(&[16, 8, 4], 37);
+        let ctx = ExecCtx::simulated(OptLevel::Improved, Platform::xeon_phi(), 38);
+        let report = stack.pretrain_pipelined(&ctx, &data, &cfg, 2);
+        assert!(report.critical_path > 0.0);
+        assert!(
+            report.critical_path < report.serial_time,
+            "pipeline shows no overlap: critical path {} vs serial {}",
+            report.critical_path,
+            report.serial_time
+        );
+    }
+
+    #[test]
+    fn pipeline_graph_is_verifier_clean() {
+        let stack = StackedAutoencoder::with_default_config(&[16, 8, 4], 39);
+        let g = stack.pipeline_graph(&quick_cfg(), 90, 2);
+        let report = g.verify();
+        assert!(report.errors.is_empty(), "errors: {report}");
+        assert!(report.warnings.is_empty(), "warnings: {report}");
     }
 
     #[test]

@@ -207,9 +207,9 @@ impl Recoverable for AeModel {
                 self.adopt(m);
                 Ok(())
             }
-            CheckpointModel::Rbm(_) => Err(io::Error::new(
+            _ => Err(io::Error::new(
                 io::ErrorKind::InvalidData,
-                "snapshot holds an RBM, model is an autoencoder",
+                "snapshot does not hold a plain autoencoder",
             )),
         }
     }
@@ -222,9 +222,9 @@ impl Recoverable for RbmModel {
                 self.adopt(m);
                 Ok(())
             }
-            CheckpointModel::Ae(_) => Err(io::Error::new(
+            _ => Err(io::Error::new(
                 io::ErrorKind::InvalidData,
-                "snapshot holds an autoencoder, model is an RBM",
+                "snapshot does not hold a plain RBM",
             )),
         }
     }

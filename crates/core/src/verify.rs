@@ -23,9 +23,11 @@
 //!   relative order — and therefore the sampling-stream assignment — is not
 //!   fixed by the DAG ([`DiagKind::UnorderedStochastic`]); side-effecting
 //!   (`exclusive`/`stochastic`) nodes that touch a common buffer without a
-//!   fixed order ([`DiagKind::UnorderedSideEffects`]); and side-effecting
-//!   or opaque nodes marked eligible for concurrency waves
-//!   ([`DiagKind::SideEffectInWave`]).
+//!   fixed order ([`DiagKind::UnorderedSideEffects`]); side-effecting or
+//!   opaque nodes marked eligible for concurrency waves
+//!   ([`DiagKind::SideEffectInWave`]); and a buffer accessed from two
+//!   different devices with no inter-device transfer node mediating the
+//!   edge ([`DiagKind::CrossDeviceFlow`]).
 //! * **warnings** (suspicious but schedule-safe): scratch writes nothing
 //!   ever reads ([`DiagKind::DeadWrite`]), buffers declared but never
 //!   touched ([`DiagKind::UnusedBuffer`]), and opaque [`TaskGraph::add`]
@@ -74,6 +76,10 @@ pub enum DiagKind {
     /// A stochastic, exclusive or opaque node is marked eligible for
     /// native concurrency waves.
     SideEffectInWave,
+    /// A buffer is accessed from two different devices without an
+    /// inter-device transfer node ordering the cross-device edge — data
+    /// would have to teleport between coprocessor memories.
+    CrossDeviceFlow,
     /// A buffer is declared but never read or written.
     UnusedBuffer,
     /// An opaque node (explicit-dependency [`TaskGraph::add`]) declares no
@@ -92,6 +98,7 @@ impl DiagKind {
             DiagKind::UnorderedStochastic => "unordered-stochastic",
             DiagKind::UnorderedSideEffects => "unordered-side-effects",
             DiagKind::SideEffectInWave => "side-effect-in-wave",
+            DiagKind::CrossDeviceFlow => "cross-device-flow",
             DiagKind::UnusedBuffer => "unused-buffer",
             DiagKind::OpaqueNode => "opaque-node",
         }
@@ -105,7 +112,8 @@ impl DiagKind {
             | DiagKind::UseBeforeInit
             | DiagKind::UnorderedStochastic
             | DiagKind::UnorderedSideEffects
-            | DiagKind::SideEffectInWave => Severity::Error,
+            | DiagKind::SideEffectInWave
+            | DiagKind::CrossDeviceFlow => Severity::Error,
             DiagKind::DeadWrite | DiagKind::UnusedBuffer | DiagKind::OpaqueNode => {
                 Severity::Warning
             }
@@ -438,6 +446,53 @@ impl<S> TaskGraph<'_, S> {
                         self.names[i]
                     ),
                 });
+            }
+        }
+
+        // (4d) Cross-device flow: a buffer touched from two different
+        // devices needs an inter-device transfer mediating the edge —
+        // either one endpoint is itself the transfer node (and the pair is
+        // ordered), or some transfer node lies strictly between them.
+        // Device memories are disjoint; without a transfer the data would
+        // have to teleport.
+        if self.device.iter().any(|&d| d != 0) {
+            let transfers: Vec<NodeId> = (0..n).filter(|&i| self.transfer[i]).collect();
+            for b in 0..nb {
+                let mut acc: Vec<NodeId> = writers[b].clone();
+                for &r in &readers[b] {
+                    if !acc.contains(&r) {
+                        acc.push(r);
+                    }
+                }
+                for i in 0..acc.len() {
+                    for j in (i + 1)..acc.len() {
+                        let (u, v) = (acc[i], acc[j]);
+                        if self.device[u] == self.device[v] {
+                            continue;
+                        }
+                        let endpoint_ok = (self.transfer[u] || self.transfer[v]) && ordered(u, v);
+                        let mediated = transfers.iter().any(|&t| {
+                            (precedes(u, t) && precedes(t, v)) || (precedes(v, t) && precedes(t, u))
+                        });
+                        if !(endpoint_ok || mediated) {
+                            report.push(Diagnostic {
+                                kind: DiagKind::CrossDeviceFlow,
+                                nodes: vec![tag(self, u), tag(self, v)],
+                                buffer: Some(self.bufs[b].name),
+                                message: format!(
+                                    "nodes `{}` (#{u}, device {}) and `{}` (#{v}, \
+                                     device {}) access buffer `{}` across devices with \
+                                     no transfer node mediating the edge",
+                                    self.names[u],
+                                    self.device[u],
+                                    self.names[v],
+                                    self.device[v],
+                                    self.bufs[b].name
+                                ),
+                            });
+                        }
+                    }
+                }
             }
         }
 
@@ -845,6 +900,96 @@ mod tests {
         let report = g.verify();
         assert!(report.errors.is_empty(), "{report}");
         assert_eq!(report.count(DiagKind::OpaqueNode), 2);
+    }
+
+    #[test]
+    fn unmediated_cross_device_edge_is_an_error() {
+        let mut g: TaskGraph<'static, ()> = TaskGraph::new();
+        let x = g.declare("x", 16, BufClass::Scratch);
+        let out = g.declare("out", 16, BufClass::Pinned);
+        g.node(NodeSpec::new("produce").writes(&[x]).device(0), |_, _| {});
+        g.node(
+            NodeSpec::new("consume")
+                .reads(&[x])
+                .writes(&[out])
+                .device(1),
+            |_, _| {},
+        );
+        let report = g.verify();
+        assert!(report.has(DiagKind::CrossDeviceFlow), "{report}");
+        let diag = report
+            .errors
+            .iter()
+            .find(|d| d.kind == DiagKind::CrossDeviceFlow)
+            .unwrap();
+        assert_eq!(diag.buffer, Some("x"));
+        assert!(diag.message.contains("device 0") && diag.message.contains("device 1"));
+    }
+
+    #[test]
+    fn transfer_endpoint_mediates_the_edge() {
+        let mut g: TaskGraph<'static, ()> = TaskGraph::new();
+        let x = g.declare("x", 16, BufClass::Scratch);
+        let y = g.declare("y", 16, BufClass::Scratch);
+        let out = g.declare("out", 16, BufClass::Pinned);
+        g.node(NodeSpec::new("produce").writes(&[x]).device(0), |_, _| {});
+        g.node(
+            NodeSpec::new("ship")
+                .reads(&[x])
+                .writes(&[y])
+                .device(1)
+                .transfer(),
+            |_, _| {},
+        );
+        g.node(
+            NodeSpec::new("consume")
+                .reads(&[y])
+                .writes(&[out])
+                .device(1),
+            |_, _| {},
+        );
+        let report = g.verify();
+        assert!(report.is_clean(), "{report}");
+    }
+
+    #[test]
+    fn interposed_transfer_mediates_a_staged_edge() {
+        // produce@0 and consume@1 share `x` directly, but a transfer node
+        // sits strictly between them on the token chain: the edge is
+        // mediated even though the transfer stages through another buffer.
+        let mut g: TaskGraph<'static, ()> = TaskGraph::new();
+        let x = g.declare("x", 16, BufClass::Scratch);
+        let tok = g.declare("tok", 1, BufClass::Scratch);
+        let tok2 = g.declare("tok2", 1, BufClass::Scratch);
+        let out = g.declare("out", 16, BufClass::Pinned);
+        g.node(
+            NodeSpec::new("produce").writes(&[x, tok]).device(0),
+            |_, _| {},
+        );
+        g.node(
+            NodeSpec::new("stage")
+                .reads(&[tok])
+                .writes(&[tok2])
+                .device(1)
+                .transfer(),
+            |_, _| {},
+        );
+        g.node(
+            NodeSpec::new("consume")
+                .reads(&[x, tok2])
+                .writes(&[out])
+                .device(1),
+            |_, _| {},
+        );
+        let report = g.verify();
+        assert!(report.is_clean(), "{report}");
+    }
+
+    #[test]
+    fn single_device_graphs_skip_the_cross_device_check() {
+        // The default device is 0 everywhere; nothing cross-device fires.
+        let report = chain().verify();
+        assert!(!report.has(DiagKind::CrossDeviceFlow), "{report}");
     }
 
     #[test]

@@ -336,6 +336,19 @@ impl Backend {
         self.scale_cost(y.len())
     }
 
+    /// Fixed-order merge of per-block partial gradients:
+    /// `out = parts[0] + parts[1] + ...` left-folded in part order per
+    /// element, so the result is bitwise independent of device count.
+    pub fn block_merge(&self, parts: &[&[f32]], out: &mut [f32]) -> OpCost {
+        vecops::block_merge(self.par, parts, out);
+        let c = OpCost::elementwise(out.len() * parts.len().max(1), 2, 1).with_label("block-merge");
+        if self.blas {
+            c
+        } else {
+            c.scalar()
+        }
+    }
+
     /// `delta *= y * (1 - y)` — sigmoid backprop through stored outputs.
     pub fn sigmoid_backprop(&self, y: &[f32], delta: &mut [f32]) -> OpCost {
         vecops::sigmoid_backprop_assign(self.par, y, delta);
@@ -435,6 +448,20 @@ impl Backend {
     /// Bernoulli sampling from per-element probabilities.
     pub fn bernoulli(&self, seed: u64, stream: StreamId, probs: &[f32], out: &mut [f32]) -> OpCost {
         rng::bernoulli(self.par, seed, stream, probs, out);
+        self.sample_cost(out.len())
+    }
+
+    /// Bernoulli sampling of a window of a larger logical op: element `i`
+    /// draws from counter `elem_base + i` (see [`rng::bernoulli_at`]).
+    pub fn bernoulli_at(
+        &self,
+        seed: u64,
+        stream: StreamId,
+        elem_base: u64,
+        probs: &[f32],
+        out: &mut [f32],
+    ) -> OpCost {
+        rng::bernoulli_at(self.par, seed, stream, elem_base, probs, out);
         self.sample_cost(out.len())
     }
 }

@@ -81,10 +81,28 @@ impl SampleStream {
 ///
 /// Deterministic for a given `(seed, stream)` regardless of `par`.
 pub fn bernoulli(par: Par, seed: u64, stream: StreamId, probs: &[f32], out: &mut [f32]) {
+    bernoulli_at(par, seed, stream, 0, probs, out);
+}
+
+/// [`bernoulli`] over a window of a larger logical sampling op: element `i`
+/// of `out` draws from counter `elem_base + i` on the stream.
+///
+/// This is what lets a sharded batch sample *the same bits* as the
+/// unsharded batch: each shard passes its global element offset, so the
+/// draw for a given logical element is a pure function of
+/// `(seed, stream, global index)` no matter how the batch was split.
+pub fn bernoulli_at(
+    par: Par,
+    seed: u64,
+    stream: StreamId,
+    elem_base: u64,
+    probs: &[f32],
+    out: &mut [f32],
+) {
     assert_eq!(probs.len(), out.len(), "bernoulli: length mismatch");
     let body = |base: usize, pc: &[f32], oc: &mut [f32]| {
         for (i, (&p, o)) in pc.iter().zip(oc.iter_mut()).enumerate() {
-            let u = uniform01(seed, stream.0, (base + i) as u64);
+            let u = uniform01(seed, stream.0, elem_base + (base + i) as u64);
             *o = if u < p { 1.0 } else { 0.0 };
         }
     };
@@ -162,6 +180,33 @@ mod tests {
         bernoulli(Par::Rayon, 9, StreamId(4), &probs, &mut b);
         assert_eq!(a, b);
         assert!(a.iter().all(|&v| v == 0.0 || v == 1.0));
+    }
+
+    #[test]
+    fn bernoulli_at_windows_reassemble_the_full_op() {
+        // Sampling a batch in arbitrary contiguous windows must reproduce
+        // the bits of the one-shot op — the sharding equivalence property.
+        let probs: Vec<f32> = (0..40_000).map(|i| (i % 97) as f32 / 97.0).collect();
+        let mut whole = vec![0.0f32; probs.len()];
+        bernoulli(Par::Rayon, 21, StreamId(7), &probs, &mut whole);
+        for &splits in &[1usize, 2, 3, 7, 40_000] {
+            let mut pieced = vec![0.0f32; probs.len()];
+            let chunk = probs.len().div_ceil(splits);
+            let mut lo = 0;
+            while lo < probs.len() {
+                let hi = (lo + chunk).min(probs.len());
+                bernoulli_at(
+                    Par::Seq,
+                    21,
+                    StreamId(7),
+                    lo as u64,
+                    &probs[lo..hi],
+                    &mut pieced[lo..hi],
+                );
+                lo = hi;
+            }
+            assert_eq!(whole, pieced, "{splits}-way split diverged");
+        }
     }
 
     #[test]

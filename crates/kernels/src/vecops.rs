@@ -63,6 +63,40 @@ pub(crate) fn axpy_chunk(alpha: f32, x: &[f32], y: &mut [f32]) {
     }
 }
 
+/// Fixed-order gradient merge: `out[i] = ((parts[0][i] + parts[1][i]) +
+/// parts[2][i]) + ...`, left-folded in part order for every element.
+///
+/// This is the reduction step of multi-device data-parallel training: each
+/// part is one canonical microblock's partial gradient, and the left-fold
+/// order is pinned so the merged gradient is bitwise independent of how
+/// many devices computed the parts. The first part is *copied* (not added
+/// to a zeroed buffer) so `0.0 + -0.0` cannot flip a sign bit. Per-element
+/// independence makes the result identical across `Par::Seq` and
+/// `Par::Rayon`, and identical to a `copy` followed by sequential
+/// `axpy(1.0, ..)` sweeps in part order.
+pub fn block_merge(par: Par, parts: &[&[f32]], out: &mut [f32]) {
+    let Some((first, rest)) = parts.split_first() else {
+        out.fill(0.0);
+        return;
+    };
+    for (k, p) in parts.iter().enumerate() {
+        assert_eq!(p.len(), out.len(), "block_merge: part {k} length mismatch");
+    }
+    let body = |oc: &mut [f32], base: usize| {
+        oc.copy_from_slice(&first[base..base + oc.len()]);
+        for p in rest {
+            axpy_chunk(1.0, &p[base..base + oc.len()], oc);
+        }
+    };
+    if par.is_parallel() && out.len() >= PAR_THRESHOLD {
+        out.par_chunks_mut(PAR_THRESHOLD)
+            .enumerate()
+            .for_each(|(ci, oc)| body(oc, ci * PAR_THRESHOLD));
+    } else {
+        body(out, 0);
+    }
+}
+
 /// `y *= alpha`.
 pub fn scale(par: Par, alpha: f32, y: &mut [f32]) {
     par_map1!(par, y, |yc: &mut [f32]| {
@@ -250,6 +284,41 @@ mod tests {
         let d1 = dot(Par::Seq, &x, &y1);
         let d2 = dot(Par::Rayon, &x, &y2);
         assert_eq!(d1, d2, "dot must be chunk-deterministic");
+    }
+
+    #[test]
+    fn block_merge_matches_copy_plus_axpy_bitwise() {
+        let parts: Vec<Vec<f32>> = (0..5)
+            .map(|k| {
+                (0..10_000)
+                    .map(|i| ((i * 37 + k * 101) as f32).sin() * 0.1)
+                    .collect()
+            })
+            .collect();
+        let views: Vec<&[f32]> = parts.iter().map(|p| p.as_slice()).collect();
+
+        // Reference: copy first, then sequential axpy sweeps in part order.
+        let mut reference = parts[0].clone();
+        for p in &parts[1..] {
+            axpy(Par::Seq, 1.0, p, &mut reference);
+        }
+
+        for par in [Par::Seq, Par::Rayon] {
+            let mut out = vec![f32::NAN; parts[0].len()];
+            block_merge(par, &views, &mut out);
+            assert_eq!(out, reference, "fold order must be pinned ({par:?})");
+        }
+    }
+
+    #[test]
+    fn block_merge_degenerate_part_counts() {
+        let a = vec![1.5f32, -0.0, 2.0];
+        let mut out = vec![9.0f32; 3];
+        block_merge(Par::Seq, &[&a], &mut out);
+        // Single part: exact copy, sign bits preserved (no 0.0 + -0.0).
+        assert_eq!(out[1].to_bits(), (-0.0f32).to_bits());
+        block_merge(Par::Seq, &[], &mut out);
+        assert_eq!(out, vec![0.0; 3]);
     }
 
     #[test]

@@ -34,6 +34,7 @@ pub mod device;
 pub mod export;
 pub mod link;
 pub mod memory;
+pub mod multidev;
 pub mod stream;
 pub mod trace;
 
@@ -44,6 +45,7 @@ pub use device::{DeviceSpec, Platform};
 pub use export::{chrome_trace_json, chrome_trace_value};
 pub use link::Link;
 pub use memory::{DeviceAlloc, DeviceMemory, OutOfDeviceMemory};
+pub use multidev::{DeviceNode, DeviceSet, SyncModel};
 pub use stream::{
     Chunk, ChunkSource, ChunkStream, RetryEvent, RetryPolicy, SourceFault, StreamError,
     StreamOptions, StreamStats, VecSource,

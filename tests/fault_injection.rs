@@ -14,7 +14,9 @@
 use micdnn::supervise::train_dataset_supervised;
 use micdnn::train::{train_dataset, TrainConfig, TrainError};
 use micdnn::{faults, AeConfig, AeModel, ExecCtx, OptLevel, SparseAutoencoder};
-use micdnn::{IncidentLog, Rbm, RbmConfig, RbmModel, SupervisorPolicy};
+use micdnn::{
+    DataParallelAe, IncidentLog, MultiDevConfig, Rbm, RbmConfig, RbmModel, SupervisorPolicy,
+};
 use micdnn_data::Dataset;
 use micdnn_tensor::Mat;
 use parking_lot::Mutex;
@@ -226,6 +228,88 @@ fn unsupervised_run_surfaces_typed_stream_errors() {
     });
     faults::clear_all();
     assert!(matches!(err, TrainError::Stream(_)), "{err:?}");
+}
+
+/// Supervised multi-device AE run at seed 11 (same data as `run_ae`);
+/// returns final weights, the incident log and the surviving device count.
+fn run_multidev_ae(devices: usize) -> (Vec<f32>, IncidentLog, usize) {
+    let ds = toy_dataset(120, 12, 11);
+    let ae = SparseAutoencoder::new(AeConfig::new(12, 6), 17);
+    let mut model = DataParallelAe::new(ae, MultiDevConfig::new(devices));
+    let ctx = ExecCtx::native(OptLevel::Improved, 11);
+    let (_, log) = train_dataset_supervised(&mut model, &ctx, &ds, &chaos_cfg(), 3).unwrap();
+    let online = model.device_set().online_count();
+    (model.ae().w1.as_slice().to_vec(), log, online)
+}
+
+/// A device runs out of memory mid-leg: the victim drops offline, its
+/// canonical blocks re-land on the survivors, and the run completes
+/// bit-identical to both the fault-free four-device run and the
+/// single-device run — with exactly one pinned `device-oom` incident.
+#[test]
+fn multidev_device_drop_mid_leg_recovers_bit_identically() {
+    let _g = REGISTRY_LOCK.lock();
+    faults::clear_all();
+    let (clean, clean_log, online) = with_watchdog("mdp baseline", || run_multidev_ae(4));
+    assert!(clean_log.incidents.is_empty(), "{:?}", clean_log.incidents);
+    assert_eq!(online, 4);
+    let (single, _, _) = with_watchdog("mdp single", || run_multidev_ae(1));
+    assert_eq!(clean, single, "device-count invariance broken fault-free");
+
+    // 18 supervised batches; the OOM lands on the 8th — mid-leg.
+    faults::configure("device.oom", "1@7").unwrap();
+    let (faulted, log, online) = with_watchdog("mdp oom", || run_multidev_ae(4));
+    faults::clear_all();
+
+    assert_eq!(clean, faulted, "post-drop run diverged from baseline");
+    assert_eq!(online, 3, "the victim must stay offline");
+    assert_eq!(log.count("device-oom"), 1, "{:?}", log.incidents);
+    assert_eq!(log.count("rollback"), 0, "{:?}", log.incidents);
+    let inc = log
+        .incidents
+        .iter()
+        .find(|i| i.kind == "device-oom")
+        .expect("device-oom incident");
+    assert!(inc.detail.contains("device 3"), "{}", inc.detail);
+    assert!(inc.detail.contains("3 survivor(s)"), "{}", inc.detail);
+}
+
+/// Dropped gradient-sync transfers are retried: extra modeled sync time,
+/// a pinned `link-retry` incident per drop, and untouched numerics.
+#[test]
+fn multidev_link_drops_retry_without_touching_numerics() {
+    let _g = REGISTRY_LOCK.lock();
+    faults::clear_all();
+    let (clean, _, _) = with_watchdog("link baseline", || run_multidev_ae(2));
+
+    faults::configure("link.drop", "2@5").unwrap();
+    let (faulted, log, online) = with_watchdog("link faulted", || run_multidev_ae(2));
+    faults::clear_all();
+
+    assert_eq!(clean, faulted, "link retries must not touch numerics");
+    assert_eq!(online, 2);
+    assert_eq!(log.count("link-retry"), 2, "{:?}", log.incidents);
+    assert_eq!(log.count("rollback"), 0, "{:?}", log.incidents);
+}
+
+/// A combined schedule — one device drop plus one NaN-poisoned chunk —
+/// engages the supervisor's ladder (rollback + lr-backoff) on top of the
+/// transparent re-shard, still landing bit-identical to the baseline.
+#[test]
+fn multidev_device_drop_plus_nan_engages_the_ladder_bit_identically() {
+    let _g = REGISTRY_LOCK.lock();
+    faults::clear_all();
+    let (clean, _, _) = with_watchdog("ladder baseline", || run_multidev_ae(4));
+
+    faults::configure("device.oom", "1@3").unwrap();
+    faults::configure("kernel.nan", "1@2").unwrap();
+    let (faulted, log, _) = with_watchdog("ladder faulted", || run_multidev_ae(4));
+    faults::clear_all();
+
+    assert_eq!(clean, faulted, "ladder recovery diverged from baseline");
+    assert_eq!(log.count("device-oom"), 1, "{:?}", log.incidents);
+    assert_eq!(log.count("rollback"), 1, "{:?}", log.incidents);
+    assert_eq!(log.count("lr-backoff"), 1, "{:?}", log.incidents);
 }
 
 /// Random seeded schedules: every run either completes bit-identical to

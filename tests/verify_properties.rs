@@ -21,7 +21,8 @@ use micdnn::ae_graph::{build_ae_graph, AeUpdate};
 use micdnn::cd_graph::build_cd_graph;
 use micdnn::exec::{ExecCtx, OptLevel};
 use micdnn::finetune::build_step_graph;
-use micdnn::{BufClass, DiagKind, NodeSpec, TaskGraph};
+use micdnn::train::TrainConfig;
+use micdnn::{BufClass, DiagKind, NodeSpec, StackedAutoencoder, TaskGraph};
 use proptest::prelude::*;
 use rand::{Rng, SeedableRng};
 
@@ -343,6 +344,75 @@ fn cd1_sample_alias_is_proved_race_free() {
         report.verified_alias_pairs
     );
     assert!(plan.peak_elems() < plan.total_declared_elems());
+}
+
+// ---------------------------------------------------------------------------
+// 5. Multi-device pipeline graphs: cross-device edges must be mediated by
+//    transfer nodes, and the shipped schedules pin "0 errors, 0 warnings".
+// ---------------------------------------------------------------------------
+
+/// Every shipped pipelined pre-training graph — per-layer devices joined by
+/// `.transfer()` xfer nodes over the modeled link — verifies 0/0 across
+/// stack shapes, chunk geometries and pass counts. In particular every
+/// layer-k -> layer-k+1 edge is ordered through its transfer node, so the
+/// cross-device check stays silent.
+#[test]
+fn shipped_pipeline_graphs_verify_clean() {
+    for (sizes, rows, chunk_rows, passes) in [
+        (vec![16usize, 8], 40, 20, 1),
+        (vec![16, 8, 4], 90, 30, 2),
+        (vec![12, 9, 6, 3], 45, 15, 3),
+        (vec![16, 8, 4], 35, 50, 2), // a single partial chunk
+    ] {
+        let stack = StackedAutoencoder::with_default_config(&sizes, 7);
+        let cfg = TrainConfig {
+            batch_size: 10,
+            chunk_rows,
+            ..TrainConfig::default()
+        };
+        let g = stack.pipeline_graph(&cfg, rows, passes);
+        let report = g.verify();
+        assert!(
+            report.is_clean(),
+            "pipeline {sizes:?} rows={rows} chunk={chunk_rows} passes={passes} \
+             must verify 0/0:\n{report}"
+        );
+    }
+}
+
+/// Cutting the inter-device handoff out of a pipeline graph is caught: the
+/// staging buffer's producer and its transfer node end up on different
+/// devices with no ordering, so the verifier reports both the race and the
+/// cross-device teleport.
+#[test]
+fn unmediated_pipeline_edge_reports_cross_device_flow() {
+    // Two layers, one chunk, one pass: train0 -> encode -> xfer -> train1.
+    let stack = StackedAutoencoder::with_default_config(&[12, 8, 4], 5);
+    let cfg = TrainConfig {
+        batch_size: 10,
+        chunk_rows: 30,
+        ..TrainConfig::default()
+    };
+    let mut g = stack.pipeline_graph(&cfg, 30, 1);
+    assert_eq!(g.len(), 4);
+    assert!(g.verify().is_clean());
+
+    // Drop the xfer's dependency on the encode that fills its staging
+    // buffer: layer 0's activations would have to teleport to device 1.
+    g.testonly_drop_dep(2, 1);
+    let report = g.verify();
+    assert!(report.has(DiagKind::Race), "{report}");
+    assert!(report.has(DiagKind::CrossDeviceFlow), "{report}");
+    let diag = report
+        .errors
+        .iter()
+        .find(|d| d.kind == DiagKind::CrossDeviceFlow)
+        .expect("cross-device diagnostic");
+    assert!(
+        diag.message.contains("device 0") && diag.message.contains("device 1"),
+        "{}",
+        diag.message
+    );
 }
 
 // ---------------------------------------------------------------------------
