@@ -12,7 +12,7 @@
 //! hide the PCIe transfers.
 //!
 //! Experiments: `fig7a fig7b fig8a fig8b fig9a fig9b fig10 table1 overlap
-//! graph scaling socket threads hybrid multidev all` (default: `all`).
+//! graph scaling socket threads hybrid multidev serve all` (default: `all`).
 //!
 //! Numbers are simulated seconds on the modeled Xeon Phi 5110P / Xeon E5620
 //! platforms — see DESIGN.md for the substitution rationale and
@@ -92,13 +92,14 @@ fn main() {
                     | "threads"
                     | "hybrid"
                     | "multidev"
+                    | "serve"
             )
         })
         .collect();
     if !unknown.is_empty() {
         eprintln!("unknown experiment(s): {unknown:?}");
         eprintln!(
-            "known: fig7a fig7b fig8a fig8b fig9a fig9b fig10 table1 overlap graph scaling socket threads hybrid multidev all"
+            "known: fig7a fig7b fig8a fig8b fig9a fig9b fig10 table1 overlap graph scaling socket threads hybrid multidev serve all"
         );
         unknown.clear();
         std::process::exit(2);
@@ -298,6 +299,36 @@ fn main() {
             println!("(same global batch at every N: the trained weights are bit-identical)\n");
         }
         emit_bench(&bench_dir, "multidev", serde_json::to_value(&pts));
+    }
+
+    if want("serve") {
+        let sweep = exp::serve_sweep();
+        if json {
+            println!("{}", serde_json::to_string_pretty(&sweep).unwrap());
+        } else {
+            println!("== Batched inference serving (256->512->256->10, simulated Phi) ==");
+            println!(
+                "{:<14}{:>12}{:>10}{:>12}{:>12}{:>12}{:>12}",
+                "pattern", "rate rps", "batch", "rps", "p50 ms", "p99 ms", "rows/b"
+            );
+            for p in &sweep.points {
+                println!(
+                    "{:<14}{:>12.0}{:>10}{:>12.1}{:>12.3}{:>12.3}{:>12.1}",
+                    p.pattern,
+                    p.rate_rps,
+                    p.max_batch,
+                    p.throughput_rps,
+                    p.p50_latency_secs * 1e3,
+                    p.p99_latency_secs * 1e3,
+                    p.mean_batch_rows
+                );
+            }
+            println!(
+                "dynamic batching at the saturated bursty point: {:.1} rps vs {:.1} rps unbatched ({:.1}x)\n",
+                sweep.bursty_batched_rps, sweep.bursty_unbatched_rps, sweep.batching_speedup
+            );
+        }
+        emit_bench(&bench_dir, "serve", serde_json::to_value(&sweep));
     }
 
     if want("socket") {

@@ -21,12 +21,13 @@
 use micdnn::analytic::{estimate, Algo, Workload};
 use micdnn::train::{train_dataset, train_dataset_resume, AeModel, RbmModel, TrainConfig};
 use micdnn::{
-    train_dataset_supervised, AeConfig, CheckpointModel, CheckpointPolicy, DataParallelAe,
-    DataParallelRbm, ExecCtx, FineTuneNet, IncidentLog, MultiDevConfig, OptLevel, Rbm, RbmConfig,
-    Recoverable, SparseAutoencoder, StackedAutoencoder, SupervisorPolicy, TrainProgress,
+    serve_requests, train_dataset_supervised, AeConfig, CheckpointModel, CheckpointPolicy,
+    DataParallelAe, DataParallelRbm, ExecCtx, FineTuneNet, IncidentLog, MultiDevConfig, OptLevel,
+    Rbm, RbmConfig, Recoverable, Request, ServeConfig, SparseAutoencoder, StackedAutoencoder,
+    SupervisorPolicy, TrainProgress,
 };
 use micdnn_data::{read_idx, Dataset, DigitGenerator, PatchGenerator};
-use micdnn_sim::{Link, Platform, SyncModel};
+use micdnn_sim::{ArrivalPattern, ArrivalSchedule, Link, Platform, SyncModel};
 
 /// A parsed `--key value` argument list.
 #[derive(Debug, Clone, Default)]
@@ -158,16 +159,18 @@ fn multidev_config(args: &Args) -> Result<Option<MultiDevConfig>, String> {
     let devices: usize = devices
         .parse()
         .map_err(|_| format!("--devices: cannot parse `{devices}`"))?;
-    if devices == 0 {
-        return Err("--devices must be at least 1".to_string());
-    }
-    let mut cfg = MultiDevConfig::new(devices);
-    if let Some(k) = args.get("blocks") {
-        let k: usize = k
+    // Default K: the paper's 8 canonical blocks, widened so every device
+    // can own at least one block when more than 8 cards are requested.
+    let blocks: usize = match args.get("blocks") {
+        Some(k) => k
             .parse()
-            .map_err(|_| format!("--blocks: bad value `{k}`"))?;
-        cfg = cfg.with_blocks(k);
-    }
+            .map_err(|_| format!("--blocks: bad value `{k}`"))?,
+        None => devices.max(8),
+    };
+    // Degenerate geometry (0 devices, 0 blocks, blocks < devices) fails
+    // here with a typed config error instead of reaching shard setup.
+    let mut cfg = MultiDevConfig::validated(devices, blocks)
+        .map_err(|e| format!("--devices/--blocks: {e}"))?;
     cfg = cfg.with_sync(match args.get("sync").unwrap_or("ring") {
         "ring" => SyncModel::RingAllReduce,
         "ps" => SyncModel::ParameterServer,
@@ -192,6 +195,7 @@ pub fn run(argv: &[String]) -> Result<String, String> {
         "features" => cmd_features(&args),
         "estimate" => cmd_estimate(&args),
         "profile" => cmd_profile(&args, seed),
+        "serve" => cmd_serve(&args, seed),
         "help" | "--help" | "-h" => Ok(usage()),
         other => Err(format!("unknown command `{other}`\n\n{}", usage())),
     }
@@ -244,7 +248,16 @@ pub fn usage() -> String {
        features   --model FILE --side N --out FILE.pgm [--units N]\n\
        estimate   --visible N --hidden N --examples N --batch N [--algo ae|rbm]\n\
        profile    [--algo ae|rbm] [--examples N] [--passes N] [--batch N]\n\
-                  [--platform phi|...] [--level ...] [--json FILE] [--trace FILE]\n"
+                  [--platform phi|...] [--level ...] [--json FILE] [--trace FILE]\n\
+       serve      [--requests N] [--rate RPS] [--pattern steady|bursty]\n\
+                  [--burst K] [--max-batch N] [--max-wait-us U] [--queue-cap N]\n\
+                  [--sizes 128,64] [--classes N] [--platform ...] [--level ...]\n\
+                  [--json FILE] [--profile] [--inject kernel.nan:...] —\n\
+                  batched async inference over a synthetic request trace: a\n\
+                  bounded queue coalesces requests into dynamic micro-batches\n\
+                  (flush on max_batch or max_wait), arrivals past queue_cap\n\
+                  are rejected with a typed Overloaded error, and a poisoned\n\
+                  batch fails only the lane it hit — the server stays up\n"
         .to_string()
 }
 
@@ -883,6 +896,109 @@ fn cmd_features(args: &Args) -> Result<String, String> {
     ))
 }
 
+/// `serve`: closed-loop batched inference over a synthetic request trace.
+///
+/// Builds a randomly-initialized fine-tune net over `--sizes`, generates a
+/// deterministic arrival schedule (`--pattern steady|bursty` at `--rate`
+/// requests/s), and drives the dynamic micro-batching event loop:
+/// requests coalesce until `--max-batch` or `--max-wait-us`, arrivals past
+/// `--queue-cap` bounce with a typed Overloaded rejection, and per-request
+/// latencies flow through the attached profiler (`serve.request`).
+/// `--inject kernel.nan:...` (failpoints builds) poisons batch lanes to
+/// demonstrate one-request degradation.
+fn cmd_serve(args: &Args, seed: u64) -> Result<String, String> {
+    let n_req = args.num("requests", 256usize)?;
+    if n_req == 0 {
+        return Err("--requests must be at least 1".to_string());
+    }
+    let rate: f64 = args.num("rate", 1000.0f64)?;
+    if rate <= 0.0 || !rate.is_finite() {
+        return Err("--rate must be positive".to_string());
+    }
+    let classes = args.num("classes", 10usize)?;
+    let ds = load_data(args, n_req.min(512), seed)?;
+    let sizes = parse_sizes(args, ds.dim())?;
+    let net = FineTuneNet::random(&sizes, classes, seed ^ 0xF1);
+
+    if let Some(list) = args.get("inject") {
+        micdnn::faults::configure_list(list).map_err(|e| format!("--inject: {e}"))?;
+    }
+
+    let level = parse_level(args)?;
+    let profiler = micdnn::Profiler::new();
+    let ctx = match parse_platform(args)? {
+        Some(p) => ExecCtx::simulated(level, p, seed),
+        None => ExecCtx::native(level, seed),
+    }
+    .with_profiler(profiler.clone());
+
+    let pattern_name = args.get("pattern").unwrap_or("steady").to_string();
+    let pattern = match pattern_name.as_str() {
+        "steady" => ArrivalPattern::Steady,
+        "bursty" => ArrivalPattern::Bursty {
+            burst: args.num("burst", 16usize)?,
+        },
+        other => return Err(format!("unknown --pattern `{other}` (steady|bursty)")),
+    };
+    let sched = ArrivalSchedule::new(n_req, rate, pattern, seed);
+    let requests: Vec<Request> = sched
+        .times()
+        .iter()
+        .enumerate()
+        .map(|(i, &t)| Request {
+            arrival_secs: t,
+            input: ds.matrix().row(i % ds.len()).to_vec(),
+        })
+        .collect();
+
+    let cfg = ServeConfig {
+        max_batch: args.num("max-batch", 32usize)?,
+        max_wait_secs: args.num("max-wait-us", 2_000u64)? as f64 * 1e-6,
+        queue_cap: args.num("queue-cap", 128usize)?,
+    };
+    let run = serve_requests(&net, &ctx, &cfg, &requests)
+        .map_err(|e| format!("--max-batch/--max-wait-us/--queue-cap: {e}"))?;
+    let r = &run.report;
+    let mut out = format!(
+        "served {} request(s) ({} @ {:.0} rps) through {:?} -> {} classes on {}\n\
+         policy: max_batch {}  max_wait {} us  queue_cap {}\n\
+         completed {}  rejected {}  failed {}  batches {} (mean {:.1} rows)\n\
+         makespan {:.4} s  throughput {:.1} req/s\n\
+         latency mean {:.3} ms  p50 {:.3} ms  p99 {:.3} ms  max {:.3} ms\n",
+        n_req,
+        pattern_name,
+        rate,
+        sizes,
+        classes,
+        ctx.platform().map_or("native", |p| p.label.as_str()),
+        cfg.max_batch,
+        cfg.max_wait_secs * 1e6,
+        cfg.queue_cap,
+        r.completed,
+        r.rejected,
+        r.failed,
+        r.batches,
+        r.mean_batch_rows,
+        r.makespan_secs,
+        r.throughput_rps,
+        r.mean_latency_secs * 1e3,
+        r.p50_latency_secs * 1e3,
+        r.p99_latency_secs * 1e3,
+        r.max_latency_secs * 1e3,
+    );
+    if args.has("profile") {
+        let profile = ctx.profile_report().expect("profiler attached");
+        out.push('\n');
+        out.push_str(&profile.render());
+    }
+    if let Some(path) = args.get("json") {
+        let text = serde_json::to_string_pretty(r).map_err(|e| e.to_string())?;
+        std::fs::write(path, text + "\n").map_err(|e| format!("cannot write `{path}`: {e}"))?;
+        out.push_str(&format!("wrote serve report JSON to {path}\n"));
+    }
+    Ok(out)
+}
+
 fn cmd_estimate(args: &Args) -> Result<String, String> {
     let w = Workload {
         algo: match args.get("algo").unwrap_or("ae") {
@@ -1161,7 +1277,7 @@ mod tests {
         assert!(out.contains("gemm"), "{out}");
         assert!(out.contains("forward"), "{out}");
         let json_text = std::fs::read_to_string(&json).unwrap();
-        assert!(json_text.contains("micdnn-profile-v1"), "{json_text}");
+        assert!(json_text.contains("micdnn-profile-v2"), "{json_text}");
         let trace_text = std::fs::read_to_string(&trace).unwrap();
         assert!(trace_text.contains("traceEvents"), "{trace_text}");
         std::fs::remove_file(&json).ok();
@@ -1406,7 +1522,40 @@ mod tests {
         let err = run(&sv(&["train", "--devices", "2", "--sync", "mesh"])).unwrap_err();
         assert!(err.contains("unknown --sync"), "{err}");
         let err = run(&sv(&["train", "--devices", "0"])).unwrap_err();
-        assert!(err.contains("at least 1"), "{err}");
+        assert!(err.contains("at least one device"), "{err}");
+    }
+
+    #[test]
+    fn degenerate_multidevice_geometry_fails_typed_before_training() {
+        // Every degenerate combination is rejected by config validation —
+        // none of these may panic or reach shard setup.
+        let err = run(&sv(&["train", "--devices", "2", "--blocks", "0"])).unwrap_err();
+        assert!(err.contains("at least one canonical block"), "{err}");
+        let err = run(&sv(&["train", "--devices", "4", "--blocks", "3"])).unwrap_err();
+        assert!(err.contains("smaller than the device count"), "{err}");
+        let err = run(&sv(&["train", "--devices", "0", "--blocks", "8"])).unwrap_err();
+        assert!(err.contains("at least one device"), "{err}");
+        // More than 8 devices without --blocks widens the default K
+        // instead of tripping the blocks >= devices rule.
+        let out = run(&sv(&[
+            "train",
+            "--examples",
+            "40",
+            "--side",
+            "8",
+            "--hidden",
+            "6",
+            "--passes",
+            "1",
+            "--batch",
+            "20",
+            "--chunk",
+            "40",
+            "--devices",
+            "9",
+        ]))
+        .unwrap();
+        assert!(out.contains("multi-device: 9 device(s)"), "{out}");
     }
 
     #[test]
@@ -1445,5 +1594,112 @@ mod tests {
         ]))
         .unwrap_err();
         assert!(err.contains("does not match"), "{err}");
+    }
+
+    #[test]
+    fn serve_completes_a_bursty_trace_with_batching() {
+        let out = run(&sv(&[
+            "serve",
+            "--requests",
+            "40",
+            "--rate",
+            "5000",
+            "--pattern",
+            "bursty",
+            "--burst",
+            "8",
+            "--max-batch",
+            "8",
+            "--max-wait-us",
+            "500",
+            "--platform",
+            "phi",
+            "--side",
+            "8",
+            "--sizes",
+            "32,16",
+            "--classes",
+            "4",
+        ]))
+        .unwrap();
+        assert!(out.contains("completed 40"), "{out}");
+        assert!(out.contains("rejected 0"), "{out}");
+        assert!(out.contains("batches"), "{out}");
+        assert!(out.contains("p99"), "{out}");
+    }
+
+    #[test]
+    fn serve_overload_reports_typed_rejections() {
+        // A near-simultaneous burst against a 2-deep queue with no
+        // coalescing: most requests must bounce, and the run still ends.
+        let out = run(&sv(&[
+            "serve",
+            "--requests",
+            "32",
+            "--rate",
+            "1000000",
+            "--pattern",
+            "bursty",
+            "--burst",
+            "32",
+            "--max-batch",
+            "1",
+            "--max-wait-us",
+            "0",
+            "--queue-cap",
+            "2",
+            "--platform",
+            "phi",
+            "--side",
+            "8",
+            "--sizes",
+            "16",
+            "--classes",
+            "3",
+        ]))
+        .unwrap();
+        assert!(!out.contains("rejected 0"), "expected rejections:\n{out}");
+        assert!(out.contains("completed"), "{out}");
+    }
+
+    #[test]
+    fn serve_rejects_degenerate_policy_with_typed_error() {
+        let err = run(&sv(&["serve", "--max-batch", "0"])).unwrap_err();
+        assert!(err.contains("max_batch must be at least 1"), "{err}");
+        let err = run(&sv(&["serve", "--queue-cap", "0"])).unwrap_err();
+        assert!(err.contains("queue_cap must be at least 1"), "{err}");
+        let err = run(&sv(&["serve", "--pattern", "poisson"])).unwrap_err();
+        assert!(err.contains("unknown --pattern"), "{err}");
+    }
+
+    #[test]
+    fn serve_profile_carries_request_latency_section() {
+        let out = run(&sv(&[
+            "serve",
+            "--requests",
+            "12",
+            "--rate",
+            "2000",
+            "--platform",
+            "phi",
+            "--side",
+            "8",
+            "--sizes",
+            "16",
+            "--classes",
+            "3",
+            "--profile",
+        ]))
+        .unwrap();
+        assert!(out.contains("serve.request"), "{out}");
+    }
+
+    #[test]
+    fn serve_inject_without_failpoints_reports_clear_error() {
+        if cfg!(feature = "failpoints") {
+            return; // the armed path is covered by tests/inject.rs
+        }
+        let err = run(&sv(&["serve", "--inject", "kernel.nan:1"])).unwrap_err();
+        assert!(err.contains("failpoints"), "{err}");
     }
 }

@@ -84,3 +84,42 @@ fn bad_inject_spec_is_rejected_up_front() {
     micdnn::faults::clear_all();
     assert!(err.contains("--inject"), "{err}");
 }
+
+/// `serve --inject kernel.nan:1` end to end: the poisoned batch fails
+/// exactly one request and the server completes the rest of the trace.
+#[test]
+fn serve_kernel_nan_degrades_one_request() {
+    let _g = LOCK.lock().unwrap();
+    micdnn::faults::clear_all();
+    let out = run(&sv(&[
+        "serve",
+        "--requests",
+        "24",
+        "--rate",
+        "5000",
+        "--pattern",
+        "bursty",
+        "--burst",
+        "8",
+        "--max-batch",
+        "8",
+        "--platform",
+        "phi",
+        "--side",
+        "8",
+        "--sizes",
+        "16",
+        "--classes",
+        "3",
+        "--inject",
+        "kernel.nan:1@1",
+    ]))
+    .unwrap();
+    micdnn::faults::clear_all();
+    assert!(
+        out.contains("failed 1"),
+        "exactly one failed request:\n{out}"
+    );
+    assert!(out.contains("completed 23"), "{out}");
+    assert!(out.contains("rejected 0"), "{out}");
+}

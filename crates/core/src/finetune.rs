@@ -172,6 +172,12 @@ impl FineTuneNet {
         self.layers.len()
     }
 
+    /// Encoder parameters as `(weights h x v, biases h)` pairs, input-first.
+    /// Crate-internal: the serving path's forward-only graph reads them.
+    pub(crate) fn layer_params(&self) -> &[(Mat, Vec<f32>)] {
+        &self.layers
+    }
+
     /// Elements currently held by the cached step workspace (0 before the
     /// first `train_batch`). Exposed so tests can pin the no-per-batch-
     /// allocation property.

@@ -63,6 +63,7 @@ pub mod multidev;
 pub mod optim;
 pub mod profile;
 pub mod rbm;
+pub mod serve;
 pub mod stacked;
 pub mod supervise;
 pub mod train;
@@ -90,12 +91,16 @@ pub use model_io::{
     atomic_write, load_autoencoder_file, load_rbm_file, save_autoencoder_file, save_rbm_file,
 };
 pub use multidev::{
-    block_bounds, DataParallelAe, DataParallelRbm, MultiDevConfig, MultiDevModelState,
-    MultiDevState,
+    block_bounds, DataParallelAe, DataParallelRbm, MultiDevConfig, MultiDevConfigError,
+    MultiDevModelState, MultiDevState,
 };
 pub use optim::{Optimizer, Rule, Schedule};
-pub use profile::{OpReport, PhaseReport, ProfileReport, Profiler, StreamReport};
+pub use profile::{LatencyReport, OpReport, PhaseReport, ProfileReport, Profiler, StreamReport};
 pub use rbm::{Rbm, RbmConfig, RbmScratch};
+pub use serve::{
+    build_forward_graph, serve_requests, Request, RequestOutcome, ServeConfig, ServeConfigError,
+    ServeError, ServeReport, ServeRun, ServeState,
+};
 pub use stacked::{DeepBeliefNet, LayerReport, PipelineReport, PipelineState, StackedAutoencoder};
 pub use supervise::{
     train_dataset_supervised, Incident, IncidentLog, Recoverable, SupervisorPolicy,

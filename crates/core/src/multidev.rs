@@ -102,6 +102,40 @@ pub(crate) fn canonical_blocks(batch: usize, k: usize) -> Vec<(usize, usize)> {
         .collect()
 }
 
+/// A degenerate multi-device geometry, rejected before any shard setup or
+/// [`block_bounds`] call can see it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MultiDevConfigError {
+    /// Zero devices: there is nothing to train on.
+    NoDevices,
+    /// Zero canonical microblocks: the batch cannot be split.
+    NoBlocks,
+    /// Fewer canonical blocks than devices: some devices could never own
+    /// a block, so the geometry silently wastes them.
+    FewerBlocksThanDevices {
+        /// Configured canonical block count.
+        blocks: usize,
+        /// Configured device count.
+        devices: usize,
+    },
+}
+
+impl std::fmt::Display for MultiDevConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MultiDevConfigError::NoDevices => write!(f, "need at least one device"),
+            MultiDevConfigError::NoBlocks => write!(f, "need at least one canonical block"),
+            MultiDevConfigError::FewerBlocksThanDevices { blocks, devices } => write!(
+                f,
+                "canonical block count {blocks} is smaller than the device count {devices}; \
+                 blocks must be >= devices so every device can own at least one block"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for MultiDevConfigError {}
+
 /// Configuration of a multi-device data-parallel trainer.
 #[derive(Debug, Clone)]
 pub struct MultiDevConfig {
@@ -131,6 +165,44 @@ impl MultiDevConfig {
             link: Link::pcie_gen2(),
             mem_capacity: 8 << 30,
         }
+    }
+
+    /// Like [`MultiDevConfig::new`] + [`MultiDevConfig::with_blocks`], but
+    /// returns a typed error on degenerate geometry instead of panicking —
+    /// the front door for externally supplied device/block counts (the CLI
+    /// routes through this).
+    pub fn validated(devices: usize, blocks: usize) -> Result<Self, MultiDevConfigError> {
+        if devices == 0 {
+            return Err(MultiDevConfigError::NoDevices);
+        }
+        if blocks == 0 {
+            return Err(MultiDevConfigError::NoBlocks);
+        }
+        let cfg = MultiDevConfig {
+            canonical_blocks: blocks,
+            ..MultiDevConfig::new(devices)
+        };
+        cfg.validate()?;
+        Ok(cfg)
+    }
+
+    /// Checks the configured geometry, returning a typed error for any
+    /// degenerate combination (`devices == 0`, `blocks == 0`,
+    /// `blocks < devices`).
+    pub fn validate(&self) -> Result<(), MultiDevConfigError> {
+        if self.devices == 0 {
+            return Err(MultiDevConfigError::NoDevices);
+        }
+        if self.canonical_blocks == 0 {
+            return Err(MultiDevConfigError::NoBlocks);
+        }
+        if self.canonical_blocks < self.devices {
+            return Err(MultiDevConfigError::FewerBlocksThanDevices {
+                blocks: self.canonical_blocks,
+                devices: self.devices,
+            });
+        }
+        Ok(())
     }
 
     /// Overrides the canonical microblock count `K`.
@@ -377,14 +449,35 @@ impl DataParallelAe {
 
     /// Takes device `i` offline; its blocks re-land on the survivors with
     /// bit-identical results (the chaos harness and CLI demos use this).
-    pub fn mark_device_offline(&mut self, i: usize) {
-        self.devset.mark_offline(i);
+    ///
+    /// Dropping the last surviving device is a recoverable
+    /// [`TrainError::Unrecoverable`], not a panic: a supervisor that loses
+    /// its whole device set must be able to surface the failure and keep
+    /// the process alive.
+    pub fn mark_device_offline(&mut self, i: usize) -> Result<(), crate::train::TrainError> {
+        mark_offline_checked(&mut self.devset, i)
     }
 
     /// Fraction of modeled step time spent in gradient synchronization.
     pub fn sync_fraction(&self) -> f64 {
         self.devset.sync_fraction()
     }
+}
+
+/// Shared fallible offline transition: refuses to drop the last surviving
+/// device with a typed error instead of tripping the device set's panic.
+fn mark_offline_checked(devset: &mut DeviceSet, i: usize) -> Result<(), crate::train::TrainError> {
+    assert!(i < devset.len(), "device index {i} out of range");
+    if devset.is_online(i) && devset.online_count() <= 1 {
+        return Err(crate::train::TrainError::Unrecoverable {
+            attempts: 0,
+            last: format!(
+                "cannot take device {i} offline: it is the last surviving device in the set"
+            ),
+        });
+    }
+    devset.mark_offline(i);
+    Ok(())
 }
 
 impl UnsupervisedModel for DataParallelAe {
@@ -704,8 +797,11 @@ impl DataParallelRbm {
     }
 
     /// Takes device `i` offline (bit-identical re-shard onto survivors).
-    pub fn mark_device_offline(&mut self, i: usize) {
-        self.devset.mark_offline(i);
+    /// Dropping the last surviving device returns
+    /// [`TrainError::Unrecoverable`](crate::train::TrainError::Unrecoverable)
+    /// instead of panicking.
+    pub fn mark_device_offline(&mut self, i: usize) -> Result<(), crate::train::TrainError> {
+        mark_offline_checked(&mut self.devset, i)
     }
 
     /// Fraction of modeled step time spent in gradient synchronization.
@@ -1076,7 +1172,7 @@ mod tests {
         for i in 0..4 {
             if i == 2 {
                 // Lose a device halfway: blocks re-land on the survivors.
-                m3.mark_device_offline(2);
+                m3.mark_device_offline(2).unwrap();
             }
             let x = batch(24, 14, 1000 + i as u64);
             m3.train_batch(&ctx, x.view(), 0.2);
@@ -1084,6 +1180,56 @@ mod tests {
         assert_eq!(m3.device_set().online_count(), 2);
         assert_eq!(m1.ae().w1.as_slice(), m3.ae().w1.as_slice());
         assert_eq!(m1.ae().b2, m3.ae().b2);
+    }
+
+    #[test]
+    fn degenerate_geometry_is_rejected_with_typed_errors() {
+        assert_eq!(
+            MultiDevConfig::validated(0, 8).unwrap_err(),
+            MultiDevConfigError::NoDevices
+        );
+        assert_eq!(
+            MultiDevConfig::validated(2, 0).unwrap_err(),
+            MultiDevConfigError::NoBlocks
+        );
+        assert_eq!(
+            MultiDevConfig::validated(4, 3).unwrap_err(),
+            MultiDevConfigError::FewerBlocksThanDevices {
+                blocks: 3,
+                devices: 4
+            }
+        );
+        // The error renders both numbers for the operator.
+        let msg = MultiDevConfig::validated(4, 3).unwrap_err().to_string();
+        assert!(msg.contains('3') && msg.contains('4'), "{msg}");
+        // Sound geometry passes and matches the builder defaults.
+        let cfg = MultiDevConfig::validated(2, 8).unwrap();
+        assert_eq!((cfg.devices, cfg.canonical_blocks), (2, 8));
+        cfg.validate().unwrap();
+    }
+
+    #[test]
+    fn last_device_offline_is_recoverable_not_a_panic() {
+        use crate::train::TrainError;
+        let cfg = AeConfig::new(8, 4);
+        let mut model = DataParallelAe::new(SparseAutoencoder::new(cfg, 1), MultiDevConfig::new(2));
+        model.mark_device_offline(0).unwrap();
+        let err = model.mark_device_offline(1).unwrap_err();
+        assert!(
+            matches!(err, TrainError::Unrecoverable { attempts: 0, .. }),
+            "{err:?}"
+        );
+        assert!(err.to_string().contains("last surviving device"));
+        // The set is untouched: device 1 keeps training.
+        assert_eq!(model.device_set().online_count(), 1);
+        assert!(model.device_set().is_online(1));
+        // Re-marking an already-offline device is a no-op, not an error.
+        model.mark_device_offline(0).unwrap();
+
+        let mut rbm =
+            DataParallelRbm::new(Rbm::new(RbmConfig::new(8, 4), 1), MultiDevConfig::new(1));
+        assert!(rbm.mark_device_offline(0).is_err());
+        assert_eq!(rbm.device_set().online_count(), 1);
     }
 
     #[test]
@@ -1120,7 +1266,7 @@ mod tests {
         use crate::checkpoint::{load_checkpoint, save_checkpoint, TrainProgress};
 
         let (mut model, _) = train_ae(3, 2, 24);
-        model.mark_device_offline(1);
+        model.mark_device_offline(1).unwrap();
         let want_rng = model.dev_rng().to_vec();
 
         let mut buf = Vec::new();

@@ -48,6 +48,9 @@ struct Inner {
     /// Phases in first-seen order.
     phases: Mutex<Vec<(String, PhaseAgg)>>,
     streams: Mutex<Vec<StreamStats>>,
+    /// Raw latency samples per label, first-seen order (the serving path
+    /// records one sample per completed request).
+    latencies: Mutex<Vec<(String, Vec<f64>)>>,
 }
 
 /// Shared-handle aggregator of op, phase, and stream statistics.
@@ -96,11 +99,23 @@ impl Profiler {
         self.inner.streams.lock().push(stats);
     }
 
+    /// Records one latency sample (seconds) under `label` — e.g. the
+    /// serving path's per-request end-to-end latency. Samples aggregate
+    /// into a [`LatencyReport`] (count/mean/p50/p99/max) per label.
+    pub fn record_latency(&self, label: &str, secs: f64) {
+        let mut lats = self.inner.latencies.lock();
+        match lats.iter_mut().find(|(n, _)| n == label) {
+            Some((_, samples)) => samples.push(secs),
+            None => lats.push((label.to_string(), vec![secs])),
+        }
+    }
+
     /// Whether anything has been recorded yet.
     pub fn is_empty(&self) -> bool {
         self.inner.ops.lock().is_empty()
             && self.inner.phases.lock().is_empty()
             && self.inner.streams.lock().is_empty()
+            && self.inner.latencies.lock().is_empty()
     }
 
     /// Builds the serializable report. `peak_gflops` (the modeled device's
@@ -171,6 +186,26 @@ impl Profiler {
             Some(total)
         };
 
+        let latencies: Vec<LatencyReport> = self
+            .inner
+            .latencies
+            .lock()
+            .iter()
+            .map(|(label, samples)| {
+                let mut sorted = samples.clone();
+                sorted.sort_by(|a, b| a.total_cmp(b));
+                let n = sorted.len();
+                LatencyReport {
+                    label: label.clone(),
+                    count: n as u64,
+                    mean_secs: sorted.iter().sum::<f64>() / n as f64,
+                    p50_secs: percentile(&sorted, 0.50),
+                    p99_secs: percentile(&sorted, 0.99),
+                    max_secs: sorted[n - 1],
+                }
+            })
+            .collect();
+
         ProfileReport {
             schema: SCHEMA.to_string(),
             peak_gflops,
@@ -178,13 +213,23 @@ impl Profiler {
             ops,
             phases,
             stream,
+            latencies,
         }
     }
 }
 
+/// Nearest-rank percentile of an ascending-sorted non-empty sample set;
+/// `q` in `[0, 1]`.
+pub(crate) fn percentile(sorted: &[f64], q: f64) -> f64 {
+    debug_assert!(!sorted.is_empty());
+    let idx = (q * (sorted.len() - 1) as f64).round() as usize;
+    sorted[idx.min(sorted.len() - 1)]
+}
+
 /// Schema tag stamped into every exported report, bumped on breaking
-/// layout changes (the golden test pins the current layout).
-pub const SCHEMA: &str = "micdnn-profile-v1";
+/// layout changes (the golden test pins the current layout). v2 added the
+/// `latencies` section.
+pub const SCHEMA: &str = "micdnn-profile-v2";
 
 /// Aggregate statistics of one op kind/label pair.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -239,6 +284,24 @@ pub struct StreamReport {
     pub hidden_fraction: f64,
 }
 
+/// Latency distribution of one labeled sample set (e.g. per-request
+/// serving latency).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LatencyReport {
+    /// Sample-set label ("serve.request", ...).
+    pub label: String,
+    /// Recorded samples.
+    pub count: u64,
+    /// Arithmetic mean, seconds.
+    pub mean_secs: f64,
+    /// Median (nearest rank), seconds.
+    pub p50_secs: f64,
+    /// 99th percentile (nearest rank), seconds.
+    pub p99_secs: f64,
+    /// Largest sample, seconds.
+    pub max_secs: f64,
+}
+
 /// The full profiling report of one run.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct ProfileReport {
@@ -254,6 +317,9 @@ pub struct ProfileReport {
     pub phases: Vec<PhaseReport>,
     /// Loader statistics when the run streamed chunks.
     pub stream: Option<StreamReport>,
+    /// Latency distributions, first-seen order (empty unless the run
+    /// recorded request latencies — the serving path does).
+    pub latencies: Vec<LatencyReport>,
 }
 
 impl ProfileReport {
@@ -292,6 +358,18 @@ impl ProfileReport {
             }
         }
 
+        if !self.latencies.is_empty() {
+            out.push_str(
+                "  latency              count     mean s      p50 s      p99 s      max s\n",
+            );
+            for l in &self.latencies {
+                out.push_str(&format!(
+                    "  {:<20} {:>6} {:>10.4} {:>10.4} {:>10.4} {:>10.4}\n",
+                    l.label, l.count, l.mean_secs, l.p50_secs, l.p99_secs, l.max_secs
+                ));
+            }
+        }
+
         if let Some(s) = &self.stream {
             out.push_str(&format!(
                 "  stream: {} chunks, {:.1} MB, transfer {:.3} s, stall {:.3} s, {:.1}% hidden\n",
@@ -326,6 +404,9 @@ mod tests {
             stall_secs: 0.5,
             ..StreamStats::default()
         });
+        p.record_latency("serve.request", 0.004);
+        p.record_latency("serve.request", 0.001);
+        p.record_latency("serve.request", 0.002);
         p
     }
 
@@ -370,6 +451,33 @@ mod tests {
         assert!(report.ops.is_empty());
         assert!(report.phases.is_empty());
         assert!(report.stream.is_none());
+        assert!(report.latencies.is_empty());
+    }
+
+    #[test]
+    fn latency_percentiles_use_nearest_rank() {
+        let p = Profiler::new();
+        // 100 samples 1ms..100ms in shuffled-ish order.
+        for i in 0..100u64 {
+            p.record_latency("serve.request", ((i * 37) % 100 + 1) as f64 * 1e-3);
+        }
+        let report = p.report(None, 0.1);
+        assert_eq!(report.latencies.len(), 1);
+        let l = &report.latencies[0];
+        assert_eq!(l.label, "serve.request");
+        assert_eq!(l.count, 100);
+        assert!((l.p50_secs - 0.051).abs() < 1e-12, "p50 {}", l.p50_secs);
+        assert!((l.p99_secs - 0.099).abs() < 1e-12, "p99 {}", l.p99_secs);
+        assert!((l.max_secs - 0.100).abs() < 1e-12);
+        assert!((l.mean_secs - 0.0505).abs() < 1e-12);
+        // A single sample is its own p50/p99/max.
+        let q = Profiler::new();
+        q.record_latency("one", 0.25);
+        let r = q.report(None, 0.0);
+        assert_eq!(
+            (r.latencies[0].p50_secs, r.latencies[0].p99_secs),
+            (0.25, 0.25)
+        );
     }
 
     #[test]

@@ -245,7 +245,7 @@ fn restore<M: Recoverable>(
 }
 
 /// Best-effort extraction of a panic payload's message.
-fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+pub(crate) fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
     payload
         .downcast_ref::<&'static str>()
         .map(|s| s.to_string())

@@ -28,6 +28,7 @@
 //! Xeon Phi.
 
 pub mod affinity;
+pub mod arrival;
 pub mod clock;
 pub mod cost;
 pub mod device;
@@ -39,6 +40,7 @@ pub mod stream;
 pub mod trace;
 
 pub use affinity::{Affinity, Placement};
+pub use arrival::{ArrivalPattern, ArrivalSchedule};
 pub use clock::SimClock;
 pub use cost::CostModel;
 pub use device::{DeviceSpec, Platform};

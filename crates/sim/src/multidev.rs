@@ -224,6 +224,25 @@ mod tests {
     }
 
     #[test]
+    fn sync_fraction_is_zero_not_nan_before_any_step() {
+        // 0/0 on a freshly built set must report 0.0, never NaN — this
+        // value flows straight into `BENCH_multidev.json`.
+        for n in [1, 2, 8] {
+            for sync in [SyncModel::RingAllReduce, SyncModel::ParameterServer] {
+                let s = set(n, sync);
+                let f = s.sync_fraction();
+                assert!(f.is_finite(), "n={n} {sync:?}: sync_fraction {f}");
+                assert_eq!(f, 0.0, "n={n} {sync:?}");
+            }
+        }
+        // Compute-only accounting (single device pays no sync) stays 0.0.
+        let mut s = set(1, SyncModel::RingAllReduce);
+        s.record_step(2.5, 0.0);
+        assert_eq!(s.sync_fraction(), 0.0);
+        assert!(s.sync_fraction().is_finite());
+    }
+
+    #[test]
     fn step_accounting_and_sync_fraction() {
         let mut s = set(2, SyncModel::RingAllReduce);
         assert_eq!(s.sync_fraction(), 0.0);

@@ -218,7 +218,7 @@ fn multidev_rbm_resume_is_bit_identical_including_device_cursors() {
     let make_model = || {
         let mut m =
             DataParallelRbm::new(Rbm::new(RbmConfig::new(12, 9), 29), MultiDevConfig::new(4));
-        m.mark_device_offline(3);
+        m.mark_device_offline(3).unwrap();
         m
     };
 

@@ -1,6 +1,6 @@
 //! Golden-file tests for the exported observability formats.
 //!
-//! The profile report (`micdnn-profile-v1`) and the Chrome trace export
+//! The profile report (`micdnn-profile-v2`) and the Chrome trace export
 //! are consumed outside this repo (dashboards, `chrome://tracing`), so
 //! their wire shape is pinned byte-for-byte against committed golden
 //! files. A deliberate schema change must update the golden alongside a
@@ -179,6 +179,11 @@ fn sample_report() -> ProfileReport {
         stall_secs: 13.0,
         ..StreamStats::default()
     });
+    // v2: per-label latency distributions (the serving path's section).
+    p.record_latency("serve.request", 0.004);
+    p.record_latency("serve.request", 0.001);
+    p.record_latency("serve.request", 0.016);
+    p.record_latency("serve.request", 0.002);
     p.report(Some(2021.76), 1.45)
 }
 
@@ -215,7 +220,7 @@ fn profile_golden_deserializes_and_roundtrips() {
     let back: ProfileReport = serde_json::from_str(PROFILE_GOLDEN).unwrap();
     assert_eq!(back, sample_report());
     // Schema marker travels with every report.
-    assert_eq!(back.schema, "micdnn-profile-v1");
+    assert_eq!(back.schema, "micdnn-profile-v2");
     let again = serde_json::to_string_pretty(&back).unwrap() + "\n";
     assert_eq!(again, PROFILE_GOLDEN);
 }
@@ -241,6 +246,7 @@ fn committed_bench_artifacts_parse_and_carry_schema() {
         "BENCH_table1.json",
         "BENCH_overlap.json",
         "BENCH_graph.json",
+        "BENCH_serve.json",
     ] {
         let path = format!("{root}/{name}");
         let text = std::fs::read_to_string(&path)

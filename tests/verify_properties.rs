@@ -324,6 +324,28 @@ fn shipped_finetune_graphs_verify_clean() {
     }
 }
 
+/// The serving path's forward-only graph is held to the same bar as the
+/// training steps: zero errors *and* zero warnings across representative
+/// shapes — including depth 1, the paper's headline widths, and a deep
+/// narrow stack — so a dead write or missing edge in the inference chain
+/// can never ship silently.
+#[test]
+fn serve_forward_graphs_verify_clean() {
+    for (in_dim, widths, classes, cap) in [
+        (144, vec![64], 10, 64),
+        (784, vec![512, 256], 10, 200),
+        (256, vec![128, 64, 32], 4, 100),
+        (1024, vec![4096], 10, 256),
+    ] {
+        let (g, _) = micdnn::build_forward_graph(in_dim, &widths, classes, cap);
+        let report = g.verify();
+        assert!(
+            report.is_clean(),
+            "serve forward {in_dim}->{widths:?}->{classes} must verify 0/0:\n{report}"
+        );
+    }
+}
+
 #[test]
 fn cd1_sample_alias_is_proved_race_free() {
     // PR 3's planner folds `h0_sample` and `h1_prob` into one register at
