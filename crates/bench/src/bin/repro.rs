@@ -12,7 +12,8 @@
 //! hide the PCIe transfers.
 //!
 //! Experiments: `fig7a fig7b fig8a fig8b fig9a fig9b fig10 table1 overlap
-//! graph scaling socket threads hybrid multidev serve all` (default: `all`).
+//! graph conv scaling socket threads hybrid multidev serve all` (default:
+//! `all`).
 //!
 //! Numbers are simulated seconds on the modeled Xeon Phi 5110P / Xeon E5620
 //! platforms — see DESIGN.md for the substitution rationale and
@@ -87,6 +88,7 @@ fn main() {
                     | "table1"
                     | "overlap"
                     | "graph"
+                    | "conv"
                     | "scaling"
                     | "socket"
                     | "threads"
@@ -99,7 +101,7 @@ fn main() {
     if !unknown.is_empty() {
         eprintln!("unknown experiment(s): {unknown:?}");
         eprintln!(
-            "known: fig7a fig7b fig8a fig8b fig9a fig9b fig10 table1 overlap graph scaling socket threads hybrid multidev serve all"
+            "known: fig7a fig7b fig8a fig8b fig9a fig9b fig10 table1 overlap graph conv scaling socket threads hybrid multidev serve all"
         );
         unknown.clear();
         std::process::exit(2);
@@ -207,6 +209,32 @@ fn main() {
             println!();
         }
         emit_bench(&bench_dir, "graph", serde_json::to_value(&rows));
+    }
+
+    if want("conv") {
+        let pts = exp::conv_ladder();
+        if json {
+            println!("{}", serde_json::to_string_pretty(&pts).unwrap());
+        } else {
+            println!("== Convolution lowering — naive direct vs im2col+GEMM, per rung ==");
+            println!(
+                "{:<12}{:<24}{:>12}{:>12}{:>10}{:>12}",
+                "level", "network", "direct", "im2col", "speedup", "max |diff|"
+            );
+            for p in &pts {
+                println!(
+                    "{:<12}{:<24}{:>9.2} ms{:>9.2} ms{:>9.2}x{:>12.2e}",
+                    p.level,
+                    p.network,
+                    p.direct_secs * 1e3,
+                    p.im2col_secs * 1e3,
+                    p.speedup,
+                    p.max_abs_diff
+                );
+            }
+            println!();
+        }
+        emit_bench(&bench_dir, "conv", serde_json::to_value(&pts));
     }
 
     if want("scaling") {

@@ -583,6 +583,90 @@ pub fn graph_ablation() -> Vec<GraphAblation> {
     out
 }
 
+/// One rung of the convolution lowering ladder: the naive direct
+/// convolution vs the shipped im2col+GEMM path, per optimization level.
+#[derive(Debug, Clone, Serialize)]
+pub struct ConvPoint {
+    /// Optimization rung (the Table I ladder).
+    pub level: String,
+    /// Geometry label.
+    pub network: String,
+    /// Naive direct convolution, simulated seconds.
+    pub direct_secs: f64,
+    /// im2col + batched GEMM, simulated seconds.
+    pub im2col_secs: f64,
+    /// direct / im2col.
+    pub speedup: f64,
+    /// Largest elementwise deviation between the two paths' outputs
+    /// (reassociation only — both compute the same convolution).
+    pub max_abs_diff: f64,
+}
+
+/// Executes (really) the conv forward pass both ways per geometry and
+/// Table-I rung on the simulated Phi: the naive direct loop nest is priced
+/// as a non-vectorizable strided gather, while im2col pays a bulk copy and
+/// then rides whatever GEMM the rung provides — no BLAS at the bottom of
+/// the ladder, the optimized library at the top. The shape being shown:
+/// the lowering is what lets convolution inherit the paper's entire
+/// optimization story.
+pub fn conv_ladder() -> Vec<ConvPoint> {
+    use micdnn_kernels::{conv, OpCost};
+    let mut out = Vec::new();
+    for &(side, k, c, b) in &[(28usize, 5usize, 32usize, 200usize), (16, 5, 6, 1000)] {
+        let o = side - k + 1;
+        let (img, patch, pix) = (side * side, k * k, o * o);
+        let x: Vec<f32> = (0..b * img).map(|i| ((i % 97) as f32) / 97.0).collect();
+        let w: Vec<f32> = (0..c * patch)
+            .map(|i| ((i % 53) as f32) / 53.0 - 0.5)
+            .collect();
+        let mut wm = Mat::zeros(c, patch);
+        wm.as_mut_slice().copy_from_slice(&w);
+
+        for level in [
+            OptLevel::Baseline,
+            OptLevel::OpenMp,
+            OptLevel::OpenMpMkl,
+            OptLevel::Improved,
+        ] {
+            let ctx = ExecCtx::simulated(level, Platform::xeon_phi(), 2);
+            let mut direct = vec![0.0f32; b * pix * c];
+            conv::conv2d_direct(ctx.backend().par(), &x, b, side, k, &w, c, &mut direct);
+            ctx.charge_cost(OpCost {
+                vectorizable: false,
+                ..OpCost::elementwise(b * pix * c, patch as u32, 2 * patch as u32)
+            });
+            let direct_secs = ctx.sim_time();
+
+            let ctx = ExecCtx::simulated(level, Platform::xeon_phi(), 2);
+            let mut col = Mat::zeros(b * pix, patch);
+            conv::im2col(ctx.backend().par(), &x, b, side, k, col.as_mut_slice());
+            ctx.charge_cost(OpCost::memcpy(b * pix * patch));
+            let mut act = Mat::zeros(b * pix, c);
+            {
+                let mut v = act.view_mut();
+                ctx.gemm(1.0, col.view(), false, wm.view(), true, 0.0, &mut v);
+            }
+            let im2col_secs = ctx.sim_time();
+
+            let max_abs_diff = direct
+                .iter()
+                .zip(act.as_slice())
+                .map(|(a, g)| (a - g).abs() as f64)
+                .fold(0.0f64, f64::max);
+
+            out.push(ConvPoint {
+                level: format!("{level:?}"),
+                network: format!("{side}x{side} k{k} c{c} batch {b}"),
+                direct_secs,
+                im2col_secs,
+                speedup: direct_secs / im2col_secs,
+                max_abs_diff,
+            });
+        }
+    }
+    out
+}
+
 /// One point of the core-count scaling sweep.
 #[derive(Debug, Clone, Serialize)]
 pub struct ScalingPoint {

@@ -22,9 +22,9 @@ use micdnn::analytic::{estimate, Algo, Workload};
 use micdnn::train::{train_dataset, train_dataset_resume, AeModel, RbmModel, TrainConfig};
 use micdnn::{
     serve_requests, train_dataset_supervised, AeConfig, CheckpointModel, CheckpointPolicy,
-    DataParallelAe, DataParallelRbm, ExecCtx, FineTuneNet, IncidentLog, MultiDevConfig, OptLevel,
-    Rbm, RbmConfig, Recoverable, Request, ServeConfig, SparseAutoencoder, StackedAutoencoder,
-    SupervisorPolicy, TrainProgress,
+    CnnConfig, CnnModel, CnnNet, DataParallelAe, DataParallelRbm, ExecCtx, FineTuneNet,
+    IncidentLog, MultiDevConfig, OptLevel, Rbm, RbmConfig, Recoverable, Request, ServeConfig,
+    SparseAutoencoder, StackedAutoencoder, SupervisorPolicy, TrainProgress,
 };
 use micdnn_data::{read_idx, Dataset, DigitGenerator, PatchGenerator};
 use micdnn_sim::{ArrivalPattern, ArrivalSchedule, Link, Platform, SyncModel};
@@ -149,6 +149,36 @@ fn train_config(args: &Args) -> Result<TrainConfig, String> {
     })
 }
 
+/// CNN shape from `--hidden/--channels/--kernel/--pool` against the
+/// loaded data's dimensionality (must be a square image). Geometry
+/// errors come back as CLI errors, not panics.
+fn cnn_config(args: &Args, visible: usize, hidden: usize) -> Result<CnnConfig, String> {
+    let side = (visible as f64).sqrt().round() as usize;
+    if side * side != visible {
+        return Err(format!(
+            "--algo cnn needs square images; data dimensionality {visible} is not a square"
+        ));
+    }
+    let channels = args.num("channels", 6usize)?;
+    let kernel = args.num("kernel", 5usize)?;
+    let pool = args.num("pool", 2usize)?;
+    if channels < 1 || hidden < 1 {
+        return Err("--channels and --hidden must be positive".to_string());
+    }
+    if kernel < 1 || kernel > side {
+        return Err(format!(
+            "--kernel {kernel} out of range for {side}x{side} images"
+        ));
+    }
+    let conv_side = side - kernel + 1;
+    if pool < 1 || !conv_side.is_multiple_of(pool) {
+        return Err(format!(
+            "--pool {pool} does not tile the {conv_side}x{conv_side} conv output"
+        ));
+    }
+    Ok(CnnConfig::new(side, channels, kernel, pool, hidden, 10))
+}
+
 /// Multi-device configuration from `--devices N [--blocks K] [--sync
 /// ring|ps]`; `None` when `--devices` was not given (single-device
 /// legacy trainer).
@@ -208,7 +238,7 @@ pub fn usage() -> String {
      USAGE: micdnn <COMMAND> [--key value ...]\n\
      \n\
      COMMANDS:\n\
-       train      --algo ae|rbm [--hidden N] [--passes N] [--momentum MU]\n\
+       train      --algo ae|rbm|cnn [--hidden N] [--passes N] [--momentum MU]\n\
                   [--checkpoint-dir DIR] [--checkpoint-every N] [--resume]\n\
                   [--save FILE] — crash-safe training; --resume continues a\n\
                   checkpointed run bit-identically (pass the same data flags\n\
@@ -229,6 +259,11 @@ pub fn usage() -> String {
                   order (ring allreduce or parameter server over the PCIe\n\
                   model), so results are bit-identical at any N; checkpoints\n\
                   persist the device geometry and per-device RNG cursors\n\
+                  --algo cnn [--channels N] [--kernel K] [--pool P] trains\n\
+                  the layer-IR convolutional classifier (im2col conv +\n\
+                  max-pool + dense + softmax) on the digits stream, labels\n\
+                  derived from the generator's row order; supports\n\
+                  checkpoint/resume and --supervise, not --devices/--momentum\n\
        (all training commands accept --graph-schedule: run each step\n\
         through the dataflow executor — bit-identical, critical-path\n\
         priced in simulation, concurrent small kernels natively — and\n\
@@ -284,8 +319,28 @@ fn cmd_train(args: &Args, seed: u64) -> Result<String, String> {
         ds.binarize(0.5);
     }
     let visible = ds.dim();
-    let hidden = args.num("hidden", (visible / 2).max(2))?;
+    let hidden = args.num(
+        "hidden",
+        if algo == "cnn" {
+            48
+        } else {
+            (visible / 2).max(2)
+        },
+    )?;
     let passes = args.num("passes", 10usize)?;
+    if algo == "cnn" {
+        // The CNN derives labels from the digit generator's row order
+        // (row i renders digit i % 10), so only that stream is labeled.
+        let source = args.get("data").unwrap_or("digits");
+        if source != "digits" {
+            return Err(
+                "--algo cnn trains on --data digits only (labels come from row order)".to_string(),
+            );
+        }
+        if args.get("momentum").is_some() {
+            return Err("--momentum is not supported with --algo cnn (plain SGD only)".to_string());
+        }
+    }
     if let Some(list) = args.get("inject") {
         micdnn::faults::configure_list(list).map_err(|e| format!("--inject: {e}"))?;
     }
@@ -326,6 +381,7 @@ fn cmd_train(args: &Args, seed: u64) -> Result<String, String> {
     enum Trained {
         Ae(AeModel),
         Rbm(RbmModel),
+        Cnn(CnnModel),
         MdAe(DataParallelAe),
         MdRbm(DataParallelRbm),
     }
@@ -353,6 +409,13 @@ fn cmd_train(args: &Args, seed: u64) -> Result<String, String> {
                 report = train_dataset_resume(&mut model, &ctx, &ds, &tc, passes, &progress)
                     .map_err(|e| e.to_string())?;
                 trained = Trained::Rbm(model);
+            }
+            // The graph flag and label cursor are restored from the
+            // checkpoint (like the RBM's graph flag).
+            ("cnn", CheckpointModel::Cnn(mut model)) => {
+                report = train_dataset_resume(&mut model, &ctx, &ds, &tc, passes, &progress)
+                    .map_err(|e| e.to_string())?;
+                trained = Trained::Cnn(model);
             }
             // Multi-device checkpoints carry their own geometry (device
             // count, block count, per-device RNG cursors); `restore_state`
@@ -421,7 +484,10 @@ fn cmd_train(args: &Args, seed: u64) -> Result<String, String> {
                 }
                 trained = Trained::MdRbm(model);
             }
-            other => return Err(format!("unknown --algo `{other}` (ae|rbm)")),
+            "cnn" => {
+                return Err("--algo cnn does not support --devices (single device only)".to_string())
+            }
+            other => return Err(format!("unknown --algo `{other}` (ae|rbm|cnn)")),
         }
     } else {
         resumed_from = None;
@@ -477,7 +543,25 @@ fn cmd_train(args: &Args, seed: u64) -> Result<String, String> {
                 }
                 trained = Trained::Rbm(model);
             }
-            other => return Err(format!("unknown --algo `{other}` (ae|rbm)")),
+            "cnn" => {
+                let cfg = cnn_config(args, visible, hidden)?;
+                let mut net = CnnNet::new(cfg, seed);
+                if args.has("graph-schedule") {
+                    net = net.with_graph_schedule();
+                }
+                let mut model = CnnModel::new(net, ds.len() as u64);
+                if supervised {
+                    let (r, log) = train_dataset_supervised(&mut model, &ctx, &ds, &tc, passes)
+                        .map_err(|e| e.to_string())?;
+                    report = r;
+                    incident_log = Some(log);
+                } else {
+                    report = train_dataset(&mut model, &ctx, &ds, &tc, passes)
+                        .map_err(|e| e.to_string())?;
+                }
+                trained = Trained::Cnn(model);
+            }
+            other => return Err(format!("unknown --algo `{other}` (ae|rbm|cnn)")),
         }
     }
 
@@ -526,6 +610,11 @@ fn cmd_train(args: &Args, seed: u64) -> Result<String, String> {
                 m.sync_fraction(),
             ));
         }
+        Trained::Cnn(m) => {
+            let labels: Vec<usize> = (0..ds.len()).map(|i| i % 10).collect();
+            let acc = m.net.accuracy(&ctx, ds.matrix().view(), &labels);
+            out.push_str(&format!("train accuracy {:.1}%\n", 100.0 * acc));
+        }
         _ => {}
     }
     if tc.checkpoint.is_some() {
@@ -559,6 +648,16 @@ fn cmd_train(args: &Args, seed: u64) -> Result<String, String> {
             Trained::MdRbm(m) => {
                 micdnn::save_rbm_file(m.rbm(), path).map_err(|e| e.to_string())?;
                 saved_kind = "rbm".to_string();
+            }
+            Trained::Cnn(m) => {
+                // The CNN's standalone format is its checkpoint state
+                // record (tag 5), written atomically like the others.
+                micdnn::atomic_write(std::path::Path::new(path), |mut w| {
+                    use micdnn::train::UnsupervisedModel;
+                    m.save_state(&mut w)
+                })
+                .map_err(|e| e.to_string())?;
+                saved_kind = "cnn".to_string();
             }
         }
         out.push_str(&format!("saved {saved_kind} to {path}\n"));

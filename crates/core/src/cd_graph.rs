@@ -32,6 +32,7 @@
 
 use crate::exec::ExecCtx;
 use crate::graph::{BufClass, GraphRun, NodeSpec, TaskGraph};
+use crate::layers::{Decl, Emit, Layer, Part, StackBuilder};
 use crate::rbm::{Rbm, RbmScratch};
 use micdnn_tensor::MatView;
 
@@ -44,10 +45,393 @@ pub struct CdState<'a> {
     pub(crate) recon_err: f64,
 }
 
-/// Builds the CD-k step over `b` examples as a [`TaskGraph`] whose
-/// declaration order is exactly the serial op order of the classic
-/// `cd_step` loop. Storage is bound to the fields of [`RbmScratch`]; the
-/// declarations describe their sizes and lifetimes to the planner.
+// All CD layers share one registry slot: the chain is one RBM layer seen
+// through four passes (data phase, Gibbs chain, statistics, updates).
+const RBM: usize = 0;
+
+/// Data phase: H1 hidden probabilities from the clamped batch, S1 their
+/// Bernoulli sample.
+struct CdData {
+    n_visible: usize,
+    n_hidden: usize,
+    b: usize,
+}
+
+impl<'a> Layer<CdState<'a>> for CdData {
+    fn tag(&self) -> &'static str {
+        "cd-data"
+    }
+
+    fn declare(&self, sb: &mut StackBuilder<CdState<'a>>, what: Decl) {
+        let (v, h, b) = (self.n_visible, self.n_hidden, self.b);
+        match what {
+            // Model parameters and the clamped batch: analysis-only
+            // externals.
+            Decl::Params => {
+                sb.bind(RBM, "w", "w", h * v, BufClass::External);
+                sb.bind(RBM, "b_vis", "b_vis", v, BufClass::External);
+                sb.bind(RBM, "c_hid", "c_hid", h, BufClass::External);
+            }
+            // Per-batch temporaries (the figure's H1 and its sample);
+            // scratch class makes them aliasing candidates.
+            Decl::Acts => {
+                sb.bind(RBM, "h0_prob", "h0_prob", b * h, BufClass::Scratch);
+                sb.bind(RBM, "h0_sample", "h0_sample", b * h, BufClass::Scratch);
+            }
+            _ => {}
+        }
+    }
+
+    fn emit(&self, sb: &mut StackBuilder<CdState<'a>>, what: Emit) {
+        if what != Emit::Forward {
+            return;
+        }
+        let b = self.b;
+        // H1: hidden probabilities from the data.
+        let (v0, w, c_hid, h0_prob) = (
+            sb.global("v0"),
+            sb.buf(RBM, "w"),
+            sb.buf(RBM, "c_hid"),
+            sb.buf(RBM, "h0_prob"),
+        );
+        sb.node(
+            NodeSpec::new("H1")
+                .reads(&[v0, w, c_hid])
+                .writes(&[h0_prob])
+                .phase("forward"),
+            move |ctx, s: &mut CdState<'_>| {
+                let v = s.v0;
+                s.rbm.prop_up(ctx, v, &mut s.scratch.h0_prob);
+            },
+        );
+        // S1: sample the data-phase hiddens (consumes a sampling stream,
+        // so it must stay in declaration order).
+        let h0_sample = sb.buf(RBM, "h0_sample");
+        sb.node(
+            NodeSpec::new("S1")
+                .reads(&[h0_prob])
+                .writes(&[h0_sample])
+                .stochastic()
+                .phase("forward"),
+            move |ctx, s: &mut CdState<'_>| {
+                let (hp, hs) = (&s.scratch.h0_prob, &mut s.scratch.h0_sample);
+                let probs = hp.rows_range(0, b);
+                let mut sample = hs.rows_range_mut(0, b);
+                ctx.bernoulli(probs.as_slice(), sample.as_mut_slice());
+            },
+        );
+    }
+}
+
+/// The Gibbs chain: `k` sweeps of V2 <- p(v | samples), H2 <- p(h | V2),
+/// resampling the hiddens between sweeps; the first sweep also probes the
+/// reconstruction error.
+struct CdChain {
+    n_visible: usize,
+    n_hidden: usize,
+    b: usize,
+    cd_steps: usize,
+}
+
+impl<'a> Layer<CdState<'a>> for CdChain {
+    fn tag(&self) -> &'static str {
+        "cd-chain"
+    }
+
+    fn declare(&self, sb: &mut StackBuilder<CdState<'a>>, what: Decl) {
+        let (v, h, b) = (self.n_visible, self.n_hidden, self.b);
+        if what == Decl::Acts {
+            sb.bind(RBM, "v1_prob", "v1_prob", b * v, BufClass::Scratch);
+            sb.bind(RBM, "h1_prob", "h1_prob", b * h, BufClass::Scratch);
+        }
+    }
+
+    fn emit(&self, sb: &mut StackBuilder<CdState<'a>>, what: Emit) {
+        if what != Emit::Backward {
+            return;
+        }
+        let b = self.b;
+        let (v0, w, b_vis, c_hid) = (
+            sb.global("v0"),
+            sb.buf(RBM, "w"),
+            sb.buf(RBM, "b_vis"),
+            sb.buf(RBM, "c_hid"),
+        );
+        let (h0_sample, v1_prob, h1_prob) = (
+            sb.buf(RBM, "h0_sample"),
+            sb.buf(RBM, "v1_prob"),
+            sb.buf(RBM, "h1_prob"),
+        );
+        for step in 0..self.cd_steps {
+            if step > 0 {
+                sb.node(
+                    NodeSpec::new("Sk")
+                        .reads(&[h1_prob])
+                        .writes(&[h0_sample])
+                        .stochastic()
+                        .phase("backward"),
+                    move |ctx, s: &mut CdState<'_>| {
+                        let (h1, hs) = (&s.scratch.h1_prob, &mut s.scratch.h0_sample);
+                        let probs = h1.rows_range(0, b);
+                        let mut sample = hs.rows_range_mut(0, b);
+                        ctx.bernoulli(probs.as_slice(), sample.as_mut_slice());
+                    },
+                );
+            }
+            sb.node(
+                NodeSpec::new("V2")
+                    .reads(&[h0_sample, w, b_vis])
+                    .writes(&[v1_prob])
+                    .phase("backward"),
+                move |ctx, s: &mut CdState<'_>| {
+                    let (rbm, scr) = (&*s.rbm, &mut *s.scratch);
+                    rbm.prop_down(ctx, scr.h0_sample.rows_range(0, b), &mut scr.v1_prob);
+                },
+            );
+            if step == 0 {
+                // Reconstruction error; writes a state scalar the buffer
+                // analysis cannot see, hence exclusive.
+                sb.node(
+                    NodeSpec::new("RE")
+                        .reads(&[v1_prob, v0])
+                        .exclusive()
+                        .phase("backward"),
+                    move |ctx, s: &mut CdState<'_>| {
+                        let (scr, v) = (&*s.scratch, s.v0);
+                        s.recon_err = ctx.frob_dist_sq(scr.v1_prob.rows_range(0, b), v) / b as f64;
+                    },
+                );
+            }
+            sb.node(
+                NodeSpec::new("H2")
+                    .reads(&[v1_prob, w, c_hid])
+                    .writes(&[h1_prob])
+                    .phase("backward"),
+                move |ctx, s: &mut CdState<'_>| {
+                    let (rbm, scr) = (&*s.rbm, &mut *s.scratch);
+                    rbm.prop_up(ctx, scr.v1_prob.rows_range(0, b), &mut scr.h1_prob);
+                },
+            );
+        }
+    }
+}
+
+/// Sufficient statistics: pos = H0'V0, neg = H1'V1 (probabilities —
+/// Hinton §3) under `Grads(Weights)`, the four bias column means under
+/// `Grads(Biases)`.
+struct CdStats {
+    n_visible: usize,
+    n_hidden: usize,
+    b: usize,
+}
+
+impl<'a> Layer<CdState<'a>> for CdStats {
+    fn tag(&self) -> &'static str {
+        "cd-stats"
+    }
+
+    fn declare(&self, sb: &mut StackBuilder<CdState<'a>>, what: Decl) {
+        let (v, h) = (self.n_visible, self.n_hidden);
+        match what {
+            // Statistics are read after the run (momentum folds them into
+            // velocity buffers), so they keep dedicated storage.
+            Decl::Grads(Part::Weights) => {
+                sb.bind(RBM, "pos_stats", "pos_stats", h * v, BufClass::Pinned);
+                sb.bind(RBM, "neg_stats", "neg_stats", h * v, BufClass::Pinned);
+            }
+            Decl::Grads(Part::Biases) => {
+                sb.bind(RBM, "vis_pos", "vis_pos", v, BufClass::Pinned);
+                sb.bind(RBM, "vis_neg", "vis_neg", v, BufClass::Pinned);
+                sb.bind(RBM, "hid_pos", "hid_pos", h, BufClass::Pinned);
+                sb.bind(RBM, "hid_neg", "hid_neg", h, BufClass::Pinned);
+            }
+            _ => {}
+        }
+    }
+
+    fn emit(&self, sb: &mut StackBuilder<CdState<'a>>, what: Emit) {
+        let b = self.b;
+        let inv_b = 1.0 / b as f32;
+        match what {
+            Emit::Grads(Part::Weights) => {
+                let (v0, h0_prob, pos_stats) = (
+                    sb.global("v0"),
+                    sb.buf(RBM, "h0_prob"),
+                    sb.buf(RBM, "pos_stats"),
+                );
+                sb.node(
+                    NodeSpec::new("POS")
+                        .reads(&[h0_prob, v0])
+                        .writes(&[pos_stats])
+                        .phase("backward"),
+                    move |ctx, s: &mut CdState<'_>| {
+                        let scr = &mut *s.scratch;
+                        ctx.gemm(
+                            inv_b,
+                            scr.h0_prob.rows_range(0, b),
+                            true,
+                            s.v0,
+                            false,
+                            0.0,
+                            &mut scr.pos_stats.view_mut(),
+                        );
+                    },
+                );
+                let (h1_prob, v1_prob, neg_stats) = (
+                    sb.buf(RBM, "h1_prob"),
+                    sb.buf(RBM, "v1_prob"),
+                    sb.buf(RBM, "neg_stats"),
+                );
+                sb.node(
+                    NodeSpec::new("NEG")
+                        .reads(&[h1_prob, v1_prob])
+                        .writes(&[neg_stats])
+                        .phase("backward"),
+                    move |ctx, s: &mut CdState<'_>| {
+                        let scr = &mut *s.scratch;
+                        let (h1p, v1p, neg) = (&scr.h1_prob, &scr.v1_prob, &mut scr.neg_stats);
+                        ctx.gemm(
+                            inv_b,
+                            h1p.rows_range(0, b),
+                            true,
+                            v1p.rows_range(0, b),
+                            false,
+                            0.0,
+                            &mut neg.view_mut(),
+                        );
+                    },
+                );
+            }
+            Emit::Grads(Part::Biases) => {
+                let (v0, vis_pos) = (sb.global("v0"), sb.buf(RBM, "vis_pos"));
+                sb.node(
+                    NodeSpec::new("VPOS")
+                        .reads(&[v0])
+                        .writes(&[vis_pos])
+                        .phase("backward"),
+                    move |ctx, s: &mut CdState<'_>| {
+                        let v = s.v0;
+                        ctx.colmean(v, &mut s.scratch.vis_pos);
+                    },
+                );
+                let (v1_prob, vis_neg) = (sb.buf(RBM, "v1_prob"), sb.buf(RBM, "vis_neg"));
+                sb.node(
+                    NodeSpec::new("VNEG")
+                        .reads(&[v1_prob])
+                        .writes(&[vis_neg])
+                        .phase("backward"),
+                    move |ctx, s: &mut CdState<'_>| {
+                        let scr = &mut *s.scratch;
+                        let (v1, out) = (&scr.v1_prob, &mut scr.vis_neg);
+                        ctx.colmean(v1.rows_range(0, b), out);
+                    },
+                );
+                let (h0_prob, hid_pos) = (sb.buf(RBM, "h0_prob"), sb.buf(RBM, "hid_pos"));
+                sb.node(
+                    NodeSpec::new("HPOS")
+                        .reads(&[h0_prob])
+                        .writes(&[hid_pos])
+                        .phase("backward"),
+                    move |ctx, s: &mut CdState<'_>| {
+                        let scr = &mut *s.scratch;
+                        let (hp, out) = (&scr.h0_prob, &mut scr.hid_pos);
+                        ctx.colmean(hp.rows_range(0, b), out);
+                    },
+                );
+                let (h1_prob, hid_neg) = (sb.buf(RBM, "h1_prob"), sb.buf(RBM, "hid_neg"));
+                sb.node(
+                    NodeSpec::new("HNEG")
+                        .reads(&[h1_prob])
+                        .writes(&[hid_neg])
+                        .phase("backward"),
+                    move |ctx, s: &mut CdState<'_>| {
+                        let scr = &mut *s.scratch;
+                        let (h1p, out) = (&scr.h1_prob, &mut scr.hid_neg);
+                        ctx.colmean(h1p.rows_range(0, b), out);
+                    },
+                );
+            }
+            _ => {}
+        }
+    }
+}
+
+/// Updates (paper eqs. 11–13): the figure's last rank, mutually
+/// independent — Vw under `Update(Weights)`, Vb and Vc under
+/// `Update(Biases)`.
+struct CdUpdates;
+
+impl<'a> Layer<CdState<'a>> for CdUpdates {
+    fn tag(&self) -> &'static str {
+        "cd-updates"
+    }
+
+    fn emit(&self, sb: &mut StackBuilder<CdState<'a>>, what: Emit) {
+        match what {
+            Emit::Update(Part::Weights) => {
+                let (pos_stats, neg_stats, w) = (
+                    sb.buf(RBM, "pos_stats"),
+                    sb.buf(RBM, "neg_stats"),
+                    sb.buf(RBM, "w"),
+                );
+                sb.node(
+                    NodeSpec::new("Vw")
+                        .reads(&[pos_stats, neg_stats, w])
+                        .writes(&[w])
+                        .phase("update"),
+                    move |ctx, s: &mut CdState<'_>| {
+                        let (rbm, scr) = (&mut *s.rbm, &*s.scratch);
+                        ctx.cd_update(
+                            s.lr,
+                            scr.pos_stats.as_slice(),
+                            scr.neg_stats.as_slice(),
+                            rbm.w.as_mut_slice(),
+                        );
+                    },
+                );
+            }
+            Emit::Update(Part::Biases) => {
+                let (vis_pos, vis_neg, b_vis) = (
+                    sb.buf(RBM, "vis_pos"),
+                    sb.buf(RBM, "vis_neg"),
+                    sb.buf(RBM, "b_vis"),
+                );
+                sb.node(
+                    NodeSpec::new("Vb")
+                        .reads(&[vis_pos, vis_neg, b_vis])
+                        .writes(&[b_vis])
+                        .phase("update"),
+                    move |ctx, s: &mut CdState<'_>| {
+                        let (rbm, scr) = (&mut *s.rbm, &*s.scratch);
+                        ctx.cd_update(s.lr, &scr.vis_pos, &scr.vis_neg, &mut rbm.b_vis);
+                    },
+                );
+                let (hid_pos, hid_neg, c_hid) = (
+                    sb.buf(RBM, "hid_pos"),
+                    sb.buf(RBM, "hid_neg"),
+                    sb.buf(RBM, "c_hid"),
+                );
+                sb.node(
+                    NodeSpec::new("Vc")
+                        .reads(&[hid_pos, hid_neg, c_hid])
+                        .writes(&[c_hid])
+                        .phase("update"),
+                    move |ctx, s: &mut CdState<'_>| {
+                        let (rbm, scr) = (&mut *s.rbm, &*s.scratch);
+                        ctx.cd_update(s.lr, &scr.hid_pos, &scr.hid_neg, &mut rbm.c_hid);
+                    },
+                );
+            }
+            _ => {}
+        }
+    }
+}
+
+/// Builds the CD-k step over `b` examples as a [`StackBuilder`] recipe
+/// over the data/chain/statistics/update layers, whose declaration order
+/// is exactly the serial op order of the classic `cd_step` loop. Storage
+/// is bound to the fields of [`RbmScratch`]; the declarations describe
+/// their sizes and lifetimes to the planner.
 ///
 /// Public so integration tests can run every shipped graph shape through
 /// [`TaskGraph::verify`]; training entry points use it via
@@ -59,234 +443,43 @@ pub fn build_cd_graph<'a>(
     cd_steps: usize,
 ) -> TaskGraph<'static, CdState<'a>> {
     assert!(cd_steps >= 1, "CD needs at least one step");
-    let mut g: TaskGraph<'static, CdState<'a>> = TaskGraph::new();
+    let mut sb: StackBuilder<CdState<'a>> = StackBuilder::new();
+    let data = CdData {
+        n_visible,
+        n_hidden,
+        b,
+    };
+    let chain = CdChain {
+        n_visible,
+        n_hidden,
+        b,
+        cd_steps,
+    };
+    let stats = CdStats {
+        n_visible,
+        n_hidden,
+        b,
+    };
+    let updates = CdUpdates;
 
-    // Model parameters and the clamped batch: analysis-only externals.
-    let v0 = g.declare("v0", b * n_visible, BufClass::External);
-    let w = g.declare("w", n_hidden * n_visible, BufClass::External);
-    let b_vis = g.declare("b_vis", n_visible, BufClass::External);
-    let c_hid = g.declare("c_hid", n_hidden, BufClass::External);
+    // Historical declaration order: batch, parameters, the four chain
+    // temporaries, then the pinned statistics.
+    sb.bind_global("v0", "v0", b * n_visible, BufClass::External);
+    data.declare(&mut sb, Decl::Params);
+    data.declare(&mut sb, Decl::Acts);
+    chain.declare(&mut sb, Decl::Acts);
+    stats.declare(&mut sb, Decl::Grads(Part::Weights));
+    stats.declare(&mut sb, Decl::Grads(Part::Biases));
 
-    // Per-batch temporaries (the figure's H1/V2/H2); scratch class makes
-    // them aliasing candidates.
-    let h0_prob = g.declare("h0_prob", b * n_hidden, BufClass::Scratch);
-    let h0_sample = g.declare("h0_sample", b * n_hidden, BufClass::Scratch);
-    let v1_prob = g.declare("v1_prob", b * n_visible, BufClass::Scratch);
-    let h1_prob = g.declare("h1_prob", b * n_hidden, BufClass::Scratch);
-
-    // Statistics are read after the run (momentum folds them into velocity
-    // buffers), so they keep dedicated storage.
-    let pos_stats = g.declare("pos_stats", n_hidden * n_visible, BufClass::Pinned);
-    let neg_stats = g.declare("neg_stats", n_hidden * n_visible, BufClass::Pinned);
-    let vis_pos = g.declare("vis_pos", n_visible, BufClass::Pinned);
-    let vis_neg = g.declare("vis_neg", n_visible, BufClass::Pinned);
-    let hid_pos = g.declare("hid_pos", n_hidden, BufClass::Pinned);
-    let hid_neg = g.declare("hid_neg", n_hidden, BufClass::Pinned);
-
-    // H1: hidden probabilities from the data.
-    g.node(
-        NodeSpec::new("H1")
-            .reads(&[v0, w, c_hid])
-            .writes(&[h0_prob])
-            .phase("forward"),
-        move |ctx, s: &mut CdState<'_>| {
-            let v = s.v0;
-            s.rbm.prop_up(ctx, v, &mut s.scratch.h0_prob);
-        },
-    );
-    // S1: sample the data-phase hiddens (consumes a sampling stream, so it
-    // must stay in declaration order).
-    g.node(
-        NodeSpec::new("S1")
-            .reads(&[h0_prob])
-            .writes(&[h0_sample])
-            .stochastic()
-            .phase("forward"),
-        move |ctx, s: &mut CdState<'_>| {
-            let (hp, hs) = (&s.scratch.h0_prob, &mut s.scratch.h0_sample);
-            let probs = hp.rows_range(0, b);
-            let mut sample = hs.rows_range_mut(0, b);
-            ctx.bernoulli(probs.as_slice(), sample.as_mut_slice());
-        },
-    );
-
-    // Gibbs chain: V2 <- p(v | samples); H2 <- p(h | V2); CD-k resamples
-    // the hiddens between sweeps.
-    for step in 0..cd_steps {
-        if step > 0 {
-            g.node(
-                NodeSpec::new("Sk")
-                    .reads(&[h1_prob])
-                    .writes(&[h0_sample])
-                    .stochastic()
-                    .phase("backward"),
-                move |ctx, s: &mut CdState<'_>| {
-                    let (h1, hs) = (&s.scratch.h1_prob, &mut s.scratch.h0_sample);
-                    let probs = h1.rows_range(0, b);
-                    let mut sample = hs.rows_range_mut(0, b);
-                    ctx.bernoulli(probs.as_slice(), sample.as_mut_slice());
-                },
-            );
-        }
-        g.node(
-            NodeSpec::new("V2")
-                .reads(&[h0_sample, w, b_vis])
-                .writes(&[v1_prob])
-                .phase("backward"),
-            move |ctx, s: &mut CdState<'_>| {
-                let (rbm, scr) = (&*s.rbm, &mut *s.scratch);
-                rbm.prop_down(ctx, scr.h0_sample.rows_range(0, b), &mut scr.v1_prob);
-            },
-        );
-        if step == 0 {
-            // Reconstruction error; writes a state scalar the buffer
-            // analysis cannot see, hence exclusive.
-            g.node(
-                NodeSpec::new("RE")
-                    .reads(&[v1_prob, v0])
-                    .exclusive()
-                    .phase("backward"),
-                move |ctx, s: &mut CdState<'_>| {
-                    let (scr, v) = (&*s.scratch, s.v0);
-                    s.recon_err = ctx.frob_dist_sq(scr.v1_prob.rows_range(0, b), v) / b as f64;
-                },
-            );
-        }
-        g.node(
-            NodeSpec::new("H2")
-                .reads(&[v1_prob, w, c_hid])
-                .writes(&[h1_prob])
-                .phase("backward"),
-            move |ctx, s: &mut CdState<'_>| {
-                let (rbm, scr) = (&*s.rbm, &mut *s.scratch);
-                rbm.prop_up(ctx, scr.v1_prob.rows_range(0, b), &mut scr.h1_prob);
-            },
-        );
-    }
-
-    // Statistics: pos = H0'V0, neg = H1'V1 (probabilities — Hinton §3),
-    // plus the four bias column means.
-    let inv_b = 1.0 / b as f32;
-    g.node(
-        NodeSpec::new("POS")
-            .reads(&[h0_prob, v0])
-            .writes(&[pos_stats])
-            .phase("backward"),
-        move |ctx, s: &mut CdState<'_>| {
-            let scr = &mut *s.scratch;
-            ctx.gemm(
-                inv_b,
-                scr.h0_prob.rows_range(0, b),
-                true,
-                s.v0,
-                false,
-                0.0,
-                &mut scr.pos_stats.view_mut(),
-            );
-        },
-    );
-    g.node(
-        NodeSpec::new("NEG")
-            .reads(&[h1_prob, v1_prob])
-            .writes(&[neg_stats])
-            .phase("backward"),
-        move |ctx, s: &mut CdState<'_>| {
-            let scr = &mut *s.scratch;
-            let (h1p, v1p, neg) = (&scr.h1_prob, &scr.v1_prob, &mut scr.neg_stats);
-            ctx.gemm(
-                inv_b,
-                h1p.rows_range(0, b),
-                true,
-                v1p.rows_range(0, b),
-                false,
-                0.0,
-                &mut neg.view_mut(),
-            );
-        },
-    );
-    g.node(
-        NodeSpec::new("VPOS")
-            .reads(&[v0])
-            .writes(&[vis_pos])
-            .phase("backward"),
-        move |ctx, s: &mut CdState<'_>| {
-            let v = s.v0;
-            ctx.colmean(v, &mut s.scratch.vis_pos);
-        },
-    );
-    g.node(
-        NodeSpec::new("VNEG")
-            .reads(&[v1_prob])
-            .writes(&[vis_neg])
-            .phase("backward"),
-        move |ctx, s: &mut CdState<'_>| {
-            let scr = &mut *s.scratch;
-            let (v1, out) = (&scr.v1_prob, &mut scr.vis_neg);
-            ctx.colmean(v1.rows_range(0, b), out);
-        },
-    );
-    g.node(
-        NodeSpec::new("HPOS")
-            .reads(&[h0_prob])
-            .writes(&[hid_pos])
-            .phase("backward"),
-        move |ctx, s: &mut CdState<'_>| {
-            let scr = &mut *s.scratch;
-            let (hp, out) = (&scr.h0_prob, &mut scr.hid_pos);
-            ctx.colmean(hp.rows_range(0, b), out);
-        },
-    );
-    g.node(
-        NodeSpec::new("HNEG")
-            .reads(&[h1_prob])
-            .writes(&[hid_neg])
-            .phase("backward"),
-        move |ctx, s: &mut CdState<'_>| {
-            let scr = &mut *s.scratch;
-            let (h1p, out) = (&scr.h1_prob, &mut scr.hid_neg);
-            ctx.colmean(h1p.rows_range(0, b), out);
-        },
-    );
-
-    // Updates (paper eqs. 11–13): the figure's last rank, mutually
-    // independent.
-    g.node(
-        NodeSpec::new("Vw")
-            .reads(&[pos_stats, neg_stats, w])
-            .writes(&[w])
-            .phase("update"),
-        move |ctx, s: &mut CdState<'_>| {
-            let (rbm, scr) = (&mut *s.rbm, &*s.scratch);
-            ctx.cd_update(
-                s.lr,
-                scr.pos_stats.as_slice(),
-                scr.neg_stats.as_slice(),
-                rbm.w.as_mut_slice(),
-            );
-        },
-    );
-    g.node(
-        NodeSpec::new("Vb")
-            .reads(&[vis_pos, vis_neg, b_vis])
-            .writes(&[b_vis])
-            .phase("update"),
-        move |ctx, s: &mut CdState<'_>| {
-            let (rbm, scr) = (&mut *s.rbm, &*s.scratch);
-            ctx.cd_update(s.lr, &scr.vis_pos, &scr.vis_neg, &mut rbm.b_vis);
-        },
-    );
-    g.node(
-        NodeSpec::new("Vc")
-            .reads(&[hid_pos, hid_neg, c_hid])
-            .writes(&[c_hid])
-            .phase("update"),
-        move |ctx, s: &mut CdState<'_>| {
-            let (rbm, scr) = (&mut *s.rbm, &*s.scratch);
-            ctx.cd_update(s.lr, &scr.hid_pos, &scr.hid_neg, &mut rbm.c_hid);
-        },
-    );
-
-    g
+    // Historical node order: H1+S1, the Gibbs chain, POS/NEG, the bias
+    // means, then the three updates.
+    data.emit(&mut sb, Emit::Forward);
+    chain.emit(&mut sb, Emit::Backward);
+    stats.emit(&mut sb, Emit::Grads(Part::Weights));
+    stats.emit(&mut sb, Emit::Grads(Part::Biases));
+    updates.emit(&mut sb, Emit::Update(Part::Weights));
+    updates.emit(&mut sb, Emit::Update(Part::Biases));
+    sb.finish()
 }
 
 /// One CD-k update scheduled as the Fig. 6 dependency graph.

@@ -26,11 +26,14 @@
 //! interrupted save leaves the previous checkpoint intact.
 
 use crate::autoencoder::SparseAutoencoder;
+use crate::cnn::{CnnConfig, CnnModel, CnnNet};
 use crate::exec::ExecCtx;
+use crate::finetune::SoftmaxLayer;
 use crate::model_io::{
-    atomic_write, bad, read_any_header, read_autoencoder_body, read_f32, read_f64, read_header,
-    read_rbm_body, read_u64, read_vec, save_autoencoder, save_rbm, write_f32, write_f64,
-    write_header, write_slice, write_u64, TAG_AE, TAG_CKPT, TAG_MDP, TAG_RBM,
+    atomic_write, bad, checked_dim, read_any_header, read_autoencoder_body, read_f32, read_f64,
+    read_header, read_mat, read_rbm_body, read_u64, read_vec, save_autoencoder, save_rbm,
+    write_f32, write_f64, write_header, write_mat, write_slice, write_u64, TAG_AE, TAG_CKPT,
+    TAG_CNN, TAG_MDP, TAG_RBM,
 };
 use crate::optim::{Optimizer, Rule, Schedule};
 use crate::train::{AeModel, RbmModel, UnsupervisedModel};
@@ -93,6 +96,8 @@ pub enum CheckpointModel {
     /// A multi-device replica set: device geometry, per-device RNG
     /// cursors, offline flags, and the replicated model.
     MultiDev(crate::multidev::MultiDevState),
+    /// A convolutional classifier with its graph flag and label cursor.
+    Cnn(CnnModel),
 }
 
 /// A loaded checkpoint: everything needed to continue the run.
@@ -136,6 +141,14 @@ impl Checkpoint {
     pub fn into_multidev(self) -> Option<crate::multidev::MultiDevState> {
         match self.model {
             CheckpointModel::MultiDev(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The embedded CNN model, if this is a CNN checkpoint.
+    pub fn into_cnn(self) -> Option<CnnModel> {
+        match self.model {
+            CheckpointModel::Cnn(m) => Some(m),
             _ => None,
         }
     }
@@ -322,6 +335,97 @@ fn read_rbm_state(r: &mut impl Read) -> io::Result<RbmModel> {
     Ok(model)
 }
 
+/// Writes a CNN checkpoint body: configuration, graph flag, parameter
+/// tensors, and the label cursor.
+pub(crate) fn write_cnn_state(model: &CnnModel, w: &mut dyn Write) -> io::Result<()> {
+    let mut w = w;
+    write_header(&mut w, TAG_CNN)?;
+    let cfg = *model.net.config();
+    for dim in [
+        cfg.side,
+        cfg.channels,
+        cfg.kernel,
+        cfg.pool,
+        cfg.hidden,
+        cfg.n_classes,
+    ] {
+        write_u64(&mut w, dim as u64)?;
+    }
+    write_f32(&mut w, model.net.weight_decay)?;
+    w.write_all(&[model.net.uses_graph() as u8])?;
+    write_mat(&mut w, &model.net.conv_w)?;
+    write_slice(&mut w, &model.net.conv_b)?;
+    write_mat(&mut w, &model.net.dense_w)?;
+    write_slice(&mut w, &model.net.dense_b)?;
+    write_mat(&mut w, &model.net.softmax.w)?;
+    write_slice(&mut w, &model.net.softmax.b)?;
+    let (cursor, cycle) = model.cursor_parts();
+    write_u64(&mut w, cursor)?;
+    write_u64(&mut w, cycle)
+}
+
+fn read_cnn_state(r: &mut impl Read) -> io::Result<CnnModel> {
+    let side = checked_dim(read_u64(r)?, "cnn side")?;
+    let channels = checked_dim(read_u64(r)?, "cnn channels")?;
+    let kernel = checked_dim(read_u64(r)?, "cnn kernel")?;
+    let pool = checked_dim(read_u64(r)?, "cnn pool")?;
+    let hidden = checked_dim(read_u64(r)?, "cnn hidden")?;
+    let n_classes = checked_dim(read_u64(r)?, "cnn classes")?;
+    // Mirror `CnnConfig::new`'s asserts as recoverable errors: the record
+    // may be corrupt.
+    if side < 2 || channels < 1 || hidden < 1 || n_classes < 2 {
+        return Err(bad("degenerate CNN geometry"));
+    }
+    if kernel < 1 || kernel > side {
+        return Err(bad(format!(
+            "cnn kernel {kernel} out of range for side {side}"
+        )));
+    }
+    if pool < 1 || (side - kernel + 1) % pool != 0 {
+        return Err(bad(format!(
+            "cnn conv output {} not divisible by pool {pool}",
+            side - kernel + 1
+        )));
+    }
+    let cfg = CnnConfig::new(side, channels, kernel, pool, hidden, n_classes);
+    let weight_decay = read_f32(r)?;
+    if !weight_decay.is_finite() {
+        return Err(bad(format!("non-finite weight decay {weight_decay}")));
+    }
+    let mut flag = [0u8; 1];
+    r.read_exact(&mut flag)?;
+    let use_graph = match flag[0] {
+        0 => false,
+        1 => true,
+        t => return Err(bad(format!("bad graph flag {t}"))),
+    };
+    let conv_w = read_mat(r, channels, kernel * kernel)?;
+    let conv_b = read_vec(r, channels)?;
+    let dense_w = read_mat(r, hidden, cfg.pooled_dim())?;
+    let dense_b = read_vec(r, hidden)?;
+    let sw = read_mat(r, n_classes, hidden)?;
+    let sb = read_vec(r, n_classes)?;
+    let cursor = read_u64(r)?;
+    let cycle = read_u64(r)?;
+    if cycle == 0 || cursor >= cycle {
+        return Err(bad(format!(
+            "label cursor {cursor} out of range for {cycle} rows"
+        )));
+    }
+    let softmax = SoftmaxLayer { w: sw, b: sb };
+    let net = CnnNet::from_parts(
+        cfg,
+        conv_w,
+        conv_b,
+        dense_w,
+        dense_b,
+        softmax,
+        weight_decay,
+        use_graph,
+    );
+    Ok(CnnModel::from_parts(net, cursor, cycle))
+}
+
 // ---- whole-checkpoint save/load ----------------------------------------
 
 /// Serializes a checkpoint record to `w`.
@@ -386,6 +490,7 @@ pub fn load_checkpoint(r: &mut impl Read) -> io::Result<Checkpoint> {
         TAG_AE => CheckpointModel::Ae(read_ae_state(r)?),
         TAG_RBM => CheckpointModel::Rbm(read_rbm_state(r)?),
         TAG_MDP => CheckpointModel::MultiDev(crate::multidev::read_multidev_body(r)?),
+        TAG_CNN => CheckpointModel::Cnn(read_cnn_state(r)?),
         t => return Err(bad(format!("checkpoint embeds unknown model tag {t}"))),
     };
     Ok(Checkpoint {

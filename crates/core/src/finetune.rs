@@ -12,7 +12,11 @@
 //! so fine-tuning participates in the simulated-coprocessor accounting.
 
 use crate::exec::ExecCtx;
-use crate::graph::{BufClass, NodeSpec, TaskGraph, Workspace};
+use crate::graph::{BufClass, TaskGraph, Workspace};
+use crate::layers::{
+    mean_nll, Above, Decl, Dense, DenseParams, Emit, Layer, Part, SoftmaxXent, StackBuilder,
+    StackState, StepParts,
+};
 use crate::stacked::StackedAutoencoder;
 use micdnn_kernels::OpCost;
 use micdnn_tensor::{GlorotSigmoid, Initializer, Mat, MatView, MatViewMut};
@@ -173,8 +177,9 @@ impl FineTuneNet {
     }
 
     /// Encoder parameters as `(weights h x v, biases h)` pairs, input-first.
-    /// Crate-internal: the serving path's forward-only graph reads them.
-    pub(crate) fn layer_params(&self) -> &[(Mat, Vec<f32>)] {
+    /// The serving path's forward-only graph and the bit-identity pinning
+    /// tests read them.
+    pub fn layer_params(&self) -> &[(Mat, Vec<f32>)] {
         &self.layers
     }
 
@@ -334,15 +339,47 @@ pub struct FtState<'a> {
     loss: f64,
 }
 
+impl<'a> StackState for FtState<'a> {
+    type Params = FineTuneNet;
+    fn parts(&mut self) -> StepParts<'_, FineTuneNet> {
+        StepParts {
+            ws: &mut *self.ws,
+            x: self.x,
+            labels: self.labels,
+            lr: self.lr,
+            loss: &mut self.loss,
+            params: &mut *self.net,
+        }
+    }
+}
+
+impl DenseParams for FineTuneNet {
+    fn dense(&mut self, idx: usize) -> (&mut Mat, &mut Vec<f32>) {
+        let (w, b) = &mut self.layers[idx];
+        (w, b)
+    }
+    fn softmax(&mut self) -> &mut SoftmaxLayer {
+        &mut self.softmax
+    }
+    fn weight_decay(&self) -> f32 {
+        self.weight_decay
+    }
+}
+
 /// Builds the fine-tuning step dataflow for a `widths`-shaped encoder
-/// stack and `n_classes` head: forward chain, softmax + cross-entropy
-/// delta, full backprop, gradients and SGD updates — node for node the
-/// same kernel sequence as the historical hand-rolled step. Buffers are
-/// declared against `cap` rows so one planned workspace serves every
-/// batch up to that size (nodes slice to the live batch at run time).
+/// stack and `n_classes` head as a [`StackBuilder`] recipe over the
+/// generic [`Dense`] and [`SoftmaxXent`] layers: forward chain, softmax +
+/// cross-entropy delta, full backprop, gradients and SGD updates.
+///
+/// The recipe declares buffers and emits nodes in the historical
+/// hand-built order, so the graph is bit-identical to its ancestor — same
+/// node sequence, same planner aliasing (pinned by
+/// `tests/graph_exec_pinning.rs`). Buffers are declared against `cap`
+/// rows so one planned workspace serves every batch up to that size
+/// (nodes slice to the live batch at run time).
 ///
 /// Public so integration tests can run the fine-tuning step shape through
-/// [`TaskGraph::verify`]; training uses it via [`FineTuneNet::train`].
+/// [`TaskGraph::verify`]; training uses it via [`FineTuneNet::train_batch`].
 pub fn build_step_graph<'a>(
     in_dim: usize,
     widths: &[usize],
@@ -351,247 +388,81 @@ pub fn build_step_graph<'a>(
 ) -> TaskGraph<'static, FtState<'a>> {
     let n_layers = widths.len();
     let code_dim = *widths.last().expect("non-empty net");
-    let mut g: TaskGraph<'static, FtState<'a>> = TaskGraph::new();
+    let mut sb: StackBuilder<FtState<'a>> = StackBuilder::new();
 
-    // Parameters and the input are External: no arena storage, but their
-    // read/write sets order the updates after every forward/backward use.
-    let xb = g.declare("x", cap * in_dim, BufClass::External);
-    let wsm = g.declare("softmax.w", n_classes * code_dim, BufClass::External);
-    let bsm = g.declare("softmax.b", n_classes, BufClass::External);
-    let (mut wl, mut bl, mut al, mut dl) = (Vec::new(), Vec::new(), Vec::new(), Vec::new());
+    // Slots 0..n_layers hold the dense stack, slot n_layers the head.
+    let head_slot = n_layers;
+    let head = SoftmaxXent {
+        slot: head_slot,
+        below: head_slot - 1,
+        in_dim: code_dim,
+        n_classes,
+        cap,
+    };
     let mut prev = in_dim;
-    for &h in widths {
-        wl.push(g.declare("layer.w", h * prev, BufClass::External));
-        bl.push(g.declare("layer.b", h, BufClass::External));
-        // Activations stay live from the forward pass until the last
-        // layer-gradient reads them, so they are pinned, not aliased.
-        al.push(g.declare("act", cap * h, BufClass::Pinned));
-        dl.push(g.declare("delta", cap * h, BufClass::Scratch));
-        prev = h;
-    }
-    let dsoft = g.declare("dsoft", cap * n_classes, BufClass::Scratch);
-    let gwsm = g.declare("softmax.gw", n_classes * code_dim, BufClass::Scratch);
-    let gbsm = g.declare("softmax.gb", n_classes, BufClass::Scratch);
-    let (mut gwl, mut gbl) = (Vec::new(), Vec::new());
-    prev = in_dim;
-    for &h in widths {
-        gwl.push(g.declare("layer.gw", h * prev, BufClass::Scratch));
-        gbl.push(g.declare("layer.gb", h, BufClass::Scratch));
-        prev = h;
-    }
-
-    // Forward chain: a_l = sigmoid(input W_l^T + b_l).
-    for l in 0..n_layers {
-        let a_prev = if l == 0 { None } else { Some(al[l - 1]) };
-        let a_cur = al[l];
-        let reads = [a_prev.unwrap_or(xb), wl[l], bl[l]];
-        g.node(
-            NodeSpec::new("forward").reads(&reads).writes(&[a_cur]),
-            move |ctx, st: &mut FtState<'a>| {
-                let b = st.x.rows();
-                let (w, bias) = &st.net.layers[l];
-                let h = w.rows();
-                match a_prev {
-                    None => {
-                        let out = &mut st.ws.buf_mut(a_cur)[..b * h];
-                        let mut v = MatViewMut::new(out, b, h);
-                        ctx.gemm(1.0, st.x, false, w.view(), true, 0.0, &mut v);
-                        ctx.bias_sigmoid_rows(bias, &mut v);
-                    }
-                    Some(p) => {
-                        let pw = w.cols();
-                        let [inp, out] = st.ws.bufs_mut([p, a_cur]);
-                        let iv = MatView::new(&inp[..b * pw], b, pw);
-                        let mut v = MatViewMut::new(&mut out[..b * h], b, h);
-                        ctx.gemm(1.0, iv, false, w.view(), true, 0.0, &mut v);
-                        ctx.bias_sigmoid_rows(bias, &mut v);
-                    }
-                }
-            },
-        );
-    }
-
-    let a_top = al[n_layers - 1];
-    g.node(
-        NodeSpec::new("softmax")
-            .reads(&[a_top, wsm, bsm])
-            .writes(&[dsoft]),
-        move |ctx, st: &mut FtState<'a>| {
-            let b = st.x.rows();
-            let (c, code) = (st.net.softmax.n_classes(), st.net.softmax.in_dim());
-            let [a, p] = st.ws.bufs_mut([a_top, dsoft]);
-            let av = MatView::new(&a[..b * code], b, code);
-            let mut pv = MatViewMut::new(&mut p[..b * c], b, c);
-            st.net.softmax.forward_into(ctx, av, &mut pv);
-        },
-    );
-
-    // Loss + in-place softmax delta (p - onehot) / b. Writes the state's
-    // loss scalar, so it must stay exclusive.
-    g.node(
-        NodeSpec::new("xent-delta")
-            .reads(&[dsoft])
-            .writes(&[dsoft])
-            .exclusive(),
-        move |ctx, st: &mut FtState<'a>| {
-            let b = st.x.rows();
-            let c = st.net.softmax.n_classes();
-            let p = &mut st.ws.buf_mut(dsoft)[..b * c];
-            st.loss = mean_nll(MatView::new(p, b, c), st.labels);
-            let inv_b = 1.0 / b as f32;
-            for (r, &label) in st.labels.iter().enumerate() {
-                let row = &mut p[r * c..(r + 1) * c];
-                row[label] -= 1.0;
-                for v in row.iter_mut() {
-                    *v *= inv_b;
-                }
-            }
-            ctx.charge_cost(OpCost::elementwise(b * c, 1, 2));
-        },
-    );
-
-    // Head gradients.
-    g.node(
-        NodeSpec::new("softmax-gw")
-            .reads(&[dsoft, a_top])
-            .writes(&[gwsm]),
-        move |ctx, st: &mut FtState<'a>| {
-            let b = st.x.rows();
-            let (c, code) = (st.net.softmax.n_classes(), st.net.softmax.in_dim());
-            let [d, a, gw] = st.ws.bufs_mut([dsoft, a_top, gwsm]);
-            let dv = MatView::new(&d[..b * c], b, c);
-            let av = MatView::new(&a[..b * code], b, code);
-            let mut gv = MatViewMut::new(gw, c, code);
-            ctx.gemm(1.0, dv, true, av, false, 0.0, &mut gv);
-        },
-    );
-    g.node(
-        NodeSpec::new("softmax-gb").reads(&[dsoft]).writes(&[gbsm]),
-        move |ctx, st: &mut FtState<'a>| {
-            let b = st.x.rows();
-            let c = st.net.softmax.n_classes();
-            let [d, gb] = st.ws.bufs_mut([dsoft, gbsm]);
-            ctx.colsum(MatView::new(&d[..b * c], b, c), gb);
-        },
-    );
-
-    // Backprop into the stack: delta_l = (delta_{l+1} W_{l+1}) ⊙ σ'.
-    for l in (0..n_layers).rev() {
-        let last = l + 1 == n_layers;
-        let up = if last { dsoft } else { dl[l + 1] };
-        let up_w = if last { wsm } else { wl[l + 1] };
-        let (a_cur, d_cur) = (al[l], dl[l]);
-        g.node(
-            NodeSpec::new("backprop")
-                .reads(&[up, up_w, a_cur])
-                .writes(&[d_cur]),
-            move |ctx, st: &mut FtState<'a>| {
-                let b = st.x.rows();
-                let h = st.net.layers[l].0.rows();
-                let w_next = if last {
-                    &st.net.softmax.w
+    let denses: Vec<Dense> = widths
+        .iter()
+        .enumerate()
+        .map(|(l, &h)| {
+            let last = l + 1 == n_layers;
+            let d = Dense {
+                slot: l,
+                idx: l,
+                below: if l == 0 { None } else { Some(l - 1) },
+                above_slot: if last { head_slot } else { l + 1 },
+                above: if last {
+                    Above::Head
                 } else {
-                    &st.net.layers[l + 1].0
-                };
-                let uw = w_next.rows();
-                let [u, a, d] = st.ws.bufs_mut([up, a_cur, d_cur]);
-                let uv = MatView::new(&u[..b * uw], b, uw);
-                let mut dv = MatViewMut::new(&mut d[..b * h], b, h);
-                ctx.gemm(1.0, uv, false, w_next.view(), false, 0.0, &mut dv);
-                ctx.backend()
-                    .sigmoid_backprop(&a[..b * h], dv.as_mut_slice());
-                ctx.charge_cost(ctx.backend().sigmoid_backprop_cost(b * h));
-            },
-        );
+                    Above::Dense(l + 1)
+                },
+                in_dim: prev,
+                out_dim: h,
+                cap,
+            };
+            prev = h;
+            d
+        })
+        .collect();
+
+    // Historical declaration order: input, head params, per-layer
+    // (params, act, delta), head delta, head grads, per-layer grads.
+    sb.bind_global("x", "x", cap * in_dim, BufClass::External);
+    head.declare(&mut sb, Decl::Params);
+    for d in &denses {
+        d.declare(&mut sb, Decl::Params);
+        d.declare(&mut sb, Decl::Acts);
+        d.declare(&mut sb, Decl::Deltas);
+    }
+    head.declare(&mut sb, Decl::Deltas);
+    head.declare(&mut sb, Decl::Grads(Part::Weights));
+    head.declare(&mut sb, Decl::Grads(Part::Biases));
+    for d in &denses {
+        d.declare(&mut sb, Decl::Grads(Part::Weights));
+        d.declare(&mut sb, Decl::Grads(Part::Biases));
     }
 
-    // Layer gradients + SGD updates, then the head's.
-    for l in 0..n_layers {
-        let inp = if l == 0 { None } else { Some(al[l - 1]) };
-        let (d_cur, gw_cur, gb_cur, w_cur, b_cur) = (dl[l], gwl[l], gbl[l], wl[l], bl[l]);
-        g.node(
-            NodeSpec::new("layer-gw")
-                .reads(&[d_cur, inp.unwrap_or(xb)])
-                .writes(&[gw_cur]),
-            move |ctx, st: &mut FtState<'a>| {
-                let b = st.x.rows();
-                let (h, v) = (st.net.layers[l].0.rows(), st.net.layers[l].0.cols());
-                match inp {
-                    None => {
-                        let [d, gw] = st.ws.bufs_mut([d_cur, gw_cur]);
-                        let dv = MatView::new(&d[..b * h], b, h);
-                        let mut gv = MatViewMut::new(gw, h, v);
-                        ctx.gemm(1.0, dv, true, st.x, false, 0.0, &mut gv);
-                    }
-                    Some(p) => {
-                        let [d, a, gw] = st.ws.bufs_mut([d_cur, p, gw_cur]);
-                        let dv = MatView::new(&d[..b * h], b, h);
-                        let av = MatView::new(&a[..b * v], b, v);
-                        let mut gv = MatViewMut::new(gw, h, v);
-                        ctx.gemm(1.0, dv, true, av, false, 0.0, &mut gv);
-                    }
-                }
-            },
-        );
-        g.node(
-            NodeSpec::new("layer-gb").reads(&[d_cur]).writes(&[gb_cur]),
-            move |ctx, st: &mut FtState<'a>| {
-                let b = st.x.rows();
-                let h = st.net.layers[l].0.rows();
-                let [d, gb] = st.ws.bufs_mut([d_cur, gb_cur]);
-                ctx.colsum(MatView::new(&d[..b * h], b, h), gb);
-            },
-        );
-        g.node(
-            NodeSpec::new("layer-w-sgd")
-                .reads(&[gw_cur])
-                .writes(&[w_cur]),
-            move |ctx, st: &mut FtState<'a>| {
-                let lambda = st.net.weight_decay;
-                ctx.sgd_step(
-                    st.lr,
-                    lambda,
-                    st.ws.buf(gw_cur),
-                    st.net.layers[l].0.as_mut_slice(),
-                );
-            },
-        );
-        g.node(
-            NodeSpec::new("layer-b-sgd")
-                .reads(&[gb_cur])
-                .writes(&[b_cur]),
-            move |ctx, st: &mut FtState<'a>| {
-                ctx.sgd_step(st.lr, 0.0, st.ws.buf(gb_cur), &mut st.net.layers[l].1);
-            },
-        );
+    // Historical node order: forward chain, head forward + loss/delta +
+    // head grads, backprop top-down, per-layer grads + updates, head
+    // updates.
+    for d in &denses {
+        d.emit(&mut sb, Emit::Forward);
     }
-    g.node(
-        NodeSpec::new("softmax-w-sgd").reads(&[gwsm]).writes(&[wsm]),
-        move |ctx, st: &mut FtState<'a>| {
-            let lambda = st.net.weight_decay;
-            ctx.sgd_step(
-                st.lr,
-                lambda,
-                st.ws.buf(gwsm),
-                st.net.softmax.w.as_mut_slice(),
-            );
-        },
-    );
-    g.node(
-        NodeSpec::new("softmax-b-sgd").reads(&[gbsm]).writes(&[bsm]),
-        move |ctx, st: &mut FtState<'a>| {
-            ctx.sgd_step(st.lr, 0.0, st.ws.buf(gbsm), &mut st.net.softmax.b);
-        },
-    );
-    g
-}
-
-fn mean_nll(probs: MatView<'_>, labels: &[usize]) -> f64 {
-    let mut nll = 0.0f64;
-    for (r, &label) in labels.iter().enumerate() {
-        nll -= (probs.get(r, label).max(1e-12) as f64).ln();
+    head.emit(&mut sb, Emit::Forward);
+    head.emit(&mut sb, Emit::Backward);
+    head.emit(&mut sb, Emit::Grads(Part::Weights));
+    head.emit(&mut sb, Emit::Grads(Part::Biases));
+    for d in denses.iter().rev() {
+        d.emit(&mut sb, Emit::Backward);
     }
-    nll / labels.len().max(1) as f64
+    for d in &denses {
+        d.emit(&mut sb, Emit::Grads(Part::Weights));
+        d.emit(&mut sb, Emit::Grads(Part::Biases));
+        d.emit(&mut sb, Emit::Update(Part::Weights));
+        d.emit(&mut sb, Emit::Update(Part::Biases));
+    }
+    head.emit(&mut sb, Emit::Update(Part::Weights));
+    head.emit(&mut sb, Emit::Update(Part::Biases));
+    sb.finish()
 }
 
 #[cfg(test)]

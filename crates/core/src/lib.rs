@@ -51,12 +51,14 @@ pub mod autoencoder;
 pub mod batch_opt;
 pub mod cd_graph;
 pub mod checkpoint;
+pub mod cnn;
 pub mod exec;
 pub mod faults;
 pub mod finetune;
 pub mod gradcheck;
 pub mod graph;
 pub mod hybrid;
+pub mod layers;
 pub mod metrics;
 pub mod model_io;
 pub mod multidev;
@@ -78,11 +80,13 @@ pub use checkpoint::{
     load_checkpoint, load_checkpoint_file, save_checkpoint, save_checkpoint_file, Checkpoint,
     CheckpointModel, CheckpointPolicy, TrainProgress,
 };
+pub use cnn::{build_cnn_graph, CnnConfig, CnnModel, CnnNet, CnnState};
 pub use exec::{ExecCtx, OptLevel, PhaseGuard};
 pub use finetune::{FineTuneNet, SoftmaxLayer};
 pub use gradcheck::{check_autoencoder, GradCheckResult};
 pub use graph::{BufClass, BufId, GraphRun, NodeSpec, TaskGraph, Workspace, WorkspacePlan};
 pub use hybrid::{estimate_hybrid, optimal_fraction, HybridAeTrainer, HybridConfig};
+pub use layers::{Above, Decl, Emit, Layer, Part, StackBuilder, StackState, StepParts};
 pub use metrics::{
     activation_stats, feature_ascii, feature_grid, reconstruction_stats, write_pgm,
     ActivationStats, ReconstructionStats,

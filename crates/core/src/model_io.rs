@@ -19,6 +19,7 @@ pub(crate) const TAG_AE: u8 = 1;
 pub(crate) const TAG_RBM: u8 = 2;
 pub(crate) const TAG_CKPT: u8 = 3;
 pub(crate) const TAG_MDP: u8 = 4;
+pub(crate) const TAG_CNN: u8 = 5;
 
 /// Upper bound on any single header-derived dimension. Well above the
 /// paper's largest layer (16384) but small enough that a corrupt header

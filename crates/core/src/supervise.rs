@@ -230,6 +230,21 @@ impl Recoverable for RbmModel {
     }
 }
 
+impl Recoverable for crate::cnn::CnnModel {
+    fn restore_state(&mut self, from: CheckpointModel) -> io::Result<()> {
+        match from {
+            CheckpointModel::Cnn(m) => {
+                self.adopt(m);
+                Ok(())
+            }
+            _ => Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                "snapshot does not hold a CNN",
+            )),
+        }
+    }
+}
+
 /// Restores model + RNG from the supervisor's snapshot.
 fn restore<M: Recoverable>(
     model: &mut M,

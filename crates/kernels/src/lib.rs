@@ -20,6 +20,7 @@
 //! they differ in *speed*, which is exactly the paper's framing.
 
 pub mod backend;
+pub mod conv;
 pub mod fused;
 pub mod gemm;
 pub mod naive;

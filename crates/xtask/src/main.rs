@@ -342,6 +342,20 @@ mod tests {
     }
 
     #[test]
+    fn conv_kernels_are_under_the_hot_path_policy() {
+        // The im2col/pool kernels live in crates/kernels and therefore get
+        // the full kernel treatment: SAFETY comments, no panics, no
+        // unchecked indexing — with no allowlist entries sanctioned.
+        let mut out = Vec::new();
+        let src = "fn im2col(x: &[f32]) {\n    let v = unsafe { x.get_unchecked(0) };\n    v.expect(\"conv\");\n}\n";
+        lint_file("crates/kernels/src/conv.rs", src, &[], &mut out);
+        let rules: Vec<&str> = out.iter().map(|v| v.rule).collect();
+        assert!(rules.contains(&"safety-comment"), "{rules:?}");
+        assert!(rules.contains(&"no-unchecked-indexing"), "{rules:?}");
+        assert!(rules.contains(&"no-panic-in-hot-path"), "{rules:?}");
+    }
+
+    #[test]
     fn allowlist_waives_by_content_and_tracks_use() {
         let entry = AllowEntry {
             path_suffix: "tensor/src/fake.rs".into(),

@@ -19,9 +19,9 @@ use micdnn::train::{
     train_dataset, train_dataset_resume, train_stream, AeModel, RbmModel, TrainConfig, TrainError,
 };
 use micdnn::{
-    load_checkpoint_file, AeConfig, CheckpointPolicy, DataParallelRbm, ExecCtx, MultiDevConfig,
-    OptLevel, Optimizer, Rbm, RbmConfig, Recoverable, Rule, Schedule, SparseAutoencoder,
-    StackedAutoencoder,
+    load_checkpoint_file, AeConfig, CheckpointPolicy, CnnConfig, CnnModel, CnnNet, DataParallelRbm,
+    ExecCtx, MultiDevConfig, OptLevel, Optimizer, Rbm, RbmConfig, Recoverable, Rule, Schedule,
+    SparseAutoencoder, StackedAutoencoder,
 };
 use micdnn_data::Dataset;
 use micdnn_tensor::Mat;
@@ -201,6 +201,61 @@ fn rbm_momentum_resume_is_bit_identical() {
     assert_eq!(straight.rbm.b_vis, resumed.rbm.b_vis);
     assert_eq!(straight.rbm.c_hid, resumed.rbm.c_hid);
     assert_eq!(straight.momentum_parts(), resumed.momentum_parts());
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// The CNN's checkpoint carries the label cursor alongside the weights —
+/// stream labels are a pure function of it, so the resumed leg replays
+/// the exact label sequence the uninterrupted run saw. The resumed model
+/// is rebuilt graph-scheduled through the layer IR.
+#[test]
+fn cnn_resume_is_bit_identical() {
+    let cnn_cfg = CnnConfig::new(8, 3, 3, 2, 10, 4);
+    let ds = toy_dataset(200, cnn_cfg.input_dim(), 31);
+    let cfg = base_config();
+    let make_model =
+        || CnnModel::new(CnnNet::new(cnn_cfg, 33), ds.len() as u64).with_graph_schedule();
+
+    let mut straight = make_model();
+    let ctx = ExecCtx::native(OptLevel::Improved, 35);
+    train_dataset(&mut straight, &ctx, &ds, &cfg, 6).unwrap();
+
+    let dir = scratch_dir("cnn");
+    let policy = CheckpointPolicy::new(&dir, 5);
+    let ckpt_cfg = TrainConfig {
+        checkpoint: Some(policy.clone()),
+        ..cfg.clone()
+    };
+    {
+        let mut first = make_model();
+        let ctx1 = ExecCtx::native(OptLevel::Improved, 35);
+        train_dataset(&mut first, &ctx1, &ds, &ckpt_cfg, 3).unwrap();
+    }
+
+    let ckpt = load_checkpoint_file(policy.file()).unwrap();
+    assert_eq!(ckpt.progress.epoch, 3);
+    let ctx2 = ExecCtx::native(OptLevel::Improved, 0);
+    ckpt.restore_rng(&ctx2);
+    let progress = ckpt.progress;
+    let mut resumed = ckpt.into_cnn().expect("CNN checkpoint");
+    train_dataset_resume(&mut resumed, &ctx2, &ds, &ckpt_cfg, 6, &progress).unwrap();
+
+    assert_eq!(
+        straight.net.conv_w.as_slice(),
+        resumed.net.conv_w.as_slice()
+    );
+    assert_eq!(straight.net.conv_b, resumed.net.conv_b);
+    assert_eq!(
+        straight.net.dense_w.as_slice(),
+        resumed.net.dense_w.as_slice()
+    );
+    assert_eq!(straight.net.dense_b, resumed.net.dense_b);
+    assert_eq!(
+        straight.net.softmax.w.as_slice(),
+        resumed.net.softmax.w.as_slice()
+    );
+    assert_eq!(straight.net.softmax.b, resumed.net.softmax.b);
+    assert_eq!(straight.cursor_parts(), resumed.cursor_parts());
     let _ = std::fs::remove_dir_all(&dir);
 }
 

@@ -15,7 +15,8 @@ use micdnn::supervise::train_dataset_supervised;
 use micdnn::train::{train_dataset, TrainConfig, TrainError};
 use micdnn::{faults, AeConfig, AeModel, ExecCtx, OptLevel, SparseAutoencoder};
 use micdnn::{
-    DataParallelAe, IncidentLog, MultiDevConfig, Rbm, RbmConfig, RbmModel, SupervisorPolicy,
+    CnnConfig, CnnModel, CnnNet, DataParallelAe, IncidentLog, MultiDevConfig, Rbm, RbmConfig,
+    RbmModel, SupervisorPolicy,
 };
 use micdnn_data::Dataset;
 use micdnn_tensor::Mat;
@@ -90,6 +91,19 @@ fn run_rbm() -> (Vec<f32>, IncidentLog) {
     (model.rbm.w.as_slice().to_vec(), log)
 }
 
+/// Supervised CNN run at seed 19, wave-scheduled through the layer-IR
+/// graph; returns final conv filters and the log. The stream labels are a
+/// pure function of the checkpointed cursor, so a supervisor rollback
+/// replays them exactly.
+fn run_cnn() -> (Vec<f32>, IncidentLog) {
+    let cfg = CnnConfig::new(8, 3, 3, 2, 10, 4);
+    let ds = toy_dataset(120, cfg.input_dim(), 19);
+    let mut model = CnnModel::new(CnnNet::new(cfg, 19), ds.len() as u64).with_graph_schedule();
+    let ctx = ExecCtx::native(OptLevel::Improved, 19);
+    let (_, log) = train_dataset_supervised(&mut model, &ctx, &ds, &chaos_cfg(), 3).unwrap();
+    (model.net.conv_w.as_slice().to_vec(), log)
+}
+
 /// The acceptance schedule: the loader dies twice and one batch arrives
 /// NaN-poisoned, yet the run completes bit-identical to the fault-free
 /// run at the same seed, with the recovery enumerated in the log.
@@ -131,6 +145,27 @@ fn rbm_recovers_bit_identically_from_transient_faults() {
 
     assert_eq!(clean, faulted, "recovered RBM diverged from baseline");
     assert!(log.count("loader-retry") >= 1, "{:?}", log.incidents);
+    assert_eq!(log.count("rollback"), 1, "{:?}", log.incidents);
+}
+
+/// The same contract for the CNN: the wave-scheduled layer-IR graph runs
+/// under the supervisor like any paper model — loader deaths and a NaN
+/// batch roll back to a snapshot (weights, cursor and RNG together) and
+/// the run lands bit-identical to the fault-free baseline.
+#[test]
+fn cnn_recovers_bit_identically_from_transient_faults() {
+    let _g = REGISTRY_LOCK.lock();
+    faults::clear_all();
+    let (clean, clean_log) = with_watchdog("cnn baseline", run_cnn);
+    assert!(clean_log.incidents.is_empty(), "{:?}", clean_log.incidents);
+
+    faults::configure("loader.panic", "2").unwrap();
+    faults::configure("kernel.nan", "1@1").unwrap();
+    let (faulted, log) = with_watchdog("cnn faulted", run_cnn);
+    faults::clear_all();
+
+    assert_eq!(clean, faulted, "recovered CNN diverged from baseline");
+    assert!(log.count("loader-retry") >= 2, "{:?}", log.incidents);
     assert_eq!(log.count("rollback"), 1, "{:?}", log.incidents);
 }
 

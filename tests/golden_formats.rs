@@ -246,6 +246,7 @@ fn committed_bench_artifacts_parse_and_carry_schema() {
         "BENCH_table1.json",
         "BENCH_overlap.json",
         "BENCH_graph.json",
+        "BENCH_conv.json",
         "BENCH_serve.json",
     ] {
         let path = format!("{root}/{name}");

@@ -6,7 +6,7 @@
 
 use micdnn::optim::{Optimizer, Rule, Schedule};
 use micdnn::train::{train_dataset, AeModel, RbmModel, TrainConfig, UnsupervisedModel};
-use micdnn::{AeConfig, ExecCtx, OptLevel, Rbm, RbmConfig, SparseAutoencoder};
+use micdnn::{AeConfig, ExecCtx, FineTuneNet, OptLevel, Rbm, RbmConfig, SparseAutoencoder};
 use micdnn_data::{Dataset, DigitGenerator};
 
 fn digit_data(n: usize, side: usize, seed: u64) -> Dataset {
@@ -95,4 +95,124 @@ fn graph_scheduled_rbm_run_is_bit_identical_to_serial() {
     assert_eq!(svb, gvb, "momentum velocity (visible bias) diverged");
     assert_eq!(svc, gvc, "momentum velocity (hidden bias) diverged");
     assert_eq!(srng, grng, "RBM RNG cursor diverged");
+}
+
+// ---------------------------------------------------------------------------
+// Pre-refactor goldens: the layer-trait rebuild of the AE / CD-k / fine-tune
+// builders (`micdnn::layers`) must reproduce the hand-built graphs'
+// training outcomes byte-for-byte. These files were generated from the
+// hand-rolled node lists before the refactor (UPDATE_GOLDEN=1 rewrites
+// them; a diff there is a bit-identity regression, not a format change).
+// ---------------------------------------------------------------------------
+
+const AE_GOLDEN: &[u8] = include_bytes!("golden/layer_ae_run.bin");
+const RBM_GOLDEN: &[u8] = include_bytes!("golden/layer_rbm_run.bin");
+const FT_GOLDEN: &[u8] = include_bytes!("golden/layer_ft_run.bin");
+
+/// With `UPDATE_GOLDEN=1`, rewrites the golden file instead of comparing.
+/// Returns true when the caller should skip the assertion.
+fn maybe_update(name: &str, bytes: &[u8]) -> bool {
+    if std::env::var_os("UPDATE_GOLDEN").is_none() {
+        return false;
+    }
+    let path = format!("{}/../../tests/golden/{name}", env!("CARGO_MANIFEST_DIR"));
+    std::fs::write(&path, bytes).unwrap();
+    eprintln!("updated {path}");
+    true
+}
+
+fn push_rng(bytes: &mut Vec<u8>, rng: (u64, u64)) {
+    bytes.extend_from_slice(&rng.0.to_le_bytes());
+    bytes.extend_from_slice(&rng.1.to_le_bytes());
+}
+
+fn push_f32s(bytes: &mut Vec<u8>, vals: &[f32]) {
+    for v in vals {
+        bytes.extend_from_slice(&v.to_le_bytes());
+    }
+}
+
+#[test]
+fn trait_built_ae_graph_reproduces_prerefactor_bytes() {
+    // Same job as `graph_scheduled_ae_run_is_bit_identical_to_serial`:
+    // momentum optimizer, graph schedule, 4 passes. The record holds the
+    // RNG cursor and the full `save_state` serialization (weights +
+    // optimizer slots).
+    let ds = digit_data(200, 8, 21);
+    let tc = TrainConfig {
+        learning_rate: 0.1,
+        batch_size: 25,
+        chunk_rows: 100,
+        ..TrainConfig::default()
+    };
+    let (state, rng) = ae_run(true, &ds, &tc);
+    let mut record = Vec::new();
+    push_rng(&mut record, rng);
+    record.extend_from_slice(&state);
+    if maybe_update("layer_ae_run.bin", &record) {
+        return;
+    }
+    assert_eq!(
+        record, AE_GOLDEN,
+        "trait-built AE graph diverged from the pre-refactor hand-built run"
+    );
+}
+
+#[test]
+fn trait_built_cdk_graph_reproduces_prerefactor_bytes() {
+    // CD-2 with momentum through the graph schedule: weights, all three
+    // velocity buffers, and the RNG cursor.
+    let mut ds = digit_data(200, 8, 22);
+    ds.binarize(0.5);
+    let tc = TrainConfig {
+        learning_rate: 0.05,
+        batch_size: 25,
+        chunk_rows: 100,
+        ..TrainConfig::default()
+    };
+    let (w, vw, vb, vc, rng) = rbm_run(true, &ds, &tc);
+    let mut record = Vec::new();
+    push_rng(&mut record, rng);
+    for part in [&w, &vw, &vb, &vc] {
+        push_f32s(&mut record, part);
+    }
+    if maybe_update("layer_rbm_run.bin", &record) {
+        return;
+    }
+    assert_eq!(
+        record, RBM_GOLDEN,
+        "trait-built CD-k graph diverged from the pre-refactor hand-built run"
+    );
+}
+
+#[test]
+fn trait_built_finetune_graph_reproduces_prerefactor_bytes() {
+    // Graph-scheduled fine-tuning of a 144 -> 24 -> 12 stack + softmax
+    // head: per-epoch losses, every parameter tensor, and the RNG cursor.
+    let mut gen = DigitGenerator::new(12, 12);
+    let mut ds = Dataset::new(gen.matrix(60));
+    ds.normalize();
+    let labels: Vec<usize> = (0..60).map(|i| i % 10).collect();
+    let ctx = ExecCtx::native(OptLevel::Improved, 14);
+    let mut net = FineTuneNet::random(&[144, 24, 12], 10, 13).with_graph_schedule();
+    let losses = net.fit(&ctx, ds.matrix().view(), &labels, 20, 0.4, 4);
+
+    let mut record = Vec::new();
+    push_rng(&mut record, ctx.rng_state());
+    for loss in &losses {
+        record.extend_from_slice(&loss.to_le_bytes());
+    }
+    for (w, b) in net.layer_params() {
+        push_f32s(&mut record, w.as_slice());
+        push_f32s(&mut record, b);
+    }
+    push_f32s(&mut record, net.softmax.w.as_slice());
+    push_f32s(&mut record, &net.softmax.b);
+    if maybe_update("layer_ft_run.bin", &record) {
+        return;
+    }
+    assert_eq!(
+        record, FT_GOLDEN,
+        "trait-built fine-tune graph diverged from the pre-refactor hand-built run"
+    );
 }

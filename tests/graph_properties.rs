@@ -2,14 +2,18 @@
 //! random DAGs through the graph builder, the liveness planner and both
 //! executors.
 //!
-//! Three invariants from the execution-layer design:
+//! Four invariants from the execution-layer design:
 //!
 //! 1. the native schedule never runs a node before its dependencies, at
 //!    any `RAYON_NUM_THREADS` (the wave executor is order-safe);
 //! 2. the simulated clock advance equals the brute-force longest path
 //!    through the priced DAG;
 //! 3. the workspace planner never assigns two *interfering* buffers (ones
-//!    whose accessor sets are not strictly DAG-ordered) to one register.
+//!    whose accessor sets are not strictly DAG-ordered) to one register;
+//! 4. random layer stacks through the trait-driven `StackBuilder`
+//!    (`micdnn::layers`) always verify with zero errors and zero
+//!    warnings, and the wave executor reproduces the serial
+//!    declaration-order schedule bit for bit.
 
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 
@@ -17,6 +21,7 @@ use micdnn::exec::{ExecCtx, OptLevel};
 use micdnn::{BufClass, BufId, NodeSpec, TaskGraph};
 use micdnn_kernels::OpCost;
 use micdnn_sim::Platform;
+use micdnn_tensor::Mat;
 use proptest::prelude::*;
 use rand::{Rng, SeedableRng};
 
@@ -269,5 +274,118 @@ proptest! {
                 );
             }
         }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// 4. Layer-IR stacks: random shapes through the trait-driven StackBuilder.
+// ---------------------------------------------------------------------------
+
+/// Uniform batch in `[0, 1)` plus one random label per row.
+fn random_batch(rows: usize, cols: usize, classes: usize, seed: u64) -> (Mat, Vec<usize>) {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let mut x = Mat::zeros(rows, cols);
+    for v in x.as_mut_slice() {
+        *v = rng.gen_range(0.0f32..1.0);
+    }
+    let labels = (0..rows).map(|_| rng.gen_range(0..classes)).collect();
+    (x, labels)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(20))]
+
+    /// Random dense stacks through the `StackBuilder` fine-tune recipe:
+    /// every generated graph verifies with zero errors *and* zero
+    /// warnings, and training through the wave executor matches the
+    /// serial declaration-order path bit for bit (losses and every
+    /// parameter tensor) at whatever thread count the environment
+    /// provides.
+    #[test]
+    fn random_dense_stacks_verify_clean_and_run_bit_identically(
+        in_dim in 3usize..14,
+        widths in proptest::collection::vec(2usize..12, 1..4),
+        classes in 2usize..6,
+        batch in 1usize..8,
+        steps in 1usize..4,
+        seed in any::<u64>(),
+    ) {
+        let g = micdnn::finetune::build_step_graph(in_dim, &widths, classes, batch);
+        let report = g.verify();
+        prop_assert!(report.is_clean(), "stack {in_dim}->{widths:?}->{classes}:\n{report}");
+
+        let (x, labels) = random_batch(batch, in_dim, classes, seed);
+        let mut sizes = vec![in_dim];
+        sizes.extend_from_slice(&widths);
+        let run = |graph: bool| {
+            let ctx = ExecCtx::native(OptLevel::Improved, 5);
+            let mut net = micdnn::FineTuneNet::random(&sizes, classes, seed ^ 0x9E37);
+            if graph {
+                net = net.with_graph_schedule();
+            }
+            let losses: Vec<f64> = (0..steps)
+                .map(|_| net.train_batch(&ctx, x.view(), &labels, 0.3))
+                .collect();
+            (losses, net)
+        };
+        let (serial_losses, serial) = run(false);
+        let (wave_losses, wave) = run(true);
+        prop_assert_eq!(serial_losses, wave_losses, "losses diverged");
+        for (l, ((sw, sb), (ww, wb))) in
+            serial.layer_params().iter().zip(wave.layer_params()).enumerate()
+        {
+            prop_assert_eq!(sw.as_slice(), ww.as_slice(), "layer {} weights diverged", l);
+            prop_assert_eq!(sb, wb, "layer {} biases diverged", l);
+        }
+        prop_assert_eq!(serial.softmax.w.as_slice(), wave.softmax.w.as_slice());
+        prop_assert_eq!(&serial.softmax.b, &wave.softmax.b);
+    }
+
+    /// The same contract for random conv+pool geometries through the CNN
+    /// recipe — the stacks with no hand-rolled ancestor are held to the
+    /// same bar as the paper's graphs.
+    #[test]
+    fn random_cnn_stacks_verify_clean_and_run_bit_identically(
+        side in 6usize..13,
+        kernel in 2usize..5,
+        pool_pick in any::<usize>(),
+        channels in 1usize..4,
+        hidden in 2usize..10,
+        classes in 2usize..6,
+        batch in 1usize..6,
+        steps in 1usize..4,
+        seed in any::<u64>(),
+    ) {
+        prop_assume!(kernel <= side);
+        let conv_side = side - kernel + 1;
+        let divisors: Vec<usize> = (1..=conv_side).filter(|p| conv_side % p == 0).collect();
+        let pool = divisors[pool_pick % divisors.len()];
+        let cfg = micdnn::CnnConfig::new(side, channels, kernel, pool, hidden, classes);
+
+        let g = micdnn::build_cnn_graph(cfg, batch);
+        let report = g.verify();
+        prop_assert!(report.is_clean(), "cnn {cfg:?} cap={batch}:\n{report}");
+
+        let (x, labels) = random_batch(batch, cfg.input_dim(), classes, seed);
+        let run = |graph: bool| {
+            let ctx = ExecCtx::native(OptLevel::Improved, 5);
+            let mut net = micdnn::CnnNet::new(cfg, seed ^ 0x9E37);
+            if graph {
+                net = net.with_graph_schedule();
+            }
+            let losses: Vec<f64> = (0..steps)
+                .map(|_| net.train_batch(&ctx, x.view(), &labels, 0.3))
+                .collect();
+            (losses, net)
+        };
+        let (serial_losses, serial) = run(false);
+        let (wave_losses, wave) = run(true);
+        prop_assert_eq!(serial_losses, wave_losses, "losses diverged");
+        prop_assert_eq!(serial.conv_w.as_slice(), wave.conv_w.as_slice());
+        prop_assert_eq!(&serial.conv_b, &wave.conv_b);
+        prop_assert_eq!(serial.dense_w.as_slice(), wave.dense_w.as_slice());
+        prop_assert_eq!(&serial.dense_b, &wave.dense_b);
+        prop_assert_eq!(serial.softmax.w.as_slice(), wave.softmax.w.as_slice());
+        prop_assert_eq!(&serial.softmax.b, &wave.softmax.b);
     }
 }

@@ -324,6 +324,31 @@ fn shipped_finetune_graphs_verify_clean() {
     }
 }
 
+/// The layer-IR CNN step — the first graph shipped through the trait
+/// builder that has no hand-rolled ancestor — is pinned to the same
+/// "0 errors, 0 warnings" bar as the paper's graphs across image, filter
+/// and pooling geometries. A dead-write warning here is the named likely
+/// regression for the conv/pool backward path (an unpool scatter or
+/// argmax-index write that nothing reads).
+#[test]
+fn shipped_cnn_graphs_verify_clean() {
+    for (side, channels, kernel, pool, hidden, classes, cap) in [
+        (12, 6, 5, 2, 48, 10, 16),
+        (16, 6, 5, 2, 48, 10, 64),
+        (16, 8, 3, 2, 64, 10, 100),
+        (28, 4, 5, 4, 32, 10, 50),
+        (8, 2, 3, 3, 8, 4, 10),
+    ] {
+        let cfg = micdnn::CnnConfig::new(side, channels, kernel, pool, hidden, classes);
+        let g = micdnn::build_cnn_graph(cfg, cap);
+        let report = g.verify();
+        assert!(
+            report.is_clean(),
+            "CNN {side}x{side} c={channels} k={kernel} p={pool} cap={cap} must verify 0/0:\n{report}"
+        );
+    }
+}
+
 /// The serving path's forward-only graph is held to the same bar as the
 /// training steps: zero errors *and* zero warnings across representative
 /// shapes — including depth 1, the paper's headline widths, and a deep
