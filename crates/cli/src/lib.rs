@@ -226,6 +226,7 @@ pub fn run(argv: &[String]) -> Result<String, String> {
         "estimate" => cmd_estimate(&args),
         "profile" => cmd_profile(&args, seed),
         "serve" => cmd_serve(&args, seed),
+        "verify" => cmd_verify(&args),
         "help" | "--help" | "-h" => Ok(usage()),
         other => Err(format!("unknown command `{other}`\n\n{}", usage())),
     }
@@ -284,6 +285,13 @@ pub fn usage() -> String {
        estimate   --visible N --hidden N --examples N --batch N [--algo ae|rbm]\n\
        profile    [--algo ae|rbm] [--examples N] [--passes N] [--batch N]\n\
                   [--platform phi|...] [--level ...] [--json FILE] [--trace FILE]\n\
+       verify     [--json FILE] [--devices N] — certify every shipped task\n\
+                  graph (AE / CD-k / fine-tune / CNN / serve forward /\n\
+                  multi-device pipeline at 1, 2 and 4 cards): static shape\n\
+                  inference, determinism audit, and a per-device peak-memory\n\
+                  proof against the modeled card budget (8 GB Phi); exports\n\
+                  the machine-readable micdnn-verify-v1 report with --json;\n\
+                  exits nonzero if any graph has findings\n\
        serve      [--requests N] [--rate RPS] [--pattern steady|bursty]\n\
                   [--burst K] [--max-batch N] [--max-wait-us U] [--queue-cap N]\n\
                   [--sizes 128,64] [--classes N] [--platform ...] [--level ...]\n\
@@ -1096,6 +1104,103 @@ fn cmd_serve(args: &Args, seed: u64) -> Result<String, String> {
         out.push_str(&format!("wrote serve report JSON to {path}\n"));
     }
     Ok(out)
+}
+
+/// `verify`: run the certification pipeline over every shipped task graph
+/// and render (optionally export) the `micdnn-verify-v1` report.
+///
+/// Each graph gets the full static pass — the safety verifier plus shape
+/// inference, the determinism audit and the per-device peak-memory proof —
+/// against the modeled card budget. The graph set is fixed (the same
+/// shapes the training, serving and pipeline paths ship), so the exported
+/// JSON is deterministic and CI diffs it against the committed
+/// `VERIFY_report.json`. Any finding makes the command exit nonzero.
+fn cmd_verify(args: &Args) -> Result<String, String> {
+    use micdnn::ae_graph::{build_ae_graph, AeUpdate};
+    use micdnn::cd_graph::build_cd_graph;
+    use micdnn::finetune::build_step_graph;
+    use micdnn::{build_cnn_graph, build_forward_graph, CertifyBundle, StackedAutoencoder};
+
+    let devices: usize = args.num("devices", 1usize)?;
+    if devices == 0 {
+        return Err("--devices must be at least 1".to_string());
+    }
+    // The proof budget is the modeled per-card capacity of the device set
+    // the graphs would deploy onto — the paper's 8 GB Phi at any count —
+    // so the report is identical across the CI device matrix.
+    let budget = MultiDevConfig::new(devices).mem_budget();
+
+    // Certifications flow through the executor context's sink, the same
+    // channel an instrumented training run would use to attach its report.
+    let ctx = ExecCtx::native(OptLevel::Improved, 0);
+
+    let g = build_ae_graph(1024, 4096, 100, AeUpdate::Sgd);
+    ctx.record_certification(g.certify(budget).to_doc("ae-step-1024x4096-b100"));
+    for k in [1usize, 3] {
+        let g = build_cd_graph(1024, 4096, 100, k);
+        ctx.record_certification(
+            g.certify(budget)
+                .to_doc(&format!("cd{k}-step-1024x4096-b100")),
+        );
+    }
+    let g = build_step_graph(784, &[512, 256], 10, 200);
+    ctx.record_certification(g.certify(budget).to_doc("finetune-784-512-256-c10-cap200"));
+    let g = build_cnn_graph(CnnConfig::digits(12), 64);
+    ctx.record_certification(g.certify(budget).to_doc("cnn-digits12-cap64"));
+    let (g, _) = build_forward_graph(784, &[512, 256], 10, 200);
+    ctx.record_certification(g.certify(budget).to_doc("serve-forward-784-512-256-c10-cap200"));
+    // The pipelined pre-training schedule at one, two and four cards (the
+    // stack depth sets the device count: one card per layer).
+    for sizes in [
+        vec![256usize, 128],
+        vec![256, 128, 64],
+        vec![256, 128, 64, 32, 16],
+    ] {
+        let stack = StackedAutoencoder::with_default_config(&sizes, 7);
+        let tc = TrainConfig {
+            batch_size: 50,
+            chunk_rows: 100,
+            ..TrainConfig::default()
+        };
+        let g = stack.pipeline_graph(&tc, 200, 2);
+        let widths: Vec<String> = sizes.iter().map(|s| s.to_string()).collect();
+        let name = format!("pipeline-d{}-{}", sizes.len() - 1, widths.join("-"));
+        ctx.record_certification(g.certify(budget).to_doc(&name));
+    }
+
+    let bundle = CertifyBundle::new(ctx.take_certifications());
+    let mut out = format!("certify: {} graph(s), budget {budget} B/device\n", bundle.graphs.len());
+    for doc in &bundle.graphs {
+        let peak = doc
+            .device_peaks
+            .iter()
+            .map(|p| p.peak_bytes)
+            .max()
+            .unwrap_or(0);
+        out.push_str(&format!(
+            "  {:<42} {:>4} nodes  {:>3} waves  {} device(s)  peak {:>11} B  {} error(s), {} warning(s)\n",
+            doc.graph, doc.nodes, doc.waves, doc.devices, peak, doc.errors, doc.warnings
+        ));
+    }
+    if let Some(path) = args.get("json") {
+        let text = serde_json::to_string_pretty(&bundle).map_err(|e| e.to_string())?;
+        std::fs::write(path, text + "\n").map_err(|e| format!("cannot write `{path}`: {e}"))?;
+        out.push_str(&format!("wrote verify report to {path}\n"));
+    }
+    if bundle.is_clean() {
+        out.push_str("all graphs certified clean\n");
+        Ok(out)
+    } else {
+        for doc in &bundle.graphs {
+            for f in &doc.findings {
+                out.push_str(&format!(
+                    "  {}: {}[{}] {}\n",
+                    doc.graph, f.severity, f.rule, f.message
+                ));
+            }
+        }
+        Err(format!("{out}certification FAILED"))
+    }
 }
 
 fn cmd_estimate(args: &Args) -> Result<String, String> {

@@ -112,24 +112,24 @@ impl<'a> Layer<AeState<'a>> for AeEncode {
         match what {
             // Parameters and input: analysis-only externals.
             Decl::Params => {
-                sb.bind(ENC, "w", "w1", h * v, BufClass::External);
-                sb.bind(ENC, "b", "b1", h, BufClass::External);
+                sb.bind_dims(ENC, "w", "w1", &[h, v], BufClass::External);
+                sb.bind_dims(ENC, "b", "b1", &[h], BufClass::External);
             }
             // Activations are pinned: `AeScratch::hidden` exposes them
             // after the run (encode-by-inspection, tests, stacking).
             Decl::Acts => {
-                sb.bind(ENC, "act", "a2", b * h, BufClass::Pinned);
+                sb.bind_dims(ENC, "act", "a2", &[b, h], BufClass::Pinned);
             }
             Decl::Deltas => {
-                sb.bind(ENC, "delta", "delta2", b * h, BufClass::Scratch);
+                sb.bind_dims(ENC, "delta", "delta2", &[b, h], BufClass::Scratch);
             }
             // Gradients are pinned: consumed after the run by optimizer
             // steps or hybrid blending (`AeScratch::gradients`).
             Decl::Grads(Part::Weights) => {
-                sb.bind(ENC, "gw", "gw1", h * v, BufClass::Pinned);
+                sb.bind_dims(ENC, "gw", "gw1", &[h, v], BufClass::Pinned);
             }
             Decl::Grads(Part::Biases) => {
-                sb.bind(ENC, "gb", "gb1", h, BufClass::Pinned);
+                sb.bind_dims(ENC, "gb", "gb1", &[h], BufClass::Pinned);
             }
         }
     }
@@ -328,23 +328,23 @@ impl<'a> Layer<AeState<'a>> for AeDecode {
         let (v, h, b) = (self.n_visible, self.n_hidden, self.b);
         match what {
             Decl::Params => {
-                sb.bind(DEC, "w", "w2", v * h, BufClass::External);
-                sb.bind(DEC, "b", "b2", v, BufClass::External);
+                sb.bind_dims(DEC, "w", "w2", &[v, h], BufClass::External);
+                sb.bind_dims(DEC, "b", "b2", &[v], BufClass::External);
             }
             Decl::Acts => {
-                sb.bind(DEC, "act", "a3", b * v, BufClass::Pinned);
+                sb.bind_dims(DEC, "act", "a3", &[b, v], BufClass::Pinned);
             }
             // Backward temporaries: aliasing candidates (none exist for
             // this DAG — see the module docs — but the planner gets to
             // prove that).
             Decl::Deltas => {
-                sb.bind(DEC, "delta", "delta3", b * v, BufClass::Scratch);
+                sb.bind_dims(DEC, "delta", "delta3", &[b, v], BufClass::Scratch);
             }
             Decl::Grads(Part::Weights) => {
-                sb.bind(DEC, "gw", "gw2", v * h, BufClass::Pinned);
+                sb.bind_dims(DEC, "gw", "gw2", &[v, h], BufClass::Pinned);
             }
             Decl::Grads(Part::Biases) => {
-                sb.bind(DEC, "gb", "gb2", v, BufClass::Pinned);
+                sb.bind_dims(DEC, "gb", "gb2", &[v], BufClass::Pinned);
             }
         }
     }
@@ -520,8 +520,8 @@ impl<'a> Layer<AeState<'a>> for AeSparsity {
 
     fn declare(&self, sb: &mut StackBuilder<AeState<'a>>, what: Decl) {
         if what == Decl::Acts {
-            sb.bind(SPARS, "rho", "rho_hat", self.n_hidden, BufClass::Scratch);
-            sb.bind(SPARS, "s_term", "s_term", self.n_hidden, BufClass::Scratch);
+            sb.bind_dims(SPARS, "rho", "rho_hat", &[self.n_hidden], BufClass::Scratch);
+            sb.bind_dims(SPARS, "s_term", "s_term", &[self.n_hidden], BufClass::Scratch);
         }
     }
 
@@ -650,7 +650,7 @@ pub fn build_ae_graph<'a>(
     // Historical declaration order: input, both parameter sets, both
     // activations, deltas top-down, the sparsity pair, then gradients
     // weights-first.
-    sb.bind_global("x", "x", b * n_visible, BufClass::External);
+    sb.bind_global_dims("x", "x", &[b, n_visible], BufClass::External);
     enc.declare(&mut sb, Decl::Params);
     dec.declare(&mut sb, Decl::Params);
     enc.declare(&mut sb, Decl::Acts);

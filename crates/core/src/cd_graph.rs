@@ -68,15 +68,15 @@ impl<'a> Layer<CdState<'a>> for CdData {
             // Model parameters and the clamped batch: analysis-only
             // externals.
             Decl::Params => {
-                sb.bind(RBM, "w", "w", h * v, BufClass::External);
-                sb.bind(RBM, "b_vis", "b_vis", v, BufClass::External);
-                sb.bind(RBM, "c_hid", "c_hid", h, BufClass::External);
+                sb.bind_dims(RBM, "w", "w", &[h, v], BufClass::External);
+                sb.bind_dims(RBM, "b_vis", "b_vis", &[v], BufClass::External);
+                sb.bind_dims(RBM, "c_hid", "c_hid", &[h], BufClass::External);
             }
             // Per-batch temporaries (the figure's H1 and its sample);
             // scratch class makes them aliasing candidates.
             Decl::Acts => {
-                sb.bind(RBM, "h0_prob", "h0_prob", b * h, BufClass::Scratch);
-                sb.bind(RBM, "h0_sample", "h0_sample", b * h, BufClass::Scratch);
+                sb.bind_dims(RBM, "h0_prob", "h0_prob", &[b, h], BufClass::Scratch);
+                sb.bind_dims(RBM, "h0_sample", "h0_sample", &[b, h], BufClass::Scratch);
             }
             _ => {}
         }
@@ -112,6 +112,7 @@ impl<'a> Layer<CdState<'a>> for CdData {
                 .reads(&[h0_prob])
                 .writes(&[h0_sample])
                 .stochastic()
+                .cursor("gibbs")
                 .phase("forward"),
             move |ctx, s: &mut CdState<'_>| {
                 let (hp, hs) = (&s.scratch.h0_prob, &mut s.scratch.h0_sample);
@@ -141,8 +142,8 @@ impl<'a> Layer<CdState<'a>> for CdChain {
     fn declare(&self, sb: &mut StackBuilder<CdState<'a>>, what: Decl) {
         let (v, h, b) = (self.n_visible, self.n_hidden, self.b);
         if what == Decl::Acts {
-            sb.bind(RBM, "v1_prob", "v1_prob", b * v, BufClass::Scratch);
-            sb.bind(RBM, "h1_prob", "h1_prob", b * h, BufClass::Scratch);
+            sb.bind_dims(RBM, "v1_prob", "v1_prob", &[b, v], BufClass::Scratch);
+            sb.bind_dims(RBM, "h1_prob", "h1_prob", &[b, h], BufClass::Scratch);
         }
     }
 
@@ -169,6 +170,7 @@ impl<'a> Layer<CdState<'a>> for CdChain {
                         .reads(&[h1_prob])
                         .writes(&[h0_sample])
                         .stochastic()
+                        .cursor("gibbs")
                         .phase("backward"),
                     move |ctx, s: &mut CdState<'_>| {
                         let (h1, hs) = (&s.scratch.h1_prob, &mut s.scratch.h0_sample);
@@ -236,14 +238,14 @@ impl<'a> Layer<CdState<'a>> for CdStats {
             // Statistics are read after the run (momentum folds them into
             // velocity buffers), so they keep dedicated storage.
             Decl::Grads(Part::Weights) => {
-                sb.bind(RBM, "pos_stats", "pos_stats", h * v, BufClass::Pinned);
-                sb.bind(RBM, "neg_stats", "neg_stats", h * v, BufClass::Pinned);
+                sb.bind_dims(RBM, "pos_stats", "pos_stats", &[h, v], BufClass::Pinned);
+                sb.bind_dims(RBM, "neg_stats", "neg_stats", &[h, v], BufClass::Pinned);
             }
             Decl::Grads(Part::Biases) => {
-                sb.bind(RBM, "vis_pos", "vis_pos", v, BufClass::Pinned);
-                sb.bind(RBM, "vis_neg", "vis_neg", v, BufClass::Pinned);
-                sb.bind(RBM, "hid_pos", "hid_pos", h, BufClass::Pinned);
-                sb.bind(RBM, "hid_neg", "hid_neg", h, BufClass::Pinned);
+                sb.bind_dims(RBM, "vis_pos", "vis_pos", &[v], BufClass::Pinned);
+                sb.bind_dims(RBM, "vis_neg", "vis_neg", &[v], BufClass::Pinned);
+                sb.bind_dims(RBM, "hid_pos", "hid_pos", &[h], BufClass::Pinned);
+                sb.bind_dims(RBM, "hid_neg", "hid_neg", &[h], BufClass::Pinned);
             }
             _ => {}
         }
@@ -463,8 +465,10 @@ pub fn build_cd_graph<'a>(
     let updates = CdUpdates;
 
     // Historical declaration order: batch, parameters, the four chain
-    // temporaries, then the pinned statistics.
-    sb.bind_global("v0", "v0", b * n_visible, BufClass::External);
+    // temporaries, then the pinned statistics. The Gibbs sampling nodes
+    // (S1/Sk) all draw through one declared counter-RNG cursor.
+    sb.declare_rng_cursor("gibbs");
+    sb.bind_global_dims("v0", "v0", &[b, n_visible], BufClass::External);
     data.declare(&mut sb, Decl::Params);
     data.declare(&mut sb, Decl::Acts);
     chain.declare(&mut sb, Decl::Acts);

@@ -501,9 +501,78 @@ pub fn load_checkpoint(r: &mut impl Read) -> io::Result<Checkpoint> {
     })
 }
 
-/// Loads a checkpoint file.
-pub fn load_checkpoint_file(path: impl AsRef<Path>) -> io::Result<Checkpoint> {
-    load_checkpoint(&mut BufReader::new(File::open(path)?))
+/// Why a checkpoint file could not be loaded.
+///
+/// The interesting variant is [`CheckpointError::ShapeMismatch`]: a resume
+/// against a model whose layer dims disagree with the on-disk tensors used
+/// to surface as a bare `InvalidData` string from deep inside tensor I/O.
+/// The loader now recovers the structured payload the tensor readers
+/// attach, so callers learn *which* layer disagreed and by how much.
+#[derive(Debug)]
+pub enum CheckpointError {
+    /// Any I/O or format failure other than a tensor shape disagreement.
+    Io(io::Error),
+    /// A named tensor's on-disk dims disagree with the record's header
+    /// geometry (vectors are reported as `(len, 1)`).
+    ShapeMismatch {
+        /// Which tensor disagreed (`"w1"`, `"b_vis"`, ...).
+        layer: String,
+        /// `(rows, cols)` the header-derived geometry requires.
+        expected: (usize, usize),
+        /// `(rows, cols)` actually found on disk.
+        found: (usize, usize),
+    },
+}
+
+impl std::fmt::Display for CheckpointError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CheckpointError::Io(e) => write!(f, "checkpoint: {e}"),
+            CheckpointError::ShapeMismatch {
+                layer,
+                expected,
+                found,
+            } => write!(
+                f,
+                "checkpoint layer `{layer}`: shape {}x{} on disk, model expects {}x{}",
+                found.0, found.1, expected.0, expected.1
+            ),
+        }
+    }
+}
+
+impl std::error::Error for CheckpointError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CheckpointError::Io(e) => Some(e),
+            CheckpointError::ShapeMismatch { .. } => None,
+        }
+    }
+}
+
+impl From<io::Error> for CheckpointError {
+    fn from(e: io::Error) -> Self {
+        // The tensor readers attach a structured `ShapeMismatch` payload to
+        // InvalidData errors; lift it into the typed variant.
+        if let Some(sm) = e
+            .get_ref()
+            .and_then(|inner| inner.downcast_ref::<crate::model_io::ShapeMismatch>())
+        {
+            return CheckpointError::ShapeMismatch {
+                layer: sm.layer.clone(),
+                expected: sm.expected,
+                found: sm.found,
+            };
+        }
+        CheckpointError::Io(e)
+    }
+}
+
+/// Loads a checkpoint file, classifying tensor-shape disagreements into
+/// the typed [`CheckpointError::ShapeMismatch`] variant.
+pub fn load_checkpoint_file(path: impl AsRef<Path>) -> Result<Checkpoint, CheckpointError> {
+    let mut r = BufReader::new(File::open(path)?);
+    Ok(load_checkpoint(&mut r)?)
 }
 
 #[cfg(test)]
@@ -574,6 +643,33 @@ mod tests {
         let err = load_checkpoint(&mut buf.as_slice()).unwrap_err();
         assert_eq!(err.kind(), io::ErrorKind::InvalidData);
         assert!(err.to_string().contains("version"));
+    }
+
+    #[test]
+    fn shape_mismatch_is_typed_and_names_the_layer() {
+        use micdnn_tensor::Mat;
+        // A model whose w1 disagrees with its own header geometry (8x5
+        // config, 3x3 tensor): the loader must classify this as a
+        // ShapeMismatch naming the layer, not a generic I/O string.
+        let mut model = ae_model();
+        model.ae.w1 = Mat::zeros(3, 3);
+        let mut path = std::env::temp_dir();
+        path.push(format!("micdnn-ckpt-shape-{}.mic", std::process::id()));
+        save_checkpoint_file(&path, &model, 0, 0, &TrainProgress::default()).unwrap();
+        let err = load_checkpoint_file(&path).unwrap_err();
+        std::fs::remove_file(&path).ok();
+        match err {
+            CheckpointError::ShapeMismatch {
+                layer,
+                expected,
+                found,
+            } => {
+                assert_eq!(layer, "w1");
+                assert_eq!(expected, (5, 8));
+                assert_eq!(found, (3, 3));
+            }
+            other => panic!("expected ShapeMismatch, got {other:?}"),
+        }
     }
 
     #[test]

@@ -528,7 +528,7 @@ pub fn build_cnn_graph<'a>(cfg: CnnConfig, cap: usize) -> TaskGraph<'static, Cnn
         cap,
     };
 
-    sb.bind_global("x", "x", cap * cfg.input_dim(), BufClass::External);
+    sb.bind_global_dims("x", "x", &[cap, cfg.input_dim()], BufClass::External);
     conv.declare(&mut sb, Decl::Params);
     dense.declare(&mut sb, Decl::Params);
     head.declare(&mut sb, Decl::Params);

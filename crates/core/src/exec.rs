@@ -104,6 +104,10 @@ pub struct ExecCtx {
     /// Structured `(kind, detail)` notes recorded at demotion time, drained
     /// by the training supervisor into its incident log.
     incident_notes: Mutex<Vec<(String, String)>>,
+    /// Per-graph certification entries ([`crate::verify::CertifyDoc`])
+    /// recorded by callers of [`crate::TaskGraph::certify`], drained into
+    /// the `micdnn-verify-v1` report by the CLI `verify` subcommand.
+    certifications: Mutex<Vec<crate::verify::CertifyDoc>>,
 }
 
 impl ExecCtx {
@@ -123,6 +127,7 @@ impl ExecCtx {
             degrade: false,
             degraded: AtomicBool::new(false),
             incident_notes: Mutex::new(Vec::new()),
+            certifications: Mutex::new(Vec::new()),
         }
     }
 
@@ -142,6 +147,7 @@ impl ExecCtx {
             degrade: false,
             degraded: AtomicBool::new(false),
             incident_notes: Mutex::new(Vec::new()),
+            certifications: Mutex::new(Vec::new()),
         }
     }
 
@@ -223,6 +229,18 @@ impl ExecCtx {
     /// [`ExecCtx::force_degrade`] and [`ExecCtx::note_incident`].
     pub fn take_incident_notes(&self) -> Vec<(String, String)> {
         std::mem::take(&mut *self.incident_notes.lock())
+    }
+
+    /// Records one graph's certification entry for the `micdnn-verify-v1`
+    /// report.
+    pub fn record_certification(&self, doc: crate::verify::CertifyDoc) {
+        self.certifications.lock().push(doc);
+    }
+
+    /// Drains the certification entries recorded by
+    /// [`ExecCtx::record_certification`], in recording order.
+    pub fn take_certifications(&self) -> Vec<crate::verify::CertifyDoc> {
+        std::mem::take(&mut *self.certifications.lock())
     }
 
     /// Builds the profiler's report with this context's platform peak and

@@ -426,7 +426,7 @@ pub fn build_step_graph<'a>(
 
     // Historical declaration order: input, head params, per-layer
     // (params, act, delta), head delta, head grads, per-layer grads.
-    sb.bind_global("x", "x", cap * in_dim, BufClass::External);
+    sb.bind_global_dims("x", "x", &[cap, in_dim], BufClass::External);
     head.declare(&mut sb, Decl::Params);
     for d in &denses {
         d.declare(&mut sb, Decl::Params);

@@ -111,6 +111,10 @@ pub(crate) struct BufDecl {
     pub(crate) name: &'static str,
     pub(crate) elems: usize,
     pub(crate) class: BufClass,
+    /// Logical tensor shape, when declared through
+    /// [`TaskGraph::declare_dims`]; `None` leaves the buffer opaque to the
+    /// certifier's shape inference ([`TaskGraph::certify`]).
+    pub(crate) dims: Option<Vec<usize>>,
 }
 
 /// Declarative description of a graph node, consumed by
@@ -125,6 +129,8 @@ pub struct NodeSpec {
     phase: Option<&'static str>,
     device: u32,
     transfer: bool,
+    cursor: Option<&'static str>,
+    shapes: Vec<(BufId, Vec<usize>)>,
 }
 
 impl NodeSpec {
@@ -139,6 +145,8 @@ impl NodeSpec {
             phase: None,
             device: 0,
             transfer: false,
+            cursor: None,
+            shapes: Vec::new(),
         }
     }
 
@@ -194,6 +202,25 @@ impl NodeSpec {
         self.transfer = true;
         self
     }
+
+    /// Binds a stochastic node to a named counter-RNG cursor declared via
+    /// [`TaskGraph::declare_rng_cursor`]. Pure metadata for the certifier's
+    /// determinism audit ([`TaskGraph::certify`]): execution is unchanged,
+    /// but certification requires every `.stochastic()` node to trace to a
+    /// declared cursor.
+    pub fn cursor(mut self, name: &'static str) -> Self {
+        self.cursor = Some(name);
+        self
+    }
+
+    /// Claims the logical shape this node reads or writes `buf` with. Pure
+    /// metadata for the certifier's shape inference: a claim that disagrees
+    /// with the buffer's declared dims (or another node's claim) is an
+    /// `error[shape-mismatch]`.
+    pub fn shape(mut self, buf: BufId, dims: &[usize]) -> Self {
+        self.shapes.push((buf, dims.to_vec()));
+        self
+    }
 }
 
 /// A DAG of named tasks over declared buffers.
@@ -220,6 +247,13 @@ pub struct TaskGraph<'g, S> {
     /// Node is an inter-device transfer (owns a cross-device edge).
     pub(crate) transfer: Vec<bool>,
     phases: Vec<Option<&'static str>>,
+    /// Counter-RNG cursor a stochastic node is bound to ([`NodeSpec::cursor`]).
+    pub(crate) cursors: Vec<Option<&'static str>>,
+    /// Per-node logical-shape claims ([`NodeSpec::shape`]).
+    pub(crate) shape_claims: Vec<Vec<(BufId, Vec<usize>)>>,
+    /// Counter-RNG cursors declared on this graph
+    /// ([`TaskGraph::declare_rng_cursor`]).
+    pub(crate) rng_cursors: Vec<&'static str>,
     pub(crate) bufs: Vec<BufDecl>,
     /// Test-only escape hatch: suppress automatic verification so seeded
     /// mutations can reach the executor (exercised by the race sanitizer).
@@ -254,6 +288,9 @@ impl<'g, S> TaskGraph<'g, S> {
             device: Vec::new(),
             transfer: Vec::new(),
             phases: Vec::new(),
+            cursors: Vec::new(),
+            shape_claims: Vec::new(),
+            rng_cursors: Vec::new(),
             bufs: Vec::new(),
             skip_verify: false,
             verified: false,
@@ -273,8 +310,43 @@ impl<'g, S> TaskGraph<'g, S> {
 
     /// Declares a buffer of `elems` f32 elements; returns its id.
     pub fn declare(&mut self, name: &'static str, elems: usize, class: BufClass) -> BufId {
-        self.bufs.push(BufDecl { name, elems, class });
+        self.bufs.push(BufDecl {
+            name,
+            elems,
+            class,
+            dims: None,
+        });
         BufId(self.bufs.len() - 1)
+    }
+
+    /// Declares a buffer with a logical tensor shape; its element count is
+    /// the product of `dims`. Identical to [`TaskGraph::declare`] for
+    /// planning and execution, but the certifier's shape inference
+    /// ([`TaskGraph::certify`]) can prove the graph shape-consistent only
+    /// over buffers declared this way.
+    pub fn declare_dims(
+        &mut self,
+        name: &'static str,
+        dims: &[usize],
+        class: BufClass,
+    ) -> BufId {
+        let elems = dims.iter().product();
+        self.bufs.push(BufDecl {
+            name,
+            elems,
+            class,
+            dims: Some(dims.to_vec()),
+        });
+        BufId(self.bufs.len() - 1)
+    }
+
+    /// Declares a named counter-RNG cursor that stochastic nodes may bind
+    /// to via [`NodeSpec::cursor`]. Pure certification metadata: the
+    /// determinism audit requires every `.stochastic()` node to trace to
+    /// one of these.
+    pub fn declare_rng_cursor(&mut self, name: &'static str) {
+        self.rng_cursors.push(name);
+        self.verified = false;
     }
 
     /// Adds a node whose dependencies are derived from its declared
@@ -287,7 +359,12 @@ impl<'g, S> TaskGraph<'g, S> {
         task: impl FnMut(&ExecCtx, &mut S) + Send + 'g,
     ) -> NodeId {
         let id = self.names.len();
-        for &BufId(b) in spec.reads.iter().chain(spec.writes.iter()) {
+        for &BufId(b) in spec
+            .reads
+            .iter()
+            .chain(spec.writes.iter())
+            .chain(spec.shapes.iter().map(|(b, _)| b))
+        {
             assert!(
                 b < self.bufs.len(),
                 "node {} uses undeclared buffer {b}",
@@ -316,6 +393,8 @@ impl<'g, S> TaskGraph<'g, S> {
         self.device.push(spec.device);
         self.transfer.push(spec.transfer);
         self.phases.push(spec.phase);
+        self.cursors.push(spec.cursor);
+        self.shape_claims.push(spec.shapes);
         self.verified = false;
         id
     }
@@ -348,6 +427,8 @@ impl<'g, S> TaskGraph<'g, S> {
         self.device.push(0);
         self.transfer.push(false);
         self.phases.push(None);
+        self.cursors.push(None);
+        self.shape_claims.push(Vec::new());
         self.verified = false;
         id
     }
@@ -748,6 +829,25 @@ impl<'g, S> TaskGraph<'g, S> {
     pub fn testonly_skip_verify(&mut self) {
         self.skip_verify = true;
     }
+
+    /// Shrinks a buffer's element count by one while leaving its declared
+    /// dims intact. Test-only: simulates a builder sizing bug so the
+    /// certifier's shape-mismatch rule has something to catch.
+    #[doc(hidden)]
+    pub fn testonly_shrink_buf(&mut self, buf: BufId) {
+        assert!(self.bufs[buf.0].elems > 0, "cannot shrink an empty buffer");
+        self.bufs[buf.0].elems -= 1;
+        self.verified = false;
+    }
+
+    /// Removes every declared RNG cursor. Test-only: simulates a recipe
+    /// that samples without a declared counter-RNG cursor, for the
+    /// determinism-audit mutation test.
+    #[doc(hidden)]
+    pub fn testonly_strip_cursor_decls(&mut self) {
+        self.rng_cursors.clear();
+        self.verified = false;
+    }
 }
 
 /// Shared-state handle for one concurrency wave; see the safety comment at
@@ -813,6 +913,11 @@ impl WorkspacePlan {
     /// Number of registers in the plan.
     pub fn num_registers(&self) -> usize {
         self.register_elems.len()
+    }
+
+    /// Size of one register in elements (max over its occupants).
+    pub fn register_size(&self, r: usize) -> usize {
+        self.register_elems[r]
     }
 
     /// Forces `b` into `a`'s register. Test-only: simulates a planner bug

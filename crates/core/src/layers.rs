@@ -159,6 +159,20 @@ impl<S> StackBuilder<S> {
         id
     }
 
+    /// Declares a *shaped* stack-level buffer ([`TaskGraph::declare_dims`])
+    /// and registers it under `key`.
+    pub fn bind_global_dims(
+        &mut self,
+        key: &'static str,
+        name: &'static str,
+        dims: &[usize],
+        class: BufClass,
+    ) -> BufId {
+        let id = self.g.declare_dims(name, dims, class);
+        self.globals.push((key, id));
+        id
+    }
+
     /// Declares a buffer and registers it under `(slot, key)`.
     pub fn bind(
         &mut self,
@@ -178,6 +192,35 @@ impl<S> StackBuilder<S> {
         let id = self.g.declare(name, elems, class);
         self.slots[slot].push((key, id));
         id
+    }
+
+    /// Declares a *shaped* buffer ([`TaskGraph::declare_dims`]) and
+    /// registers it under `(slot, key)`.
+    pub fn bind_dims(
+        &mut self,
+        slot: usize,
+        key: &'static str,
+        name: &'static str,
+        dims: &[usize],
+        class: BufClass,
+    ) -> BufId {
+        if self.slots.len() <= slot {
+            self.slots.resize_with(slot + 1, Vec::new);
+        }
+        debug_assert!(
+            self.slots[slot].iter().all(|&(k, _)| k != key),
+            "slot {slot} already binds {key:?}"
+        );
+        let id = self.g.declare_dims(name, dims, class);
+        self.slots[slot].push((key, id));
+        id
+    }
+
+    /// Declares a counter-RNG cursor on the underlying graph
+    /// ([`TaskGraph::declare_rng_cursor`]) for the certifier's determinism
+    /// audit.
+    pub fn declare_rng_cursor(&mut self, name: &'static str) {
+        self.g.declare_rng_cursor(name);
     }
 
     /// Handle of the stack-level buffer bound under `key`.
@@ -329,22 +372,22 @@ where
         let (slot, h, v, cap) = (self.slot, self.out_dim, self.in_dim, self.cap);
         match what {
             Decl::Params => {
-                sb.bind(slot, "w", "layer.w", h * v, BufClass::External);
-                sb.bind(slot, "b", "layer.b", h, BufClass::External);
+                sb.bind_dims(slot, "w", "layer.w", &[h, v], BufClass::External);
+                sb.bind_dims(slot, "b", "layer.b", &[h], BufClass::External);
             }
             // Activations stay live from the forward pass until the last
             // layer-gradient reads them, so they are pinned, not aliased.
             Decl::Acts => {
-                sb.bind(slot, "act", "act", cap * h, BufClass::Pinned);
+                sb.bind_dims(slot, "act", "act", &[cap, h], BufClass::Pinned);
             }
             Decl::Deltas => {
-                sb.bind(slot, "delta", "delta", cap * h, BufClass::Scratch);
+                sb.bind_dims(slot, "delta", "delta", &[cap, h], BufClass::Scratch);
             }
             Decl::Grads(Part::Weights) => {
-                sb.bind(slot, "gw", "layer.gw", h * v, BufClass::Scratch);
+                sb.bind_dims(slot, "gw", "layer.gw", &[h, v], BufClass::Scratch);
             }
             Decl::Grads(Part::Biases) => {
-                sb.bind(slot, "gb", "layer.gb", h, BufClass::Scratch);
+                sb.bind_dims(slot, "gb", "layer.gb", &[h], BufClass::Scratch);
             }
         }
     }
@@ -512,20 +555,20 @@ where
         let (slot, c, code, cap) = (self.slot, self.n_classes, self.in_dim, self.cap);
         match what {
             Decl::Params => {
-                sb.bind(slot, "w", "softmax.w", c * code, BufClass::External);
-                sb.bind(slot, "b", "softmax.b", c, BufClass::External);
+                sb.bind_dims(slot, "w", "softmax.w", &[c, code], BufClass::External);
+                sb.bind_dims(slot, "b", "softmax.b", &[c], BufClass::External);
             }
             Decl::Acts => {}
             // The head's "delta" holds probabilities first, then the
             // in-place xent delta — one buffer, two lives.
             Decl::Deltas => {
-                sb.bind(slot, "delta", "dsoft", cap * c, BufClass::Scratch);
+                sb.bind_dims(slot, "delta", "dsoft", &[cap, c], BufClass::Scratch);
             }
             Decl::Grads(Part::Weights) => {
-                sb.bind(slot, "gw", "softmax.gw", c * code, BufClass::Scratch);
+                sb.bind_dims(slot, "gw", "softmax.gw", &[c, code], BufClass::Scratch);
             }
             Decl::Grads(Part::Biases) => {
-                sb.bind(slot, "gb", "softmax.gb", c, BufClass::Scratch);
+                sb.bind_dims(slot, "gb", "softmax.gb", &[c], BufClass::Scratch);
             }
         }
     }
@@ -707,29 +750,29 @@ where
         let pix = self.out_side() * self.out_side();
         match what {
             Decl::Params => {
-                sb.bind(slot, "w", "conv.w", c * kk, BufClass::External);
-                sb.bind(slot, "b", "conv.b", c, BufClass::External);
+                sb.bind_dims(slot, "w", "conv.w", &[c, kk], BufClass::External);
+                sb.bind_dims(slot, "b", "conv.b", &[c], BufClass::External);
             }
             // The patch matrix stays live until the filter-gradient GEMM
             // re-reads it; the activations feed pooling and σ'.
             Decl::Acts => {
-                sb.bind(slot, "col", "conv.col", cap * pix * kk, BufClass::Scratch);
-                sb.bind(slot, "act", "conv.act", cap * pix * c, BufClass::Pinned);
+                sb.bind_dims(slot, "col", "conv.col", &[cap * pix, kk], BufClass::Scratch);
+                sb.bind_dims(slot, "act", "conv.act", &[cap * pix, c], BufClass::Pinned);
             }
             Decl::Deltas => {
-                sb.bind(
+                sb.bind_dims(
                     slot,
                     "delta",
                     "conv.delta",
-                    cap * pix * c,
+                    &[cap * pix, c],
                     BufClass::Scratch,
                 );
             }
             Decl::Grads(Part::Weights) => {
-                sb.bind(slot, "gw", "conv.gw", c * kk, BufClass::Scratch);
+                sb.bind_dims(slot, "gw", "conv.gw", &[c, kk], BufClass::Scratch);
             }
             Decl::Grads(Part::Biases) => {
-                sb.bind(slot, "gb", "conv.gb", c, BufClass::Scratch);
+                sb.bind_dims(slot, "gb", "conv.gb", &[c], BufClass::Scratch);
             }
         }
     }
@@ -905,11 +948,11 @@ where
             // Argmax indices are written forward and read backward, so
             // they live alongside the pooled activations.
             Decl::Acts => {
-                sb.bind(slot, "act", "pool.act", cap * out, BufClass::Pinned);
-                sb.bind(slot, "idx", "pool.idx", cap * out, BufClass::Scratch);
+                sb.bind_dims(slot, "act", "pool.act", &[cap, out], BufClass::Pinned);
+                sb.bind_dims(slot, "idx", "pool.idx", &[cap, out], BufClass::Scratch);
             }
             Decl::Deltas => {
-                sb.bind(slot, "delta", "pool.delta", cap * out, BufClass::Scratch);
+                sb.bind_dims(slot, "delta", "pool.delta", &[cap, out], BufClass::Scratch);
             }
             _ => {}
         }

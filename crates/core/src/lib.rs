@@ -78,7 +78,7 @@ pub use batch_opt::{conjugate_gradient, lbfgs, AeObjective, BatchOptOptions, Obj
 pub use cd_graph::cd_step_graph;
 pub use checkpoint::{
     load_checkpoint, load_checkpoint_file, save_checkpoint, save_checkpoint_file, Checkpoint,
-    CheckpointModel, CheckpointPolicy, TrainProgress,
+    CheckpointError, CheckpointModel, CheckpointPolicy, TrainProgress,
 };
 pub use cnn::{build_cnn_graph, CnnConfig, CnnModel, CnnNet, CnnState};
 pub use exec::{ExecCtx, OptLevel, PhaseGuard};
@@ -93,6 +93,7 @@ pub use metrics::{
 };
 pub use model_io::{
     atomic_write, load_autoencoder_file, load_rbm_file, save_autoencoder_file, save_rbm_file,
+    ShapeMismatch,
 };
 pub use multidev::{
     block_bounds, DataParallelAe, DataParallelRbm, MultiDevConfig, MultiDevConfigError,
@@ -113,4 +114,7 @@ pub use train::{
     train_dataset, train_dataset_resume, train_stream, AeModel, RbmModel, TrainConfig, TrainError,
     TrainReport, UnsupervisedModel,
 };
-pub use verify::{DiagKind, Diagnostic, Severity, VerifyReport};
+pub use verify::{
+    CertifyBundle, CertifyDoc, CertifyOutcome, DevicePeak, DevicePeakDoc, DiagKind, Diagnostic,
+    FindingDoc, Severity, VerifyReport, DEFAULT_MEM_BUDGET, VERIFY_SCHEMA,
+};

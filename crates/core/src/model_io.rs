@@ -38,6 +38,39 @@ pub(crate) fn bad(msg: impl Into<String>) -> io::Error {
     io::Error::new(io::ErrorKind::InvalidData, msg.into())
 }
 
+/// A tensor on disk whose dimensions disagree with what the enclosing
+/// record's header promised. Carried as the payload of an
+/// [`io::ErrorKind::InvalidData`] error so layered loaders (the checkpoint
+/// front door in particular) can recover the structured facts instead of
+/// string-matching a message. Vectors are reported as `(len, 1)`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShapeMismatch {
+    /// Which named tensor disagreed (`"w1"`, `"b_vis"`, ...).
+    pub layer: String,
+    /// `(rows, cols)` the header-derived model geometry requires.
+    pub expected: (usize, usize),
+    /// `(rows, cols)` actually found on disk.
+    pub found: (usize, usize),
+}
+
+impl std::fmt::Display for ShapeMismatch {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "layer `{}`: shape {}x{} on disk, model expects {}x{}",
+            self.layer, self.found.0, self.found.1, self.expected.0, self.expected.1
+        )
+    }
+}
+
+impl std::error::Error for ShapeMismatch {}
+
+impl ShapeMismatch {
+    fn into_io(self) -> io::Error {
+        io::Error::new(io::ErrorKind::InvalidData, self)
+    }
+}
+
 /// Validates a header-derived dimension before it is used to size anything.
 pub(crate) fn checked_dim(v: u64, what: &str) -> io::Result<usize> {
     if v == 0 || v > MAX_DIM as u64 {
@@ -144,6 +177,57 @@ pub(crate) fn read_mat(r: &mut impl Read, rows: usize, cols: usize) -> io::Resul
     Mat::from_vec(rows, cols, data).map_err(|e| bad(e.to_string()))
 }
 
+/// [`read_mat`], but a dimension disagreement is reported as a structured
+/// [`ShapeMismatch`] payload naming `layer` instead of a bare message.
+pub(crate) fn read_mat_named(
+    r: &mut impl Read,
+    layer: &str,
+    rows: usize,
+    cols: usize,
+) -> io::Result<Mat> {
+    let got_rows = read_u64(r)? as usize;
+    let got_cols = read_u64(r)? as usize;
+    if (got_rows, got_cols) != (rows, cols) {
+        return Err(ShapeMismatch {
+            layer: layer.to_string(),
+            expected: (rows, cols),
+            found: (got_rows, got_cols),
+        }
+        .into_io());
+    }
+    let data = read_vec(r, checked_elems(rows, cols)?)?;
+    Mat::from_vec(rows, cols, data).map_err(|e| bad(e.to_string()))
+}
+
+/// [`read_vec`], but a length disagreement is reported as a structured
+/// [`ShapeMismatch`] payload naming `layer` (shapes rendered `(len, 1)`).
+pub(crate) fn read_vec_named(r: &mut impl Read, layer: &str, expect: usize) -> io::Result<Vec<f32>> {
+    let len = read_u64(r)?;
+    if len != expect as u64 {
+        return Err(ShapeMismatch {
+            layer: layer.to_string(),
+            expected: (expect, 1),
+            found: (len as usize, 1),
+        }
+        .into_io());
+    }
+    let mut out = Vec::with_capacity(expect);
+    let mut buf = vec![0u8; 4 * IO_CHUNK_FLOATS.min(expect.max(1))];
+    let mut remaining = expect;
+    while remaining > 0 {
+        let n = remaining.min(IO_CHUNK_FLOATS);
+        let bytes = &mut buf[..4 * n];
+        r.read_exact(bytes)?;
+        out.extend(
+            bytes
+                .chunks_exact(4)
+                .map(|b| f32::from_le_bytes([b[0], b[1], b[2], b[3]])),
+        );
+        remaining -= n;
+    }
+    Ok(out)
+}
+
 pub(crate) fn write_header(w: &mut impl Write, tag: u8) -> io::Result<()> {
     w.write_all(MAGIC)?;
     w.write_all(&[tag])
@@ -233,10 +317,10 @@ pub(crate) fn read_autoencoder_body(r: &mut impl Read) -> io::Result<SparseAutoe
         sparsity_weight: read_f32(r)?,
     };
     let mut ae = SparseAutoencoder::new(cfg, 0);
-    ae.w1 = read_mat(r, n_hidden, n_visible)?;
-    ae.w2 = read_mat(r, n_visible, n_hidden)?;
-    ae.b1 = read_vec(r, n_hidden)?;
-    ae.b2 = read_vec(r, n_visible)?;
+    ae.w1 = read_mat_named(r, "w1", n_hidden, n_visible)?;
+    ae.w2 = read_mat_named(r, "w2", n_visible, n_hidden)?;
+    ae.b1 = read_vec_named(r, "b1", n_hidden)?;
+    ae.b2 = read_vec_named(r, "b2", n_visible)?;
     Ok(ae)
 }
 
@@ -269,9 +353,9 @@ pub(crate) fn read_rbm_body(r: &mut impl Read) -> io::Result<Rbm> {
     checked_elems(n_hidden, n_visible)?;
     let cfg = RbmConfig::new(n_visible, n_hidden).with_cd_steps(cd_steps as usize);
     let mut rbm = Rbm::new(cfg, 0);
-    rbm.w = read_mat(r, n_hidden, n_visible)?;
-    rbm.b_vis = read_vec(r, n_visible)?;
-    rbm.c_hid = read_vec(r, n_hidden)?;
+    rbm.w = read_mat_named(r, "w", n_hidden, n_visible)?;
+    rbm.b_vis = read_vec_named(r, "b_vis", n_visible)?;
+    rbm.c_hid = read_vec_named(r, "c_hid", n_hidden)?;
     Ok(rbm)
 }
 

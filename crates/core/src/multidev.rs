@@ -224,6 +224,13 @@ impl MultiDevConfig {
         self
     }
 
+    /// The per-device memory budget the certifier proves peak residency
+    /// against — the modeled card capacity ([`MultiDevConfig::mem_capacity`],
+    /// 8 GB for the paper's Xeon Phi).
+    pub fn mem_budget(&self) -> u64 {
+        self.mem_capacity
+    }
+
     fn device_set(&self) -> DeviceSet {
         DeviceSet::new(self.devices, self.link, self.mem_capacity, self.sync)
     }

@@ -272,25 +272,28 @@ pub fn build_forward_graph<'a>(
     let code_dim = *widths.last().expect("non-empty net");
     let mut g: TaskGraph<'static, ServeState<'a>> = TaskGraph::new();
 
-    let xb = g.declare("x", cap * in_dim, BufClass::External);
-    let wsm = g.declare("softmax.w", n_classes * code_dim, BufClass::External);
-    let bsm = g.declare("softmax.b", n_classes, BufClass::External);
+    let xb = g.declare_dims("x", &[cap, in_dim], BufClass::External);
+    let wsm = g.declare_dims("softmax.w", &[n_classes, code_dim], BufClass::External);
+    let bsm = g.declare_dims("softmax.b", &[n_classes], BufClass::External);
     let (mut wl, mut bl, mut al) = (Vec::new(), Vec::new(), Vec::new());
     let mut prev = in_dim;
     for &h in widths {
-        wl.push(g.declare("layer.w", h * prev, BufClass::External));
-        bl.push(g.declare("layer.b", h, BufClass::External));
-        al.push(g.declare("act", cap * h, BufClass::Scratch));
+        wl.push(g.declare_dims("layer.w", &[h, prev], BufClass::External));
+        bl.push(g.declare_dims("layer.b", &[h], BufClass::External));
+        al.push(g.declare_dims("act", &[cap, h], BufClass::Scratch));
         prev = h;
     }
-    let probs = g.declare("probs", cap * n_classes, BufClass::Pinned);
+    let probs = g.declare_dims("probs", &[cap, n_classes], BufClass::Pinned);
 
     for l in 0..n_layers {
         let a_prev = if l == 0 { None } else { Some(al[l - 1]) };
         let a_cur = al[l];
         let reads = [a_prev.unwrap_or(xb), wl[l], bl[l]];
         g.node(
-            NodeSpec::new("forward").reads(&reads).writes(&[a_cur]),
+            NodeSpec::new("forward")
+                .reads(&reads)
+                .writes(&[a_cur])
+                .shape(a_cur, &[cap, widths[l]]),
             move |ctx, st: &mut ServeState<'a>| {
                 let b = st.x.rows();
                 let (w, bias) = &st.net.layer_params()[l];
@@ -319,7 +322,9 @@ pub fn build_forward_graph<'a>(
     g.node(
         NodeSpec::new("softmax")
             .reads(&[a_top, wsm, bsm])
-            .writes(&[probs]),
+            .writes(&[probs])
+            .shape(a_top, &[cap, code_dim])
+            .shape(probs, &[cap, n_classes]),
         move |ctx, st: &mut ServeState<'a>| {
             let b = st.x.rows();
             let (c, code) = (st.net.softmax.n_classes(), st.net.softmax.in_dim());

@@ -282,7 +282,7 @@ fn build_pipeline_graph(
     let params: Vec<BufId> = (0..n_layers)
         .map(|i| {
             let elems = 2 * sizes[i] * sizes[i + 1] + sizes[i] + sizes[i + 1];
-            g.declare("params", elems, BufClass::External)
+            g.declare_dims("params", &[elems], BufClass::External)
         })
         .collect();
     // Layer 0 reads the caller's dataset (External); deeper layers' chunks
@@ -298,7 +298,7 @@ fn build_pipeline_graph(
             };
             chunk_sizes
                 .iter()
-                .map(|&r| g.declare("chunk", r * dim, class))
+                .map(|&r| g.declare_dims("chunk", &[r, dim], class))
                 .collect()
         })
         .collect();
@@ -306,7 +306,7 @@ fn build_pipeline_graph(
         .map(|i| {
             chunk_sizes
                 .iter()
-                .map(|&r| g.declare("enc", r * sizes[i + 1], BufClass::Scratch))
+                .map(|&r| g.declare_dims("enc", &[r, sizes[i + 1]], BufClass::Scratch))
                 .collect()
         })
         .collect();
@@ -315,7 +315,7 @@ fn build_pipeline_graph(
     // flight at a time. Pinned by class: a dedicated register nothing
     // aliases, exempt from dead-write analysis (it is pure ordering).
     let tokens: Vec<BufId> = (0..n_layers.saturating_sub(1))
-        .map(|_| g.declare("link-token", 1, BufClass::Pinned))
+        .map(|_| g.declare_dims("link-token", &[1], BufClass::Pinned))
         .collect();
 
     for i in 0..n_layers {

@@ -41,7 +41,16 @@
 //! Errors panic with the full report; warnings never do.
 
 use crate::graph::{BufClass, BufId, NodeId, TaskGraph, WorkspacePlan};
+use serde::{Deserialize, Serialize};
 use std::fmt;
+
+/// Default per-device certification budget: the Xeon Phi card's 8 GB of
+/// on-card GDDR5 (paper §III) — the constraint the whole training layout
+/// is built around.
+pub const DEFAULT_MEM_BUDGET: u64 = 8 << 30;
+
+/// Schema identifier of the machine-readable certification report.
+pub const VERIFY_SCHEMA: &str = "micdnn-verify-v1";
 
 /// How bad a [`Diagnostic`] is.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -85,6 +94,18 @@ pub enum DiagKind {
     /// An opaque node (explicit-dependency [`TaskGraph::add`]) declares no
     /// footprint; the verifier cannot prove anything about its accesses.
     OpaqueNode,
+    /// A buffer's declared logical shape disagrees with its storage, or a
+    /// node's shape claim disagrees with the producer's. Certify-only.
+    ShapeMismatch,
+    /// A buffer (or opaque node) escapes shape inference entirely: nothing
+    /// declares or claims a logical shape for it. Certify-only.
+    ShapeUnknown,
+    /// A device's proven peak resident bytes exceed its modeled memory
+    /// budget in some wave. Certify-only.
+    MemBudget,
+    /// A stochastic node does not trace to a declared counter-RNG cursor,
+    /// so bit-identical resume/shard cannot be certified. Certify-only.
+    UndeclaredStochastic,
 }
 
 impl DiagKind {
@@ -101,6 +122,10 @@ impl DiagKind {
             DiagKind::CrossDeviceFlow => "cross-device-flow",
             DiagKind::UnusedBuffer => "unused-buffer",
             DiagKind::OpaqueNode => "opaque-node",
+            DiagKind::ShapeMismatch => "shape-mismatch",
+            DiagKind::ShapeUnknown => "shape-unknown",
+            DiagKind::MemBudget => "mem-budget",
+            DiagKind::UndeclaredStochastic => "undeclared-stochastic",
         }
     }
 
@@ -113,7 +138,11 @@ impl DiagKind {
             | DiagKind::UnorderedStochastic
             | DiagKind::UnorderedSideEffects
             | DiagKind::SideEffectInWave
-            | DiagKind::CrossDeviceFlow => Severity::Error,
+            | DiagKind::CrossDeviceFlow
+            | DiagKind::ShapeMismatch
+            | DiagKind::ShapeUnknown
+            | DiagKind::MemBudget
+            | DiagKind::UndeclaredStochastic => Severity::Error,
             DiagKind::DeadWrite | DiagKind::UnusedBuffer | DiagKind::OpaqueNode => {
                 Severity::Warning
             }
@@ -130,8 +159,31 @@ pub struct Diagnostic {
     pub nodes: Vec<(NodeId, &'static str)>,
     /// The buffer involved, if the finding is about one.
     pub buffer: Option<&'static str>,
+    /// The scheduling wave involved (certify-only, [`DiagKind::MemBudget`]).
+    pub wave: Option<usize>,
+    /// The byte count involved (certify-only, [`DiagKind::MemBudget`]).
+    pub bytes: Option<u64>,
     /// Human-readable one-line description.
     pub message: String,
+}
+
+impl Diagnostic {
+    /// A diagnostic with no wave/byte detail (every non-certify finding).
+    fn basic(
+        kind: DiagKind,
+        nodes: Vec<(NodeId, &'static str)>,
+        buffer: Option<&'static str>,
+        message: String,
+    ) -> Self {
+        Diagnostic {
+            kind,
+            nodes,
+            buffer,
+            wave: None,
+            bytes: None,
+            message,
+        }
+    }
 }
 
 impl fmt::Display for Diagnostic {
@@ -279,6 +331,8 @@ impl<S> TaskGraph<'_, S> {
                         };
                         report.push(Diagnostic {
                             kind: DiagKind::Race,
+                            wave: None,
+                            bytes: None,
                             nodes: vec![tag(self, u), tag(self, v)],
                             buffer: Some(self.bufs[b].name),
                             message: format!(
@@ -308,6 +362,8 @@ impl<S> TaskGraph<'_, S> {
                     };
                     report.push(Diagnostic {
                         kind: DiagKind::UseBeforeInit,
+                        wave: None,
+                        bytes: None,
                         nodes: vec![tag(self, id)],
                         buffer: Some(self.bufs[b].name),
                         message: format!(
@@ -331,6 +387,8 @@ impl<S> TaskGraph<'_, S> {
                 if !consumed {
                     report.push(Diagnostic {
                         kind: DiagKind::DeadWrite,
+                        wave: None,
+                        bytes: None,
                         nodes: vec![tag(self, w)],
                         buffer: Some(self.bufs[b].name),
                         message: format!(
@@ -349,6 +407,8 @@ impl<S> TaskGraph<'_, S> {
             if readers[b].is_empty() && writers[b].is_empty() {
                 report.push(Diagnostic {
                     kind: DiagKind::UnusedBuffer,
+                    wave: None,
+                    bytes: None,
                     nodes: Vec::new(),
                     buffer: Some(decl.name),
                     message: format!(
@@ -370,6 +430,8 @@ impl<S> TaskGraph<'_, S> {
                 if !ordered(u, v) {
                     report.push(Diagnostic {
                         kind: DiagKind::UnorderedStochastic,
+                        wave: None,
+                        bytes: None,
                         nodes: vec![tag(self, u), tag(self, v)],
                         buffer: None,
                         message: format!(
@@ -413,6 +475,8 @@ impl<S> TaskGraph<'_, S> {
                     if !ordered(u, v) {
                         report.push(Diagnostic {
                             kind: DiagKind::UnorderedSideEffects,
+                            wave: None,
+                            bytes: None,
                             nodes: vec![tag(self, u), tag(self, v)],
                             buffer: Some(self.bufs[b].name),
                             message: format!(
@@ -439,6 +503,8 @@ impl<S> TaskGraph<'_, S> {
                 };
                 report.push(Diagnostic {
                     kind: DiagKind::SideEffectInWave,
+                    wave: None,
+                    bytes: None,
                     nodes: vec![tag(self, i)],
                     buffer: None,
                     message: format!(
@@ -477,6 +543,8 @@ impl<S> TaskGraph<'_, S> {
                         if !(endpoint_ok || mediated) {
                             report.push(Diagnostic {
                                 kind: DiagKind::CrossDeviceFlow,
+                                wave: None,
+                                bytes: None,
                                 nodes: vec![tag(self, u), tag(self, v)],
                                 buffer: Some(self.bufs[b].name),
                                 message: format!(
@@ -501,6 +569,8 @@ impl<S> TaskGraph<'_, S> {
             if self.opaque[i] {
                 report.push(Diagnostic {
                     kind: DiagKind::OpaqueNode,
+                    wave: None,
+                    bytes: None,
                     nodes: vec![tag(self, i)],
                     buffer: None,
                     message: format!(
@@ -541,6 +611,8 @@ impl<S> TaskGraph<'_, S> {
                     } else {
                         report.push(Diagnostic {
                             kind: DiagKind::UnsafeAlias,
+                            wave: None,
+                            bytes: None,
                             nodes: Vec::new(),
                             buffer: Some(self.bufs[a].name),
                             message: format!(
@@ -556,6 +628,489 @@ impl<S> TaskGraph<'_, S> {
         }
 
         report
+    }
+
+    /// Runs the full certification pipeline against a freshly computed
+    /// plan: the safety analyses of [`TaskGraph::verify`] plus shape
+    /// inference, the per-device peak-memory proof against `budget_bytes`,
+    /// and the determinism audit. Certification is strictly harder than
+    /// verification — its three extra rules are errors here and never run
+    /// on the executor's automatic verify path, so graphs built with the
+    /// plain [`TaskGraph::declare`] API still execute.
+    pub fn certify(&self, budget_bytes: u64) -> CertifyOutcome {
+        self.certify_with_plan(&self.plan(), budget_bytes)
+    }
+
+    /// Runs the certification pipeline against a caller-supplied plan.
+    pub fn certify_with_plan(&self, plan: &WorkspacePlan, budget_bytes: u64) -> CertifyOutcome {
+        let mut report = self.verify_with_plan(plan);
+        self.check_shapes(&mut report);
+        self.check_determinism(&mut report);
+        let (device_peaks, waves) = self.check_memory(plan, budget_bytes, &mut report);
+        CertifyOutcome {
+            report,
+            device_peaks,
+            waves,
+            budget_bytes,
+        }
+    }
+
+    /// Shape inference: joins declared dims ([`TaskGraph::declare_dims`])
+    /// with per-node claims ([`crate::NodeSpec::shape`]) into one resolved
+    /// shape per buffer, reporting [`DiagKind::ShapeMismatch`] on any
+    /// disagreement (including dims whose product drifts from the declared
+    /// element count) and [`DiagKind::ShapeUnknown`] for accessed buffers
+    /// no declaration or claim covers — plus opaque nodes, which escape
+    /// inference entirely.
+    fn check_shapes(&self, report: &mut VerifyReport) {
+        let nb = self.bufs.len();
+        let mut resolved: Vec<Option<&[usize]>> =
+            self.bufs.iter().map(|d| d.dims.as_deref()).collect();
+        let fmt_dims = |dims: &[usize]| {
+            let parts: Vec<String> = dims.iter().map(|d| d.to_string()).collect();
+            format!("[{}]", parts.join(" x "))
+        };
+        for decl in &self.bufs {
+            if let Some(dims) = &decl.dims {
+                let product: usize = dims.iter().product();
+                if product != decl.elems {
+                    report.push(Diagnostic::basic(
+                        DiagKind::ShapeMismatch,
+                        Vec::new(),
+                        Some(decl.name),
+                        format!(
+                            "buffer `{}` declares shape {} ({product} elems) but carries \
+                             {} elems of storage",
+                            decl.name,
+                            fmt_dims(dims),
+                            decl.elems
+                        ),
+                    ));
+                    // The declaration is still the best shape estimate;
+                    // keeping it resolved avoids a cascading shape-unknown
+                    // for the already-reported buffer.
+                }
+            }
+        }
+        for id in 0..self.len() {
+            for (BufId(b), dims) in &self.shape_claims[id] {
+                let decl = &self.bufs[*b];
+                match resolved[*b] {
+                    Some(have) if have != dims.as_slice() => {
+                        report.push(Diagnostic::basic(
+                            DiagKind::ShapeMismatch,
+                            vec![tag(self, id)],
+                            Some(decl.name),
+                            format!(
+                                "node `{}` (#{id}) claims shape {} for buffer `{}` but \
+                                 its producer declares {}",
+                                self.names[id],
+                                fmt_dims(dims),
+                                decl.name,
+                                fmt_dims(have)
+                            ),
+                        ));
+                    }
+                    Some(_) => {}
+                    None => {
+                        let product: usize = dims.iter().product();
+                        if product != decl.elems {
+                            report.push(Diagnostic::basic(
+                                DiagKind::ShapeMismatch,
+                                vec![tag(self, id)],
+                                Some(decl.name),
+                                format!(
+                                    "node `{}` (#{id}) claims shape {} ({product} elems) \
+                                     for buffer `{}` carrying {} elems of storage",
+                                    self.names[id],
+                                    fmt_dims(dims),
+                                    decl.name,
+                                    decl.elems
+                                ),
+                            ));
+                        } else {
+                            resolved[*b] = Some(dims.as_slice());
+                        }
+                    }
+                }
+            }
+        }
+        let mut first_accessor: Vec<Option<NodeId>> = vec![None; nb];
+        for id in 0..self.len() {
+            for &BufId(b) in self.reads[id].iter().chain(self.writes[id].iter()) {
+                first_accessor[b].get_or_insert(id);
+            }
+        }
+        for (b, decl) in self.bufs.iter().enumerate() {
+            if let (None, Some(id)) = (resolved[b], first_accessor[b]) {
+                report.push(Diagnostic::basic(
+                    DiagKind::ShapeUnknown,
+                    vec![tag(self, id)],
+                    Some(decl.name),
+                    format!(
+                        "buffer `{}` is accessed (first by node `{}` (#{id})) but no \
+                         declaration or claim gives it a shape",
+                        decl.name, self.names[id]
+                    ),
+                ));
+            }
+        }
+        for id in 0..self.len() {
+            if self.opaque[id] {
+                report.push(Diagnostic::basic(
+                    DiagKind::ShapeUnknown,
+                    vec![tag(self, id)],
+                    None,
+                    format!(
+                        "opaque node `{}` (#{id}) escapes shape inference: its \
+                         footprint is undeclared",
+                        self.names[id]
+                    ),
+                ));
+            }
+        }
+    }
+
+    /// Determinism audit: every `.stochastic()` node must trace to a
+    /// counter-RNG cursor declared on the graph — the static form of the
+    /// executor's dynamic `undeclared-stochastic` lint, proving the
+    /// sampling streams are replayable from declared state alone.
+    fn check_determinism(&self, report: &mut VerifyReport) {
+        for id in 0..self.len() {
+            if !self.stochastic[id] {
+                continue;
+            }
+            match self.cursors[id] {
+                Some(c) if self.rng_cursors.contains(&c) => {}
+                Some(c) => {
+                    report.push(Diagnostic::basic(
+                        DiagKind::UndeclaredStochastic,
+                        vec![tag(self, id)],
+                        None,
+                        format!(
+                            "stochastic node `{}` (#{id}) binds RNG cursor `{c}`, which \
+                             the graph never declares (TaskGraph::declare_rng_cursor)",
+                            self.names[id]
+                        ),
+                    ));
+                }
+                None => {
+                    report.push(Diagnostic::basic(
+                        DiagKind::UndeclaredStochastic,
+                        vec![tag(self, id)],
+                        None,
+                        format!(
+                            "stochastic node `{}` (#{id}) is not bound to a declared \
+                             counter-RNG cursor (NodeSpec::cursor)",
+                            self.names[id]
+                        ),
+                    ));
+                }
+            }
+        }
+    }
+
+    /// Per-device peak-memory proof. Nodes are placed in ASAP waves
+    /// (`wave = 1 + max(dep waves)`); a buffer is *live* from its first
+    /// accessor's wave to its last's (Pinned outputs stay live to the final
+    /// wave; External storage is resident for the whole run). A plan
+    /// register occupies a device's memory exactly in the waves where one
+    /// of its occupants with an accessor on that device is live, so per
+    /// device the resident bytes of wave `t` are the sizes of its live
+    /// registers plus its live external buffers. The per-device maximum
+    /// over waves is the proven peak, checked against `budget_bytes` with
+    /// [`DiagKind::MemBudget`] naming the violating wave and its live set.
+    fn check_memory(
+        &self,
+        plan: &WorkspacePlan,
+        budget_bytes: u64,
+        report: &mut VerifyReport,
+    ) -> (Vec<DevicePeak>, usize) {
+        let n = self.len();
+        let nb = self.bufs.len();
+        if n == 0 {
+            return (Vec::new(), 0);
+        }
+        let mut wave = vec![0usize; n];
+        for i in 0..n {
+            wave[i] = self.deps[i].iter().map(|&d| wave[d] + 1).max().unwrap_or(0);
+        }
+        let waves = wave.iter().max().map(|&w| w + 1).unwrap_or(0);
+        let last = waves - 1;
+        let mut first_w = vec![usize::MAX; nb];
+        let mut last_w = vec![0usize; nb];
+        let mut on_dev: Vec<Vec<u32>> = vec![Vec::new(); nb];
+        for id in 0..n {
+            for &BufId(b) in self.reads[id].iter().chain(self.writes[id].iter()) {
+                first_w[b] = first_w[b].min(wave[id]);
+                last_w[b] = last_w[b].max(wave[id]);
+                if !on_dev[b].contains(&self.device[id]) {
+                    on_dev[b].push(self.device[id]);
+                }
+            }
+        }
+        // Live interval per buffer class (None for never-accessed buffers).
+        let interval = |b: usize| -> Option<(usize, usize)> {
+            if first_w[b] == usize::MAX {
+                return None;
+            }
+            match self.bufs[b].class {
+                BufClass::Scratch => Some((first_w[b], last_w[b])),
+                BufClass::Pinned => Some((first_w[b], last)),
+                BufClass::External => Some((0, last)),
+            }
+        };
+        let bytes_of = |elems: usize| elems as u64 * std::mem::size_of::<f32>() as u64;
+        let mut devices: Vec<u32> = self.device.clone();
+        devices.sort_unstable();
+        devices.dedup();
+        let mut peaks = Vec::new();
+        for &d in &devices {
+            // Difference array over waves: +size where a storage unit
+            // becomes resident, -size one past where it stops.
+            let mut delta = vec![0i64; waves + 1];
+            let mut charge = |s: usize, e: usize, bytes: u64| {
+                delta[s] += bytes as i64;
+                delta[e + 1] -= bytes as i64;
+            };
+            for b in 0..nb {
+                if self.bufs[b].class != BufClass::External || !on_dev[b].contains(&d) {
+                    continue;
+                }
+                if let Some((s, e)) = interval(b) {
+                    charge(s, e, bytes_of(self.bufs[b].elems));
+                }
+            }
+            for r in 0..plan.num_registers() {
+                // Union (not convex hull) of the qualifying occupants'
+                // intervals: a register with a liveness gap is reusable in
+                // the gap, so it must not be charged there.
+                let mut ivs: Vec<(usize, usize)> = (0..nb)
+                    .filter(|&b| plan.assignment[b] == Some(r) && on_dev[b].contains(&d))
+                    .filter_map(interval)
+                    .collect();
+                ivs.sort_unstable();
+                let size = bytes_of(plan.register_elems[r]);
+                let mut cur: Option<(usize, usize)> = None;
+                for (s, e) in ivs {
+                    match cur {
+                        Some((cs, ce)) if s <= ce + 1 => cur = Some((cs, ce.max(e))),
+                        Some((cs, ce)) => {
+                            charge(cs, ce, size);
+                            cur = Some((s, e));
+                        }
+                        None => cur = Some((s, e)),
+                    }
+                }
+                if let Some((cs, ce)) = cur {
+                    charge(cs, ce, size);
+                }
+            }
+            let mut resident = 0i64;
+            let mut peak = 0i64;
+            let mut peak_wave = 0usize;
+            for (t, dt) in delta.iter().take(waves).enumerate() {
+                resident += dt;
+                if resident > peak {
+                    peak = resident;
+                    peak_wave = t;
+                }
+            }
+            let peak_bytes = peak as u64;
+            if peak_bytes > budget_bytes {
+                let live: Vec<&str> = (0..nb)
+                    .filter(|&b| {
+                        on_dev[b].contains(&d)
+                            && interval(b).is_some_and(|(s, e)| s <= peak_wave && peak_wave <= e)
+                    })
+                    .map(|b| self.bufs[b].name)
+                    .collect();
+                report.push(Diagnostic {
+                    kind: DiagKind::MemBudget,
+                    nodes: Vec::new(),
+                    buffer: None,
+                    wave: Some(peak_wave),
+                    bytes: Some(peak_bytes),
+                    message: format!(
+                        "device {d} peaks at {peak_bytes} resident bytes in wave \
+                         {peak_wave}, exceeding the {budget_bytes}-byte budget; live \
+                         set: {}",
+                        live.iter()
+                            .map(|n| format!("`{n}`"))
+                            .collect::<Vec<_>>()
+                            .join(", ")
+                    ),
+                });
+            }
+            peaks.push(DevicePeak {
+                device: d,
+                peak_bytes,
+                peak_wave,
+            });
+        }
+        (peaks, waves)
+    }
+}
+
+/// Peak resident bytes proven for one device by the certification pass.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DevicePeak {
+    /// Device id (0 for single-device graphs).
+    pub device: u32,
+    /// Maximum resident bytes over all waves.
+    pub peak_bytes: u64,
+    /// The wave attaining the maximum (earliest, on ties).
+    pub peak_wave: usize,
+}
+
+/// Result of [`TaskGraph::certify`]: the extended report plus the
+/// peak-memory proof artifacts.
+#[derive(Debug, Clone)]
+pub struct CertifyOutcome {
+    /// Safety report extended with the certification rules.
+    pub report: VerifyReport,
+    /// Proven peak residency per device, in device order.
+    pub device_peaks: Vec<DevicePeak>,
+    /// Number of ASAP scheduling waves the proof ranged over.
+    pub waves: usize,
+    /// The budget each device was checked against.
+    pub budget_bytes: u64,
+}
+
+impl CertifyOutcome {
+    /// `true` when the extended report has neither errors nor warnings.
+    pub fn is_clean(&self) -> bool {
+        self.report.is_clean()
+    }
+
+    /// Renders the outcome as one entry of the `micdnn-verify-v1` report.
+    pub fn to_doc(&self, graph: &str) -> CertifyDoc {
+        CertifyDoc {
+            graph: graph.to_string(),
+            devices: self.device_peaks.len() as u64,
+            nodes: self.report.nodes as u64,
+            buffers: self.report.buffers as u64,
+            registers: self.report.registers as u64,
+            waves: self.waves as u64,
+            budget_bytes: self.budget_bytes,
+            errors: self.report.errors.len() as u64,
+            warnings: self.report.warnings.len() as u64,
+            device_peaks: self
+                .device_peaks
+                .iter()
+                .map(|p| DevicePeakDoc {
+                    device: p.device as u64,
+                    peak_bytes: p.peak_bytes,
+                    peak_wave: p.peak_wave as u64,
+                })
+                .collect(),
+            findings: self
+                .report
+                .errors
+                .iter()
+                .chain(self.report.warnings.iter())
+                .map(FindingDoc::from_diag)
+                .collect(),
+        }
+    }
+}
+
+/// One graph's entry in the `micdnn-verify-v1` report.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CertifyDoc {
+    /// Label of the certified graph (e.g. `ae-step-1024x4096-b100`).
+    pub graph: String,
+    /// Number of distinct devices the graph places nodes on.
+    pub devices: u64,
+    /// Node count.
+    pub nodes: u64,
+    /// Declared-buffer count.
+    pub buffers: u64,
+    /// Physical-register count of the certified plan.
+    pub registers: u64,
+    /// ASAP wave count the memory proof ranged over.
+    pub waves: u64,
+    /// Per-device budget the proof was checked against.
+    pub budget_bytes: u64,
+    /// Error-finding count.
+    pub errors: u64,
+    /// Warning-finding count.
+    pub warnings: u64,
+    /// Proven peak residency per device.
+    pub device_peaks: Vec<DevicePeakDoc>,
+    /// All findings, errors first (SARIF-flavored).
+    pub findings: Vec<FindingDoc>,
+}
+
+/// Per-device peak entry of a [`CertifyDoc`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DevicePeakDoc {
+    /// Device id.
+    pub device: u64,
+    /// Maximum resident bytes over all waves.
+    pub peak_bytes: u64,
+    /// The wave attaining the maximum.
+    pub peak_wave: u64,
+}
+
+/// One finding of a [`CertifyDoc`] (SARIF-flavored: stable rule id plus
+/// location data).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FindingDoc {
+    /// Stable rule id ([`DiagKind::code`]).
+    pub rule: String,
+    /// `"error"` or `"warning"`.
+    pub severity: String,
+    /// Human-readable one-line description.
+    pub message: String,
+    /// Involved nodes as `label#id`.
+    pub nodes: Vec<String>,
+    /// Involved buffer, if any.
+    pub buffer: Option<String>,
+    /// Involved wave, if any (mem-budget findings).
+    pub wave: Option<u64>,
+    /// Involved byte count, if any (mem-budget findings).
+    pub bytes: Option<u64>,
+}
+
+impl FindingDoc {
+    fn from_diag(d: &Diagnostic) -> Self {
+        FindingDoc {
+            rule: d.kind.code().to_string(),
+            severity: match d.kind.severity() {
+                Severity::Error => "error".to_string(),
+                Severity::Warning => "warning".to_string(),
+            },
+            message: d.message.clone(),
+            nodes: d.nodes.iter().map(|(id, name)| format!("{name}#{id}")).collect(),
+            buffer: d.buffer.map(str::to_string),
+            wave: d.wave.map(|w| w as u64),
+            bytes: d.bytes,
+        }
+    }
+}
+
+/// The versioned `micdnn-verify-v1` report: one entry per certified graph.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CertifyBundle {
+    /// Always [`VERIFY_SCHEMA`].
+    pub schema: String,
+    /// One entry per certified graph, in certification order.
+    pub graphs: Vec<CertifyDoc>,
+}
+
+impl CertifyBundle {
+    /// Wraps per-graph entries under the versioned schema tag.
+    pub fn new(graphs: Vec<CertifyDoc>) -> Self {
+        CertifyBundle {
+            schema: VERIFY_SCHEMA.to_string(),
+            graphs,
+        }
+    }
+
+    /// `true` when every entry certified with zero errors and warnings.
+    pub fn is_clean(&self) -> bool {
+        self.graphs.iter().all(|g| g.errors == 0 && g.warnings == 0)
     }
 }
 
@@ -1000,5 +1555,98 @@ mod tests {
         assert!(text.contains("error(s)"), "{text}");
         assert!(text.contains("error[race]"), "{text}");
         assert!(text.contains("`x`"), "{text}");
+    }
+
+    /// Shaped produce -> consume chain with a stochastic, cursor-bound tail.
+    fn shaped_chain() -> TaskGraph<'static, ()> {
+        let mut g: TaskGraph<'static, ()> = TaskGraph::new();
+        g.declare_rng_cursor("noise");
+        let x = g.declare_dims("x", &[4, 8], BufClass::Scratch);
+        let out = g.declare_dims("out", &[4, 8], BufClass::Pinned);
+        g.node(NodeSpec::new("produce").writes(&[x]), |_, _| {});
+        g.node(
+            NodeSpec::new("consume")
+                .reads(&[x])
+                .writes(&[out])
+                .shape(out, &[4, 8])
+                .stochastic()
+                .cursor("noise"),
+            |_, _| {},
+        );
+        g
+    }
+
+    #[test]
+    fn shaped_chain_certifies_clean() {
+        let g = shaped_chain();
+        let outcome = g.certify(DEFAULT_MEM_BUDGET);
+        assert!(outcome.is_clean(), "{}", outcome.report);
+        assert_eq!(outcome.waves, 2);
+        assert_eq!(outcome.device_peaks.len(), 1);
+        // x (32 elems) and out (32 elems) both resident in the peak wave.
+        assert_eq!(outcome.device_peaks[0].peak_bytes, 2 * 32 * 4);
+    }
+
+    #[test]
+    fn certify_rules_stay_out_of_the_verify_path() {
+        // Plain declare() + stochastic-without-cursor: certification has
+        // findings, but the executor's automatic verify path stays clean —
+        // existing graphs must keep executing.
+        let mut g: TaskGraph<'static, ()> = TaskGraph::new();
+        let out = g.declare("out", 16, BufClass::Pinned);
+        g.node(NodeSpec::new("sample").writes(&[out]).stochastic(), |_, _| {});
+        let verify = g.verify();
+        assert!(verify.is_clean(), "{verify}");
+        let certify = g.certify(DEFAULT_MEM_BUDGET);
+        assert!(certify.report.has(DiagKind::ShapeUnknown), "{}", certify.report);
+        assert!(
+            certify.report.has(DiagKind::UndeclaredStochastic),
+            "{}",
+            certify.report
+        );
+    }
+
+    #[test]
+    fn conflicting_shape_claim_is_a_mismatch() {
+        let mut g: TaskGraph<'static, ()> = TaskGraph::new();
+        let x = g.declare_dims("x", &[4, 8], BufClass::Pinned);
+        g.node(
+            NodeSpec::new("produce").writes(&[x]).shape(x, &[8, 4]),
+            |_, _| {},
+        );
+        let outcome = g.certify(DEFAULT_MEM_BUDGET);
+        assert!(outcome.report.has(DiagKind::ShapeMismatch), "{}", outcome.report);
+        let diag = &outcome.report.errors[0];
+        assert_eq!(diag.buffer, Some("x"));
+        assert!(diag.message.contains("[8 x 4]") && diag.message.contains("[4 x 8]"));
+    }
+
+    #[test]
+    fn mem_budget_violation_names_the_peak_wave_and_live_set() {
+        let g = shaped_chain();
+        let peak = g.certify(DEFAULT_MEM_BUDGET).device_peaks[0].clone();
+        let outcome = g.certify(peak.peak_bytes - 1);
+        assert!(outcome.report.has(DiagKind::MemBudget), "{}", outcome.report);
+        let diag = outcome
+            .report
+            .errors
+            .iter()
+            .find(|d| d.kind == DiagKind::MemBudget)
+            .unwrap();
+        assert_eq!(diag.wave, Some(peak.peak_wave));
+        assert_eq!(diag.bytes, Some(peak.peak_bytes));
+        assert!(diag.message.contains("`x`") && diag.message.contains("`out`"));
+    }
+
+    #[test]
+    fn certify_doc_round_trips_through_the_shim() {
+        let g = shaped_chain();
+        let doc = g.certify(DEFAULT_MEM_BUDGET).to_doc("shaped-chain");
+        let bundle = CertifyBundle::new(vec![doc]);
+        assert!(bundle.is_clean());
+        let json = serde_json::to_string(&bundle).unwrap();
+        let back: CertifyBundle = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, bundle);
+        assert_eq!(back.schema, VERIFY_SCHEMA);
     }
 }

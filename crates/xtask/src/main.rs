@@ -1,6 +1,6 @@
 //! Workspace lint pass: `cargo run -p xtask -- lint`.
 //!
-//! Three rules guard the executor's safety story (see DESIGN.md §4.2):
+//! Four rules guard the executor's safety story (see DESIGN.md §4.2):
 //!
 //! * **safety-comment** — every `unsafe` block or impl anywhere under
 //!   `crates/` must be preceded (within a few lines) by a `// SAFETY:`
@@ -8,10 +8,17 @@
 //! * **no-panic-in-hot-path** — no `unwrap()` / `expect()` / `panic!` in
 //!   the kernel hot paths (`crates/kernels`, `crates/tensor`); kernels are
 //!   called per batch and must fail through `Result` at the boundaries,
-//!   not abort mid-training;
+//!   not abort mid-training; the serving event loop
+//!   (`crates/core/src/serve.rs`) and the multi-device block-merge path
+//!   (`crates/core/src/multidev.rs`) run per batch too and are held to the
+//!   same rule;
 //! * **no-unchecked-indexing** — no `get_unchecked` / `get_unchecked_mut`
 //!   in `crates/kernels`; slice bounds checks are the last line of defense
-//!   under the graph executor's aliased registers.
+//!   under the graph executor's aliased registers;
+//! * **lossy-as-cast** — no `as` cast to a narrow numeric type (`u8`/`i8`/
+//!   `u16`/`i16`/`u32`/`i32`/`f32`) in the kernel hot paths; `as` truncates
+//!   and rounds silently, so each narrowing site must be allowlisted with
+//!   a reason or rewritten with `try_from` / explicit clamping.
 //!
 //! Sanctioned exceptions live in `crates/xtask/lint-allow.txt` as
 //! `path-suffix|rule|line-substring` triples; entries are content-keyed so
@@ -111,7 +118,8 @@ fn lint() -> ExitCode {
     if violations.is_empty() {
         println!(
             "lint clean: {scanned} files, rules: safety-comment, \
-             no-panic-in-hot-path, no-unchecked-indexing ({} allowlisted)",
+             no-panic-in-hot-path, no-unchecked-indexing, lossy-as-cast \
+             ({} allowlisted)",
             allow.len()
         );
         ExitCode::SUCCESS
@@ -171,7 +179,14 @@ fn collect_rs_files(dir: &Path, root: &Path, out: &mut Vec<String>) {
 }
 
 fn lint_file(rel: &str, text: &str, allow: &[AllowEntry], out: &mut Vec<Violation>) {
-    let hot_path = rel.starts_with("crates/kernels/src/") || rel.starts_with("crates/tensor/src/");
+    // Kernel hot paths get every rule; the serving event loop and the
+    // multi-device block-merge path run per batch too, so they join the
+    // no-panic policy (their sanctioned exceptions live in the allowlist).
+    let kernel_hot =
+        rel.starts_with("crates/kernels/src/") || rel.starts_with("crates/tensor/src/");
+    let hot_path = kernel_hot
+        || rel == "crates/core/src/serve.rs"
+        || rel == "crates/core/src/multidev.rs";
     let kernels = rel.starts_with("crates/kernels/src/");
     let lines: Vec<&str> = text.lines().collect();
 
@@ -219,7 +234,40 @@ fn lint_file(rel: &str, text: &str, allow: &[AllowEntry], out: &mut Vec<Violatio
         if kernels && (has_token(&code, "get_unchecked") || has_token(&code, "get_unchecked_mut")) {
             report(lineno, "no-unchecked-indexing", raw);
         }
+        if kernel_hot && has_lossy_cast(&code) {
+            report(lineno, "lossy-as-cast", raw);
+        }
     }
+}
+
+/// Numeric types an `as` cast can silently truncate or round into.
+const NARROW_TYPES: &[&str] = &["u8", "i8", "u16", "i16", "u32", "i32", "f32"];
+
+/// `true` when the line contains an `as <narrow numeric type>` cast — a
+/// silent truncation/rounding hazard in kernel hot paths. Widening casts
+/// (`as usize`, `as u64`, `as f64`) stay legal; sanctioned narrowing casts
+/// are allowlisted by content like every other rule.
+fn has_lossy_cast(code: &str) -> bool {
+    let bytes = code.as_bytes();
+    let mut from = 0;
+    while let Some(pos) = code[from..].find("as") {
+        let i = from + pos;
+        let j = i + 2;
+        let before = i == 0 || !is_ident_char(bytes[i - 1]);
+        let after = j >= bytes.len() || !is_ident_char(bytes[j]);
+        if before && after {
+            let rest = code[j..].trim_start();
+            for ty in NARROW_TYPES {
+                if rest.starts_with(ty)
+                    && rest.as_bytes().get(ty.len()).is_none_or(|&b| !is_ident_char(b))
+                {
+                    return true;
+                }
+            }
+        }
+        from = i + 1;
+    }
+    false
 }
 
 /// Strips `//` comments and the contents of single-line string literals,
@@ -353,6 +401,46 @@ mod tests {
         assert!(rules.contains(&"safety-comment"), "{rules:?}");
         assert!(rules.contains(&"no-unchecked-indexing"), "{rules:?}");
         assert!(rules.contains(&"no-panic-in-hot-path"), "{rules:?}");
+    }
+
+    #[test]
+    fn lossy_casts_are_flagged_in_kernel_hot_paths_only() {
+        assert!(has_lossy_cast("let y = x as u8;"));
+        assert!(has_lossy_cast("let y = (n / d) as i32;"));
+        assert!(has_lossy_cast("sum += x as f32"));
+        assert!(!has_lossy_cast("let y = x as usize;"));
+        assert!(!has_lossy_cast("let y = x as f64;"));
+        assert!(!has_lossy_cast("let y = x as u64;"));
+        assert!(!has_lossy_cast("let y = alias_cast(x);"));
+        assert!(!has_lossy_cast("let y = x as u32x8;"));
+
+        let mut out = Vec::new();
+        let src = "fn f(x: usize) -> f32 {\n    x as f32\n}\n";
+        lint_file("crates/kernels/src/fake.rs", src, &[], &mut out);
+        assert_eq!(out.len(), 1, "{out:?}");
+        assert_eq!(out[0].rule, "lossy-as-cast");
+        assert_eq!(out[0].line, 2);
+
+        // The no-panic extension files are not kernel hot paths — narrowing
+        // casts there stay legal.
+        out.clear();
+        lint_file("crates/core/src/serve.rs", src, &[], &mut out);
+        assert!(out.is_empty(), "{out:?}");
+    }
+
+    #[test]
+    fn serve_and_multidev_join_the_no_panic_policy() {
+        let src = "fn g() { q.unwrap(); }\n";
+        for hot in ["crates/core/src/serve.rs", "crates/core/src/multidev.rs"] {
+            let mut out = Vec::new();
+            lint_file(hot, src, &[], &mut out);
+            assert_eq!(out.len(), 1, "{hot}: {out:?}");
+            assert_eq!(out[0].rule, "no-panic-in-hot-path");
+        }
+        // The rest of crates/core stays exempt from the panic rule.
+        let mut out = Vec::new();
+        lint_file("crates/core/src/graph.rs", src, &[], &mut out);
+        assert!(out.is_empty(), "{out:?}");
     }
 
     #[test]

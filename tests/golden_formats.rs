@@ -18,6 +18,7 @@ use micdnn_tensor::Mat;
 
 const PROFILE_GOLDEN: &str = include_str!("golden/profile_report.json");
 const TRACE_GOLDEN: &str = include_str!("golden/chrome_trace.json");
+const VERIFY_GOLDEN: &str = include_str!("golden/verify_report.json");
 
 /// With `UPDATE_GOLDEN=1`, rewrites the golden file instead of comparing.
 /// Returns true when the caller should skip the assertion.
@@ -235,6 +236,57 @@ fn chrome_trace_matches_golden() {
         text, TRACE_GOLDEN,
         "Chrome trace shape drifted from tests/golden/chrome_trace.json"
     );
+}
+
+/// The certification report (`micdnn-verify-v1`) is diffed in CI against
+/// the committed `VERIFY_report.json`, so its wire shape is pinned on a
+/// small CD graph: every field of the doc model — device peaks, wave
+/// counts, budget, findings — appears in the golden bytes.
+#[test]
+fn verify_report_matches_golden() {
+    use micdnn::cd_graph::build_cd_graph;
+    let g = build_cd_graph(4, 3, 2, 1);
+    let bundle = micdnn::CertifyBundle::new(vec![g
+        .certify(micdnn::DEFAULT_MEM_BUDGET)
+        .to_doc("cd1-step-4x3-b2")]);
+    let text = serde_json::to_string_pretty(&bundle).unwrap() + "\n";
+    if maybe_update("verify_report.json", &text) {
+        return;
+    }
+    assert_eq!(
+        text, VERIFY_GOLDEN,
+        "certification report schema drifted from tests/golden/verify_report.json; \
+         if intentional, bump micdnn-verify-v1 and refresh the golden file"
+    );
+}
+
+/// The committed repo-root report must carry the schema marker and certify
+/// every shipped graph clean — CI regenerates it and diffs byte-for-byte,
+/// but the commit itself should never go stale or dirty.
+#[test]
+fn committed_verify_report_is_clean_and_carries_schema() {
+    let root = concat!(env!("CARGO_MANIFEST_DIR"), "/../..");
+    let text = std::fs::read_to_string(format!("{root}/VERIFY_report.json"))
+        .expect("missing committed VERIFY_report.json (regenerate with `micdnn verify --json`)");
+    let v: serde_json::Value = serde_json::from_str(&text).unwrap();
+    assert_eq!(
+        v.get_field("schema").and_then(serde_json::Value::as_str),
+        Some(micdnn::VERIFY_SCHEMA),
+        "VERIFY_report.json lost its schema marker"
+    );
+    let graphs = v
+        .get_field("graphs")
+        .and_then(serde_json::Value::as_array)
+        .expect("graphs array");
+    assert!(!graphs.is_empty());
+    for g in graphs {
+        let name = g.get_field("graph").and_then(serde_json::Value::as_str);
+        assert_eq!(
+            g.get_field("errors").and_then(serde_json::Value::as_u64),
+            Some(0),
+            "committed report shows errors for {name:?}"
+        );
+    }
 }
 
 #[test]

@@ -463,6 +463,294 @@ fn unmediated_pipeline_edge_reports_cross_device_flow() {
 }
 
 // ---------------------------------------------------------------------------
+// 6. Certification: shape inference, determinism audit, peak-memory proofs.
+// ---------------------------------------------------------------------------
+
+use micdnn::DEFAULT_MEM_BUDGET;
+
+/// Every shipped single-device training/serving graph certifies clean —
+/// the full pipeline (safety verifier + shape inference + determinism
+/// audit + peak-memory proof against the 8 GB card budget) reports zero
+/// errors and zero warnings, so the committed `VERIFY_report.json` can pin
+/// the same bar in CI.
+#[test]
+fn all_shipped_graphs_certify_clean() {
+    for &(nv, nh, b) in BENCH_SIZES {
+        for update in [AeUpdate::None, AeUpdate::Sgd, AeUpdate::Opt] {
+            let outcome = build_ae_graph(nv, nh, b, update).certify(DEFAULT_MEM_BUDGET);
+            assert!(
+                outcome.is_clean(),
+                "AE {nv}x{nh} b={b} {update:?} must certify 0/0:\n{}",
+                outcome.report
+            );
+        }
+        for k in [1, 2, 3] {
+            let outcome = build_cd_graph(nv, nh, b, k).certify(DEFAULT_MEM_BUDGET);
+            assert!(
+                outcome.is_clean(),
+                "CD-{k} {nv}x{nh} b={b} must certify 0/0:\n{}",
+                outcome.report
+            );
+        }
+    }
+    for (in_dim, widths, classes, cap) in [
+        (144, vec![64], 10, 64),
+        (784, vec![512, 256], 10, 200),
+        (256, vec![128, 64, 32], 4, 100),
+    ] {
+        let outcome = build_step_graph(in_dim, &widths, classes, cap).certify(DEFAULT_MEM_BUDGET);
+        assert!(
+            outcome.is_clean(),
+            "fine-tune {in_dim}->{widths:?}->{classes} must certify 0/0:\n{}",
+            outcome.report
+        );
+    }
+    for (in_dim, widths, classes, cap) in [
+        (144, vec![64], 10, 64),
+        (784, vec![512, 256], 10, 200),
+        (256, vec![128, 64, 32], 4, 100),
+        (1024, vec![4096], 10, 256),
+    ] {
+        let (g, _) = micdnn::build_forward_graph(in_dim, &widths, classes, cap);
+        let outcome = g.certify(DEFAULT_MEM_BUDGET);
+        assert!(
+            outcome.is_clean(),
+            "serve forward {in_dim}->{widths:?}->{classes} must certify 0/0:\n{}",
+            outcome.report
+        );
+    }
+}
+
+/// Dead-write audit of the CNN step plans: at every shipped geometry the
+/// certified report carries zero dead-write findings (and no warnings of
+/// any kind) — the named likely regression for the conv/pool backward
+/// path is an unpool scatter or argmax-index write nothing reads.
+#[test]
+fn cnn_plans_certify_with_no_dead_writes() {
+    for (side, channels, kernel, pool, hidden, classes, cap) in [
+        (12, 6, 5, 2, 48, 10, 16),
+        (16, 6, 5, 2, 48, 10, 64),
+        (16, 8, 3, 2, 64, 10, 100),
+        (28, 4, 5, 4, 32, 10, 50),
+        (8, 2, 3, 3, 8, 4, 10),
+    ] {
+        let cfg = micdnn::CnnConfig::new(side, channels, kernel, pool, hidden, classes);
+        let outcome = micdnn::build_cnn_graph(cfg, cap).certify(DEFAULT_MEM_BUDGET);
+        assert_eq!(
+            outcome.report.count(DiagKind::DeadWrite),
+            0,
+            "CNN {side}x{side} c={channels} k={kernel} p={pool} cap={cap} has dead writes:\n{}",
+            outcome.report
+        );
+        assert!(
+            outcome.is_clean(),
+            "CNN {side}x{side} c={channels} k={kernel} p={pool} cap={cap} must certify 0/0:\n{}",
+            outcome.report
+        );
+    }
+}
+
+/// Dead-write audit of the pipelined pre-training plans: across stack
+/// shapes, chunk geometries and pass counts, the multi-device schedule
+/// certifies with zero dead writes and zero findings overall (the
+/// ordering-only link tokens are Pinned precisely to stay exempt).
+#[test]
+fn pipeline_plans_certify_with_no_dead_writes() {
+    for (sizes, rows, chunk_rows, passes) in [
+        (vec![16usize, 8], 40, 20, 1),
+        (vec![16, 8, 4], 90, 30, 2),
+        (vec![12, 9, 6, 3], 45, 15, 3),
+        (vec![16, 8, 4], 35, 50, 2),
+    ] {
+        let stack = StackedAutoencoder::with_default_config(&sizes, 7);
+        let cfg = TrainConfig {
+            batch_size: 10,
+            chunk_rows,
+            ..TrainConfig::default()
+        };
+        let outcome = stack
+            .pipeline_graph(&cfg, rows, passes)
+            .certify(DEFAULT_MEM_BUDGET);
+        assert_eq!(
+            outcome.report.count(DiagKind::DeadWrite),
+            0,
+            "pipeline {sizes:?} rows={rows} chunk={chunk_rows} passes={passes} has dead writes:\n{}",
+            outcome.report
+        );
+        assert!(
+            outcome.is_clean(),
+            "pipeline {sizes:?} rows={rows} chunk={chunk_rows} passes={passes} must certify 0/0:\n{}",
+            outcome.report
+        );
+        assert_eq!(
+            outcome.device_peaks.len(),
+            sizes.len() - 1,
+            "one proof per card"
+        );
+    }
+}
+
+/// Two fully shape-declared stages over dims-declared buffers; certifies
+/// clean until a mutation hook corrupts it.
+fn shaped_two_stage() -> (
+    TaskGraph<'static, ()>,
+    micdnn::BufId,
+    micdnn::BufId,
+) {
+    let mut g: TaskGraph<'static, ()> = TaskGraph::new();
+    let a = g.declare_dims("a", &[8, 8], BufClass::Scratch);
+    let b = g.declare_dims("b", &[8, 8], BufClass::Pinned);
+    g.node(NodeSpec::new("produce").writes(&[a]), |_, _| {});
+    g.node(
+        NodeSpec::new("consume").reads(&[a]).writes(&[b]),
+        |_, _| {},
+    );
+    (g, a, b)
+}
+
+/// Mutation: shrinking a buffer under its declared dims flips exactly the
+/// shape-mismatch rule — one new error naming the buffer, nothing else.
+#[test]
+fn shrinking_a_buffer_flips_only_shape_mismatch() {
+    let (mut g, a, _) = shaped_two_stage();
+    let before = g.certify(DEFAULT_MEM_BUDGET);
+    assert!(before.is_clean(), "{}", before.report);
+    g.testonly_shrink_buf(a);
+    let after = g.certify(DEFAULT_MEM_BUDGET);
+    assert_eq!(
+        after.report.errors.len(),
+        1,
+        "exactly one new error:\n{}",
+        after.report
+    );
+    assert!(after.report.warnings.is_empty(), "{}", after.report);
+    let diag = &after.report.errors[0];
+    assert_eq!(diag.kind, DiagKind::ShapeMismatch, "{}", after.report);
+    assert_eq!(diag.buffer, Some("a"));
+}
+
+/// Mutation: a budget one byte under the proven peak flips the mem-budget
+/// rule, and the diagnostic names the exact peak wave, byte count and the
+/// live set attaining it.
+#[test]
+fn tightening_the_budget_names_the_peak_wave() {
+    let g = build_cd_graph(1024, 4096, 100, 1);
+    let proven = g.certify(DEFAULT_MEM_BUDGET);
+    assert!(proven.is_clean(), "{}", proven.report);
+    let peak = &proven.device_peaks[0];
+    assert!(peak.peak_bytes > 0);
+
+    let broke = g.certify(peak.peak_bytes - 1);
+    assert!(broke.report.has(DiagKind::MemBudget), "{}", broke.report);
+    let diag = broke
+        .report
+        .errors
+        .iter()
+        .find(|d| d.kind == DiagKind::MemBudget)
+        .expect("mem-budget diagnostic");
+    assert_eq!(diag.wave, Some(peak.peak_wave), "{}", diag.message);
+    assert_eq!(diag.bytes, Some(peak.peak_bytes), "{}", diag.message);
+    assert!(diag.message.contains("live set"), "{}", diag.message);
+    // The exact budget is still provable.
+    assert!(g.certify(peak.peak_bytes).is_clean());
+}
+
+/// Mutation: stripping the declared RNG cursors from a sampling graph
+/// flips the determinism audit — and only for `certify`; the plain
+/// executor-facing `verify` pass must keep accepting the graph.
+#[test]
+fn stripping_cursor_decls_flips_the_determinism_audit() {
+    let mut g = build_cd_graph(64, 32, 10, 2);
+    assert!(g.certify(DEFAULT_MEM_BUDGET).is_clean());
+    g.testonly_strip_cursor_decls();
+    let outcome = g.certify(DEFAULT_MEM_BUDGET);
+    assert!(
+        outcome.report.has(DiagKind::UndeclaredStochastic),
+        "{}",
+        outcome.report
+    );
+    assert!(
+        g.verify().is_clean(),
+        "certification rules must not leak into the verify path"
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The difference-array peak-memory proof equals the brute-force
+    /// per-wave maximum over live sets: for random DAGs, walking every
+    /// wave and summing each register whose occupants are live (plus
+    /// nothing else — these DAGs have no externals) reproduces the
+    /// certified peak bytes and peak wave exactly.
+    #[test]
+    fn certified_peak_matches_brute_force(n in 1usize..24, seed in any::<u64>()) {
+        let dag = RandomDag::generate(n, seed);
+        // Inline build to keep the BufIds (RandomDag::build discards them).
+        let mut g: TaskGraph<'static, ()> = TaskGraph::new();
+        let bufs: Vec<_> = (0..n)
+            .map(|i| g.declare("buf", dag.elems[i], dag.classes[i]))
+            .collect();
+        for (i, deps) in dag.deps.iter().enumerate() {
+            let reads: Vec<_> = deps.iter().map(|&d| bufs[d]).collect();
+            g.node(
+                NodeSpec::new("node").reads(&reads).writes(&[bufs[i]]),
+                |_, _| {},
+            );
+        }
+        let plan = g.plan();
+        let outcome = g.certify_with_plan(&plan, DEFAULT_MEM_BUDGET);
+
+        // ASAP waves, as the certifier defines them.
+        let mut wave = vec![0usize; n];
+        for i in 0..n {
+            wave[i] = dag.deps[i].iter().map(|&d| wave[d] + 1).max().unwrap_or(0);
+        }
+        let waves = wave.iter().max().map(|&w| w + 1).unwrap_or(0);
+        let last = waves - 1;
+        // Buffer b is written by node b and read by every node depending on b.
+        let mut first_w = vec![usize::MAX; n];
+        let mut last_w = vec![0usize; n];
+        for i in 0..n {
+            for &b in dag.deps[i].iter().chain(std::iter::once(&i)) {
+                first_w[b] = first_w[b].min(wave[i]);
+                last_w[b] = last_w[b].max(wave[i]);
+            }
+        }
+        let live = |b: usize, w: usize| -> bool {
+            first_w[b] != usize::MAX
+                && match dag.classes[b] {
+                    BufClass::Scratch => first_w[b] <= w && w <= last_w[b],
+                    BufClass::Pinned => first_w[b] <= w && w <= last,
+                    BufClass::External => w <= last,
+                }
+        };
+        let mut brute_peak = 0u64;
+        let mut brute_wave = 0usize;
+        for w in 0..waves {
+            let mut resident = 0u64;
+            for r in 0..plan.num_registers() {
+                let occupied = (0..n)
+                    .any(|b| plan.register_of(bufs[b]) == Some(r) && live(b, w));
+                if occupied {
+                    resident += plan.register_size(r) as u64 * 4;
+                }
+            }
+            if resident > brute_peak {
+                brute_peak = resident;
+                brute_wave = w;
+            }
+        }
+        prop_assert_eq!(outcome.waves, waves);
+        prop_assert_eq!(outcome.device_peaks.len(), 1);
+        prop_assert_eq!(outcome.device_peaks[0].peak_bytes, brute_peak,
+            "peak bytes diverge from brute force (seed {})", seed);
+        prop_assert_eq!(outcome.device_peaks[0].peak_wave, brute_wave,
+            "peak wave diverges from brute force (seed {})", seed);
+    }
+}
+
+// ---------------------------------------------------------------------------
 // 4. The dynamic sanitizer (`--features race-check`).
 // ---------------------------------------------------------------------------
 
