@@ -21,10 +21,10 @@
 use micdnn::analytic::{estimate, Algo, Workload};
 use micdnn::train::{train_dataset, train_dataset_resume, AeModel, RbmModel, TrainConfig};
 use micdnn::{
-    serve_requests, train_dataset_supervised, AeConfig, CheckpointModel, CheckpointPolicy,
-    CnnConfig, CnnModel, CnnNet, DataParallelAe, DataParallelRbm, ExecCtx, FineTuneNet,
-    IncidentLog, MultiDevConfig, OptLevel, Rbm, RbmConfig, Recoverable, Request, ServeConfig,
-    SparseAutoencoder, StackedAutoencoder, SupervisorPolicy, TrainProgress,
+    serve_requests, AeConfig, CheckpointModel, CheckpointPolicy, CnnConfig, CnnModel, CnnNet,
+    DataParallelAe, DataParallelRbm, ExecCtx, FineTuneModel, FineTuneNet, IncidentLog,
+    MultiDevConfig, OptLevel, Rbm, RbmConfig, Recoverable, Request, RunSupervisor, ServeConfig,
+    SparseAutoencoder, StackedAutoencoder, Stage, SupervisorPolicy, TrainProgress, TrainReport,
 };
 use micdnn_data::{read_idx, Dataset, DigitGenerator, PatchGenerator};
 use micdnn_sim::{ArrivalPattern, ArrivalSchedule, Link, Platform, SyncModel};
@@ -214,6 +214,11 @@ pub fn run(argv: &[String]) -> Result<String, String> {
     let Some(cmd) = argv.first() else {
         return Err(usage());
     };
+    // `incidents` takes a positional file path, unlike every other
+    // subcommand; handle it before the `--key value` parser.
+    if cmd == "incidents" {
+        return cmd_incidents(&argv[1..]);
+    }
     let args = Args::parse(&argv[1..])?;
     let seed: u64 = args.num("seed", 7u64)?;
     match cmd.as_str() {
@@ -245,15 +250,20 @@ pub fn usage() -> String {
                   checkpointed run bit-identically (pass the same data flags\n\
                   and --passes as the TOTAL epochs of the whole run)\n\
                   [--supervise] [--snapshot-every N] [--lr-backoff F]\n\
-                  [--incidents FILE.json] — self-healing training: roll back\n\
+                  [--incidents FILE.jsonl] — self-healing training: roll back\n\
                   to the last good snapshot on divergence, restart on stream\n\
                   or checkpoint failures, degrade the executor to serial on\n\
-                  race-check trips; the structured incident log is exported\n\
-                  as JSON (micdnn-incidents-v1)\n\
+                  race-check trips; the incident log streams to --incidents\n\
+                  as JSON lines (micdnn-incidents-v2, one record per line),\n\
+                  and with --checkpoint-dir the ladder state itself is\n\
+                  durable: --supervise --resume continues a killed run\n\
+                  mid-pipeline with rollback/restart budgets, the backed-off\n\
+                  learning rate, and all pre-kill incidents intact\n\
                   [--inject site:count[@from],...] — arm deterministic fault\n\
                   injection (builds with the `failpoints` feature only);\n\
-                  sites: loader.read loader.panic loader.crc kernel.nan\n\
-                  ckpt.write device.oom link.drop\n\
+                  sites: loader.read loader.panic loader.crc loader.stall\n\
+                  kernel.nan cnn.nan finetune.nan ckpt.write ckpt.read\n\
+                  device.oom link.drop\n\
                   [--devices N [--blocks K] [--sync ring|ps]] — data-parallel\n\
                   training across N modeled coprocessors: batches shard into\n\
                   K canonical microblocks, gradients merge in fixed block\n\
@@ -280,7 +290,13 @@ pub fn usage() -> String {
                   --pipeline schedules the layers as one task graph, one\n\
                   device per layer, streaming encoded chunks over the link\n\
                   (bit-identical to the sequential schedule)\n\
-       classify   --sizes 256,128,64 --classes 10 [--finetune-epochs N] ...\n\
+       classify   --sizes 256,128,64 --classes 10 [--finetune-epochs N]\n\
+                  [--supervise [--snapshot-every N] [--lr-backoff F]\n\
+                  [--incidents FILE.jsonl]] ... — --supervise runs the whole\n\
+                  pretrain -> fine-tune pipeline under one recovery ladder\n\
+                  (a fine-tune divergence rolls back the fine-tune leg only)\n\
+       incidents  FILE.jsonl — pretty-print an incident log (v2 JSONL or\n\
+                  the legacy v1 whole-document JSON)\n\
        features   --model FILE --side N --out FILE.pgm [--units N]\n\
        estimate   --visible N --hidden N --examples N --batch N [--algo ae|rbm]\n\
        profile    [--algo ae|rbm] [--examples N] [--passes N] [--batch N]\n\
@@ -316,9 +332,108 @@ pub fn usage() -> String {
 /// self-healing supervisor: divergence rolls the model and RNG back to the
 /// last good in-memory snapshot (`--snapshot-every`, learning rate scaled
 /// by `--lr-backoff`), stream/checkpoint failures restart the leg, and the
-/// structured incident log can be exported with `--incidents FILE.json`.
+/// incident log streams to `--incidents FILE.jsonl` as JSON lines. With
+/// `--checkpoint-dir` the ladder itself is durable (`supervisor.mic`,
+/// written atomically at every ladder event), so `--supervise --resume`
+/// continues a killed run with its rollback/restart budgets, learning-rate
+/// multiplier, degradation latch, and pre-kill incidents intact.
 /// `--inject site:count[@from],...` arms the deterministic failpoints in
 /// builds carrying the `failpoints` feature.
+/// Builds the run supervisor for `--supervise` training: the policy from
+/// the CLI flags (validated up front, so a bad `--lr-backoff` is a CLI
+/// error, not a mid-run surprise), a durable ladder in the checkpoint dir
+/// when one is given, and incremental JSONL incident flushing to
+/// `--incidents`.
+fn build_supervisor(
+    args: &Args,
+    tc: &TrainConfig,
+    ckpt_dir: Option<&str>,
+) -> Result<RunSupervisor, String> {
+    let policy = tc.supervisor.clone().unwrap_or_default();
+    let mut sup = RunSupervisor::new(policy).map_err(|e| format!("--supervise: {e}"))?;
+    if let Some(dir) = ckpt_dir {
+        sup = sup.durable(dir);
+    }
+    if let Some(path) = args.get("incidents") {
+        sup = sup.with_incident_file(path);
+    }
+    Ok(sup)
+}
+
+/// One fresh training leg: under the supervisor's ladder when present,
+/// plain otherwise.
+fn train_leg<M: Recoverable>(
+    sup: &mut Option<RunSupervisor>,
+    model: &mut M,
+    ctx: &ExecCtx,
+    ds: &Dataset,
+    tc: &TrainConfig,
+    passes: usize,
+    stage: Stage,
+) -> Result<TrainReport, String> {
+    match sup {
+        Some(s) => s
+            .run_leg(model, ctx, ds, tc, passes, stage, 0, 0)
+            .map_err(|e| e.to_string()),
+        None => train_dataset(model, ctx, ds, tc, passes).map_err(|e| e.to_string()),
+    }
+}
+
+/// One resumed training leg (the caller restored the model and RNG from
+/// the checkpoint): the supervised form re-enters the ladder at the
+/// checkpointed position, replaying already-trained batches without
+/// touching the model.
+#[allow(clippy::too_many_arguments)]
+fn resume_leg<M: Recoverable>(
+    sup: &mut Option<RunSupervisor>,
+    model: &mut M,
+    ctx: &ExecCtx,
+    ds: &Dataset,
+    tc: &TrainConfig,
+    passes: usize,
+    stage: Stage,
+    progress: &TrainProgress,
+) -> Result<TrainReport, String> {
+    match sup {
+        Some(s) => s
+            .run_leg(
+                model,
+                ctx,
+                ds,
+                tc,
+                passes,
+                stage,
+                progress.layer,
+                progress.batches,
+            )
+            .map_err(|e| e.to_string()),
+        None => {
+            train_dataset_resume(model, ctx, ds, tc, passes, progress).map_err(|e| e.to_string())
+        }
+    }
+}
+
+/// `incidents`: pretty-print an incident log (v2 JSONL or legacy v1).
+fn cmd_incidents(rest: &[String]) -> Result<String, String> {
+    let [path] = rest else {
+        return Err("usage: micdnn incidents FILE.jsonl".to_string());
+    };
+    let log = IncidentLog::load(path).map_err(|e| format!("cannot read `{path}`: {e}"))?;
+    let mut out = format!("{} — {} incident(s)\n", log.schema, log.incidents.len());
+    for i in &log.incidents {
+        let stage = if i.stage.is_empty() { "-" } else { &i.stage };
+        out.push_str(&format!(
+            "  [{stage}] {} @ batch {}: {}",
+            i.kind, i.batch, i.detail
+        ));
+        if i.value != 0.0 {
+            out.push_str(&format!(" (value {})", i.value));
+        }
+        out.push('\n');
+    }
+    Ok(out)
+}
+
 fn cmd_train(args: &Args, seed: u64) -> Result<String, String> {
     let algo = args.get("algo").unwrap_or("ae").to_string();
     let examples = args.num("examples", 2000usize)?;
@@ -353,12 +468,9 @@ fn cmd_train(args: &Args, seed: u64) -> Result<String, String> {
         micdnn::faults::configure_list(list).map_err(|e| format!("--inject: {e}"))?;
     }
     // `--incidents` implies supervision (the log only exists under the
-    // supervisor); `--supervise` applies to fresh runs only — a resumed
-    // run already restores its own state from the checkpoint.
+    // supervisor). `--supervise --resume` restores the model from the
+    // checkpoint and the ladder from the durable supervisor state.
     let supervised = args.has("supervise") || args.get("incidents").is_some();
-    if supervised && args.has("resume") {
-        return Err("--supervise applies to fresh runs only (drop it with --resume)".to_string());
-    }
     let mut ctx = make_ctx(args, seed)?;
     if supervised {
         ctx = ctx.with_graceful_degradation();
@@ -383,6 +495,20 @@ fn cmd_train(args: &Args, seed: u64) -> Result<String, String> {
         return Err("--momentum is not supported with --devices (plain SGD only)".to_string());
     }
 
+    // The supervision policy is validated up front — a bad `--lr-backoff`
+    // or budget combination is a CLI error before any training starts.
+    let mut sup_opt: Option<RunSupervisor> = if supervised {
+        Some(build_supervisor(args, &tc, ckpt_dir.as_deref())?)
+    } else {
+        None
+    };
+    let stage = if algo == "cnn" {
+        Stage::Cnn
+    } else {
+        Stage::Pretrain
+    };
+    let mut restored_ladder: Option<String> = None;
+
     let resumed_from: Option<TrainProgress>;
     let report;
     let saved_kind: String;
@@ -394,7 +520,6 @@ fn cmd_train(args: &Args, seed: u64) -> Result<String, String> {
         MdRbm(DataParallelRbm),
     }
     let trained;
-    let mut incident_log: Option<IncidentLog> = None;
 
     if args.has("resume") {
         let dir = ckpt_dir.ok_or("--resume requires --checkpoint-dir")?;
@@ -404,25 +529,66 @@ fn cmd_train(args: &Args, seed: u64) -> Result<String, String> {
         ckpt.restore_rng(&ctx);
         let progress = ckpt.progress;
         resumed_from = Some(progress);
+        // The ladder resumes alongside the model: counters, the
+        // learning-rate multiplier, the degradation latch, and the
+        // pre-kill incident log all come back from the durable state.
+        if let Some(sup) = sup_opt.as_mut() {
+            if sup
+                .load_durable()
+                .map_err(|e| format!("cannot load supervisor state: {e}"))?
+            {
+                restored_ladder = Some(format!(
+                    "supervisor: resumed ladder (rollbacks {}, restarts {}, lr x{}{})\n",
+                    sup.rollbacks(),
+                    sup.restarts(),
+                    sup.lr_multiplier(),
+                    if sup.is_degraded() { ", degraded" } else { "" }
+                ));
+            }
+        }
         match (algo.as_str(), ckpt.model) {
             ("ae", CheckpointModel::Ae(mut model)) => {
                 if args.has("graph-schedule") {
                     model = model.with_graph_schedule();
                 }
-                report = train_dataset_resume(&mut model, &ctx, &ds, &tc, passes, &progress)
-                    .map_err(|e| e.to_string())?;
+                report = resume_leg(
+                    &mut sup_opt,
+                    &mut model,
+                    &ctx,
+                    &ds,
+                    &tc,
+                    passes,
+                    stage,
+                    &progress,
+                )?;
                 trained = Trained::Ae(model);
             }
             ("rbm", CheckpointModel::Rbm(mut model)) => {
-                report = train_dataset_resume(&mut model, &ctx, &ds, &tc, passes, &progress)
-                    .map_err(|e| e.to_string())?;
+                report = resume_leg(
+                    &mut sup_opt,
+                    &mut model,
+                    &ctx,
+                    &ds,
+                    &tc,
+                    passes,
+                    stage,
+                    &progress,
+                )?;
                 trained = Trained::Rbm(model);
             }
             // The graph flag and label cursor are restored from the
             // checkpoint (like the RBM's graph flag).
             ("cnn", CheckpointModel::Cnn(mut model)) => {
-                report = train_dataset_resume(&mut model, &ctx, &ds, &tc, passes, &progress)
-                    .map_err(|e| e.to_string())?;
+                report = resume_leg(
+                    &mut sup_opt,
+                    &mut model,
+                    &ctx,
+                    &ds,
+                    &tc,
+                    passes,
+                    stage,
+                    &progress,
+                )?;
                 trained = Trained::Cnn(model);
             }
             // Multi-device checkpoints carry their own geometry (device
@@ -435,8 +601,16 @@ fn cmd_train(args: &Args, seed: u64) -> Result<String, String> {
                 model
                     .restore_state(state)
                     .map_err(|e| format!("cannot restore multi-device checkpoint: {e}"))?;
-                report = train_dataset_resume(&mut model, &ctx, &ds, &tc, passes, &progress)
-                    .map_err(|e| e.to_string())?;
+                report = resume_leg(
+                    &mut sup_opt,
+                    &mut model,
+                    &ctx,
+                    &ds,
+                    &tc,
+                    passes,
+                    stage,
+                    &progress,
+                )?;
                 trained = Trained::MdAe(model);
             }
             ("rbm", state @ CheckpointModel::MultiDev(_)) => {
@@ -446,8 +620,16 @@ fn cmd_train(args: &Args, seed: u64) -> Result<String, String> {
                 model
                     .restore_state(state)
                     .map_err(|e| format!("cannot restore multi-device checkpoint: {e}"))?;
-                report = train_dataset_resume(&mut model, &ctx, &ds, &tc, passes, &progress)
-                    .map_err(|e| e.to_string())?;
+                report = resume_leg(
+                    &mut sup_opt,
+                    &mut model,
+                    &ctx,
+                    &ds,
+                    &tc,
+                    passes,
+                    stage,
+                    &progress,
+                )?;
                 trained = Trained::MdRbm(model);
             }
             (other, _) => {
@@ -467,29 +649,13 @@ fn cmd_train(args: &Args, seed: u64) -> Result<String, String> {
             "ae" => {
                 let ae = SparseAutoencoder::new(AeConfig::new(visible, hidden), seed);
                 let mut model = DataParallelAe::new(ae, mdcfg);
-                if supervised {
-                    let (r, log) = train_dataset_supervised(&mut model, &ctx, &ds, &tc, passes)
-                        .map_err(|e| e.to_string())?;
-                    report = r;
-                    incident_log = Some(log);
-                } else {
-                    report = train_dataset(&mut model, &ctx, &ds, &tc, passes)
-                        .map_err(|e| e.to_string())?;
-                }
+                report = train_leg(&mut sup_opt, &mut model, &ctx, &ds, &tc, passes, stage)?;
                 trained = Trained::MdAe(model);
             }
             "rbm" => {
                 let rbm = Rbm::new(RbmConfig::new(visible, hidden), seed);
                 let mut model = DataParallelRbm::new(rbm, mdcfg);
-                if supervised {
-                    let (r, log) = train_dataset_supervised(&mut model, &ctx, &ds, &tc, passes)
-                        .map_err(|e| e.to_string())?;
-                    report = r;
-                    incident_log = Some(log);
-                } else {
-                    report = train_dataset(&mut model, &ctx, &ds, &tc, passes)
-                        .map_err(|e| e.to_string())?;
-                }
+                report = train_leg(&mut sup_opt, &mut model, &ctx, &ds, &tc, passes, stage)?;
                 trained = Trained::MdRbm(model);
             }
             "cnn" => {
@@ -517,15 +683,7 @@ fn cmd_train(args: &Args, seed: u64) -> Result<String, String> {
                 if args.has("graph-schedule") {
                     model = model.with_graph_schedule();
                 }
-                if supervised {
-                    let (r, log) = train_dataset_supervised(&mut model, &ctx, &ds, &tc, passes)
-                        .map_err(|e| e.to_string())?;
-                    report = r;
-                    incident_log = Some(log);
-                } else {
-                    report = train_dataset(&mut model, &ctx, &ds, &tc, passes)
-                        .map_err(|e| e.to_string())?;
-                }
+                report = train_leg(&mut sup_opt, &mut model, &ctx, &ds, &tc, passes, stage)?;
                 trained = Trained::Ae(model);
             }
             "rbm" => {
@@ -540,15 +698,7 @@ fn cmd_train(args: &Args, seed: u64) -> Result<String, String> {
                 if args.has("graph-schedule") {
                     model = model.with_graph_schedule();
                 }
-                if supervised {
-                    let (r, log) = train_dataset_supervised(&mut model, &ctx, &ds, &tc, passes)
-                        .map_err(|e| e.to_string())?;
-                    report = r;
-                    incident_log = Some(log);
-                } else {
-                    report = train_dataset(&mut model, &ctx, &ds, &tc, passes)
-                        .map_err(|e| e.to_string())?;
-                }
+                report = train_leg(&mut sup_opt, &mut model, &ctx, &ds, &tc, passes, stage)?;
                 trained = Trained::Rbm(model);
             }
             "cnn" => {
@@ -558,20 +708,22 @@ fn cmd_train(args: &Args, seed: u64) -> Result<String, String> {
                     net = net.with_graph_schedule();
                 }
                 let mut model = CnnModel::new(net, ds.len() as u64);
-                if supervised {
-                    let (r, log) = train_dataset_supervised(&mut model, &ctx, &ds, &tc, passes)
-                        .map_err(|e| e.to_string())?;
-                    report = r;
-                    incident_log = Some(log);
-                } else {
-                    report = train_dataset(&mut model, &ctx, &ds, &tc, passes)
-                        .map_err(|e| e.to_string())?;
-                }
+                report = train_leg(&mut sup_opt, &mut model, &ctx, &ds, &tc, passes, stage)?;
                 trained = Trained::Cnn(model);
             }
             other => return Err(format!("unknown --algo `{other}` (ae|rbm|cnn)")),
         }
     }
+
+    let ladder = sup_opt.as_ref().map(|s| {
+        (
+            s.rollbacks(),
+            s.restarts(),
+            s.lr_multiplier(),
+            s.is_degraded(),
+        )
+    });
+    let incident_log: Option<IncidentLog> = sup_opt.map(RunSupervisor::into_log);
 
     let mut out = match &resumed_from {
         Some(p) => format!(
@@ -583,6 +735,9 @@ fn cmd_train(args: &Args, seed: u64) -> Result<String, String> {
             report.batches
         ),
     };
+    if let Some(line) = &restored_ladder {
+        out.push_str(line);
+    }
     out.push_str(&format!(
         "reconstruction {:.5} -> {:.5}\n",
         report.initial_recon(),
@@ -633,9 +788,17 @@ fn cmd_train(args: &Args, seed: u64) -> Result<String, String> {
             "supervisor: {} incident(s) recorded\n",
             log.incidents.len()
         ));
+        if let Some((rollbacks, restarts, lr_mult, degraded)) = ladder {
+            out.push_str(&format!(
+                "supervisor: ladder rollbacks {rollbacks}, restarts {restarts}, lr x{lr_mult}{}\n",
+                if degraded { ", degraded" } else { "" }
+            ));
+        }
         if let Some(path) = args.get("incidents") {
-            let text = serde_json::to_string_pretty(log).map_err(|e| e.to_string())?;
-            std::fs::write(path, text + "\n").map_err(|e| format!("cannot write `{path}`: {e}"))?;
+            // The supervisor already streams JSONL at every ladder event;
+            // this final flush covers the fault-free run.
+            log.save_jsonl(path)
+                .map_err(|e| format!("cannot write `{path}`: {e}"))?;
             out.push_str(&format!("wrote incident log to {path}\n"));
         }
     }
@@ -954,12 +1117,31 @@ fn cmd_classify(args: &Args, seed: u64) -> Result<String, String> {
     let sizes = parse_sizes(args, ds.dim())?;
     let passes = args.num("passes", 8usize)?;
     let epochs = args.num("finetune-epochs", 15usize)?;
-    let ctx = make_ctx(args, seed)?;
-    let tc = train_config(args)?;
+    let supervised = args.has("supervise") || args.get("incidents").is_some();
+    let mut ctx = make_ctx(args, seed)?;
+    if supervised {
+        ctx = ctx.with_graceful_degradation();
+    }
+    let mut tc = train_config(args)?;
+    if supervised {
+        tc.supervisor = Some(SupervisorPolicy {
+            snapshot_every: args.num("snapshot-every", 25u64)?,
+            lr_backoff: args.num("lr-backoff", 0.5f32)?,
+            ..SupervisorPolicy::default()
+        });
+    }
 
     let mut stack = StackedAutoencoder::with_default_config(&sizes, seed);
     if args.has("graph-schedule") {
         stack = stack.with_graph_schedule();
+    }
+    if supervised {
+        // The whole pretrain -> fine-tune pipeline runs under one
+        // recovery ladder: a fine-tune divergence rolls back the
+        // fine-tune leg only, never the finished pre-training.
+        return classify_supervised(
+            args, &ctx, &ds, &labels, &mut stack, &tc, passes, classes, seed,
+        );
     }
     stack
         .pretrain(&ctx, &ds, &tc, passes)
@@ -987,6 +1169,66 @@ fn cmd_classify(args: &Args, seed: u64) -> Result<String, String> {
         100.0 * acc,
         100.0 / classes as f64
     ))
+}
+
+/// `classify --supervise`: pretrain and fine-tune as legs of one
+/// [`RunSupervisor`], sharing a single recovery-ladder budget.
+#[allow(clippy::too_many_arguments)]
+fn classify_supervised(
+    args: &Args,
+    ctx: &ExecCtx,
+    ds: &Dataset,
+    labels: &[usize],
+    stack: &mut StackedAutoencoder,
+    tc: &TrainConfig,
+    passes: usize,
+    classes: usize,
+    seed: u64,
+) -> Result<String, String> {
+    let mut sup = build_supervisor(args, tc, None)?;
+    sup.pretrain(stack, ctx, ds, tc, passes)
+        .map_err(|e| e.to_string())?;
+    let mut net = FineTuneNet::from_stack(stack, classes, seed ^ 0xF1);
+    if args.has("graph-schedule") {
+        net = net.with_graph_schedule();
+    }
+    let mut model = FineTuneModel::new(net, ds.len() as u64);
+    let ft_tc = TrainConfig {
+        learning_rate: args.num("lr", 0.5f32)?,
+        ..tc.clone()
+    };
+    let report = sup
+        .run_leg(
+            &mut model,
+            ctx,
+            ds,
+            &ft_tc,
+            args.num("finetune-epochs", 15usize)?,
+            Stage::FineTune,
+            0,
+            0,
+        )
+        .map_err(|e| e.to_string())?;
+    let acc = model.net.accuracy(ctx, ds.matrix().view(), labels);
+    let log = sup.into_log();
+    let mut out = format!(
+        "pre-trained {:?} + softmax({classes}) under supervision\n\
+         fine-tune cross-entropy {:.4} -> {:.4}\n\
+         training accuracy: {:.1}% (chance {:.1}%)\n\
+         supervisor: {} incident(s) recorded\n",
+        stack.sizes(),
+        report.initial_recon(),
+        report.final_recon(),
+        100.0 * acc,
+        100.0 / classes as f64,
+        log.incidents.len(),
+    );
+    if let Some(path) = args.get("incidents") {
+        log.save_jsonl(path)
+            .map_err(|e| format!("cannot write `{path}`: {e}"))?;
+        out.push_str(&format!("wrote incident log to {path}\n"));
+    }
+    Ok(out)
 }
 
 fn cmd_features(args: &Args) -> Result<String, String> {
@@ -1148,7 +1390,10 @@ fn cmd_verify(args: &Args) -> Result<String, String> {
     let g = build_cnn_graph(CnnConfig::digits(12), 64);
     ctx.record_certification(g.certify(budget).to_doc("cnn-digits12-cap64"));
     let (g, _) = build_forward_graph(784, &[512, 256], 10, 200);
-    ctx.record_certification(g.certify(budget).to_doc("serve-forward-784-512-256-c10-cap200"));
+    ctx.record_certification(
+        g.certify(budget)
+            .to_doc("serve-forward-784-512-256-c10-cap200"),
+    );
     // The pipelined pre-training schedule at one, two and four cards (the
     // stack depth sets the device count: one card per layer).
     for sizes in [
@@ -1169,7 +1414,10 @@ fn cmd_verify(args: &Args) -> Result<String, String> {
     }
 
     let bundle = CertifyBundle::new(ctx.take_certifications());
-    let mut out = format!("certify: {} graph(s), budget {budget} B/device\n", bundle.graphs.len());
+    let mut out = format!(
+        "certify: {} graph(s), budget {budget} B/device\n",
+        bundle.graphs.len()
+    );
     for doc in &bundle.graphs {
         let peak = doc
             .device_peaks
@@ -1600,7 +1848,9 @@ mod tests {
         );
         assert_eq!(
             plain,
-            supervised.replace("supervisor: 0 incident(s) recorded\n", ""),
+            supervised
+                .replace("supervisor: 0 incident(s) recorded\n", "")
+                .replace("supervisor: ladder rollbacks 0, restarts 0, lr x1\n", ""),
             "supervision changed the training output"
         );
     }
@@ -1629,21 +1879,33 @@ mod tests {
         .unwrap();
         assert!(out.contains("wrote incident log to"), "{out}");
         let text = std::fs::read_to_string(&path).unwrap();
-        assert!(text.contains("micdnn-incidents-v1"), "{text}");
+        // v2 JSONL: a schema header line, then one record per line.
+        assert!(
+            text.starts_with("{\"schema\":\"micdnn-incidents-v2\"}\n"),
+            "{text}"
+        );
+        // The pretty-printer reads it back.
+        let pretty = run(&sv(&["incidents", path.to_str().unwrap()])).unwrap();
+        assert!(pretty.contains("micdnn-incidents-v2"), "{pretty}");
         std::fs::remove_file(&path).ok();
     }
 
     #[test]
-    fn supervise_with_resume_is_rejected() {
-        let err = run(&sv(&[
-            "train",
-            "--resume",
-            "--supervise",
-            "--checkpoint-dir",
-            "/nonexistent",
-        ]))
-        .unwrap_err();
-        assert!(err.contains("fresh runs only"), "{err}");
+    fn bad_supervise_policy_is_rejected_before_training() {
+        for backoff in ["0", "-1", "NaN"] {
+            let err = run(&sv(&[
+                "train",
+                "--examples",
+                "40",
+                "--side",
+                "8",
+                "--supervise",
+                "--lr-backoff",
+                backoff,
+            ]))
+            .unwrap_err();
+            assert!(err.contains("lr_backoff"), "{backoff}: {err}");
+        }
     }
 
     #[cfg(not(feature = "failpoints"))]

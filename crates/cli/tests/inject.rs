@@ -71,9 +71,15 @@ fn injected_faults_recover_and_export_incidents() {
 
     let text = std::fs::read_to_string(&path).unwrap();
     std::fs::remove_file(&path).ok();
-    assert!(text.contains("micdnn-incidents-v1"), "{text}");
+    // v2 JSONL: schema header line, then one record per line, each
+    // stamped with the pipeline stage it occurred in.
+    assert!(
+        text.starts_with("{\"schema\":\"micdnn-incidents-v2\"}\n"),
+        "{text}"
+    );
     assert!(text.contains("loader-retry"), "{text}");
     assert!(text.contains("rollback"), "{text}");
+    assert!(text.contains("\"stage\":\"pretrain\""), "{text}");
 }
 
 #[test]

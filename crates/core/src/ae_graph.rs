@@ -521,7 +521,13 @@ impl<'a> Layer<AeState<'a>> for AeSparsity {
     fn declare(&self, sb: &mut StackBuilder<AeState<'a>>, what: Decl) {
         if what == Decl::Acts {
             sb.bind_dims(SPARS, "rho", "rho_hat", &[self.n_hidden], BufClass::Scratch);
-            sb.bind_dims(SPARS, "s_term", "s_term", &[self.n_hidden], BufClass::Scratch);
+            sb.bind_dims(
+                SPARS,
+                "s_term",
+                "s_term",
+                &[self.n_hidden],
+                BufClass::Scratch,
+            );
         }
     }
 

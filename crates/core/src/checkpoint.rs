@@ -28,12 +28,12 @@
 use crate::autoencoder::SparseAutoencoder;
 use crate::cnn::{CnnConfig, CnnModel, CnnNet};
 use crate::exec::ExecCtx;
-use crate::finetune::SoftmaxLayer;
+use crate::finetune::{FineTuneModel, FineTuneNet, SoftmaxLayer};
 use crate::model_io::{
     atomic_write, bad, checked_dim, read_any_header, read_autoencoder_body, read_f32, read_f64,
     read_header, read_mat, read_rbm_body, read_u64, read_vec, save_autoencoder, save_rbm,
     write_f32, write_f64, write_header, write_mat, write_slice, write_u64, TAG_AE, TAG_CKPT,
-    TAG_CNN, TAG_MDP, TAG_RBM,
+    TAG_CNN, TAG_FT, TAG_MDP, TAG_RBM,
 };
 use crate::optim::{Optimizer, Rule, Schedule};
 use crate::train::{AeModel, RbmModel, UnsupervisedModel};
@@ -98,6 +98,9 @@ pub enum CheckpointModel {
     MultiDev(crate::multidev::MultiDevState),
     /// A convolutional classifier with its graph flag and label cursor.
     Cnn(CnnModel),
+    /// A fine-tuning net (encoder stack + softmax head) with its graph
+    /// flag and label cursor.
+    FineTune(FineTuneModel),
 }
 
 /// A loaded checkpoint: everything needed to continue the run.
@@ -149,6 +152,14 @@ impl Checkpoint {
     pub fn into_cnn(self) -> Option<CnnModel> {
         match self.model {
             CheckpointModel::Cnn(m) => Some(m),
+            _ => None,
+        }
+    }
+
+    /// The embedded fine-tune model, if this is a fine-tune checkpoint.
+    pub fn into_finetune(self) -> Option<FineTuneModel> {
+        match self.model {
+            CheckpointModel::FineTune(m) => Some(m),
             _ => None,
         }
     }
@@ -426,6 +437,78 @@ fn read_cnn_state(r: &mut impl Read) -> io::Result<CnnModel> {
     Ok(CnnModel::from_parts(net, cursor, cycle))
 }
 
+/// Writes a fine-tune checkpoint body: stack geometry, graph flag,
+/// parameter tensors, and the label cursor.
+pub(crate) fn write_ft_state(model: &FineTuneModel, w: &mut dyn Write) -> io::Result<()> {
+    let mut w = w;
+    write_header(&mut w, TAG_FT)?;
+    let layers = model.net.layer_params();
+    write_u64(&mut w, layers.len() as u64)?;
+    write_u64(&mut w, model.net.in_dim() as u64)?;
+    for (lw, _) in layers {
+        write_u64(&mut w, lw.rows() as u64)?;
+    }
+    write_u64(&mut w, model.net.softmax.n_classes() as u64)?;
+    write_f32(&mut w, model.net.weight_decay)?;
+    w.write_all(&[model.net.uses_graph() as u8])?;
+    for (lw, lb) in layers {
+        write_mat(&mut w, lw)?;
+        write_slice(&mut w, lb)?;
+    }
+    write_mat(&mut w, &model.net.softmax.w)?;
+    write_slice(&mut w, &model.net.softmax.b)?;
+    let (cursor, cycle) = model.cursor_parts();
+    write_u64(&mut w, cursor)?;
+    write_u64(&mut w, cycle)
+}
+
+fn read_ft_state(r: &mut impl Read) -> io::Result<FineTuneModel> {
+    let n_layers = read_u64(r)?;
+    if n_layers == 0 || n_layers > 1024 {
+        return Err(bad(format!("fine-tune net with {n_layers} layers")));
+    }
+    let in_dim = checked_dim(read_u64(r)?, "fine-tune input dim")?;
+    let mut widths = Vec::with_capacity(n_layers as usize);
+    for i in 0..n_layers {
+        widths.push(checked_dim(read_u64(r)?, &format!("fine-tune layer {i}"))?);
+    }
+    let n_classes = checked_dim(read_u64(r)?, "fine-tune classes")?;
+    if n_classes < 2 {
+        return Err(bad("fine-tune net needs at least two classes"));
+    }
+    let weight_decay = read_f32(r)?;
+    if !weight_decay.is_finite() {
+        return Err(bad(format!("non-finite weight decay {weight_decay}")));
+    }
+    let mut flag = [0u8; 1];
+    r.read_exact(&mut flag)?;
+    let use_graph = match flag[0] {
+        0 => false,
+        1 => true,
+        t => return Err(bad(format!("bad graph flag {t}"))),
+    };
+    let mut layers = Vec::with_capacity(widths.len());
+    let mut prev = in_dim;
+    for &h in &widths {
+        let lw = read_mat(r, h, prev)?;
+        let lb = read_vec(r, h)?;
+        layers.push((lw, lb));
+        prev = h;
+    }
+    let sw = read_mat(r, n_classes, prev)?;
+    let sb = read_vec(r, n_classes)?;
+    let cursor = read_u64(r)?;
+    let cycle = read_u64(r)?;
+    if cycle == 0 || cursor >= cycle {
+        return Err(bad(format!(
+            "label cursor {cursor} out of range for {cycle} rows"
+        )));
+    }
+    let softmax = SoftmaxLayer { w: sw, b: sb };
+    let net = FineTuneNet::from_parts(layers, softmax, weight_decay, use_graph);
+    Ok(FineTuneModel::from_parts(net, cursor, cycle))
+}
+
 // ---- whole-checkpoint save/load ----------------------------------------
 
 /// Serializes a checkpoint record to `w`.
@@ -471,6 +554,9 @@ pub fn save_checkpoint_file(
 
 /// Deserializes a checkpoint record.
 pub fn load_checkpoint(r: &mut impl Read) -> io::Result<Checkpoint> {
+    if crate::faults::fire("ckpt.read") {
+        return Err(bad("failpoint ckpt.read: checkpoint unreadable"));
+    }
     read_header(r, TAG_CKPT)?;
     let version = read_u64(r)?;
     if version != CHECKPOINT_VERSION {
@@ -491,6 +577,7 @@ pub fn load_checkpoint(r: &mut impl Read) -> io::Result<Checkpoint> {
         TAG_RBM => CheckpointModel::Rbm(read_rbm_state(r)?),
         TAG_MDP => CheckpointModel::MultiDev(crate::multidev::read_multidev_body(r)?),
         TAG_CNN => CheckpointModel::Cnn(read_cnn_state(r)?),
+        TAG_FT => CheckpointModel::FineTune(read_ft_state(r)?),
         t => return Err(bad(format!("checkpoint embeds unknown model tag {t}"))),
     };
     Ok(Checkpoint {

@@ -649,6 +649,12 @@ impl UnsupervisedModel for CnnModel {
     }
 
     fn train_batch(&mut self, ctx: &ExecCtx, x: MatView<'_>, lr: f32) -> f64 {
+        if crate::faults::fire("cnn.nan") {
+            // Fired before the cursor or parameters advance, so the
+            // supervisor's rolled-back replay trains exactly as a
+            // fault-free run would have.
+            return f64::NAN;
+        }
         let b = x.rows();
         let labels = self.labels_for(b);
         self.cursor = (self.cursor + b as u64) % self.cycle;

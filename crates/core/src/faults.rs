@@ -16,8 +16,16 @@
 //! | `loader.read`  | the chunk source returns a transient read fault         |
 //! | `loader.panic` | the chunk source panics (caught by the loading thread)  |
 //! | `loader.crc`   | a chunk is delivered corrupted, with its pristine CRC   |
+//! | `loader.stall` | the chunk source hangs long enough to miss the per-     |
+//! |                | chunk delivery deadline (`TrainConfig::chunk_deadline`) |
 //! | `kernel.nan`   | one chunk's payload is poisoned with a NaN              |
+//! | `cnn.nan`      | one CNN training step reports NaN before any state      |
+//! |                | advances (trips the divergence sentinel)                |
+//! | `finetune.nan` | one fine-tune training step reports NaN before any      |
+//! |                | state advances (trips the divergence sentinel)          |
 //! | `ckpt.write`   | a checkpoint write fails with an I/O error              |
+//! | `ckpt.read`    | a checkpoint/snapshot read fails with a typed error     |
+//! |                | (resume falls back to the previous snapshot)            |
 //! | `device.oom`   | a device in the multi-device set runs out of memory and |
 //! |                | drops offline; its shard re-lands on the survivors      |
 //! | `link.drop`    | a gradient-sync transfer drops and is retried (extra    |
@@ -39,11 +47,20 @@ pub const SITES: &[&str] = &[
     "loader.read",
     "loader.panic",
     "loader.crc",
+    "loader.stall",
     "kernel.nan",
+    "cnn.nan",
+    "finetune.nan",
     "ckpt.write",
+    "ckpt.read",
     "device.oom",
     "link.drop",
 ];
+
+/// How long an injected `loader.stall` sleeps the loading thread. Long
+/// enough that any sub-50ms `chunk_deadline` reliably expires first.
+#[cfg(feature = "failpoints")]
+pub const STALL_MILLIS: u64 = 120;
 
 #[cfg(feature = "failpoints")]
 mod registry {
@@ -199,6 +216,12 @@ impl<S: micdnn_sim::ChunkSource> micdnn_sim::ChunkSource for FaultInjectSource<S
         use micdnn_sim::{Chunk, SourceFault};
         if fire("loader.panic") {
             panic!("failpoint loader.panic at chunk {}", self.chunk_idx);
+        }
+        if fire("loader.stall") {
+            // Runs on the loader thread: the consumer's recv_timeout on
+            // the chunk channel expires first when a per-chunk deadline is
+            // configured, surfacing as a typed StreamError::Timeout.
+            std::thread::sleep(std::time::Duration::from_millis(STALL_MILLIS));
         }
         if fire("loader.read") {
             return Err(SourceFault::Transient(format!(

@@ -171,9 +171,56 @@ impl FineTuneNet {
         self
     }
 
+    /// Rebuilds a net from checkpointed parts (the fine-tune checkpoint
+    /// reader's constructor).
+    pub(crate) fn from_parts(
+        layers: Vec<(Mat, Vec<f32>)>,
+        softmax: SoftmaxLayer,
+        weight_decay: f32,
+        use_graph: bool,
+    ) -> Self {
+        assert!(!layers.is_empty(), "net has no layers");
+        FineTuneNet {
+            layers,
+            softmax,
+            weight_decay,
+            use_graph,
+            scratch: None,
+        }
+    }
+
     /// Number of encoder layers.
     pub fn depth(&self) -> usize {
         self.layers.len()
+    }
+
+    /// Input dimensionality of the first encoder layer.
+    pub fn in_dim(&self) -> usize {
+        self.layers[0].0.cols()
+    }
+
+    /// Whether [`FineTuneNet::with_graph_schedule`] was requested.
+    pub fn uses_graph(&self) -> bool {
+        self.use_graph
+    }
+
+    /// Encoder layer output widths, input-first.
+    fn widths(&self) -> Vec<usize> {
+        self.layers.iter().map(|(w, _)| w.rows()).collect()
+    }
+
+    /// Plans (or re-plans) the cached step workspace for batches up to
+    /// `cap` rows, so the first training batch allocates nothing.
+    pub fn prepare(&mut self, cap: usize) {
+        if cap == 0 || self.scratch.as_ref().is_some_and(|s| s.max_batch >= cap) {
+            return;
+        }
+        let plan =
+            build_step_graph(self.in_dim(), &self.widths(), self.softmax.n_classes(), cap).plan();
+        self.scratch = Some(FtScratch {
+            max_batch: cap,
+            ws: Workspace::new(&plan),
+        });
     }
 
     /// Encoder parameters as `(weights h x v, biases h)` pairs, input-first.
@@ -463,6 +510,113 @@ pub fn build_step_graph<'a>(
     head.emit(&mut sb, Emit::Update(Part::Weights));
     head.emit(&mut sb, Emit::Update(Part::Biases));
     sb.finish()
+}
+
+/// [`FineTuneNet`] adapted to the unsupervised training loop so the
+/// fine-tuning stage rides the same chunked loader, checkpoint cadence
+/// and recovery ladder as pre-training (mirror of [`crate::CnnModel`]).
+///
+/// The loop hands models unlabeled batches; the digits generator renders
+/// row `i` as digit `i % 10`, and the loader walks rows in dataset order,
+/// so labels are a pure function of the running example cursor. The
+/// cursor is part of the checkpointed state: a resumed run labels exactly
+/// the examples the uninterrupted one would.
+#[derive(Debug, Clone)]
+pub struct FineTuneModel {
+    /// The underlying network.
+    pub net: FineTuneNet,
+    /// Position within the dataset of the next example (mod `cycle`).
+    cursor: u64,
+    /// Dataset length the cursor wraps at.
+    cycle: u64,
+}
+
+impl FineTuneModel {
+    /// Wraps a network for training against a `dataset_rows`-row digits
+    /// dataset (row `i` labeled `i % n_classes`).
+    pub fn new(net: FineTuneNet, dataset_rows: u64) -> Self {
+        assert!(dataset_rows > 0, "empty dataset");
+        FineTuneModel {
+            net,
+            cursor: 0,
+            cycle: dataset_rows,
+        }
+    }
+
+    /// Restores a checkpointed label cursor (`cursor < cycle`).
+    pub(crate) fn from_parts(net: FineTuneNet, cursor: u64, cycle: u64) -> Self {
+        assert!(cycle > 0 && cursor < cycle, "label cursor out of range");
+        FineTuneModel { net, cursor, cycle }
+    }
+
+    /// The label cursor as `(position, dataset_rows)` (exposed for
+    /// checkpointing).
+    pub fn cursor_parts(&self) -> (u64, u64) {
+        (self.cursor, self.cycle)
+    }
+
+    /// Labels for the next `b` examples without advancing the cursor.
+    fn labels_for(&self, b: usize) -> Vec<usize> {
+        let classes = self.net.softmax.n_classes() as u64;
+        (0..b as u64)
+            .map(|i| (((self.cursor + i) % self.cycle) % classes) as usize)
+            .collect()
+    }
+
+    /// Replaces parameters and label cursor with `other`'s (the
+    /// supervisor's rollback path), keeping this wrapper's scheduling
+    /// preference. Scratch is dropped; the next batch re-plans it.
+    pub(crate) fn adopt(&mut self, other: FineTuneModel) {
+        let use_graph = self.net.use_graph;
+        self.net = other.net;
+        self.net.use_graph = use_graph;
+        self.net.scratch = None;
+        self.cursor = other.cursor;
+        self.cycle = other.cycle;
+    }
+}
+
+impl crate::train::UnsupervisedModel for FineTuneModel {
+    fn input_dim(&self) -> usize {
+        self.net.in_dim()
+    }
+
+    fn prepare(&mut self, max_batch: usize) {
+        self.net.prepare(max_batch);
+    }
+
+    fn train_batch(&mut self, ctx: &ExecCtx, x: MatView<'_>, lr: f32) -> f64 {
+        if crate::faults::fire("finetune.nan") {
+            // Fired before the cursor or parameters advance, so the
+            // supervisor's rolled-back replay trains exactly as a
+            // fault-free run would have.
+            return f64::NAN;
+        }
+        let b = x.rows();
+        let labels = self.labels_for(b);
+        self.cursor = (self.cursor + b as u64) % self.cycle;
+        self.net.train_batch(ctx, x, &labels, lr)
+    }
+
+    fn resident_bytes(&self, max_batch: usize) -> u64 {
+        let f = std::mem::size_of::<f32>() as u64;
+        let c = self.net.softmax.n_classes();
+        let params: u64 = self
+            .net
+            .layers
+            .iter()
+            .map(|(w, b)| (w.rows() * w.cols() + b.len()) as u64)
+            .sum::<u64>()
+            + (c * self.net.softmax.in_dim() + c) as u64;
+        let arena = build_step_graph(self.net.in_dim(), &self.net.widths(), c, max_batch.max(1))
+            .plan()
+            .peak_elems() as u64;
+        (params + arena) * f
+    }
+
+    fn save_state(&self, w: &mut dyn std::io::Write) -> std::io::Result<()> {
+        crate::checkpoint::write_ft_state(self, w)
+    }
 }
 
 #[cfg(test)]

@@ -324,12 +324,7 @@ impl<'g, S> TaskGraph<'g, S> {
     /// planning and execution, but the certifier's shape inference
     /// ([`TaskGraph::certify`]) can prove the graph shape-consistent only
     /// over buffers declared this way.
-    pub fn declare_dims(
-        &mut self,
-        name: &'static str,
-        dims: &[usize],
-        class: BufClass,
-    ) -> BufId {
+    pub fn declare_dims(&mut self, name: &'static str, dims: &[usize], class: BufClass) -> BufId {
         let elems = dims.iter().product();
         self.bufs.push(BufDecl {
             name,

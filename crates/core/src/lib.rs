@@ -82,7 +82,7 @@ pub use checkpoint::{
 };
 pub use cnn::{build_cnn_graph, CnnConfig, CnnModel, CnnNet, CnnState};
 pub use exec::{ExecCtx, OptLevel, PhaseGuard};
-pub use finetune::{FineTuneNet, SoftmaxLayer};
+pub use finetune::{FineTuneModel, FineTuneNet, SoftmaxLayer};
 pub use gradcheck::{check_autoencoder, GradCheckResult};
 pub use graph::{BufClass, BufId, GraphRun, NodeSpec, TaskGraph, Workspace, WorkspacePlan};
 pub use hybrid::{estimate_hybrid, optimal_fraction, HybridAeTrainer, HybridConfig};
@@ -108,7 +108,8 @@ pub use serve::{
 };
 pub use stacked::{DeepBeliefNet, LayerReport, PipelineReport, PipelineState, StackedAutoencoder};
 pub use supervise::{
-    train_dataset_supervised, Incident, IncidentLog, Recoverable, SupervisorPolicy,
+    train_dataset_supervised, Incident, IncidentLog, Recoverable, RunPos, RunSupervisor, Stage,
+    SupervisorPolicy, SupervisorPolicyError, INCIDENT_SCHEMA, INCIDENT_SCHEMA_V1,
 };
 pub use train::{
     train_dataset, train_dataset_resume, train_stream, AeModel, RbmModel, TrainConfig, TrainError,

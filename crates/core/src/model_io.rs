@@ -20,6 +20,8 @@ pub(crate) const TAG_RBM: u8 = 2;
 pub(crate) const TAG_CKPT: u8 = 3;
 pub(crate) const TAG_MDP: u8 = 4;
 pub(crate) const TAG_CNN: u8 = 5;
+pub(crate) const TAG_SUP: u8 = 6;
+pub(crate) const TAG_FT: u8 = 7;
 
 /// Upper bound on any single header-derived dimension. Well above the
 /// paper's largest layer (16384) but small enough that a corrupt header
@@ -201,7 +203,11 @@ pub(crate) fn read_mat_named(
 
 /// [`read_vec`], but a length disagreement is reported as a structured
 /// [`ShapeMismatch`] payload naming `layer` (shapes rendered `(len, 1)`).
-pub(crate) fn read_vec_named(r: &mut impl Read, layer: &str, expect: usize) -> io::Result<Vec<f32>> {
+pub(crate) fn read_vec_named(
+    r: &mut impl Read,
+    layer: &str,
+    expect: usize,
+) -> io::Result<Vec<f32>> {
     let len = read_u64(r)?;
     if len != expect as u64 {
         return Err(ShapeMismatch {

@@ -51,6 +51,13 @@
 //! `device.oom` drops one device and re-shards its blocks onto the
 //! survivors (bit-identical by construction); a `link.drop` retries the
 //! gradient sync, charging extra modeled time without touching numerics.
+//!
+//! Both recoveries happen *inside* a training leg, so they compose with
+//! the supervisor's ladder for free: a [`crate::RunSupervisor`] leg that
+//! loses a device mid-flight re-shards here, and if the same leg later
+//! diverges, the rollback restores a [`CheckpointModel`] snapshot whose
+//! device set reflects the survivors (the `TAG_MDP` record carries the
+//! online mask), so replay stays bit-identical at any device count.
 
 use crate::autoencoder::{AeScratch, SparseAutoencoder};
 use crate::checkpoint::CheckpointModel;

@@ -28,7 +28,7 @@ pub struct LayerReport {
 }
 
 /// A stack of sparse autoencoders (the paper's Fig. 1).
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct StackedAutoencoder {
     layers: Vec<SparseAutoencoder>,
     sizes: Vec<usize>,
@@ -73,6 +73,17 @@ impl StackedAutoencoder {
     /// The trained layers.
     pub fn layers(&self) -> &[SparseAutoencoder] {
         &self.layers
+    }
+
+    /// Mutable layer access for the run supervisor, which drives the
+    /// greedy schedule itself so each leg can roll back independently.
+    pub(crate) fn layers_mut(&mut self) -> &mut [SparseAutoencoder] {
+        &mut self.layers
+    }
+
+    /// Whether [`StackedAutoencoder::with_graph_schedule`] was requested.
+    pub fn uses_graph(&self) -> bool {
+        self.use_graph
     }
 
     /// Greedy layer-wise pre-training: trains layer k on the encoding of

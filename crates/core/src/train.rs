@@ -20,7 +20,7 @@ use crate::cd_graph::cd_step_graph;
 use crate::checkpoint::{save_checkpoint_file, CheckpointPolicy, TrainProgress};
 use crate::exec::ExecCtx;
 use crate::rbm::{Rbm, RbmScratch};
-use crate::supervise::{Incident, SuperHooks, SupervisorPolicy};
+use crate::supervise::{Incident, SuperHooks, SupervisorPolicy, SupervisorPolicyError};
 use micdnn_sim::{
     ChunkSource, ChunkStream, DeviceMemory, Link, OutOfDeviceMemory, RetryPolicy, StreamError,
     StreamOptions, StreamStats,
@@ -401,6 +401,9 @@ pub enum TrainError {
         /// Description of the final failure.
         last: String,
     },
+    /// The supervision policy itself is invalid (rejected before any
+    /// training starts).
+    Policy(SupervisorPolicyError),
 }
 
 impl std::fmt::Display for TrainError {
@@ -425,6 +428,7 @@ impl std::fmt::Display for TrainError {
                     "training unrecoverable after {attempts} recovery attempt(s): {last}"
                 )
             }
+            TrainError::Policy(e) => write!(f, "invalid supervision policy: {e}"),
         }
     }
 }
@@ -440,6 +444,12 @@ impl From<OutOfDeviceMemory> for TrainError {
 impl From<StreamError> for TrainError {
     fn from(e: StreamError) -> Self {
         TrainError::Stream(e)
+    }
+}
+
+impl From<SupervisorPolicyError> for TrainError {
+    fn from(e: SupervisorPolicyError) -> Self {
+        TrainError::Policy(e)
     }
 }
 
@@ -497,6 +507,7 @@ fn drain_stream_events(stream: &ChunkStream, hooks: Option<&SuperHooks>) {
     for e in stream.take_retry_events() {
         h.record(Incident {
             kind: "loader-retry".to_string(),
+            stage: String::new(),
             detail: format!(
                 "chunk {} attempt {}: {} (backed off {:.6}s)",
                 e.chunk, e.attempt, e.fault, e.backoff_secs
@@ -732,6 +743,22 @@ pub fn train_dataset_resume(
     )
 }
 
+/// Batch positions one pass over `dataset` produces under `cfg`'s
+/// chunk/batch geometry (chunk boundaries cut batches short, so this is
+/// per-chunk `div_ceil`, not one global division).
+pub(crate) fn batches_per_epoch(dataset: &micdnn_data::Dataset, cfg: &TrainConfig) -> u64 {
+    let rows = dataset.matrix().rows();
+    let chunk = cfg.chunk_rows.max(1);
+    let mut total = 0u64;
+    let mut lo = 0;
+    while lo < rows {
+        let hi = (lo + chunk).min(rows);
+        total += (hi - lo).div_ceil(cfg.batch_size) as u64;
+        lo = hi;
+    }
+    total
+}
+
 /// Shared body of [`train_dataset`]/[`train_dataset_resume`]; `layer`
 /// labels checkpoints written during stacked pre-training, `hooks` plugs
 /// in the supervisor's sentinel and snapshot machinery.
@@ -748,10 +775,7 @@ pub(crate) fn train_dataset_at(
 ) -> Result<TrainReport, TrainError> {
     assert!(passes >= 1, "need at least one pass");
     let chunks = dataset.clone().into_chunks(cfg.chunk_rows);
-    let batches_per_epoch: u64 = chunks
-        .iter()
-        .map(|c| c.rows().div_ceil(cfg.batch_size) as u64)
-        .sum();
+    let batches_per_epoch = batches_per_epoch(dataset, cfg);
     let mut all = Vec::with_capacity(chunks.len() * passes);
     for _ in 0..passes {
         all.extend(chunks.iter().cloned());

@@ -840,10 +840,10 @@ impl<S> TaskGraph<'_, S> {
         let mut first_w = vec![usize::MAX; nb];
         let mut last_w = vec![0usize; nb];
         let mut on_dev: Vec<Vec<u32>> = vec![Vec::new(); nb];
-        for id in 0..n {
+        for (id, &w) in wave.iter().enumerate() {
             for &BufId(b) in self.reads[id].iter().chain(self.writes[id].iter()) {
-                first_w[b] = first_w[b].min(wave[id]);
-                last_w[b] = last_w[b].max(wave[id]);
+                first_w[b] = first_w[b].min(w);
+                last_w[b] = last_w[b].max(w);
                 if !on_dev[b].contains(&self.device[id]) {
                     on_dev[b].push(self.device[id]);
                 }
@@ -873,12 +873,12 @@ impl<S> TaskGraph<'_, S> {
                 delta[s] += bytes as i64;
                 delta[e + 1] -= bytes as i64;
             };
-            for b in 0..nb {
-                if self.bufs[b].class != BufClass::External || !on_dev[b].contains(&d) {
+            for (b, buf) in self.bufs.iter().enumerate() {
+                if buf.class != BufClass::External || !on_dev[b].contains(&d) {
                     continue;
                 }
                 if let Some((s, e)) = interval(b) {
-                    charge(s, e, bytes_of(self.bufs[b].elems));
+                    charge(s, e, bytes_of(buf.elems));
                 }
             }
             for r in 0..plan.num_registers() {
@@ -1082,7 +1082,11 @@ impl FindingDoc {
                 Severity::Warning => "warning".to_string(),
             },
             message: d.message.clone(),
-            nodes: d.nodes.iter().map(|(id, name)| format!("{name}#{id}")).collect(),
+            nodes: d
+                .nodes
+                .iter()
+                .map(|(id, name)| format!("{name}#{id}"))
+                .collect(),
             buffer: d.buffer.map(str::to_string),
             wave: d.wave.map(|w| w as u64),
             bytes: d.bytes,
@@ -1594,11 +1598,18 @@ mod tests {
         // existing graphs must keep executing.
         let mut g: TaskGraph<'static, ()> = TaskGraph::new();
         let out = g.declare("out", 16, BufClass::Pinned);
-        g.node(NodeSpec::new("sample").writes(&[out]).stochastic(), |_, _| {});
+        g.node(
+            NodeSpec::new("sample").writes(&[out]).stochastic(),
+            |_, _| {},
+        );
         let verify = g.verify();
         assert!(verify.is_clean(), "{verify}");
         let certify = g.certify(DEFAULT_MEM_BUDGET);
-        assert!(certify.report.has(DiagKind::ShapeUnknown), "{}", certify.report);
+        assert!(
+            certify.report.has(DiagKind::ShapeUnknown),
+            "{}",
+            certify.report
+        );
         assert!(
             certify.report.has(DiagKind::UndeclaredStochastic),
             "{}",
@@ -1615,7 +1626,11 @@ mod tests {
             |_, _| {},
         );
         let outcome = g.certify(DEFAULT_MEM_BUDGET);
-        assert!(outcome.report.has(DiagKind::ShapeMismatch), "{}", outcome.report);
+        assert!(
+            outcome.report.has(DiagKind::ShapeMismatch),
+            "{}",
+            outcome.report
+        );
         let diag = &outcome.report.errors[0];
         assert_eq!(diag.buffer, Some("x"));
         assert!(diag.message.contains("[8 x 4]") && diag.message.contains("[4 x 8]"));
@@ -1626,7 +1641,11 @@ mod tests {
         let g = shaped_chain();
         let peak = g.certify(DEFAULT_MEM_BUDGET).device_peaks[0].clone();
         let outcome = g.certify(peak.peak_bytes - 1);
-        assert!(outcome.report.has(DiagKind::MemBudget), "{}", outcome.report);
+        assert!(
+            outcome.report.has(DiagKind::MemBudget),
+            "{}",
+            outcome.report
+        );
         let diag = outcome
             .report
             .errors

@@ -58,10 +58,7 @@ pub mod channel {
 
         /// Blocks up to `timeout` for a message; distinguishes an elapsed
         /// deadline from a disconnected channel.
-        pub fn recv_timeout(
-            &self,
-            timeout: std::time::Duration,
-        ) -> Result<T, RecvTimeoutError> {
+        pub fn recv_timeout(&self, timeout: std::time::Duration) -> Result<T, RecvTimeoutError> {
             self.0.recv_timeout(timeout).map_err(|e| match e {
                 mpsc::RecvTimeoutError::Timeout => RecvTimeoutError::Timeout,
                 mpsc::RecvTimeoutError::Disconnected => RecvTimeoutError::Disconnected,

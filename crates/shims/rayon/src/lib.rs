@@ -351,6 +351,9 @@ mod tests {
             .map(str::to_owned)
             .or_else(|| err.downcast_ref::<String>().cloned())
             .expect("payload should be a string");
-        assert!(msg.contains("diagnostic payload 4721"), "lost payload: {msg}");
+        assert!(
+            msg.contains("diagnostic payload 4721"),
+            "lost payload: {msg}"
+        );
     }
 }

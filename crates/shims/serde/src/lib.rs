@@ -273,7 +273,9 @@ impl Serialize for bool {
 
 impl Deserialize for bool {
     fn deserialize_value(value: &Value) -> Result<Self, Error> {
-        value.as_bool().ok_or_else(|| Error::expected("bool", value))
+        value
+            .as_bool()
+            .ok_or_else(|| Error::expected("bool", value))
     }
 }
 

@@ -93,7 +93,9 @@ fn parse_input(input: TokenStream) -> Shape {
         Some(TokenTree::Punct(p)) if p.as_char() == '<' => {
             panic!("serde shim derive does not support generic type `{name}`")
         }
-        other => panic!("expected braced body for `{name}` (tuple/unit forms unsupported), got {other:?}"),
+        other => panic!(
+            "expected braced body for `{name}` (tuple/unit forms unsupported), got {other:?}"
+        ),
     };
 
     let chunks = split_top_level_commas(body);
@@ -123,7 +125,9 @@ fn parse_input(input: TokenStream) -> Shape {
                 other => panic!("expected variant name in `{name}`, got {other:?}"),
             };
             if it.next().is_some() {
-                panic!("serde shim derive supports only unit enum variants; `{name}::{v}` has data");
+                panic!(
+                    "serde shim derive supports only unit enum variants; `{name}::{v}` has data"
+                );
             }
             variants.push(v);
         }
@@ -166,7 +170,8 @@ pub fn derive_serialize(input: TokenStream) -> TokenStream {
             )
         }
     };
-    code.parse().expect("serde shim derive emitted invalid code")
+    code.parse()
+        .expect("serde shim derive emitted invalid code")
 }
 
 /// Derives the shim's `serde::Deserialize` (reconstruction from `serde::Value`).
@@ -211,5 +216,6 @@ pub fn derive_deserialize(input: TokenStream) -> TokenStream {
             )
         }
     };
-    code.parse().expect("serde shim derive emitted invalid code")
+    code.parse()
+        .expect("serde shim derive emitted invalid code")
 }

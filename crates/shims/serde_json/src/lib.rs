@@ -70,9 +70,6 @@ macro_rules! json {
     ($other:expr) => { $crate::to_value(&$other) };
 }
 
-
-
-
 struct Parser<'a> {
     bytes: &'a [u8],
     pos: usize,
@@ -186,9 +183,7 @@ impl<'a> Parser<'a> {
                                     .ok_or_else(|| Error("bad \\u codepoint".into()))?,
                             );
                         }
-                        other => {
-                            return Err(Error(format!("bad escape `\\{}`", other as char)))
-                        }
+                        other => return Err(Error(format!("bad escape `\\{}`", other as char))),
                     }
                 }
                 _ => {

@@ -184,9 +184,8 @@ fn lint_file(rel: &str, text: &str, allow: &[AllowEntry], out: &mut Vec<Violatio
     // no-panic policy (their sanctioned exceptions live in the allowlist).
     let kernel_hot =
         rel.starts_with("crates/kernels/src/") || rel.starts_with("crates/tensor/src/");
-    let hot_path = kernel_hot
-        || rel == "crates/core/src/serve.rs"
-        || rel == "crates/core/src/multidev.rs";
+    let hot_path =
+        kernel_hot || rel == "crates/core/src/serve.rs" || rel == "crates/core/src/multidev.rs";
     let kernels = rel.starts_with("crates/kernels/src/");
     let lines: Vec<&str> = text.lines().collect();
 
@@ -259,7 +258,10 @@ fn has_lossy_cast(code: &str) -> bool {
             let rest = code[j..].trim_start();
             for ty in NARROW_TYPES {
                 if rest.starts_with(ty)
-                    && rest.as_bytes().get(ty.len()).is_none_or(|&b| !is_ident_char(b))
+                    && rest
+                        .as_bytes()
+                        .get(ty.len())
+                        .is_none_or(|&b| !is_ident_char(b))
                 {
                     return true;
                 }

@@ -347,6 +347,193 @@ fn multidev_device_drop_plus_nan_engages_the_ladder_bit_identically() {
     assert_eq!(log.count("lr-backoff"), 1, "{:?}", log.incidents);
 }
 
+// ---------------------------------------------------------------------
+// Full-pipeline chaos: one RunSupervisor across stacked pre-training and
+// fine-tuning, at N ∈ {1, 4} modeled devices. (Names share the
+// `pipeline` prefix so CI can run this group alone.)
+// ---------------------------------------------------------------------
+
+use micdnn::{FineTuneModel, FineTuneNet, RunSupervisor, StackedAutoencoder, Stage};
+
+/// The whole supervised pipeline at `devices` cards: every pre-training
+/// layer and the fine-tune pass are legs of one [`RunSupervisor`], so the
+/// ladder budget and incident log span the run. Returns a flat
+/// fingerprint of every trained parameter plus the log.
+fn run_pipeline(devices: usize, cfg: &TrainConfig) -> (Vec<f32>, IncidentLog) {
+    let ds = toy_dataset(120, 16, 29);
+    let mut stack = StackedAutoencoder::with_default_config(&[16, 10, 8], 31);
+    let ctx = ExecCtx::native(OptLevel::Improved, 29);
+    let mut sup = RunSupervisor::new(cfg.supervisor.clone().expect("chaos cfg")).unwrap();
+    let mdcfg = MultiDevConfig::new(devices);
+    sup.pretrain_multidev(&mut stack, &mdcfg, &ctx, &ds, cfg, 2)
+        .unwrap();
+    let net = FineTuneNet::from_stack(&stack, 4, 37);
+    let mut ft = FineTuneModel::new(net, ds.len() as u64);
+    sup.run_leg(&mut ft, &ctx, &ds, cfg, 2, Stage::FineTune, 0, 0)
+        .unwrap();
+    let mut params = Vec::new();
+    for layer in stack.layers() {
+        params.extend_from_slice(layer.w1.as_slice());
+    }
+    for (w, b) in ft.net.layer_params() {
+        params.extend_from_slice(w.as_slice());
+        params.extend_from_slice(b);
+    }
+    (params, sup.into_log())
+}
+
+/// A NaN-poisoned chunk lands in leg 2 of pre-training (the second
+/// stacked layer): the ladder rolls that leg back and the pipeline
+/// completes bit-identical to the fault-free run — at one device and at
+/// four.
+#[test]
+fn pipeline_fault_into_pretrain_leg2_recovers_at_any_device_count() {
+    let _g = REGISTRY_LOCK.lock();
+    for devices in [1usize, 4] {
+        faults::clear_all();
+        let (clean, clean_log) = with_watchdog("pipeline baseline", move || {
+            run_pipeline(devices, &chaos_cfg())
+        });
+        assert!(clean_log.incidents.is_empty(), "{:?}", clean_log.incidents);
+
+        // 6 chunks per leg (3 per epoch × 2 passes); hit 8 = leg 2.
+        faults::configure("kernel.nan", "1@8").unwrap();
+        let (faulted, log) = with_watchdog("pipeline faulted", move || {
+            run_pipeline(devices, &chaos_cfg())
+        });
+        faults::clear_all();
+
+        assert_eq!(
+            clean, faulted,
+            "N={devices}: pipeline diverged from baseline"
+        );
+        assert_eq!(log.count("rollback"), 1, "N={devices}: {:?}", log.incidents);
+        let rb = log.incidents.iter().find(|i| i.kind == "rollback").unwrap();
+        assert_eq!(rb.stage, "pretrain", "{rb:?}");
+    }
+}
+
+/// A fine-tune divergence rolls back the fine-tune leg only: the rollback
+/// incident is stamped `finetune`, no pre-training incident exists, and
+/// the final parameters still match the fault-free pipeline bitwise.
+#[test]
+fn pipeline_finetune_nan_rolls_back_without_rerunning_pretrain() {
+    let _g = REGISTRY_LOCK.lock();
+    for devices in [1usize, 4] {
+        faults::clear_all();
+        let (clean, _) = with_watchdog("ft baseline", move || run_pipeline(devices, &chaos_cfg()));
+
+        faults::configure("finetune.nan", "1@7").unwrap();
+        let (faulted, log) =
+            with_watchdog("ft faulted", move || run_pipeline(devices, &chaos_cfg()));
+        faults::clear_all();
+
+        assert_eq!(clean, faulted, "N={devices}: fine-tune recovery diverged");
+        assert_eq!(log.count("rollback"), 1, "N={devices}: {:?}", log.incidents);
+        assert!(
+            log.incidents
+                .iter()
+                .all(|i| i.kind != "rollback" || i.stage == "finetune"),
+            "rollback outside fine-tune: {:?}",
+            log.incidents
+        );
+        assert!(
+            log.incidents.iter().all(|i| i.stage != "pretrain"),
+            "pre-training was disturbed: {:?}",
+            log.incidents
+        );
+    }
+}
+
+/// A device dies mid-leg while a NaN chunk is also in flight: the
+/// re-shard happens inside the leg, the ladder rolls back on top of it,
+/// and the four-device pipeline still lands bit-identical to its
+/// fault-free self.
+#[test]
+fn pipeline_device_drop_composes_with_ladder_rollback() {
+    let _g = REGISTRY_LOCK.lock();
+    faults::clear_all();
+    let (clean, _) = with_watchdog("oom baseline", || run_pipeline(4, &chaos_cfg()));
+
+    faults::configure("device.oom", "1@14").unwrap();
+    faults::configure("kernel.nan", "1@9").unwrap();
+    let (faulted, log) = with_watchdog("oom faulted", || run_pipeline(4, &chaos_cfg()));
+    faults::clear_all();
+
+    assert_eq!(clean, faulted, "re-shard + rollback diverged from baseline");
+    assert_eq!(log.count("device-oom"), 1, "{:?}", log.incidents);
+    assert_eq!(log.count("rollback"), 1, "{:?}", log.incidents);
+}
+
+/// The current snapshot is unreadable exactly when a rollback needs it
+/// (`ckpt.read`): the supervisor falls back to the previous snapshot with
+/// a typed incident instead of panicking, and replay from the older
+/// snapshot still lands bit-identical.
+#[test]
+fn pipeline_corrupt_snapshot_read_falls_back_to_previous() {
+    let _g = REGISTRY_LOCK.lock();
+    faults::clear_all();
+    let (clean, _) = with_watchdog("fallback baseline", || run_pipeline(1, &chaos_cfg()));
+
+    // Divergence at fine-tune batch 7 (snapshots at 0 and 5); the read
+    // of snapshot 5 fails, so recovery replays from snapshot 0.
+    faults::configure("finetune.nan", "1@7").unwrap();
+    faults::configure("ckpt.read", "1").unwrap();
+    let (faulted, log) = with_watchdog("fallback faulted", || run_pipeline(1, &chaos_cfg()));
+    faults::clear_all();
+
+    assert_eq!(clean, faulted, "snapshot fallback diverged from baseline");
+    assert_eq!(log.count("snapshot-fallback"), 1, "{:?}", log.incidents);
+    assert_eq!(log.count("rollback"), 1, "{:?}", log.incidents);
+    let fb = log
+        .incidents
+        .iter()
+        .find(|i| i.kind == "snapshot-fallback")
+        .unwrap();
+    assert!(fb.detail.contains("fell back to batch 0"), "{fb:?}");
+}
+
+/// A stalled loader blows the per-chunk deadline: the stream fails typed,
+/// the ladder restarts the leg from the snapshot, and the run matches a
+/// fault-free run under the same deadline bitwise.
+#[test]
+fn pipeline_loader_stall_restarts_leg_via_chunk_deadline() {
+    let _g = REGISTRY_LOCK.lock();
+    let deadline_cfg = || TrainConfig {
+        chunk_deadline: Some(Duration::from_millis(60)),
+        ..chaos_cfg()
+    };
+    faults::clear_all();
+    let (clean, clean_log) =
+        with_watchdog("stall baseline", move || run_pipeline(1, &deadline_cfg()));
+    assert!(clean_log.incidents.is_empty(), "{:?}", clean_log.incidents);
+
+    faults::configure("loader.stall", "1@2").unwrap();
+    let (faulted, log) = with_watchdog("stall faulted", move || run_pipeline(1, &deadline_cfg()));
+    faults::clear_all();
+
+    assert_eq!(clean, faulted, "deadline restart diverged from baseline");
+    assert!(log.count("restart") >= 1, "{:?}", log.incidents);
+}
+
+/// `cnn.nan` poisons one CNN batch at the model level (before the cursor
+/// or parameters advance): the ladder rolls back and the CNN training
+/// run completes bit-identical to the fault-free baseline.
+#[test]
+fn pipeline_cnn_nan_rolls_back_bit_identically() {
+    let _g = REGISTRY_LOCK.lock();
+    faults::clear_all();
+    let (clean, clean_log) = with_watchdog("cnn.nan baseline", run_cnn);
+    assert!(clean_log.incidents.is_empty(), "{:?}", clean_log.incidents);
+
+    faults::configure("cnn.nan", "1@4").unwrap();
+    let (faulted, log) = with_watchdog("cnn.nan faulted", run_cnn);
+    faults::clear_all();
+
+    assert_eq!(clean, faulted, "cnn.nan recovery diverged from baseline");
+    assert_eq!(log.count("rollback"), 1, "{:?}", log.incidents);
+}
+
 /// Random seeded schedules: every run either completes bit-identical to
 /// the fault-free baseline or fails with a typed error — across AE and
 /// RBM, with mixed fault sites.

@@ -592,19 +592,12 @@ fn pipeline_plans_certify_with_no_dead_writes() {
 
 /// Two fully shape-declared stages over dims-declared buffers; certifies
 /// clean until a mutation hook corrupts it.
-fn shaped_two_stage() -> (
-    TaskGraph<'static, ()>,
-    micdnn::BufId,
-    micdnn::BufId,
-) {
+fn shaped_two_stage() -> (TaskGraph<'static, ()>, micdnn::BufId, micdnn::BufId) {
     let mut g: TaskGraph<'static, ()> = TaskGraph::new();
     let a = g.declare_dims("a", &[8, 8], BufClass::Scratch);
     let b = g.declare_dims("b", &[8, 8], BufClass::Pinned);
     g.node(NodeSpec::new("produce").writes(&[a]), |_, _| {});
-    g.node(
-        NodeSpec::new("consume").reads(&[a]).writes(&[b]),
-        |_, _| {},
-    );
+    g.node(NodeSpec::new("consume").reads(&[a]).writes(&[b]), |_, _| {});
     (g, a, b)
 }
 
@@ -711,10 +704,10 @@ proptest! {
         // Buffer b is written by node b and read by every node depending on b.
         let mut first_w = vec![usize::MAX; n];
         let mut last_w = vec![0usize; n];
-        for i in 0..n {
+        for (i, &w) in wave.iter().enumerate() {
             for &b in dag.deps[i].iter().chain(std::iter::once(&i)) {
-                first_w[b] = first_w[b].min(wave[i]);
-                last_w[b] = last_w[b].max(wave[i]);
+                first_w[b] = first_w[b].min(w);
+                last_w[b] = last_w[b].max(w);
             }
         }
         let live = |b: usize, w: usize| -> bool {
